@@ -1,0 +1,30 @@
+//! Microbenchmarks of the collective cost models and option-space
+//! enumeration (they run inside every simulated timeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use espresso_cluster::{Cluster, LinkClass, Routine};
+use espresso_strategy::OptionSpace;
+use std::hint::black_box;
+
+fn bench_cost_models(c: &mut Criterion) {
+    let link = LinkClass::Ethernet100G.link();
+    c.bench_function("routine_time_all", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in Routine::ALL {
+                acc += r.time(black_box(64), black_box(1e8), link);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let cluster = Cluster::nvlink_100g(8, 8);
+    c.bench_function("option_space_enumerate", |b| {
+        b.iter(|| black_box(OptionSpace::enumerate(black_box(&cluster))))
+    });
+}
+
+criterion_group!(benches, bench_cost_models, bench_enumeration);
+criterion_main!(benches);

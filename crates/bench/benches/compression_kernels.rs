@@ -1,0 +1,47 @@
+//! Microbenchmarks of the real compression kernels: the quantities behind
+//! the calibrated timing model of `espresso-gc` (and Figure 10's
+//! compression-time axis).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use espresso_gc::{CompressCtx, GcAlgorithm};
+use std::hint::black_box;
+
+fn gradient(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32) * 0.37).sin()).collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for algo in [
+        GcAlgorithm::randomk_1pct(),
+        GcAlgorithm::dgc_1pct(),
+        GcAlgorithm::EfSignSgd,
+        GcAlgorithm::Qsgd { levels: 127 },
+        GcAlgorithm::TernGrad,
+        GcAlgorithm::Fp16,
+    ] {
+        let comp = algo.build();
+        let grad = gradient(1 << 18);
+        group.throughput(Throughput::Elements(grad.len() as u64));
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| black_box(comp.compress(black_box(&grad), CompressCtx::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip");
+    for algo in [GcAlgorithm::dgc_1pct(), GcAlgorithm::EfSignSgd] {
+        let comp = algo.build();
+        let grad = gradient(1 << 16);
+        let compressed = comp.compress(&grad, CompressCtx::default());
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| black_box(comp.decompress(black_box(&compressed))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! End-to-end decision-algorithm cost (the Table 5/6 quantities) on the
+//! small models, where a full selection fits a criterion iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use espresso::Espresso;
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::Job;
+use std::hint::black_box;
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_strategy");
+    group.sample_size(10);
+    for model in [Model::Lstm, Model::Vgg16] {
+        let job = Job::new(
+            model.profile(),
+            Cluster::pcie_25g(8, 8),
+            GcAlgorithm::EfSignSgd,
+        );
+        group.bench_function(model.name(), |b| {
+            b.iter(|| {
+                let esp = Espresso::new(black_box(job.clone()));
+                black_box(esp.select_strategy())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

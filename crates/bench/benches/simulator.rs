@@ -1,0 +1,30 @@
+//! Timeline-simulator throughput: one `F(S)` evaluation per model — the
+//! unit cost that Tables 5/6's decision times are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use espresso::baselines::Baseline;
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::{Job, SimConfig, Simulator};
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_fp32");
+    for model in [Model::Lstm, Model::BertBase, Model::ResNet101] {
+        let job = Job::new(
+            model.profile(),
+            Cluster::nvlink_100g(8, 8),
+            GcAlgorithm::randomk_1pct(),
+        );
+        let sim = Simulator::new(job.clone(), SimConfig::default());
+        let strategy = Baseline::Fp32.strategy(&job);
+        group.bench_function(model.name(), |b| {
+            b.iter(|| black_box(sim.iteration_time(black_box(&strategy))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

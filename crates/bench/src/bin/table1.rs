@@ -1,0 +1,40 @@
+//! Table 1: scaling factors of three DNN models with 64 GPUs under FP32,
+//! GC with GPU (HiPress-style selective), and GC with CPU
+//! (BytePS-Compress).
+
+use espresso::baselines::Baseline;
+use espresso_bench::{runner, Table, Testbed};
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::{simulate, SimConfig};
+
+fn main() {
+    let cases = [
+        (Model::Gpt2, Testbed::Nvlink100G, GcAlgorithm::dgc_1pct()),
+        (Model::BertBase, Testbed::Nvlink100G, GcAlgorithm::EfSignSgd),
+        (Model::Lstm, Testbed::Pcie25G, GcAlgorithm::dgc_1pct()),
+    ];
+    let config = SimConfig::default();
+    let mut table = Table::new(&["Model", "Networks", "FP32", "GC with GPU", "GC with CPU"]);
+    for (model, testbed, algo) in cases {
+        let job = runner::job(model, testbed, 8, algo);
+        let sf = |b: Baseline| {
+            let t = simulate(&job, &b.strategy(&job), &config).iteration_time;
+            job.scaling_factor(t)
+        };
+        let fp32 = sf(Baseline::Fp32);
+        let gpu = sf(Baseline::HiPress);
+        let cpu = sf(Baseline::BytePsCompress);
+        let delta = |x: f64| format!("{:.2} ({:+.0}%)", x, (x / fp32 - 1.0) * 100.0);
+        table.row(vec![
+            model.name().to_string(),
+            testbed.name().to_string(),
+            format!("{fp32:.2}"),
+            delta(gpu),
+            delta(cpu),
+        ]);
+    }
+    println!("Table 1: scaling factors with 64 GPUs (paper: GPT2 0.58/0.67/0.64,");
+    println!("BERT-base 0.51/0.55/0.61, LSTM 0.46/0.43/0.42)\n");
+    print!("{}", table.render());
+}

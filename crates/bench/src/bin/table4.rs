@@ -1,0 +1,24 @@
+//! Table 4: characteristics of the benchmark DNN models.
+
+use espresso_bench::Table;
+use espresso_models::Model;
+
+fn main() {
+    let mut table = Table::new(&["Model", "Dataset", "Batch size", "Model size", "# tensors"]);
+    for m in Model::ALL {
+        let p = m.profile();
+        let unit = match p.kind {
+            espresso_models::ModelKind::Vision => "images",
+            espresso_models::ModelKind::Nlp => "tokens",
+        };
+        table.row(vec![
+            m.name().to_string(),
+            m.dataset().to_string(),
+            format!("{} {}", m.batch_size(), unit),
+            format!("{:.0} MB", p.total_bytes() as f64 / (1024.0 * 1024.0)),
+            format!("{}", p.num_tensors()),
+        ]);
+    }
+    println!("Table 4: benchmark model characteristics (paper sizes: 528/170/2559/420/475/328 MB)\n");
+    print!("{}", table.render());
+}

@@ -1,0 +1,76 @@
+//! Timeline visualizer: render the simulated Gantt chart of any
+//! (model, testbed, algorithm) under FP32, a chosen baseline, or
+//! Espresso's selected strategy.
+//!
+//! ```sh
+//! cargo run --release -p espresso-bench --bin visualize -- \
+//!     LSTM pcie dgc espresso
+//! ```
+
+use espresso::baselines::Baseline;
+use espresso::Espresso;
+use espresso_bench::Testbed;
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::{gantt, simulate, Job, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model_name = args.first().map(String::as_str).unwrap_or("LSTM");
+    let testbed = match args.get(1).map(String::as_str).unwrap_or("pcie") {
+        "nvlink" => Testbed::Nvlink100G,
+        _ => Testbed::Pcie25G,
+    };
+    let algo = match args.get(2).map(String::as_str).unwrap_or("efsignsgd") {
+        "dgc" => GcAlgorithm::dgc_1pct(),
+        "randomk" => GcAlgorithm::randomk_1pct(),
+        "terngrad" => GcAlgorithm::TernGrad,
+        "natural" => GcAlgorithm::Natural,
+        "fp16" => GcAlgorithm::Fp16,
+        _ => GcAlgorithm::EfSignSgd,
+    };
+    let scheme = args.get(3).map(String::as_str).unwrap_or("espresso");
+
+    let model = Model::ALL
+        .iter()
+        .find(|m| m.name().eq_ignore_ascii_case(model_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model {model_name}; try one of:");
+            for m in Model::ALL {
+                eprintln!("  {}", m.name());
+            }
+            std::process::exit(2);
+        });
+    let job = Job::new(model.profile(), testbed.cluster(8), algo);
+    let strategy = match scheme {
+        "fp32" => Baseline::Fp32.strategy(&job),
+        "hipress" => Baseline::HiPress.strategy(&job),
+        "hitopkcomm" => Baseline::HiTopKComm.strategy(&job),
+        "byteps-compress" => Baseline::BytePsCompress.strategy(&job),
+        _ => Espresso::new(job.clone()).select_strategy().0,
+    };
+    let result = simulate(&job, &strategy, &SimConfig::default());
+    println!(
+        "{} + {} on {} / 64 GPUs, scheme {scheme}: iteration {:.2} ms (scaling {:.3})\n",
+        model.name(),
+        algo.name(),
+        testbed.name(),
+        result.iteration_time * 1e3,
+        job.scaling_factor(result.iteration_time),
+    );
+    print!("{}", gantt::render(&result, 120));
+    println!(
+        "\nexposed communication {:.1} ms | exposed compression {:.1} ms | bubbles on {:?}: {}",
+        result.total_comm_overhead() * 1e3,
+        result.total_comp_overhead() * 1e3,
+        result.bottleneck_channel(),
+        result.bubbles(result.bottleneck_channel()).len(),
+    );
+    println!(
+        "utilization: GPU {:.0}% | CPU pool {:.2} slots | intra {:.0}% | inter {:.0}%",
+        result.utilization(espresso_sim::Resource::Gpu) * 100.0,
+        result.utilization(espresso_sim::Resource::Cpu),
+        result.utilization(espresso_sim::Resource::IntraChannel) * 100.0,
+        result.utilization(espresso_sim::Resource::InterChannel) * 100.0,
+    );
+}

@@ -1,0 +1,13 @@
+//! Benchmark harness shared by the per-table/figure binaries.
+//!
+//! Every table and figure of the paper's evaluation (section 5) has a
+//! binary under `src/bin/` that regenerates it against the simulated
+//! testbeds; this library holds the shared runners and plain-text
+//! rendering. See `DESIGN.md` section 5 for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+pub mod render;
+pub mod runner;
+
+pub use render::{bar, Table};
+pub use runner::{evaluate_schemes, SchemeResult, Testbed};

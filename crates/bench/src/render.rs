@@ -1,0 +1,97 @@
+//! Plain-text table and bar rendering for the figure binaries.
+
+/// A simple left-aligned ASCII table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for c in 0..cols {
+                s.push_str(&format!("{:<width$}  ", cells[c], width = widths[c]));
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = line(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A unicode bar scaled so that `max` fills `width` cells.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().max(0.0) as usize;
+    "█".repeat(filled.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+        // All data lines start at the same column for the second field.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].find('1'), lines[3].find('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(10.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.0, 10.0, 10).chars().count(), 0);
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+    }
+}

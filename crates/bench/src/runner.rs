@@ -1,0 +1,113 @@
+//! Shared evaluation runners for the table/figure binaries.
+
+use espresso::baselines::Baseline;
+use espresso::{upper_bound_time, Espresso};
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::{simulate, Job, SimConfig};
+use espresso_strategy::OptionSpace;
+
+/// The paper's two testbeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Testbed {
+    /// 8x V100 per machine, NVLink intra, 100 Gbps Ethernet inter.
+    Nvlink100G,
+    /// 8x V100 per machine, PCIe intra, 25 Gbps Ethernet inter.
+    Pcie25G,
+}
+
+impl Testbed {
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Testbed::Nvlink100G => "NVLink + 100Gbps",
+            Testbed::Pcie25G => "PCIe + 25Gbps",
+        }
+    }
+
+    /// A cluster of `machines` x 8 GPUs on this testbed.
+    pub fn cluster(self, machines: usize) -> Cluster {
+        match self {
+            Testbed::Nvlink100G => Cluster::nvlink_100g(machines, 8),
+            Testbed::Pcie25G => Cluster::pcie_25g(machines, 8),
+        }
+    }
+}
+
+/// One scheme's outcome on one job.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Scheme label (FP32, HiPress, ..., Espresso, Upper Bound).
+    pub name: String,
+    /// Iteration time, seconds.
+    pub iteration_time: f64,
+    /// Job throughput, samples/second (images/s or tokens/s).
+    pub throughput: f64,
+    /// Scaling factor `T_n / (n T)`.
+    pub scaling: f64,
+}
+
+/// Evaluates FP32, the three compression baselines, Espresso, and the
+/// Upper Bound on one job. The scheme order matches the paper's figures.
+pub fn evaluate_schemes(job: &Job) -> Vec<SchemeResult> {
+    let config = SimConfig::default();
+    let mut out = Vec::new();
+    let mut push = |name: &str, t: f64| {
+        out.push(SchemeResult {
+            name: name.to_string(),
+            iteration_time: t,
+            throughput: job.throughput(t),
+            scaling: job.scaling_factor(t),
+        });
+    };
+    for b in Baseline::ALL {
+        let t = simulate(job, &b.strategy(job), &config).iteration_time;
+        push(b.name(), t);
+    }
+    let esp = Espresso::new(job.clone());
+    let (_, report) = esp.select_strategy();
+    push("Espresso", report.iteration_time);
+    let space = OptionSpace::enumerate(&job.cluster);
+    push("Upper Bound", upper_bound_time(job, &space));
+    out
+}
+
+/// Builds a job for `(model, testbed with N machines, algo)`.
+pub fn job(model: Model, testbed: Testbed, machines: usize, algo: GcAlgorithm) -> Job {
+    Job::new(model.profile(), testbed.cluster(machines), algo)
+}
+
+/// The GPU-count sweep of Figures 12/13 (8 GPUs per machine).
+pub const MACHINE_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_are_ordered_and_bounded() {
+        let j = job(
+            Model::Lstm,
+            Testbed::Nvlink100G,
+            2,
+            GcAlgorithm::EfSignSgd,
+        );
+        let results = evaluate_schemes(&j);
+        assert_eq!(results.len(), 6);
+        assert_eq!(results[0].name, "FP32");
+        assert_eq!(results[4].name, "Espresso");
+        let ub = &results[5];
+        let esp = &results[4];
+        for r in &results[..5] {
+            assert!(ub.iteration_time <= r.iteration_time + 1e-9, "{}", r.name);
+        }
+        for r in &results[..4] {
+            assert!(
+                esp.iteration_time <= r.iteration_time + 1e-9,
+                "Espresso lost to {}",
+                r.name
+            );
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Analytic cost models for collective communication routines.
+//!
+//! These are the routines of the paper's Table 2:
+//!
+//! | Routine kind        | Uncompressed tensors        | Compressed tensors      |
+//! |---------------------|-----------------------------|-------------------------|
+//! | Indivisible scheme  | Allreduce                   | Allgather               |
+//! | Divisible, 1st step | Reduce-scatter / Reduce     | Alltoall / Gather       |
+//! | Divisible, 2nd step | Allgather / Broadcast       | Allgather / Broadcast   |
+//!
+//! The cost formulas follow the classical alpha-beta analysis of Thakur,
+//! Rabenseifner and Gropp ("Optimization of collective communication
+//! operations in MPICH") and the NCCL performance documentation, which the
+//! paper cites as the basis of its communication-time models (section 4.3).
+//!
+//! ## Payload conventions
+//!
+//! The single subtlety in costing these routines for gradient compression
+//! is *what "size" means*: a compressed tensor is not divisible into `n`
+//! reducible shards, so Allgather of compressed tensors moves `n` whole
+//! blobs while Allgather of an uncompressed divisible tensor moves `n`
+//! shards of `S/n` bytes. [`Routine::time`] therefore takes the number of
+//! **bytes each participant contributes** (`contrib`), with per-routine
+//! documentation of what that means; callers decide whether the
+//! contribution is a whole blob or a shard.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::Link;
+
+/// A collective communication routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Routine {
+    /// Ring allreduce: every rank starts and ends with the full tensor.
+    /// `contrib` = full tensor size.
+    Allreduce,
+    /// Ring reduce-scatter: full tensor in, one reduced shard out.
+    /// `contrib` = full tensor size.
+    ReduceScatter,
+    /// Ring allgather: one blob (or shard) in, `n` blobs out.
+    /// `contrib` = the per-rank blob size.
+    Allgather,
+    /// Pairwise alltoall: the tensor is split into `n` parts and part `j`
+    /// is shipped to rank `j`. `contrib` = full (compressed) tensor size.
+    Alltoall,
+    /// Pipelined-ring reduce toward a single root. `contrib` = full size.
+    Reduce,
+    /// Pipelined-ring broadcast from a single root. `contrib` = full size.
+    Broadcast,
+    /// Linear gather of whole blobs at a root (compressed blobs are not
+    /// reducible in-flight). `contrib` = the per-rank blob size.
+    Gather,
+}
+
+impl Routine {
+    /// All routines, for exhaustive iteration in tests and enumeration.
+    pub const ALL: [Routine; 7] = [
+        Routine::Allreduce,
+        Routine::ReduceScatter,
+        Routine::Allgather,
+        Routine::Alltoall,
+        Routine::Reduce,
+        Routine::Broadcast,
+        Routine::Gather,
+    ];
+
+    /// Predicted wall-clock time for this routine among `n` participants
+    /// over `link`, where each participant contributes `contrib` bytes
+    /// (see the per-variant conventions above).
+    ///
+    /// With `n == 1` every routine is free: there is nobody to talk to.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use espresso_cluster::{Link, Routine};
+    ///
+    /// let link = Link::from_gbps(100.0, 10e-6);
+    /// // Ring allreduce of 256 MB across 8 machines.
+    /// let t = Routine::Allreduce.time(8, 256e6, link);
+    /// assert!(t > 0.030 && t < 0.050, "{t}");
+    /// ```
+    pub fn time(self, n: usize, contrib: f64, link: Link) -> f64 {
+        assert!(n >= 1, "a collective needs at least one participant");
+        debug_assert!(contrib >= 0.0, "negative payload: {contrib}");
+        if n == 1 || contrib == 0.0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let steps = (n - 1) as f64;
+        let beta = |bytes: f64| link.transfer_time(bytes);
+        match self {
+            // Ring allreduce: 2(n-1)/n * S / B + 2(n-1) alpha.
+            Routine::Allreduce => 2.0 * steps / nf * beta(contrib) + 2.0 * steps * link.alpha,
+            // Ring reduce-scatter: (n-1)/n * S / B + (n-1) alpha.
+            Routine::ReduceScatter => steps / nf * beta(contrib) + steps * link.alpha,
+            // Ring allgather: each rank receives (n-1) contributions.
+            Routine::Allgather => steps * beta(contrib) + steps * link.alpha,
+            // Pairwise alltoall: each rank sends (n-1)/n of its payload.
+            Routine::Alltoall => steps / nf * beta(contrib) + steps * link.alpha,
+            // Pipelined ring reduce/broadcast: ~S/B once the pipe fills.
+            Routine::Reduce | Routine::Broadcast => beta(contrib) + steps * link.alpha,
+            // Linear gather: the root's link serializes (n-1) blobs.
+            Routine::Gather => steps * beta(contrib) + steps * link.alpha,
+        }
+    }
+
+    /// Bytes each participant holds *after* the routine completes, given a
+    /// `contrib`-byte contribution. Used by the simulator to chain the
+    /// payload through multi-step schemes.
+    pub fn output_bytes(self, n: usize, contrib: f64) -> f64 {
+        let nf = n as f64;
+        match self {
+            Routine::Allreduce => contrib,
+            Routine::ReduceScatter => contrib / nf,
+            Routine::Allgather => contrib * nf,
+            // Alltoall of a compressed tensor: each rank ends with n blobs
+            // of contrib/n bytes = contrib bytes of received material.
+            Routine::Alltoall => contrib,
+            Routine::Reduce => contrib,
+            Routine::Broadcast => contrib,
+            Routine::Gather => contrib * nf,
+        }
+    }
+
+    /// Whether this routine performs an in-flight arithmetic reduction,
+    /// which requires the payload to be associatively aggregatable
+    /// (compressed tensors are not; see the paper's Dimension 3).
+    pub fn reduces_in_flight(self) -> bool {
+        matches!(
+            self,
+            Routine::Allreduce | Routine::ReduceScatter | Routine::Reduce
+        )
+    }
+}
+
+/// Convenience façade bundling a link with a participant count.
+///
+/// The timeline simulator costs many routines against the same channel;
+/// this avoids threading `(n, link)` everywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveCost {
+    /// Number of participants.
+    pub n: usize,
+    /// The channel they share.
+    pub link: Link,
+}
+
+impl CollectiveCost {
+    /// Creates a cost context for `n` participants over `link`.
+    pub fn new(n: usize, link: Link) -> Self {
+        assert!(n >= 1, "a collective needs at least one participant");
+        Self { n, link }
+    }
+
+    /// Time for `routine` moving `contrib` bytes per participant.
+    pub fn time(&self, routine: Routine, contrib: f64) -> f64 {
+        routine.time(self.n, contrib, self.link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new(1e9, 1e-6)
+    }
+
+    #[test]
+    fn single_participant_is_free() {
+        for r in Routine::ALL {
+            assert_eq!(r.time(1, 1e6, link()), 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        for r in Routine::ALL {
+            assert_eq!(r.time(8, 0.0, link()), 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn allreduce_equals_reduce_scatter_plus_allgather_of_shards() {
+        // The classical identity: ring AR = ring RS + ring AG on S/n shards.
+        let n = 8;
+        let s = 64e6;
+        let l = link();
+        let ar = Routine::Allreduce.time(n, s, l);
+        let rs = Routine::ReduceScatter.time(n, s, l);
+        let ag = Routine::Allgather.time(n, s / n as f64, l);
+        assert!((ar - (rs + ag)).abs() < 1e-9, "ar={ar} rs+ag={}", rs + ag);
+    }
+
+    #[test]
+    fn allgather_of_whole_blobs_costs_n_minus_1_blobs() {
+        let l = Link::new(1e9, 0.0);
+        let t = Routine::Allgather.time(5, 1e6, l);
+        assert!((t - 4.0 * 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compressed_allgather_beats_allreduce_at_high_ratio() {
+        // A 1% compressed allgather must beat full allreduce for modest n.
+        let n = 8;
+        let s = 100e6;
+        let l = link();
+        let ar = Routine::Allreduce.time(n, s, l);
+        let ag = Routine::Allgather.time(n, 0.02 * s, l);
+        assert!(ag < ar);
+    }
+
+    #[test]
+    fn compressed_allgather_loses_at_large_n() {
+        // The (n-1) factor makes indivisible compressed allgather scale
+        // poorly: at n=256 with 2% blobs it exceeds allreduce. This is the
+        // reason divisible schemes exist (paper's Reason #2).
+        let s = 100e6;
+        let l = link();
+        let n = 256;
+        let ar = Routine::Allreduce.time(n, s, l);
+        let ag = Routine::Allgather.time(n, 0.02 * s, l);
+        assert!(ag > ar, "ag={ag} ar={ar}");
+    }
+
+    #[test]
+    fn cost_increases_with_payload() {
+        let l = link();
+        for r in Routine::ALL {
+            let small = r.time(8, 1e5, l);
+            let big = r.time(8, 1e6, l);
+            assert!(big > small, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn cost_monotone_in_latency() {
+        let fast = Link::new(1e9, 1e-6);
+        let slow = Link::new(1e9, 1e-3);
+        for r in Routine::ALL {
+            assert!(r.time(8, 1e6, slow) > r.time(8, 1e6, fast), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn output_bytes_chain() {
+        // Reduce-scatter then allgather restores the original size.
+        let s = 1e6;
+        let n = 4;
+        let shard = Routine::ReduceScatter.output_bytes(n, s);
+        assert!((shard - s / 4.0).abs() < 1e-9);
+        let full = Routine::Allgather.output_bytes(n, shard);
+        assert!((full - s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_flags() {
+        assert!(Routine::Allreduce.reduces_in_flight());
+        assert!(Routine::ReduceScatter.reduces_in_flight());
+        assert!(Routine::Reduce.reduces_in_flight());
+        assert!(!Routine::Allgather.reduces_in_flight());
+        assert!(!Routine::Alltoall.reduces_in_flight());
+        assert!(!Routine::Broadcast.reduces_in_flight());
+        assert!(!Routine::Gather.reduces_in_flight());
+    }
+}

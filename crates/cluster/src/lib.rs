@@ -1,0 +1,39 @@
+//! Cluster topology and collective-communication cost models.
+//!
+//! This crate is the substrate that stands in for the paper's physical
+//! testbeds (8 machines x 8 NVIDIA V100s, NVLink or PCIe intra-machine
+//! fabrics, 100Gbps or 25Gbps inter-machine Ethernet) and for the NCCL
+//! collective library. It provides:
+//!
+//! * [`topology`] — machine/GPU topology descriptions ([`Cluster`]) and the
+//!   intra/inter link classes of the two testbeds,
+//! * [`link`] — the alpha-beta ([`Link`]) latency/bandwidth abstraction,
+//! * [`collectives`] — analytic cost models for the collective routines of
+//!   the paper's Table 2 (Allreduce, Reduce-scatter, Allgather, Alltoall,
+//!   Reduce, Broadcast, Gather), following Thakur et al. and the NCCL
+//!   performance notes the paper cites as the source of its own
+//!   communication-time models (section 4.3),
+//! * [`phases`] — flat vs hierarchical communication phase plans
+//!   (Figure 1 of the paper).
+//!
+//! All times are in seconds (`f64`) and all sizes in bytes.
+
+pub mod collectives;
+pub mod link;
+pub mod phases;
+pub mod topology;
+
+pub use collectives::{CollectiveCost, Routine};
+pub use link::{Link, LinkClass};
+pub use phases::{CommPattern, CommScope, PhasePlan};
+pub use topology::{Cluster, IntraFabric};
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::{
+        collectives::{CollectiveCost, Routine},
+        link::{Link, LinkClass},
+        phases::{CommPattern, CommScope, PhasePlan},
+        topology::{Cluster, IntraFabric},
+    };
+}

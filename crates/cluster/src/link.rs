@@ -1,0 +1,130 @@
+//! Alpha-beta link model.
+//!
+//! A [`Link`] captures a communication channel as a per-step latency
+//! (`alpha`, seconds) plus an inverse bandwidth (`1 / bandwidth`, seconds
+//! per byte). This is the classical model the paper's section 4.3 adopts
+//! from Thakur et al. for predicting collective times.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point (or effective per-participant) communication channel.
+///
+/// `bandwidth` is the effective bytes/second a single participant can move
+/// through the channel during a well-pipelined collective; `alpha` is the
+/// fixed per-communication-step latency (launch + propagation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Effective per-participant bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Fixed per-step latency in seconds.
+    pub alpha: f64,
+}
+
+impl Link {
+    /// Creates a link from a bandwidth in bytes/second and a latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is not strictly positive or `alpha` is
+    /// negative; a link that cannot move data is a configuration error.
+    pub fn new(bandwidth: f64, alpha: f64) -> Self {
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "link bandwidth must be positive and finite, got {bandwidth}"
+        );
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "link latency must be non-negative and finite, got {alpha}"
+        );
+        Self { bandwidth, alpha }
+    }
+
+    /// Creates a link from a bandwidth expressed in Gbit/s.
+    pub fn from_gbps(gbps: f64, alpha: f64) -> Self {
+        Self::new(gbps * 1e9 / 8.0, alpha)
+    }
+
+    /// Time to serialize `bytes` through the link, excluding latency.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        debug_assert!(bytes >= 0.0, "negative payload: {bytes}");
+        bytes / self.bandwidth
+    }
+}
+
+/// Named link classes matching the hardware of the paper's two testbeds.
+///
+/// The effective collective bandwidths are deliberately below the marketing
+/// line rates: they are the sustained algorithm bandwidths NCCL reports on
+/// these fabrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// NVLink 2.0: 1.2 Tbps aggregate per GPU; effective ring-collective
+    /// bandwidth on a DGX-1-class machine is ~130 GB/s per GPU.
+    NvLink2,
+    /// PCIe 3.0 x16: ~100 Gbps line rate shared by the GPUs behind a
+    /// switch; effective all-GPU collective bandwidth on a dual-root
+    /// 8-GPU machine is ~3 GB/s (PCIe tree contention + QPI crossing).
+    Pcie3x16,
+    /// 100 Gbps Ethernet NIC (TCP/IP), ~10.5 GB/s effective.
+    Ethernet100G,
+    /// 25 Gbps Ethernet NIC (TCP/IP), ~2.8 GB/s effective.
+    Ethernet25G,
+}
+
+impl LinkClass {
+    /// The alpha-beta parameters for this link class.
+    pub fn link(self) -> Link {
+        match self {
+            // Intra-machine fabrics: microsecond-scale per-step latency
+            // (these are pipelined-chunk effective alphas, not raw launch
+            // latencies — consecutive per-tensor collectives overlap their
+            // setup with the previous transfer in NCCL).
+            LinkClass::NvLink2 => Link::new(130e9, 4e-6),
+            LinkClass::Pcie3x16 => Link::new(3e9, 5e-6),
+            // Inter-machine TCP: ~10us effective per-step latency.
+            LinkClass::Ethernet100G => Link::new(10.5e9, 10e-6),
+            LinkClass::Ethernet25G => Link::new(2.8e9, 12e-6),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let link = Link::new(1e9, 0.0);
+        assert!((link.transfer_time(1e9) - 1.0).abs() < 1e-12);
+        assert!((link.transfer_time(5e8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_gbps_converts_bits_to_bytes() {
+        let link = Link::from_gbps(100.0, 0.0);
+        assert!((link.bandwidth - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn link_classes_are_ordered_sensibly() {
+        // NVLink must be the fastest fabric; 25G Ethernet the slowest.
+        let nv = LinkClass::NvLink2.link().bandwidth;
+        let pcie = LinkClass::Pcie3x16.link().bandwidth;
+        let e100 = LinkClass::Ethernet100G.link().bandwidth;
+        let e25 = LinkClass::Ethernet25G.link().bandwidth;
+        assert!(nv > pcie && pcie > e25);
+        assert!(e100 > e25);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Link::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be non-negative")]
+    fn negative_alpha_rejected() {
+        let _ = Link::new(1.0, -1.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Flat vs hierarchical communication phase plans (paper Figure 1).
+//!
+//! Gradient synchronization proceeds through one or more *phases*, each a
+//! collective among a subset of participants over one link:
+//!
+//! * **Flat**: all `N x k` GPUs join a single collective, bottlenecked by
+//!   the inter-machine link.
+//! * **Hierarchical**: three phases — (1) aggregate among the `k` GPUs of
+//!   each machine, (2) aggregate across the `N` machines, (3) redistribute
+//!   inside each machine.
+//!
+//! The phase plan fixes *who talks over what*; the decision-tree
+//! abstraction in `espresso-strategy` decides *which routines and
+//! compressions* run inside each phase.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    collectives::CollectiveCost,
+    topology::Cluster,
+};
+
+/// The scope of one communication phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CommScope {
+    /// Among the GPUs of one machine (first hierarchical phase).
+    IntraFirst,
+    /// Across machines (second hierarchical phase).
+    Inter,
+    /// Among the GPUs of one machine again (third hierarchical phase).
+    IntraSecond,
+    /// A single collective spanning every GPU in the job.
+    Flat,
+}
+
+impl CommScope {
+    /// Whether this scope runs on the intra-machine fabric.
+    pub fn is_intra(self) -> bool {
+        matches!(self, CommScope::IntraFirst | CommScope::IntraSecond)
+    }
+}
+
+/// Flat or hierarchical synchronization (the paper's `flat comm?` decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CommPattern {
+    /// One phase over all GPUs.
+    Flat,
+    /// Intra -> inter -> intra.
+    Hierarchical,
+}
+
+impl CommPattern {
+    /// The ordered scopes this pattern traverses on `cluster`.
+    ///
+    /// Degenerate topologies drop phases: a single-machine job has no
+    /// inter phase, and single-GPU machines have no intra phases.
+    pub fn scopes(self, cluster: &Cluster) -> Vec<CommScope> {
+        match self {
+            CommPattern::Flat => {
+                if cluster.total_gpus() > 1 {
+                    vec![CommScope::Flat]
+                } else {
+                    vec![]
+                }
+            }
+            CommPattern::Hierarchical => {
+                let mut scopes = Vec::with_capacity(3);
+                if cluster.has_intra_comm() {
+                    scopes.push(CommScope::IntraFirst);
+                }
+                if cluster.is_multi_machine() {
+                    scopes.push(CommScope::Inter);
+                }
+                if cluster.has_intra_comm() && cluster.is_multi_machine() {
+                    scopes.push(CommScope::IntraSecond);
+                }
+                scopes
+            }
+        }
+    }
+}
+
+/// A resolved phase plan: the cost context for each scope of a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePlan {
+    cluster: Cluster,
+}
+
+impl PhasePlan {
+    /// Builds the plan for `cluster`.
+    pub fn new(cluster: Cluster) -> Self {
+        Self { cluster }
+    }
+
+    /// The cluster this plan is resolved against.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The collective cost context (participant count + link) for `scope`.
+    pub fn cost(&self, scope: CommScope) -> CollectiveCost {
+        match scope {
+            CommScope::IntraFirst | CommScope::IntraSecond => {
+                CollectiveCost::new(self.cluster.gpus_per_machine, self.cluster.intra)
+            }
+            CommScope::Inter => CollectiveCost::new(self.cluster.machines, self.cluster.inter),
+            CommScope::Flat => {
+                CollectiveCost::new(self.cluster.total_gpus(), self.cluster.flat_link())
+            }
+        }
+    }
+
+    /// Number of participants in `scope`.
+    pub fn participants(&self, scope: CommScope) -> usize {
+        self.cost(scope).n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::Routine;
+
+    #[test]
+    fn hierarchical_has_three_scopes_on_full_cluster() {
+        let c = Cluster::nvlink_100g(8, 8);
+        let scopes = CommPattern::Hierarchical.scopes(&c);
+        assert_eq!(
+            scopes,
+            vec![
+                CommScope::IntraFirst,
+                CommScope::Inter,
+                CommScope::IntraSecond
+            ]
+        );
+    }
+
+    #[test]
+    fn flat_has_one_scope() {
+        let c = Cluster::nvlink_100g(8, 8);
+        assert_eq!(CommPattern::Flat.scopes(&c), vec![CommScope::Flat]);
+    }
+
+    #[test]
+    fn single_machine_drops_inter_phase() {
+        let c = Cluster::nvlink_100g(1, 8);
+        let scopes = CommPattern::Hierarchical.scopes(&c);
+        assert_eq!(scopes, vec![CommScope::IntraFirst]);
+    }
+
+    #[test]
+    fn single_gpu_machines_drop_intra_phases() {
+        let c = Cluster::nvlink_100g(8, 1);
+        let scopes = CommPattern::Hierarchical.scopes(&c);
+        assert_eq!(scopes, vec![CommScope::Inter]);
+    }
+
+    #[test]
+    fn single_gpu_job_has_no_communication() {
+        let c = Cluster::nvlink_100g(1, 1);
+        assert!(CommPattern::Flat.scopes(&c).is_empty());
+        assert!(CommPattern::Hierarchical.scopes(&c).is_empty());
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_when_intra_is_fast() {
+        // The motivation for hierarchical communication (paper Figure 1):
+        // with NVLink inside machines and slow Ethernet between them, the
+        // 3-phase plan moves most bytes over the fast fabric.
+        let c = Cluster::nvlink_100g(8, 8);
+        let plan = PhasePlan::new(c);
+        let s = 256e6; // 256 MB tensor.
+        let flat = plan.cost(CommScope::Flat).time(Routine::Allreduce, s);
+        let hier = plan
+            .cost(CommScope::IntraFirst)
+            .time(Routine::ReduceScatter, s)
+            + plan.cost(CommScope::Inter).time(
+                Routine::Allreduce,
+                s / c.gpus_per_machine as f64,
+            )
+            + plan
+                .cost(CommScope::IntraSecond)
+                .time(Routine::Allgather, s / c.gpus_per_machine as f64);
+        assert!(hier < flat, "hier={hier} flat={flat}");
+    }
+
+    #[test]
+    fn scope_participants() {
+        let c = Cluster::nvlink_100g(8, 4);
+        let plan = PhasePlan::new(c);
+        assert_eq!(plan.participants(CommScope::IntraFirst), 4);
+        assert_eq!(plan.participants(CommScope::Inter), 8);
+        assert_eq!(plan.participants(CommScope::Flat), 32);
+    }
+
+    #[test]
+    fn intra_scope_flags() {
+        assert!(CommScope::IntraFirst.is_intra());
+        assert!(CommScope::IntraSecond.is_intra());
+        assert!(!CommScope::Inter.is_intra());
+        assert!(!CommScope::Flat.is_intra());
+    }
+}

@@ -1,0 +1,182 @@
+//! Machine/GPU topology of a data-parallel training job.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::{Link, LinkClass};
+
+/// The intra-machine GPU interconnect of a testbed.
+///
+/// The paper evaluates two: NVLink-based machines (testbed 1) and
+/// PCIe-only machines (testbed 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntraFabric {
+    /// NVLink 2.0 GPU-to-GPU mesh (testbed 1).
+    NvLink,
+    /// PCIe 3.0 x16 through a shared switch (testbed 2).
+    Pcie,
+}
+
+impl IntraFabric {
+    /// The link class implementing this fabric.
+    pub fn link_class(self) -> LinkClass {
+        match self {
+            IntraFabric::NvLink => LinkClass::NvLink2,
+            IntraFabric::Pcie => LinkClass::Pcie3x16,
+        }
+    }
+}
+
+/// A homogeneous GPU cluster for data-parallel training.
+///
+/// Mirrors the "training system information" configuration file of the
+/// paper's Figure 6: number of machines, GPUs per machine, and the network
+/// bandwidth of both the intra- and inter-machine channels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Number of machines (N in the paper).
+    pub machines: usize,
+    /// GPUs per machine (k in the paper).
+    pub gpus_per_machine: usize,
+    /// Intra-machine GPU interconnect.
+    pub intra: Link,
+    /// Inter-machine NIC link.
+    pub inter: Link,
+    /// Whether host-device staging copies (CPU compression) traverse the
+    /// same fabric as intra-machine collectives. True on PCIe-only
+    /// machines — D2H/H2D copies and NCCL both ride the PCIe tree — and
+    /// false on NVLink machines, where collectives leave PCIe free.
+    #[serde(default)]
+    pub staging_shares_intra: bool,
+}
+
+impl Cluster {
+    /// Builds a cluster from machine counts and named link classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` or `gpus_per_machine` is zero.
+    pub fn new(
+        machines: usize,
+        gpus_per_machine: usize,
+        intra: IntraFabric,
+        inter: LinkClass,
+    ) -> Self {
+        let mut cluster = Self::with_links(
+            machines,
+            gpus_per_machine,
+            intra.link_class().link(),
+            inter.link(),
+        );
+        cluster.staging_shares_intra = matches!(intra, IntraFabric::Pcie);
+        cluster
+    }
+
+    /// Builds a cluster with explicit link parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` or `gpus_per_machine` is zero.
+    pub fn with_links(machines: usize, gpus_per_machine: usize, intra: Link, inter: Link) -> Self {
+        assert!(machines > 0, "a cluster needs at least one machine");
+        assert!(gpus_per_machine > 0, "a machine needs at least one GPU");
+        Self {
+            machines,
+            gpus_per_machine,
+            intra,
+            inter,
+            staging_shares_intra: false,
+        }
+    }
+
+    /// The paper's testbed 1: NVLink machines on 100 Gbps Ethernet.
+    pub fn nvlink_100g(machines: usize, gpus_per_machine: usize) -> Self {
+        Self::new(
+            machines,
+            gpus_per_machine,
+            IntraFabric::NvLink,
+            LinkClass::Ethernet100G,
+        )
+    }
+
+    /// The paper's testbed 2: PCIe-only machines on 25 Gbps Ethernet.
+    pub fn pcie_25g(machines: usize, gpus_per_machine: usize) -> Self {
+        Self::new(
+            machines,
+            gpus_per_machine,
+            IntraFabric::Pcie,
+            LinkClass::Ethernet25G,
+        )
+    }
+
+    /// Total number of GPUs in the job.
+    pub fn total_gpus(&self) -> usize {
+        self.machines * self.gpus_per_machine
+    }
+
+    /// Whether the job spans more than one machine.
+    pub fn is_multi_machine(&self) -> bool {
+        self.machines > 1
+    }
+
+    /// Whether each machine hosts more than one GPU (so intra-machine
+    /// communication exists at all).
+    pub fn has_intra_comm(&self) -> bool {
+        self.gpus_per_machine > 1
+    }
+
+    /// The effective per-participant link for *flat* collectives.
+    ///
+    /// A flat collective spanning multiple machines is bottlenecked by the
+    /// inter-machine NIC: a ring placement puts exactly one inbound and
+    /// one outbound cross-machine edge on each NIC, so the per-participant
+    /// bandwidth is the NIC bandwidth itself, with the latency paid over
+    /// the full ring. On a single machine the flat collective *is* the
+    /// intra-machine collective.
+    pub fn flat_link(&self) -> Link {
+        if self.is_multi_machine() {
+            self.inter
+        } else {
+            self.intra
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_gpus_is_product() {
+        let c = Cluster::nvlink_100g(8, 8);
+        assert_eq!(c.total_gpus(), 64);
+        assert!(c.is_multi_machine());
+        assert!(c.has_intra_comm());
+    }
+
+    #[test]
+    fn single_gpu_machines_have_no_intra_comm() {
+        let c = Cluster::pcie_25g(4, 1);
+        assert!(!c.has_intra_comm());
+        assert!(c.is_multi_machine());
+    }
+
+    #[test]
+    fn testbed_presets_use_expected_fabrics() {
+        let t1 = Cluster::nvlink_100g(8, 8);
+        let t2 = Cluster::pcie_25g(8, 8);
+        assert!(t1.intra.bandwidth > t2.intra.bandwidth);
+        assert!(t1.inter.bandwidth > t2.inter.bandwidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        let _ = Cluster::nvlink_100g(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = Cluster::nvlink_100g(8, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests over the collective cost models.
+
+use espresso_cluster::{Link, Routine};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn time_is_monotone_in_bytes(
+        n in 2usize..128,
+        a in 1.0f64..1e8,
+        b in 1.0f64..1e8,
+        bw in 1e8f64..1e12,
+        alpha in 0.0f64..1e-3,
+    ) {
+        let link = Link::new(bw, alpha);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for r in Routine::ALL {
+            prop_assert!(
+                r.time(n, lo, link) <= r.time(n, hi, link) + 1e-15,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn time_is_monotone_in_bandwidth(
+        n in 2usize..128,
+        bytes in 1.0f64..1e9,
+        bw in 1e8f64..1e11,
+    ) {
+        let slow = Link::new(bw, 1e-6);
+        let fast = Link::new(bw * 2.0, 1e-6);
+        for r in Routine::ALL {
+            prop_assert!(r.time(n, bytes, fast) <= r.time(n, bytes, slow), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn ring_identity_holds_for_all_shapes(
+        n in 2usize..256,
+        bytes in 1.0f64..1e9,
+        bw in 1e8f64..1e12,
+        alpha in 0.0f64..1e-4,
+    ) {
+        // Allreduce = Reduce-scatter + Allgather of the shards, exactly.
+        let link = Link::new(bw, alpha);
+        let ar = Routine::Allreduce.time(n, bytes, link);
+        let rs = Routine::ReduceScatter.time(n, bytes, link);
+        let ag = Routine::Allgather.time(n, bytes / n as f64, link);
+        prop_assert!((ar - (rs + ag)).abs() < 1e-9 * ar.max(1.0));
+    }
+
+    #[test]
+    fn output_bytes_conserve_information(
+        n in 2usize..64,
+        bytes in 1.0f64..1e9,
+    ) {
+        // Reducing routines never increase the held bytes; gathering ones
+        // scale by exactly n.
+        for r in Routine::ALL {
+            let out = r.output_bytes(n, bytes);
+            match r {
+                Routine::Allgather | Routine::Gather => {
+                    prop_assert!((out - bytes * n as f64).abs() < 1e-6)
+                }
+                Routine::ReduceScatter => {
+                    prop_assert!((out - bytes / n as f64).abs() < 1e-6)
+                }
+                _ => prop_assert!((out - bytes).abs() < 1e-6),
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Command-line front-end: the paper's Figure 6 flow as a tool.
+//!
+//! ```sh
+//! espresso-cli --model BERT-base --algo dgc --density 0.01 \
+//!              --machines 8 --gpus 8 --intra nvlink --inter-gbps 100
+//! ```
+//!
+//! Alternatively, pass `--config <file.json>` with a JSON object holding
+//! the three configuration sections:
+//!
+//! ```json
+//! {
+//!   "model": { "model": "GPT2" },
+//!   "gc": { "algorithm": { "Dgc": { "density": 0.01 } } },
+//!   "system": { "machines": 8, "gpus_per_machine": 8,
+//!               "intra": "NvLink", "inter_gbps": 100.0 }
+//! }
+//! ```
+
+use espresso::baselines::Baseline;
+use espresso::config::{build_job, GcConfig, ModelConfig, SystemConfig};
+use espresso::Espresso;
+use espresso_cluster::IntraFabric;
+use espresso_gc::GcAlgorithm;
+use serde::Deserialize;
+
+#[derive(Debug, Deserialize)]
+struct FileConfig {
+    model: ModelConfig,
+    gc: GcConfig,
+    system: SystemConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: espresso-cli [--config FILE.json] | \
+         [--model NAME --algo randomk|dgc|efsignsgd|qsgd|terngrad|fp16 \
+         [--density F] [--machines N] [--gpus K] [--intra nvlink|pcie] \
+         [--inter-gbps G]]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> (ModelConfig, GcConfig, SystemConfig) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let mut model = "BERT-base".to_string();
+    let mut algo = "randomk".to_string();
+    let mut density = 0.01f64;
+    let mut machines = 8usize;
+    let mut gpus = 8usize;
+    let mut intra = IntraFabric::NvLink;
+    let mut inter_gbps = 100.0f64;
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--config" => {
+                let path = value();
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                let cfg: FileConfig = serde_json::from_str(&text)
+                    .unwrap_or_else(|e| panic!("bad config {path}: {e}"));
+                return (cfg.model, cfg.gc, cfg.system);
+            }
+            "--model" => model = value(),
+            "--algo" => algo = value(),
+            "--density" => density = value().parse().unwrap_or_else(|_| usage()),
+            "--machines" => machines = value().parse().unwrap_or_else(|_| usage()),
+            "--gpus" => gpus = value().parse().unwrap_or_else(|_| usage()),
+            "--intra" => {
+                intra = match value().to_ascii_lowercase().as_str() {
+                    "nvlink" => IntraFabric::NvLink,
+                    "pcie" => IntraFabric::Pcie,
+                    _ => usage(),
+                }
+            }
+            "--inter-gbps" => inter_gbps = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let algorithm = match algo.to_ascii_lowercase().as_str() {
+        "randomk" => GcAlgorithm::RandomK { density },
+        "dgc" => GcAlgorithm::Dgc { density },
+        "efsignsgd" => GcAlgorithm::EfSignSgd,
+        "qsgd" => GcAlgorithm::Qsgd { levels: 127 },
+        "terngrad" => GcAlgorithm::TernGrad,
+        "fp16" => GcAlgorithm::Fp16,
+        _ => usage(),
+    };
+    (
+        ModelConfig::Named { model },
+        GcConfig { algorithm },
+        SystemConfig {
+            machines,
+            gpus_per_machine: gpus,
+            intra,
+            inter_gbps,
+        },
+    )
+}
+
+fn main() {
+    let (model, gc, system) = parse_args();
+    let job = match build_job(&model, &gc, &system, None) {
+        Ok(job) => job,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "job: {} + {} on {}x{} GPUs ({:.0} Gbps inter)",
+        job.model.name,
+        job.algo.name(),
+        job.cluster.machines,
+        job.cluster.gpus_per_machine,
+        job.cluster.inter.bandwidth * 8.0 / 0.84 / 1e9,
+    );
+    let espresso = Espresso::new(job.clone());
+    let (strategy, report) = espresso.select_strategy();
+    println!(
+        "selected in {:.0} ms: {} compressed / {} offloaded / {} backfilled / {} ruled out",
+        (report.gpu_decision_seconds + report.offload_seconds + report.backfill_seconds) * 1e3,
+        strategy.num_compressed(),
+        report.offloaded_tensors,
+        report.backfilled_tensors,
+        report.ruled_out_tensors,
+    );
+    println!(
+        "iteration {:.2} ms | throughput {:.0} samples/s | scaling {:.3}",
+        report.iteration_time * 1e3,
+        job.throughput(report.iteration_time),
+        job.scaling_factor(report.iteration_time)
+    );
+    println!("\nstrategy census:");
+    print!("{}", espresso::Census::of(&job, &strategy).render());
+    println!("\nbaselines:");
+    for b in Baseline::ALL {
+        let t = espresso.evaluate(&b.strategy(&job));
+        println!(
+            "  {:<16} {:.2} ms ({:+.0}% vs Espresso)",
+            b.name(),
+            t * 1e3,
+            (t / report.iteration_time - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Strategy census: per-dimension summaries of a selected strategy.
+//!
+//! Answers "what did Espresso actually decide?" in the paper's
+//! four-dimension vocabulary: how many tensors are compressed
+//! (Dimension 1), on which devices (Dimension 2), with which communication
+//! schemes (Dimension 3), and at which phases compression happens
+//! (Dimension 4). Used by the CLI and examples; handy for debugging a
+//! selection and for regression-testing strategy shapes.
+
+use std::collections::BTreeMap;
+
+use espresso_cluster::CommScope;
+use espresso_gc::Device;
+use espresso_sim::Job;
+use espresso_strategy::{Op, Strategy};
+
+/// Per-dimension summary of a strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Census {
+    /// Total tensors.
+    pub tensors: usize,
+    /// Dimension 1: tensors with at least one compression op.
+    pub compressed: usize,
+    /// Dimension 2: tensors using only GPU compression / only CPU /
+    /// a mix of both devices.
+    pub gpu_only: usize,
+    /// Tensors whose compression work runs only on CPUs.
+    pub cpu_only: usize,
+    /// Tensors mixing devices along their chain.
+    pub mixed_device: usize,
+    /// Dimension 3/4: count of tensors per compact option description.
+    pub options: BTreeMap<String, usize>,
+    /// Tensors whose intra-machine traffic is compressed.
+    pub intra_compressed: usize,
+    /// Tensors whose inter-machine traffic is compressed.
+    pub inter_compressed: usize,
+}
+
+impl Census {
+    /// Summarizes `strategy` for `job`.
+    pub fn of(job: &Job, strategy: &Strategy) -> Self {
+        assert_eq!(strategy.len(), job.num_tensors(), "strategy/model mismatch");
+        let mut census = Census {
+            tensors: strategy.len(),
+            compressed: 0,
+            gpu_only: 0,
+            cpu_only: 0,
+            mixed_device: 0,
+            options: BTreeMap::new(),
+            intra_compressed: 0,
+            inter_compressed: 0,
+        };
+        for (_, opt) in strategy.iter() {
+            *census.options.entry(opt.describe()).or_insert(0) += 1;
+            if !opt.compresses() {
+                continue;
+            }
+            census.compressed += 1;
+            let devices = opt.devices();
+            match (devices.contains(&Device::Gpu), devices.contains(&Device::Cpu)) {
+                (true, false) => census.gpu_only += 1,
+                (false, true) => census.cpu_only += 1,
+                (true, true) => census.mixed_device += 1,
+                (false, false) => unreachable!("compressed option without devices"),
+            }
+            let compressed_at = |pred: fn(CommScope) -> bool| {
+                opt.ops.iter().any(|op| {
+                    matches!(op, Op::Comm { scope, compressed: true, .. } if pred(*scope))
+                })
+            };
+            if compressed_at(|s| s.is_intra()) {
+                census.intra_compressed += 1;
+            }
+            if compressed_at(|s| matches!(s, CommScope::Inter | CommScope::Flat)) {
+                census.inter_compressed += 1;
+            }
+        }
+        census
+    }
+
+    /// Renders the census as indented text.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "tensors: {} ({} compressed; {} GPU-only, {} CPU-only, {} mixed)\n\
+             compressed traffic: intra {}, inter {}\n\
+             distinct options: {}\n",
+            self.tensors,
+            self.compressed,
+            self.gpu_only,
+            self.cpu_only,
+            self.mixed_device,
+            self.intra_compressed,
+            self.inter_compressed,
+            self.options.len(),
+        );
+        // Most popular options first.
+        let mut opts: Vec<(&String, &usize)> = self.options.iter().collect();
+        opts.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (desc, count) in opts.into_iter().take(8) {
+            s.push_str(&format!("  {count:>4} x {desc}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Baseline;
+    use espresso_cluster::Cluster;
+    use espresso_gc::GcAlgorithm;
+    use espresso_models::Model;
+
+    fn job() -> Job {
+        Job::new(
+            Model::Lstm.profile(),
+            Cluster::pcie_25g(4, 4),
+            GcAlgorithm::EfSignSgd,
+        )
+    }
+
+    #[test]
+    fn fp32_census_is_all_uncompressed() {
+        let job = job();
+        let c = Census::of(&job, &Baseline::Fp32.strategy(&job));
+        assert_eq!(c.tensors, 10);
+        assert_eq!(c.compressed, 0);
+        assert_eq!(c.options.len(), 1);
+        assert_eq!(c.intra_compressed + c.inter_compressed, 0);
+    }
+
+    #[test]
+    fn hitopkcomm_census_matches_its_definition() {
+        let job = job();
+        let c = Census::of(&job, &Baseline::HiTopKComm.strategy(&job));
+        assert_eq!(c.compressed, 10);
+        assert_eq!(c.gpu_only, 10);
+        assert_eq!(c.inter_compressed, 10);
+        assert_eq!(c.intra_compressed, 0, "HiTopKComm is inter-only");
+    }
+
+    #[test]
+    fn device_partition_sums_to_compressed() {
+        let job = job();
+        let (strategy, _) = crate::Espresso::new(job.clone()).select_strategy();
+        let c = Census::of(&job, &strategy);
+        assert_eq!(c.gpu_only + c.cpu_only + c.mixed_device, c.compressed);
+        assert!(c.render().contains("tensors: 10"));
+    }
+}

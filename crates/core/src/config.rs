@@ -1,0 +1,164 @@
+//! The three configuration files of the paper's Figure 6: model
+//! information, GC information, and training-system information.
+//!
+//! Each is a serde-serializable struct; [`build_job`] assembles them into
+//! a simulatable/optimizable [`Job`]. JSON is the on-disk format.
+
+use serde::{Deserialize, Serialize};
+
+use espresso_cluster::{Cluster, IntraFabric, Link};
+use espresso_gc::GcAlgorithm;
+use espresso_models::{Model, ModelProfile, TraceCollector};
+use espresso_sim::Job;
+
+/// Model information: either a zoo model by name, or an explicit profile
+/// (e.g. from a user's own trace collection).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ModelConfig {
+    /// A zoo model by paper name (e.g. `"BERT-base"`).
+    Named {
+        /// Zoo model name.
+        model: String,
+    },
+    /// A full explicit profile.
+    Explicit {
+        /// The profile, as produced by trace collection.
+        profile: ModelProfile,
+    },
+}
+
+impl ModelConfig {
+    /// Resolves to a model profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the unknown model if the name is not in the
+    /// zoo.
+    pub fn resolve(&self) -> Result<ModelProfile, String> {
+        match self {
+            ModelConfig::Named { model } => Model::ALL
+                .iter()
+                .find(|m| m.name().eq_ignore_ascii_case(model))
+                .map(|m| m.profile())
+                .ok_or_else(|| format!("unknown model '{model}'")),
+            ModelConfig::Explicit { profile } => Ok(profile.clone()),
+        }
+    }
+}
+
+/// GC information: the algorithm and its ratio (the enum carries both).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GcConfig {
+    /// The compression algorithm.
+    pub algorithm: GcAlgorithm,
+}
+
+/// Training-system information.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// GPUs per machine.
+    pub gpus_per_machine: usize,
+    /// Intra-machine fabric.
+    pub intra: IntraFabric,
+    /// Inter-machine bandwidth in Gbit/s.
+    pub inter_gbps: f64,
+}
+
+impl SystemConfig {
+    /// Resolves to a cluster.
+    pub fn resolve(&self) -> Cluster {
+        Cluster::with_links(
+            self.machines,
+            self.gpus_per_machine,
+            self.intra.link_class().link(),
+            // Effective TCP bandwidth at ~84% of line rate, matching the
+            // calibrated link classes.
+            Link::from_gbps(self.inter_gbps * 0.84, 25e-6),
+        )
+    }
+}
+
+/// Assembles the three configs into a job, optionally running the trace
+/// collection of section 4.3 to replace ground-truth computation times
+/// with measured averages.
+///
+/// # Errors
+///
+/// Propagates model-resolution failures.
+pub fn build_job(
+    model: &ModelConfig,
+    gc: &GcConfig,
+    system: &SystemConfig,
+    trace: Option<&TraceCollector>,
+) -> Result<Job, String> {
+    let mut profile = model.resolve()?;
+    if let Some(collector) = trace {
+        profile = collector.measured_profile(&profile);
+    }
+    Ok(Job::new(profile, system.resolve(), gc.algorithm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_model_resolves_case_insensitively() {
+        let cfg = ModelConfig::Named {
+            model: "bert-base".into(),
+        };
+        assert_eq!(cfg.resolve().unwrap().name, "BERT-base");
+    }
+
+    #[test]
+    fn unknown_model_errors() {
+        let cfg = ModelConfig::Named {
+            model: "AlexNet".into(),
+        };
+        assert!(cfg.resolve().unwrap_err().contains("AlexNet"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let system = SystemConfig {
+            machines: 8,
+            gpus_per_machine: 8,
+            intra: IntraFabric::NvLink,
+            inter_gbps: 100.0,
+        };
+        let json = serde_json::to_string(&system).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.machines, 8);
+        let gc = GcConfig {
+            algorithm: GcAlgorithm::dgc_1pct(),
+        };
+        let json = serde_json::to_string(&gc).unwrap();
+        let back: GcConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.algorithm, GcAlgorithm::dgc_1pct());
+    }
+
+    #[test]
+    fn build_job_with_trace_perturbs_times_slightly() {
+        let model = ModelConfig::Named {
+            model: "LSTM".into(),
+        };
+        let gc = GcConfig {
+            algorithm: GcAlgorithm::EfSignSgd,
+        };
+        let system = SystemConfig {
+            machines: 4,
+            gpus_per_machine: 8,
+            intra: IntraFabric::Pcie,
+            inter_gbps: 25.0,
+        };
+        let exact = build_job(&model, &gc, &system, None).unwrap();
+        let traced = build_job(&model, &gc, &system, Some(&TraceCollector::default())).unwrap();
+        let a = exact.model.backward_time();
+        let b = traced.model.backward_time();
+        assert!((a - b).abs() / a < 0.02, "trace average too far off");
+        assert_eq!(exact.cluster.total_gpus(), 32);
+    }
+}

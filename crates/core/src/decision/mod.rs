@@ -1,0 +1,16 @@
+//! Espresso's compression decision algorithms (paper section 4.4).
+
+pub mod brute;
+pub mod gpu;
+pub mod offload;
+pub mod refine;
+
+use espresso_sim::{simulate, Job, SimConfig};
+use espresso_strategy::Strategy;
+
+/// The objective `F(S)`: the iteration time of `job` under strategy `S`
+/// (section 4.4.1). One-shot convenience; the algorithms themselves run
+/// against a cached [`espresso_sim::Simulator`].
+pub fn iteration_time(job: &Job, strategy: &Strategy, config: &SimConfig) -> f64 {
+    simulate(job, strategy, config).iteration_time
+}

@@ -1,0 +1,46 @@
+//! Espresso: near-optimal gradient-compression usage strategies.
+//!
+//! The paper's primary contribution, on top of the substrate crates:
+//!
+//! * [`decision::gpu`] — **Algorithm 1**: the GPU compression decision
+//!   algorithm with its three properties (bubble-based elimination,
+//!   size/position prioritization, overhead-aware option selection),
+//! * [`decision::offload`] — **Algorithm 2**: provably optimal CPU
+//!   offloading via Lemma 1 grouping,
+//! * [`decision::brute`] — exhaustive search for small instances, used to
+//!   validate near-optimality and to reproduce the "brute force" rows of
+//!   Tables 5 and 6,
+//! * [`baselines`] — the comparison systems of section 5 (BytePS FP32,
+//!   HiPress, HiTopKComm, BytePS-Compress) and the crippled-dimension
+//!   mechanisms of Figure 15,
+//! * [`upper_bound`] — the section 5.1 Upper Bound (GC with zero
+//!   compression time and no compute impact),
+//! * [`config`] — the three configuration files of Figure 6,
+//! * [`espresso`] — the end-to-end [`Espresso`] front-end: configs in,
+//!   near-optimal [`Strategy`] out, with timing telemetry.
+
+pub mod baselines;
+pub mod census;
+pub mod config;
+pub mod decision;
+pub mod espresso;
+pub mod upper_bound;
+
+pub use baselines::Baseline;
+pub use census::Census;
+pub use config::{GcConfig, ModelConfig, SystemConfig};
+pub use espresso::{Espresso, Report};
+pub use espresso_strategy::Strategy;
+pub use upper_bound::upper_bound_time;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::{
+        baselines::Baseline,
+        census::Census,
+        config::{GcConfig, ModelConfig, SystemConfig},
+        decision::{brute, gpu, offload},
+        espresso::{Espresso, Report},
+        upper_bound::upper_bound_time,
+    };
+}

@@ -1,0 +1,114 @@
+//! The Upper Bound of section 5.1: "the upper bound on the training
+//! throughput of compression-enabled DDL [...] obtained by assuming GC has
+//! no compression time and has no impact on tensor computation."
+
+use espresso_sim::{simulate, Job, SimConfig};
+use espresso_strategy::{OptionSpace, Strategy, Work};
+
+/// Iteration time of the Upper Bound for `job`.
+///
+/// Every tensor takes the compressed option with the smallest pure
+/// communication time (compression itself is free and contention-less
+/// under [`SimConfig::upper_bound`]), simulated on the zero-cost
+/// configuration. By definition this is faster than any real strategy —
+/// including the true optimum.
+pub fn upper_bound_time(job: &Job, space: &OptionSpace) -> f64 {
+    let config = SimConfig::upper_bound();
+    let candidates = space.compressed();
+    assert!(!candidates.is_empty(), "no compressed options to bound with");
+
+    let mut options = Vec::with_capacity(job.num_tensors());
+    for tensor in &job.model.tensors {
+        // Pick the candidate minimizing summed collective time for this
+        // tensor size; with zero compression cost the per-tensor choice
+        // decouples.
+        let best = candidates
+            .iter()
+            .min_by(|a, b| {
+                let ta = standalone_comm_time(job, a, tensor.elems);
+                let tb = standalone_comm_time(job, b, tensor.elems);
+                ta.total_cmp(&tb)
+            })
+            .expect("non-empty candidates");
+        options.push(best.clone());
+    }
+    let strategy = Strategy::from_options(options);
+    simulate(job, &strategy, &config).iteration_time
+}
+
+/// Summed collective time of one option for one tensor, ignoring compute.
+fn standalone_comm_time(
+    job: &Job,
+    option: &espresso_strategy::CompressionOption,
+    elems: usize,
+) -> f64 {
+    option
+        .annotate(elems, job.algo, &job.cluster)
+        .iter()
+        .map(|a| match a.work {
+            Work::Comm {
+                scope,
+                routine,
+                contrib_bytes,
+            } => {
+                let cost = match scope {
+                    espresso_cluster::CommScope::IntraFirst
+                    | espresso_cluster::CommScope::IntraSecond => {
+                        espresso_cluster::CollectiveCost::new(
+                            job.cluster.gpus_per_machine,
+                            job.cluster.intra,
+                        )
+                    }
+                    espresso_cluster::CommScope::Inter => espresso_cluster::CollectiveCost::new(
+                        job.cluster.machines,
+                        job.cluster.inter,
+                    ),
+                    espresso_cluster::CommScope::Flat => espresso_cluster::CollectiveCost::new(
+                        job.cluster.total_gpus(),
+                        job.cluster.flat_link(),
+                    ),
+                };
+                cost.time(routine, contrib_bytes)
+            }
+            _ => 0.0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Baseline;
+    use espresso_cluster::Cluster;
+    use espresso_gc::GcAlgorithm;
+    use espresso_models::Model;
+
+    #[test]
+    fn upper_bound_beats_every_baseline() {
+        let job = Job::new(
+            Model::Gpt2.profile(),
+            Cluster::nvlink_100g(8, 8),
+            GcAlgorithm::EfSignSgd,
+        );
+        let space = OptionSpace::enumerate(&job.cluster);
+        let ub = upper_bound_time(&job, &space);
+        let config = SimConfig::default();
+        for b in Baseline::ALL {
+            let t = simulate(&job, &b.strategy(&job), &config).iteration_time;
+            assert!(ub <= t + 1e-9, "UB {ub} vs {} {t}", b.name());
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_at_least_compute_time() {
+        // The backward pass cannot be compressed away.
+        let job = Job::new(
+            Model::Vgg16.profile(),
+            Cluster::pcie_25g(8, 8),
+            GcAlgorithm::dgc_1pct(),
+        );
+        let space = OptionSpace::enumerate(&job.cluster);
+        let ub = upper_bound_time(&job, &space);
+        assert!(ub >= job.model.single_gpu_iter_time() - 1e-9);
+    }
+}

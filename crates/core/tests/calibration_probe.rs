@@ -1,0 +1,33 @@
+//! Diagnostic (ignored by default): FP32 scaling factors per model vs
+//! the paper's Table 1 targets — the calibration dashboard.
+//!
+//! Run with `cargo test -p espresso --release --test calibration_probe -- --ignored --nocapture`.
+
+use espresso::baselines::Baseline;
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::{simulate, Job, SimConfig};
+
+#[test]
+#[ignore = "diagnostic sweep; run explicitly with --ignored"]
+fn probe_scaling_factors() {
+    let cases = [
+        (Model::Gpt2, Cluster::nvlink_100g(8, 8), 0.58),
+        (Model::BertBase, Cluster::nvlink_100g(8, 8), 0.51),
+        (Model::Ugatit, Cluster::nvlink_100g(8, 8), 0.37),
+        (Model::Lstm, Cluster::pcie_25g(8, 8), 0.46),
+        (Model::ResNet101, Cluster::pcie_25g(8, 8), 0.70),
+        (Model::Vgg16, Cluster::pcie_25g(8, 8), 0.25),
+    ];
+    for (m, c, target) in cases {
+        let job = Job::new(m.profile(), c, GcAlgorithm::dgc_1pct());
+        let s = Baseline::Fp32.strategy(&job);
+        let r = simulate(&job, &s, &SimConfig::default());
+        let sf = job.scaling_factor(r.iteration_time);
+        println!(
+            "{:<10} fp32 scaling = {:.3} (paper ~{:.2})  iter={:.1}ms single={:.1}ms",
+            m.name(), sf, target, r.iteration_time * 1e3, job.model.single_gpu_iter_time() * 1e3
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! The Figure 15 crippled mechanisms must build valid strategies that the
+//! full four-dimension search always matches or beats.
+
+use espresso::baselines::Crippled;
+use espresso::Espresso;
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::{simulate, Job, SimConfig};
+
+fn job() -> Job {
+    // LSTM on a small cluster keeps the mechanisms cheap to evaluate in
+    // debug builds while still exercising intra + inter phases.
+    Job::new(
+        Model::Lstm.profile(),
+        Cluster::pcie_25g(2, 4),
+        GcAlgorithm::randomk_1pct(),
+    )
+}
+
+#[test]
+fn every_mechanism_produces_a_simulatable_strategy() {
+    let job = job();
+    let config = SimConfig::default();
+    for m in Crippled::ALL {
+        let s = m.strategy(&job, &config);
+        assert_eq!(s.len(), job.num_tensors(), "{}", m.name());
+        let t = simulate(&job, &s, &config).iteration_time;
+        assert!(t.is_finite() && t > 0.0, "{}", m.name());
+    }
+}
+
+#[test]
+fn all_compression_mechanism_compresses_everything() {
+    let job = job();
+    let s = Crippled::AllCompression.strategy(&job, &SimConfig::default());
+    assert_eq!(s.num_compressed(), job.num_tensors());
+}
+
+#[test]
+fn cpu_only_mechanism_never_touches_the_gpu() {
+    let job = job();
+    let s = Crippled::CpuOnly.strategy(&job, &SimConfig::default());
+    for (_, opt) in s.iter() {
+        if opt.compresses() {
+            assert!(!opt.gpu_only(), "{}", opt.describe());
+        }
+    }
+}
+
+#[test]
+fn espresso_beats_every_crippled_mechanism() {
+    // The Figure 15 claim at reduced scale.
+    let job = job();
+    let config = SimConfig::default();
+    let (_, report) = Espresso::new(job.clone()).select_strategy();
+    for m in Crippled::ALL {
+        let s = m.strategy(&job, &config);
+        let t = simulate(&job, &s, &config).iteration_time;
+        assert!(
+            report.iteration_time <= t + 1e-9,
+            "Espresso {} lost to {} {}",
+            report.iteration_time,
+            m.name(),
+            t
+        );
+    }
+}
+
+#[test]
+fn myopic_ignores_interactions() {
+    // The myopic rule must produce a *different* (and never better)
+    // strategy than the interaction-aware search on a model where
+    // interactions matter.
+    let job = Job::new(
+        Model::Vgg16.profile(),
+        Cluster::pcie_25g(2, 4),
+        GcAlgorithm::dgc_1pct(),
+    );
+    let config = SimConfig::default();
+    let myopic = Crippled::MyopicCompression.strategy(&job, &config);
+    let t_myopic = simulate(&job, &myopic, &config).iteration_time;
+    let (_, report) = Espresso::new(job).select_strategy();
+    assert!(report.iteration_time <= t_myopic + 1e-9);
+}

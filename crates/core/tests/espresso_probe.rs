@@ -1,0 +1,46 @@
+//! Diagnostic (ignored by default): the headline end-to-end comparison
+//! (Espresso vs every baseline vs the Upper Bound) for the six paper
+//! workloads at 64 GPUs, with decision-time telemetry.
+//!
+//! Run with `cargo test -p espresso --release --test espresso_probe -- --ignored --nocapture`.
+
+use espresso::baselines::Baseline;
+use espresso::Espresso;
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::Job;
+use espresso_strategy::OptionSpace;
+
+#[test]
+#[ignore = "diagnostic sweep; run explicitly with --ignored"]
+fn probe_espresso() {
+    let cases = [
+        (Model::BertBase, Cluster::nvlink_100g(8, 8), GcAlgorithm::randomk_1pct()),
+        (Model::Gpt2, Cluster::nvlink_100g(8, 8), GcAlgorithm::EfSignSgd),
+        (Model::Ugatit, Cluster::nvlink_100g(8, 8), GcAlgorithm::dgc_1pct()),
+        (Model::Vgg16, Cluster::pcie_25g(8, 8), GcAlgorithm::randomk_1pct()),
+        (Model::Lstm, Cluster::pcie_25g(8, 8), GcAlgorithm::EfSignSgd),
+        (Model::ResNet101, Cluster::pcie_25g(8, 8), GcAlgorithm::dgc_1pct()),
+    ];
+    for (m, c, algo) in cases {
+        let job = Job::new(m.profile(), c, algo);
+        let esp = Espresso::new(job.clone());
+        let t0 = std::time::Instant::now();
+        let (_s, rep) = esp.select_strategy();
+        let wall = t0.elapsed().as_secs_f64();
+        let sf = |t: f64| job.scaling_factor(t);
+        let space = OptionSpace::enumerate(&job.cluster);
+        let ub = espresso::upper_bound_time(&job, &space);
+        print!(
+            "{:<10} {:<9} esp={:.3} (sel {:.2}s, gpu {:.2}s + off {:.2}s, comp {} off {})  ub={:.3}",
+            m.name(), algo.name(), sf(rep.iteration_time), wall,
+            rep.gpu_decision_seconds, rep.offload_seconds,
+            rep.compressed_tensors, rep.offloaded_tensors, sf(ub)
+        );
+        for b in Baseline::ALL {
+            print!("  {}={:.3}", b.name(), sf(esp.evaluate(&b.strategy(&job))));
+        }
+        println!();
+    }
+}

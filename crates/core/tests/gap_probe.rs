@@ -1,0 +1,43 @@
+//! Diagnostic (ignored by default): per-combination gap from the Upper
+//! Bound for every (model, GC algorithm) pair on both testbeds — the raw
+//! data behind Figure 14, with per-job decision details.
+//!
+//! Run with `cargo test -p espresso --release --test gap_probe -- --ignored --nocapture`.
+
+use espresso::{upper_bound_time, Espresso};
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::Job;
+use espresso_strategy::OptionSpace;
+
+#[test]
+#[ignore = "diagnostic sweep; run explicitly with --ignored"]
+fn gaps() {
+    for (name, cluster) in [
+        ("pcie", Cluster::pcie_25g(8, 8)),
+        ("nvlink", Cluster::nvlink_100g(8, 8)),
+    ] {
+        println!("=== testbed {name} ===");
+        for model in Model::ALL {
+            for algo in GcAlgorithm::paper_suite() {
+                let job = Job::new(model.profile(), cluster, algo);
+                let esp = Espresso::new(job.clone());
+                let (_s, rep) = esp.select_strategy();
+                let space = OptionSpace::enumerate(&job.cluster);
+                let ub = upper_bound_time(&job, &space);
+                println!(
+                    "{:<10} {:<9} gap={:>4.0}%  esp={:.1}ms ub={:.1}ms comp={} off={} bf={}",
+                    model.name(),
+                    algo.name(),
+                    (1.0 - ub / rep.iteration_time) * 100.0,
+                    rep.iteration_time * 1e3,
+                    ub * 1e3,
+                    rep.compressed_tensors,
+                    rep.offloaded_tensors,
+                    rep.backfilled_tensors
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Empirical validation of the decision algorithm's three properties
+//! (paper section 4.4.2) against the timeline simulator — the claims the
+//! greedy order and the bubble rule-out rest on.
+
+use espresso::baselines::Baseline;
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::{Model, ModelKind, ModelProfile, TensorProfile};
+use espresso_sim::{simulate, Job, SimConfig};
+use espresso_strategy::{OptionSpace, Strategy};
+
+/// A uniform synthetic model: `n` equal tensors of `elems` elements.
+fn uniform_model(n: usize, elems: usize, compute: f64) -> ModelProfile {
+    ModelProfile::new(
+        "uniform",
+        ModelKind::Vision,
+        8,
+        0.002,
+        (0..n)
+            .map(|i| TensorProfile {
+                name: format!("t{i}"),
+                elems,
+                compute_time: compute,
+            })
+            .collect(),
+    )
+}
+
+/// Iteration time after compressing exactly tensor `idx` with the first
+/// GPU option.
+fn compress_one(job: &Job, idx: usize) -> f64 {
+    let space = OptionSpace::enumerate(&job.cluster);
+    let opt = space.gpu_compressed()[0].clone();
+    let mut s = Baseline::Fp32.strategy(job);
+    s.set_option(idx, opt);
+    simulate(job, &s, &SimConfig::default()).iteration_time
+}
+
+#[test]
+fn property2_larger_tensors_benefit_more() {
+    // Two-tensor model, one big and one small, otherwise symmetric:
+    // compressing the big one must reduce the iteration time at least as
+    // much as compressing the small one.
+    let model = ModelProfile::new(
+        "two",
+        ModelKind::Vision,
+        8,
+        0.002,
+        vec![
+            TensorProfile {
+                name: "small".into(),
+                elems: 2_000_000,
+                compute_time: 0.004,
+            },
+            TensorProfile {
+                name: "big".into(),
+                elems: 30_000_000,
+                compute_time: 0.004,
+            },
+        ],
+    );
+    let job = Job::new(model, Cluster::pcie_25g(4, 4), GcAlgorithm::randomk_1pct());
+    let t_small = compress_one(&job, 0);
+    let t_big = compress_one(&job, 1);
+    assert!(
+        t_big <= t_small + 1e-9,
+        "compressing the big tensor ({t_big}) should beat the small one ({t_small})"
+    );
+}
+
+#[test]
+fn property2_closer_to_output_benefits_more() {
+    // Figure 9(c): equal-sized tensors — the one "closer to the output
+    // layer" in the paper's orientation is the one computed *last* in
+    // backward propagation (their T2): its compression has no remaining
+    // computation to contend with, and its communication sits on the
+    // exposed tail. Compressing it must be at least as good as
+    // compressing the first-produced tensor.
+    let job = Job::new(
+        uniform_model(8, 12_000_000, 0.004),
+        Cluster::pcie_25g(4, 4),
+        GcAlgorithm::randomk_1pct(),
+    );
+    let first = compress_one(&job, 0);
+    let last = compress_one(&job, 7);
+    assert!(
+        last <= first + 1e-9,
+        "the last-produced tensor ({last}) should beat the first ({first})"
+    );
+}
+
+#[test]
+fn property1_ruled_out_tensors_really_bring_no_benefit() {
+    // For tensors the bubble analysis rules out, compressing them must
+    // not improve the iteration time (it can only add overhead).
+    let job = Job::new(
+        Model::Lstm.profile(),
+        Cluster::nvlink_100g(8, 8),
+        GcAlgorithm::EfSignSgd,
+    );
+    let config = SimConfig::default();
+    let fp32 = Baseline::Fp32.strategy(&job);
+    let result = simulate(&job, &fp32, &config);
+    let base = result.iteration_time;
+    let ruled = result.tensors_before_bubbles();
+    let space = OptionSpace::enumerate(&job.cluster);
+    for &idx in &ruled {
+        for opt in space.gpu_compressed().iter().take(12) {
+            let mut s = fp32.clone();
+            s.set_option(idx, opt.clone());
+            let t = simulate(&job, &s, &config).iteration_time;
+            assert!(
+                t >= base - 1e-9,
+                "ruled-out tensor {idx} improved F: {t} < {base} via {}",
+                opt.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn property3_overheads_not_wallclock_drive_the_choice() {
+    // The Figure 2(c) trap: on a compute-bound job, compressing everything
+    // maximizes the wall-clock difference (comm saved > comp added) yet
+    // *hurts* the iteration time because the compression does not overlap.
+    // Espresso's overhead-aware choice must refuse it.
+    let job = Job::new(
+        Model::ResNet101.profile(),
+        Cluster::nvlink_100g(8, 8),
+        GcAlgorithm::dgc_1pct(),
+    );
+    let config = SimConfig::default();
+    let fp32_t = simulate(&job, &Baseline::Fp32.strategy(&job), &config).iteration_time;
+    let all_t = simulate(&job, &Baseline::HiTopKComm.strategy(&job), &config).iteration_time;
+    assert!(
+        all_t > fp32_t,
+        "compress-all should hurt the compute-bound job: {all_t} vs {fp32_t}"
+    );
+    let esp = espresso::Espresso::new(job);
+    let (_, report) = esp.select_strategy();
+    assert!(
+        report.iteration_time <= fp32_t + 1e-9,
+        "Espresso must never do worse than FP32"
+    );
+}
+
+#[test]
+fn lemma1_prefixes_cover_the_exhaustive_optimum() {
+    // Algorithm 2's search space (contiguous prefixes from either end of
+    // each group) must contain a choice matching the exhaustive optimum
+    // over ALL subsets — the Lemma 1 claim, adapted to the both-ends
+    // traversal this implementation uses.
+    use espresso::decision::offload;
+    use espresso_gc::Device;
+    let job = Job::new(
+        uniform_model(6, 10_000_000, 0.003),
+        Cluster::pcie_25g(4, 4),
+        GcAlgorithm::randomk_1pct(),
+    );
+    let config = SimConfig::default();
+    let space = OptionSpace::enumerate(&job.cluster);
+    let opt = space.gpu_compressed()[0].clone();
+    let base = Strategy::uniform(job.num_tensors(), opt.clone());
+    let cpu = opt.with_device(Device::Cpu);
+    // Exhaustive optimum over every subset of the (single) group.
+    let n = job.num_tensors();
+    let mut exhaustive_best = f64::INFINITY;
+    for mask in 0u32..(1 << n) {
+        let mut s = base.clone();
+        for idx in 0..n {
+            if mask >> idx & 1 == 1 {
+                s.set_option(idx, cpu.clone());
+            }
+        }
+        let t = simulate(&job, &s, &config).iteration_time;
+        exhaustive_best = exhaustive_best.min(t);
+    }
+    let d = offload::decide(&job, &base, &config, 1_000_000);
+    let gap = (d.iteration_time - exhaustive_best) / exhaustive_best;
+    assert!(
+        gap < 0.02,
+        "Algorithm 2 ({}) is {:.1}% off the exhaustive optimum ({})",
+        d.iteration_time,
+        gap * 100.0,
+        exhaustive_best
+    );
+}

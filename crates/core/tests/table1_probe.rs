@@ -1,0 +1,34 @@
+//! Diagnostic (ignored by default): the Table 1 GC columns across
+//! baseline interpretations (compress-all vs selective vs CPU).
+//!
+//! Run with `cargo test -p espresso --release --test table1_probe -- --ignored --nocapture`.
+
+use espresso::baselines::Baseline;
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
+use espresso_sim::{simulate, Job, SimConfig};
+
+#[test]
+#[ignore = "diagnostic sweep; run explicitly with --ignored"]
+fn probe_table1() {
+    // Table 1: GPT2 (DGC): 0.58 / 0.67 / 0.64; BERT (EFSignSGD): 0.51/0.55/0.61; LSTM (DGC, PCIe): 0.46/0.43/0.42.
+    let cases = [
+        (Model::Gpt2, Cluster::nvlink_100g(8, 8), GcAlgorithm::dgc_1pct()),
+        (Model::BertBase, Cluster::nvlink_100g(8, 8), GcAlgorithm::EfSignSgd),
+        (Model::Lstm, Cluster::pcie_25g(8, 8), GcAlgorithm::dgc_1pct()),
+    ];
+    let cfg = SimConfig::default();
+    for (m, c, algo) in cases {
+        let job = Job::new(m.profile(), c, algo);
+        let sf = |b: Baseline| {
+            let r = simulate(&job, &b.strategy(&job), &cfg);
+            job.scaling_factor(r.iteration_time)
+        };
+        println!(
+            "{:<10} {:<9} fp32={:.3} gc_gpu(all)={:.3} gc_gpu(hipress)={:.3} gc_cpu={:.3}",
+            m.name(), algo.name(),
+            sf(Baseline::Fp32), sf(Baseline::HiTopKComm), sf(Baseline::HiPress), sf(Baseline::BytePsCompress)
+        );
+    }
+}

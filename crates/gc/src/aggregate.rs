@@ -1,0 +1,160 @@
+//! Aggregation of compressed gradients.
+//!
+//! Compressed tensors are not associatively reducible (the constraint
+//! behind the paper's Table 2: compressed tensors cannot use Allreduce).
+//! Aggregation therefore decompresses every contribution and sums dense —
+//! exactly what each node does after the Allgather/Alltoall of the
+//! indivisible and divisible schemes.
+
+use crate::{
+    compressor::{CompressCtx, Compressor},
+    error_feedback::ErrorFeedback,
+    tensor::CompressedTensor,
+};
+
+/// Decompresses and sums `parts` into a dense gradient of length `len`.
+///
+/// # Panics
+///
+/// Panics if any part's length differs from `len`.
+pub fn aggregate_dense(
+    compressor: &dyn Compressor,
+    parts: &[CompressedTensor],
+    len: usize,
+) -> Vec<f32> {
+    let mut acc = vec![0.0f32; len];
+    for part in parts {
+        assert_eq!(part.len(), len, "aggregating mismatched tensor lengths");
+        for (a, v) in acc.iter_mut().zip(compressor.decompress(part)) {
+            *a += v;
+        }
+    }
+    acc
+}
+
+/// Simulates one full synchronization round for `world` workers: each
+/// worker compresses its gradient (with its own error-feedback state),
+/// the compressed tensors are exchanged, and every worker ends with the
+/// *same* averaged dense gradient — the invariant synchronous data-parallel
+/// training relies on.
+///
+/// Returns the synchronized (averaged) gradient.
+///
+/// # Panics
+///
+/// Panics if `grads` and `ef_states` disagree on the worker count, or if
+/// gradients have inconsistent lengths.
+pub fn synchronize(
+    compressor: &dyn Compressor,
+    grads: &[Vec<f32>],
+    ef_states: &mut [ErrorFeedback],
+    round: u64,
+    tensor: u64,
+) -> Vec<f32> {
+    assert_eq!(
+        grads.len(),
+        ef_states.len(),
+        "one error-feedback state per worker required"
+    );
+    assert!(!grads.is_empty(), "need at least one worker");
+    let len = grads[0].len();
+    let compressed: Vec<CompressedTensor> = grads
+        .iter()
+        .zip(ef_states.iter_mut())
+        .enumerate()
+        .map(|(worker, (grad, ef))| {
+            let ctx = CompressCtx {
+                round,
+                worker: worker as u64,
+                tensor,
+            };
+            ef.compress_with_feedback(compressor, grad, ctx)
+        })
+        .collect();
+    let mut sum = aggregate_dense(compressor, &compressed, len);
+    let scale = 1.0 / grads.len() as f32;
+    sum.iter_mut().for_each(|v| *v *= scale);
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Dgc, EfSignSgd, Fp16, RandomK};
+
+    #[test]
+    fn aggregate_dense_sums_contributions() {
+        let comp = Fp16::new();
+        let a = comp.compress(&[1.0, 2.0], CompressCtx::default());
+        let b = comp.compress(&[3.0, -1.0], CompressCtx::default());
+        let sum = aggregate_dense(&comp, &[a, b], 2);
+        assert_eq!(sum, vec![4.0, 1.0]);
+    }
+
+    #[test]
+    fn synchronize_averages_across_workers() {
+        let comp = Fp16::new();
+        let grads = vec![vec![2.0, 4.0], vec![4.0, 0.0]];
+        let mut efs = vec![ErrorFeedback::new(2), ErrorFeedback::new(2)];
+        let out = synchronize(&comp, &grads, &mut efs, 0, 0);
+        assert_eq!(out, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn randomk_workers_can_aggregate_because_indices_align() {
+        let comp = RandomK::new(0.25);
+        let grads = vec![vec![1.0f32; 16], vec![2.0f32; 16]];
+        let mut efs = vec![ErrorFeedback::new(16), ErrorFeedback::new(16)];
+        let out = synchronize(&comp, &grads, &mut efs, 5, 1);
+        // Selected coordinates average to 1.5; others are 0.
+        let nonzero: Vec<f32> = out.iter().copied().filter(|&v| v != 0.0).collect();
+        assert_eq!(nonzero.len(), 4);
+        assert!(nonzero.iter().all(|&v| (v - 1.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn all_workers_would_reconstruct_identically() {
+        // The synchronized result is a pure function of the exchanged
+        // blobs, so every worker computing it gets the same answer; check
+        // by computing twice from the same compressed set.
+        let comp = Dgc::new(0.5);
+        let grads = vec![vec![1.0, -3.0, 0.5, 2.0], vec![0.2, 5.0, -0.1, 0.0]];
+        let compressed: Vec<_> = grads
+            .iter()
+            .enumerate()
+            .map(|(w, g)| {
+                comp.compress(
+                    g,
+                    CompressCtx {
+                        round: 0,
+                        worker: w as u64,
+                        tensor: 0,
+                    },
+                )
+            })
+            .collect();
+        let a = aggregate_dense(&comp, &compressed, 4);
+        let b = aggregate_dense(&comp, &compressed, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signsgd_synchronization_tracks_gradient_direction() {
+        let comp = EfSignSgd::new();
+        let grads = vec![vec![1.0, -1.0, 2.0, -2.0]; 4];
+        let mut efs = vec![ErrorFeedback::new(4); 4];
+        let out = synchronize(&comp, &grads, &mut efs, 0, 0);
+        for (o, g) in out.iter().zip(&grads[0]) {
+            assert_eq!(o.signum(), g.signum());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched tensor lengths")]
+    fn mismatched_lengths_panic() {
+        let comp = Fp16::new();
+        let a = comp.compress(&[1.0, 2.0], CompressCtx::default());
+        let b = comp.compress(&[3.0], CompressCtx::default());
+        let _ = aggregate_dense(&comp, &[a, b], 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! FP16 truncation: cast gradients to IEEE 754 binary16.
+//!
+//! The mildest quantizer — a fixed 2x wire reduction. Included because
+//! mixed-precision communication is the most widely deployed form of
+//! gradient compression and exercises the decision tree with a low-ratio,
+//! near-zero-cost algorithm. The conversion is implemented from scratch
+//! (round-to-nearest-even) since no half-precision crate is available.
+
+use crate::{
+    compressor::{CompressCtx, Compressor},
+    tensor::CompressedTensor,
+};
+
+/// FP16 truncating compressor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fp16;
+
+impl Fp16 {
+    /// Creates the compressor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Converts an `f32` to its binary16 bit pattern, round-to-nearest-even,
+/// with overflow mapping to infinity and subnormal handling.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mantissa = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Infinity or NaN; preserve a quiet-NaN payload bit.
+        let payload = if mantissa != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | payload;
+    }
+    // Unbiased exponent, rebiasing from 127 to 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // Overflow to infinity.
+    }
+    if unbiased >= -14 {
+        // Normal half: keep 10 mantissa bits, round to nearest even.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let shifted = mantissa >> 13;
+        let rem = mantissa & 0x1fff;
+        let mut h = sign | half_exp | shifted as u16;
+        if rem > 0x1000 || (rem == 0x1000 && (shifted & 1) == 1) {
+            h = h.wrapping_add(1); // Carry may roll into the exponent; that is correct rounding.
+        }
+        return h;
+    }
+    if unbiased >= -24 {
+        // Subnormal half.
+        let shift = (-14 - unbiased) as u32;
+        let full = mantissa | 0x0080_0000; // Implicit leading one.
+        let shifted = full >> (13 + shift);
+        let rem_mask = (1u32 << (13 + shift)) - 1;
+        let rem = full & rem_mask;
+        let half_way = 1u32 << (12 + shift);
+        let mut h = sign | shifted as u16;
+        if rem > half_way || (rem == half_way && (shifted & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return h;
+    }
+    sign // Underflow to signed zero.
+}
+
+/// Converts a binary16 bit pattern back to `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mantissa = (h & 0x03ff) as u32;
+    let bits = if exp == 0x1f {
+        // Infinity / NaN.
+        sign | 0x7f80_0000 | (mantissa << 13)
+    } else if exp == 0 {
+        if mantissa == 0 {
+            sign // Signed zero.
+        } else {
+            // Subnormal: normalize so the implicit bit is set, tracking the
+            // effective binary exponent (starts at -14 for halves).
+            let mut e = -14i32;
+            let mut m = mantissa;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            let f32_exp = (e + 127) as u32;
+            sign | (f32_exp << 23) | ((m & 0x03ff) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mantissa << 13)
+    };
+    f32::from_bits(bits)
+}
+
+impl Compressor for Fp16 {
+    fn name(&self) -> &'static str {
+        "FP16"
+    }
+
+    fn compress(&self, grad: &[f32], _ctx: CompressCtx) -> CompressedTensor {
+        CompressedTensor::Half {
+            len: grad.len(),
+            bits: grad.iter().map(|&g| f32_to_f16_bits(g)).collect(),
+        }
+    }
+
+    fn decompress(&self, compressed: &CompressedTensor) -> Vec<f32> {
+        match compressed {
+            CompressedTensor::Half { bits, .. } => {
+                bits.iter().map(|&b| f16_bits_to_f32(b)).collect()
+            }
+            other => panic!("FP16 cannot decompress {other:?}"),
+        }
+    }
+
+    fn compressed_bytes(&self, elems: usize) -> usize {
+        4 + elems * 2
+    }
+
+    fn is_biased(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_halves_roundtrip_exactly() {
+        let c = Fp16::new();
+        let grad = vec![0.0, 1.0, -2.0, 0.5, 0.25, 1024.0, -0.125];
+        let out = c.decompress(&c.compress(&grad, CompressCtx::default()));
+        assert_eq!(out, grad);
+    }
+
+    #[test]
+    fn relative_error_is_within_half_epsilon() {
+        let c = Fp16::new();
+        let grad: Vec<f32> = (1..100).map(|i| i as f32 * 0.0317).collect();
+        let out = c.decompress(&c.compress(&grad, CompressCtx::default()));
+        for (&g, &o) in grad.iter().zip(&out) {
+            let rel = ((g - o) / g).abs();
+            assert!(rel <= 1.0 / 1024.0, "g={g} o={o} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f32_to_f16_bits(1e6), 0x7c00);
+        assert_eq!(f32_to_f16_bits(-1e6), 0xfc00);
+        assert!(f16_bits_to_f32(0x7c00).is_infinite());
+    }
+
+    #[test]
+    fn subnormals_are_representable() {
+        // 2^-24 is the smallest positive half subnormal.
+        let tiny = 2.0f32.powi(-24);
+        let bits = f32_to_f16_bits(tiny);
+        assert_eq!(bits, 1);
+        assert!((f16_bits_to_f32(bits) - tiny).abs() < 1e-10);
+    }
+
+    #[test]
+    fn underflow_flushes_to_signed_zero() {
+        let h = f32_to_f16_bits(-1e-30);
+        assert_eq!(h, 0x8000);
+        assert_eq!(f16_bits_to_f32(h), -0.0);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        let h = f32_to_f16_bits(f32::NAN);
+        assert!(f16_bits_to_f32(h).is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next half;
+        // round-to-even picks 1.0 (even mantissa).
+        let x = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), 1.0);
+        // 1 + 3*2^-11 is halfway between odd and even; rounds up to even.
+        let y = 1.0 + 3.0 * 2.0f32.powi(-11);
+        let rounded = f16_bits_to_f32(f32_to_f16_bits(y));
+        assert_eq!(rounded, 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn ratio_is_one_half() {
+        let c = Fp16::new();
+        let r = c.ratio(1 << 20);
+        assert!((r - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn wire_bytes_match_compressed_bytes() {
+        let c = Fp16::new();
+        for n in [0usize, 1, 7, 4096] {
+            let grad = vec![1.5f32; n];
+            let out = c.compress(&grad, CompressCtx::default());
+            assert_eq!(out.wire_bytes(), c.compressed_bytes(n));
+        }
+    }
+}

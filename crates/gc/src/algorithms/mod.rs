@@ -1,0 +1,47 @@
+//! Concrete gradient compression algorithms.
+//!
+//! The paper evaluates RandomK, DGC and EFSignSGD; QSGD, TernGrad and FP16
+//! are included as the kind of extension the decision-tree abstraction is
+//! designed to absorb (section 4.2.2).
+
+mod dgc;
+mod efsignsgd;
+mod fp16;
+mod natural;
+mod qsgd;
+mod randomk;
+mod terngrad;
+
+pub use dgc::Dgc;
+pub use efsignsgd::EfSignSgd;
+pub use fp16::Fp16;
+pub use natural::Natural;
+pub use qsgd::Qsgd;
+pub use randomk::RandomK;
+pub use terngrad::TernGrad;
+
+/// Number of elements kept by a sparsifier with the given `density`.
+///
+/// At least one element is kept for non-empty tensors, so a compressed
+/// tensor always carries information.
+pub(crate) fn kept_elements(elems: usize, density: f64) -> usize {
+    if elems == 0 {
+        return 0;
+    }
+    (((elems as f64) * density).ceil() as usize).clamp(1, elems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::kept_elements;
+
+    #[test]
+    fn kept_elements_basics() {
+        assert_eq!(kept_elements(0, 0.01), 0);
+        assert_eq!(kept_elements(1, 0.01), 1);
+        assert_eq!(kept_elements(100, 0.01), 1);
+        assert_eq!(kept_elements(1000, 0.01), 10);
+        assert_eq!(kept_elements(1001, 0.01), 11);
+        assert_eq!(kept_elements(10, 1.0), 10);
+    }
+}

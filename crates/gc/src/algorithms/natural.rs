@@ -1,0 +1,183 @@
+//! Natural compression (Horvath et al., 2019): stochastic rounding to the
+//! nearest powers of two, keeping only sign + exponent.
+//!
+//! Each value `x = s * m * 2^e` with mantissa `m in [1, 2)` is rounded to
+//! `s * 2^e` with probability `2 - m` and to `s * 2^(e+1)` with
+//! probability `m - 1`, which makes the quantizer unbiased with at most
+//! 9/8 variance inflation. The wire format is one exponent byte per
+//! element plus a packed sign bitmap — a ~3.5x reduction with near-zero
+//! kernel cost, sitting between FP16 and the 1-bit quantizers.
+
+use rand::{
+    rngs::StdRng,
+    Rng,
+    SeedableRng,
+};
+
+use crate::{
+    compressor::{CompressCtx, Compressor},
+    tensor::CompressedTensor,
+};
+
+/// Natural (power-of-two) compressor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Natural;
+
+impl Natural {
+    /// Creates the compressor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Compressor for Natural {
+    fn name(&self) -> &'static str {
+        "Natural"
+    }
+
+    fn compress(&self, grad: &[f32], ctx: CompressCtx) -> CompressedTensor {
+        let mut rng = StdRng::seed_from_u64(ctx.worker_seed());
+        let mut sign_bits = vec![0u64; grad.len().div_ceil(64)];
+        let exps = grad
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                if x < 0.0 {
+                    sign_bits[i / 64] |= 1u64 << (i % 64);
+                }
+                if x == 0.0 || !x.is_finite() {
+                    return 0u8;
+                }
+                let m = x.abs();
+                let e = m.log2().floor();
+                let frac = m / 2f32.powf(e); // in [1, 2)
+                let up: bool = rng.random::<f32>() < frac - 1.0;
+                // Biased exponent: 0 is reserved for exact zero; the
+                // clamp keeps every gradient exponent representable.
+                (((e as i32 + i32::from(up)).clamp(-63, 62)) + 64) as u8
+            })
+            .collect();
+        CompressedTensor::Exponents {
+            len: grad.len(),
+            sign_bits,
+            exps,
+        }
+    }
+
+    fn decompress(&self, compressed: &CompressedTensor) -> Vec<f32> {
+        match compressed {
+            CompressedTensor::Exponents {
+                len,
+                sign_bits,
+                exps,
+            } => (0..*len)
+                .map(|i| {
+                    let e = exps[i];
+                    if e == 0 {
+                        return 0.0;
+                    }
+                    let sign = if sign_bits[i / 64] >> (i % 64) & 1 == 1 {
+                        -1.0f32
+                    } else {
+                        1.0
+                    };
+                    sign * 2f32.powi(e as i32 - 64)
+                })
+                .collect(),
+            other => panic!("Natural cannot decompress {other:?}"),
+        }
+    }
+
+    fn compressed_bytes(&self, elems: usize) -> usize {
+        4 + elems.div_ceil(64) * 8 + elems
+    }
+
+    fn is_biased(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(worker: u64) -> CompressCtx {
+        CompressCtx {
+            round: 0,
+            worker,
+            tensor: 0,
+        }
+    }
+
+    #[test]
+    fn outputs_are_signed_powers_of_two() {
+        let c = Natural::new();
+        let grad = vec![3.7, -0.3, 0.0, 1.0, -128.0];
+        let out = c.decompress(&c.compress(&grad, ctx(0)));
+        for (&x, &y) in grad.iter().zip(&out) {
+            if x == 0.0 {
+                assert_eq!(y, 0.0);
+                continue;
+            }
+            assert_eq!(y.signum(), x.signum());
+            let e = y.abs().log2();
+            assert!((e - e.round()).abs() < 1e-6, "{y} is not a power of two");
+            // Rounded to one of the two bracketing powers.
+            assert!(y.abs() >= x.abs() / 2.0 && y.abs() <= x.abs() * 2.0);
+        }
+    }
+
+    #[test]
+    fn exact_powers_are_preserved() {
+        let c = Natural::new();
+        let grad = vec![1.0, 2.0, -4.0, 0.5, -0.25];
+        let out = c.decompress(&c.compress(&grad, ctx(0)));
+        assert_eq!(out, grad);
+    }
+
+    #[test]
+    fn unbiased_in_expectation() {
+        let c = Natural::new();
+        let grad = vec![1.5f32, -3.3, 0.7];
+        let trials = 8000;
+        let mut acc = vec![0.0f64; grad.len()];
+        for w in 0..trials {
+            let out = c.decompress(&c.compress(&grad, ctx(w)));
+            for (a, &o) in acc.iter_mut().zip(&out) {
+                *a += o as f64;
+            }
+        }
+        for (a, &g) in acc.iter().zip(&grad) {
+            let mean = a / trials as f64;
+            assert!(
+                (mean - g as f64).abs() < 0.05 * g.abs() as f64 + 0.01,
+                "mean={mean} g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_and_huge_values_clamp_without_panicking() {
+        let c = Natural::new();
+        let grad = vec![1e-38, -1e38, f32::MIN_POSITIVE];
+        let out = c.decompress(&c.compress(&grad, ctx(0)));
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ratio_is_about_nine_thirty_seconds() {
+        let c = Natural::new();
+        let r = c.ratio(1 << 20);
+        assert!((r - 9.0 / 32.0).abs() < 0.01, "r={r}");
+    }
+
+    #[test]
+    fn wire_bytes_match_compressed_bytes() {
+        let c = Natural::new();
+        for n in [0usize, 1, 8, 9, 63, 64, 65, 1000] {
+            let grad = vec![1.5f32; n];
+            let blob = c.compress(&grad, ctx(0));
+            assert_eq!(blob.wire_bytes(), c.compressed_bytes(n), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! RandomK sparsification (Stich, Cordonnier, Jaggi — "Sparsified SGD with
+//! memory", NeurIPS 2018; the paper's `Randomk`).
+//!
+//! Keeps a uniformly random `k = ceil(density * n)` subset of the gradient.
+//! All workers of a synchronization round must select the *same* indices so
+//! the retained values can be aggregated; the index permutation is
+//! therefore derived from [`CompressCtx::shared_seed`].
+
+use rand::{
+    rngs::StdRng,
+    Rng,
+    SeedableRng,
+};
+
+use crate::{
+    algorithms::kept_elements,
+    compressor::{CompressCtx, Compressor},
+    tensor::CompressedTensor,
+};
+
+/// RandomK sparsifier.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomK {
+    density: f64,
+}
+
+impl RandomK {
+    /// Creates a RandomK compressor keeping a `density` fraction of
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < density <= 1`.
+    pub fn new(density: f64) -> Self {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "density must be in (0, 1], got {density}"
+        );
+        Self { density }
+    }
+
+    /// The configured density.
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// The indices this compressor selects for a tensor of `len` elements
+    /// in the round identified by `ctx`. Exposed so tests can verify
+    /// cross-worker coordination.
+    pub fn indices(&self, len: usize, ctx: CompressCtx) -> Vec<u32> {
+        let k = kept_elements(len, self.density);
+        sample_k(len, k, ctx.shared_seed())
+    }
+}
+
+/// Floyd's algorithm for sampling `k` distinct indices from `0..len`.
+///
+/// O(k) expected time and memory; returns the sample sorted so that
+/// decompression writes sequentially.
+fn sample_k(len: usize, k: usize, seed: u64) -> Vec<u32> {
+    debug_assert!(k <= len);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    for j in (len - k)..len {
+        let t = rng.random_range(0..=j);
+        if !chosen.insert(t as u32) {
+            chosen.insert(j as u32);
+        }
+    }
+    let mut out: Vec<u32> = chosen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+impl Compressor for RandomK {
+    fn name(&self) -> &'static str {
+        "Randomk"
+    }
+
+    fn compress(&self, grad: &[f32], ctx: CompressCtx) -> CompressedTensor {
+        let indices = self.indices(grad.len(), ctx);
+        let values = indices.iter().map(|&i| grad[i as usize]).collect();
+        CompressedTensor::Sparse {
+            len: grad.len(),
+            indices,
+            values,
+        }
+    }
+
+    fn decompress(&self, compressed: &CompressedTensor) -> Vec<f32> {
+        match compressed {
+            CompressedTensor::Sparse {
+                len,
+                indices,
+                values,
+            } => {
+                let mut out = vec![0.0; *len];
+                for (&i, &v) in indices.iter().zip(values) {
+                    out[i as usize] = v;
+                }
+                out
+            }
+            other => panic!("RandomK cannot decompress {other:?}"),
+        }
+    }
+
+    fn compressed_bytes(&self, elems: usize) -> usize {
+        4 + kept_elements(elems, self.density) * 8
+    }
+
+    fn is_biased(&self) -> bool {
+        // Without the 1/density rescaling (which the systems papers omit
+        // in favour of error feedback), the plain selection is biased.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(round: u64, worker: u64) -> CompressCtx {
+        CompressCtx {
+            round,
+            worker,
+            tensor: 42,
+        }
+    }
+
+    #[test]
+    fn keeps_exactly_k_elements() {
+        let c = RandomK::new(0.01);
+        let grad = vec![1.0f32; 1000];
+        let out = c.compress(&grad, ctx(0, 0));
+        match &out {
+            CompressedTensor::Sparse {
+                indices, values, ..
+            } => {
+                assert_eq!(indices.len(), 10);
+                assert_eq!(values.len(), 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workers_share_indices_within_a_round() {
+        let c = RandomK::new(0.05);
+        let a = c.indices(500, ctx(7, 0));
+        let b = c.indices(500, ctx(7, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rounds_rotate_indices() {
+        let c = RandomK::new(0.05);
+        let a = c.indices(500, ctx(7, 0));
+        let b = c.indices(500, ctx(8, 0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indices_are_sorted_unique_and_in_range() {
+        let c = RandomK::new(0.1);
+        let idx = c.indices(1234, ctx(3, 0));
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| (i as usize) < 1234));
+    }
+
+    #[test]
+    fn roundtrip_preserves_selected_values() {
+        let c = RandomK::new(0.2);
+        let grad: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
+        let compressed = c.compress(&grad, ctx(1, 0));
+        let dense = c.decompress(&compressed);
+        assert_eq!(dense.len(), 100);
+        match &compressed {
+            CompressedTensor::Sparse {
+                indices, values, ..
+            } => {
+                for (&i, &v) in indices.iter().zip(values) {
+                    assert_eq!(dense[i as usize], v);
+                    assert_eq!(grad[i as usize], v);
+                }
+                // Everything not selected is zero.
+                let selected: std::collections::HashSet<u32> = indices.iter().copied().collect();
+                for (i, &v) in dense.iter().enumerate() {
+                    if !selected.contains(&(i as u32)) {
+                        assert_eq!(v, 0.0);
+                    }
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_tensor_keeps_at_least_one_element() {
+        let c = RandomK::new(0.01);
+        let out = c.compress(&[3.0, 4.0], ctx(0, 0));
+        match out {
+            CompressedTensor::Sparse { indices, .. } => assert_eq!(indices.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_tensor_roundtrips() {
+        let c = RandomK::new(0.5);
+        let out = c.compress(&[], ctx(0, 0));
+        assert_eq!(c.decompress(&out).len(), 0);
+        assert_eq!(out.wire_bytes(), 4);
+    }
+
+    #[test]
+    fn wire_bytes_match_compressed_bytes() {
+        let c = RandomK::new(0.01);
+        for n in [0usize, 1, 99, 100, 5000] {
+            let grad = vec![1.0f32; n];
+            let out = c.compress(&grad, ctx(0, 0));
+            assert_eq!(out.wire_bytes(), c.compressed_bytes(n), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1]")]
+    fn zero_density_rejected() {
+        let _ = RandomK::new(0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! TernGrad (Wen et al., NeurIPS 2017): ternary gradient quantization.
+//!
+//! Each element is mapped to `{-1, 0, +1} * s` with `s = max |g|` and
+//! stochastic rounding `P[|q_i| = 1] = |g_i| / s`, which keeps the
+//! quantizer unbiased. Codes are packed four per byte (2 bits each).
+
+use rand::{
+    rngs::StdRng,
+    Rng,
+    SeedableRng,
+};
+
+use crate::{
+    compressor::{CompressCtx, Compressor},
+    tensor::CompressedTensor,
+};
+
+/// TernGrad ternary quantizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TernGrad;
+
+impl TernGrad {
+    /// Creates the quantizer.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+const CODE_ZERO: u8 = 0;
+const CODE_POS: u8 = 1;
+const CODE_NEG: u8 = 2;
+
+impl Compressor for TernGrad {
+    fn name(&self) -> &'static str {
+        "TernGrad"
+    }
+
+    fn compress(&self, grad: &[f32], ctx: CompressCtx) -> CompressedTensor {
+        let scale = grad.iter().fold(0.0f32, |m, g| m.max(g.abs()));
+        let mut rng = StdRng::seed_from_u64(ctx.worker_seed());
+        let mut packed = vec![0u8; grad.len().div_ceil(4)];
+        for (i, &g) in grad.iter().enumerate() {
+            let code = if scale == 0.0 {
+                CODE_ZERO
+            } else {
+                let p = g.abs() / scale;
+                if rng.random::<f32>() < p {
+                    if g >= 0.0 {
+                        CODE_POS
+                    } else {
+                        CODE_NEG
+                    }
+                } else {
+                    CODE_ZERO
+                }
+            };
+            packed[i / 4] |= code << ((i % 4) * 2);
+        }
+        CompressedTensor::Ternary {
+            len: grad.len(),
+            scale,
+            packed,
+        }
+    }
+
+    fn decompress(&self, compressed: &CompressedTensor) -> Vec<f32> {
+        match compressed {
+            CompressedTensor::Ternary { len, scale, packed } => (0..*len)
+                .map(|i| {
+                    let code = (packed[i / 4] >> ((i % 4) * 2)) & 0b11;
+                    match code {
+                        CODE_ZERO => 0.0,
+                        CODE_POS => *scale,
+                        CODE_NEG => -*scale,
+                        _ => unreachable!("invalid ternary code {code}"),
+                    }
+                })
+                .collect(),
+            other => panic!("TernGrad cannot decompress {other:?}"),
+        }
+    }
+
+    fn compressed_bytes(&self, elems: usize) -> usize {
+        4 + 4 + elems.div_ceil(4)
+    }
+
+    fn is_biased(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(worker: u64) -> CompressCtx {
+        CompressCtx {
+            round: 0,
+            worker,
+            tensor: 0,
+        }
+    }
+
+    #[test]
+    fn outputs_are_ternary_multiples_of_scale() {
+        let c = TernGrad::new();
+        let grad = vec![0.5, -1.5, 0.0, 2.0, -0.1];
+        let out = c.decompress(&c.compress(&grad, ctx(0)));
+        for &v in &out {
+            assert!(v == 0.0 || (v.abs() - 2.0).abs() < 1e-6, "v={v}");
+        }
+    }
+
+    #[test]
+    fn max_element_always_survives() {
+        let c = TernGrad::new();
+        let grad = vec![0.0, 0.0, 3.0];
+        // P[keep] = 1 for the max-magnitude element.
+        for w in 0..20 {
+            let out = c.decompress(&c.compress(&grad, ctx(w)));
+            assert!((out[2] - 3.0).abs() < 1e-6, "w={w} out={out:?}");
+        }
+    }
+
+    #[test]
+    fn unbiased_in_expectation() {
+        let c = TernGrad::new();
+        let grad = vec![0.25f32, -0.5, 1.0];
+        let trials = 6000;
+        let mut acc = vec![0.0f64; 3];
+        for w in 0..trials {
+            let out = c.decompress(&c.compress(&grad, ctx(w)));
+            for (a, &o) in acc.iter_mut().zip(&out) {
+                *a += o as f64;
+            }
+        }
+        for (a, &g) in acc.iter().zip(&grad) {
+            let mean = a / trials as f64;
+            assert!((mean - g as f64).abs() < 0.05, "mean={mean} g={g}");
+        }
+    }
+
+    #[test]
+    fn zero_vector_roundtrips() {
+        let c = TernGrad::new();
+        let out = c.decompress(&c.compress(&[0.0; 7], ctx(0)));
+        assert_eq!(out, vec![0.0; 7]);
+    }
+
+    #[test]
+    fn packing_boundaries() {
+        let c = TernGrad::new();
+        for n in [1usize, 3, 4, 5, 8, 9] {
+            let grad = vec![1.0f32; n];
+            let out = c.decompress(&c.compress(&grad, ctx(0)));
+            assert_eq!(out.len(), n);
+            assert!(out.iter().all(|&v| (v - 1.0).abs() < 1e-6), "n={n}");
+        }
+    }
+
+    #[test]
+    fn wire_bytes_match_compressed_bytes() {
+        let c = TernGrad::new();
+        for n in [0usize, 1, 4, 5, 1000] {
+            let grad = vec![0.5f32; n];
+            let out = c.compress(&grad, ctx(0));
+            assert_eq!(out.wire_bytes(), c.compressed_bytes(n), "n={n}");
+        }
+    }
+}

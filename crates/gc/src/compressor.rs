@@ -1,0 +1,330 @@
+//! The [`Compressor`] trait and the [`GcAlgorithm`] configuration enum.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    algorithms::{Dgc, EfSignSgd, Fp16, Natural, Qsgd, RandomK, TernGrad},
+    tensor::CompressedTensor,
+};
+
+/// Identifies *where in the run* a compression happens, so randomized
+/// compressors can derive reproducible — and, where required,
+/// cross-worker-coordinated — randomness.
+///
+/// RandomK must pick the *same* indices on every worker of a
+/// synchronization round (otherwise the selected values cannot be
+/// aggregated); it therefore seeds from `(round, tensor)` only. Unbiased
+/// stochastic quantizers (QSGD) mix in `worker` so each replica rounds
+/// independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CompressCtx {
+    /// Synchronization round (training iteration).
+    pub round: u64,
+    /// Worker (GPU) rank.
+    pub worker: u64,
+    /// Tensor identifier within the model.
+    pub tensor: u64,
+}
+
+impl CompressCtx {
+    /// Seed shared by all workers in a round (index-coordination seed).
+    pub fn shared_seed(&self) -> u64 {
+        splitmix(self.round ^ self.tensor.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Seed unique to this worker in this round.
+    pub fn worker_seed(&self) -> u64 {
+        splitmix(self.shared_seed() ^ splitmix(self.worker.wrapping_add(0x5851_f42d_4c95_7f2d)))
+    }
+}
+
+/// One round of the SplitMix64 mixer; enough avalanche for seeding.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A gradient compression algorithm.
+///
+/// Implementations must be deterministic given `(grad, ctx)` and must
+/// produce a wire size that depends only on `grad.len()` — the paper's
+/// section 4.3 requires deterministic compression time and ratio per
+/// tensor size, and the strategy search relies on it.
+pub trait Compressor: Send + Sync {
+    /// Human-readable algorithm name (as used in the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Compresses a dense gradient.
+    fn compress(&self, grad: &[f32], ctx: CompressCtx) -> CompressedTensor;
+
+    /// Reconstructs a dense gradient from a compressed tensor.
+    fn decompress(&self, compressed: &CompressedTensor) -> Vec<f32>;
+
+    /// Exact wire size in bytes for a tensor of `elems` elements.
+    fn compressed_bytes(&self, elems: usize) -> usize;
+
+    /// Wire size as a fraction of the dense `f32` size.
+    fn ratio(&self, elems: usize) -> f64 {
+        if elems == 0 {
+            return 0.0;
+        }
+        self.compressed_bytes(elems) as f64 / (elems * 4) as f64
+    }
+
+    /// Whether the compressor is biased (requires error feedback for
+    /// convergence). Unbiased compressors (RandomK with rescaling, QSGD)
+    /// tolerate plain averaging, but the paper applies error feedback to
+    /// all of them.
+    fn is_biased(&self) -> bool;
+}
+
+/// Configuration-level identification of a GC algorithm — the "GC
+/// information" file of the paper's Figure 6 (algorithm + compression
+/// ratio).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GcAlgorithm {
+    /// Random-k sparsification with the given density (e.g. 0.01 keeps 1%).
+    RandomK {
+        /// Fraction of elements kept.
+        density: f64,
+    },
+    /// Deep Gradient Compression: top-k by magnitude, same density knob.
+    Dgc {
+        /// Fraction of elements kept.
+        density: f64,
+    },
+    /// EFSignSGD 1-bit quantization.
+    EfSignSgd,
+    /// QSGD stochastic quantization with `levels` levels per sign.
+    Qsgd {
+        /// Quantization levels (e.g. 127 for 8-bit codes).
+        levels: u8,
+    },
+    /// TernGrad ternary quantization.
+    TernGrad,
+    /// FP16 truncation.
+    Fp16,
+    /// Natural compression (unbiased power-of-two rounding).
+    Natural,
+}
+
+impl GcAlgorithm {
+    /// The paper's default sparsifier settings: 1% density.
+    pub fn dgc_1pct() -> Self {
+        GcAlgorithm::Dgc { density: 0.01 }
+    }
+
+    /// RandomK at 1% density.
+    pub fn randomk_1pct() -> Self {
+        GcAlgorithm::RandomK { density: 0.01 }
+    }
+
+    /// The three algorithms the paper evaluates (section 5.1).
+    pub fn paper_suite() -> [GcAlgorithm; 3] {
+        [
+            Self::randomk_1pct(),
+            Self::dgc_1pct(),
+            GcAlgorithm::EfSignSgd,
+        ]
+    }
+
+    /// Short display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GcAlgorithm::RandomK { .. } => "Randomk",
+            GcAlgorithm::Dgc { .. } => "DGC",
+            GcAlgorithm::EfSignSgd => "EFSignSGD",
+            GcAlgorithm::Qsgd { .. } => "QSGD",
+            GcAlgorithm::TernGrad => "TernGrad",
+            GcAlgorithm::Fp16 => "FP16",
+            GcAlgorithm::Natural => "Natural",
+        }
+    }
+
+    /// Instantiates the algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sparsifier density is outside `(0, 1]` or a QSGD level
+    /// count is zero — these are configuration errors.
+    pub fn build(&self) -> Box<dyn Compressor> {
+        match *self {
+            GcAlgorithm::RandomK { density } => Box::new(RandomK::new(density)),
+            GcAlgorithm::Dgc { density } => Box::new(Dgc::new(density)),
+            GcAlgorithm::EfSignSgd => Box::new(EfSignSgd::new()),
+            GcAlgorithm::Qsgd { levels } => Box::new(Qsgd::new(levels)),
+            GcAlgorithm::TernGrad => Box::new(TernGrad::new()),
+            GcAlgorithm::Fp16 => Box::new(Fp16::new()),
+            GcAlgorithm::Natural => Box::new(Natural::new()),
+        }
+    }
+
+    /// Exact wire size in bytes for `elems` elements, without building the
+    /// compressor. Must agree with the built instance (tested) — this is
+    /// on the strategy-search hot path, so it is computed arithmetically.
+    pub fn compressed_bytes(&self, elems: usize) -> usize {
+        match *self {
+            GcAlgorithm::RandomK { density } | GcAlgorithm::Dgc { density } => {
+                let kept = if elems == 0 {
+                    0
+                } else {
+                    (((elems as f64) * density).ceil() as usize).clamp(1, elems)
+                };
+                4 + kept * 8
+            }
+            GcAlgorithm::EfSignSgd => 4 + 4 + elems.div_ceil(64) * 8,
+            GcAlgorithm::Qsgd { .. } => 4 + 4 + 1 + elems,
+            GcAlgorithm::TernGrad => 4 + 4 + elems.div_ceil(4),
+            GcAlgorithm::Fp16 => 4 + elems * 2,
+            GcAlgorithm::Natural => 4 + elems.div_ceil(64) * 8 + elems,
+        }
+    }
+
+    /// Wire size as a fraction of the dense `f32` size.
+    pub fn ratio(&self, elems: usize) -> f64 {
+        if elems == 0 {
+            return 0.0;
+        }
+        self.compressed_bytes(elems) as f64 / (elems * 4) as f64
+    }
+
+    /// Whether compressing with this algorithm is element-wise "simple"
+    /// (quantizers) or requires selection (sparsifiers) — sparsifier
+    /// kernels are slower per element; the timing model keys off this.
+    pub fn is_sparsifier(&self) -> bool {
+        matches!(self, GcAlgorithm::RandomK { .. } | GcAlgorithm::Dgc { .. })
+    }
+
+    /// The sparsifier density, if this is a sparsifier.
+    pub fn density(&self) -> Option<f64> {
+        match *self {
+            GcAlgorithm::RandomK { density } | GcAlgorithm::Dgc { density } => Some(density),
+            _ => None,
+        }
+    }
+
+    /// Effective dense-element workload of decompressing `pieces`
+    /// compressed pieces of `piece_elems` elements each into one dense
+    /// buffer.
+    ///
+    /// Quantized pieces must be fully dequantized (`pieces * piece_elems`
+    /// work); sparse pieces are scatter-added into a single zeroed dense
+    /// buffer, so the work is one dense pass plus ~2 ops per nonzero.
+    pub fn decompress_effective_elems(&self, piece_elems: usize, pieces: usize) -> usize {
+        match self.density() {
+            Some(d) => {
+                let nnz = ((piece_elems as f64 * d).ceil() as usize).clamp(1, piece_elems.max(1));
+                piece_elems + 2 * pieces * nnz
+            }
+            None => pieces * piece_elems,
+        }
+    }
+
+    /// Effective dense-element workload of summing `pieces` decompressed
+    /// pieces of `piece_elems` elements each.
+    ///
+    /// For sparse algorithms the summation is fused into the scatter-add
+    /// (near-free beyond the nonzeros); quantized pieces are dense sums.
+    pub fn aggregate_effective_elems(&self, piece_elems: usize, pieces: usize) -> usize {
+        match self.density() {
+            Some(d) => {
+                let nnz = ((piece_elems as f64 * d).ceil() as usize).clamp(1, piece_elems.max(1));
+                pieces * nnz
+            }
+            None => pieces * piece_elems,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_shared_seed_ignores_worker() {
+        let a = CompressCtx {
+            round: 3,
+            worker: 0,
+            tensor: 7,
+        };
+        let b = CompressCtx {
+            round: 3,
+            worker: 5,
+            tensor: 7,
+        };
+        assert_eq!(a.shared_seed(), b.shared_seed());
+        assert_ne!(a.worker_seed(), b.worker_seed());
+    }
+
+    #[test]
+    fn ctx_seeds_differ_across_rounds_and_tensors() {
+        let base = CompressCtx {
+            round: 1,
+            worker: 0,
+            tensor: 1,
+        };
+        let other_round = CompressCtx { round: 2, ..base };
+        let other_tensor = CompressCtx { tensor: 2, ..base };
+        assert_ne!(base.shared_seed(), other_round.shared_seed());
+        assert_ne!(base.shared_seed(), other_tensor.shared_seed());
+    }
+
+    #[test]
+    fn algorithm_names_match_paper() {
+        assert_eq!(GcAlgorithm::dgc_1pct().name(), "DGC");
+        assert_eq!(GcAlgorithm::randomk_1pct().name(), "Randomk");
+        assert_eq!(GcAlgorithm::EfSignSgd.name(), "EFSignSGD");
+    }
+
+    #[test]
+    fn paper_suite_has_three_algorithms() {
+        assert_eq!(GcAlgorithm::paper_suite().len(), 3);
+    }
+
+    #[test]
+    fn sparsifier_classification() {
+        assert!(GcAlgorithm::dgc_1pct().is_sparsifier());
+        assert!(GcAlgorithm::randomk_1pct().is_sparsifier());
+        assert!(!GcAlgorithm::EfSignSgd.is_sparsifier());
+        assert!(!GcAlgorithm::Fp16.is_sparsifier());
+    }
+
+    #[test]
+    fn enum_and_instance_sizes_agree() {
+        for algo in [
+            GcAlgorithm::randomk_1pct(),
+            GcAlgorithm::dgc_1pct(),
+            GcAlgorithm::EfSignSgd,
+            GcAlgorithm::Qsgd { levels: 127 },
+            GcAlgorithm::TernGrad,
+            GcAlgorithm::Fp16,
+            GcAlgorithm::Natural,
+        ] {
+            let built = algo.build();
+            for elems in [0usize, 1, 63, 64, 1000, 1_000_000] {
+                assert_eq!(
+                    algo.compressed_bytes(elems),
+                    built.compressed_bytes(elems),
+                    "{algo:?} at {elems}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_percent_sparsifiers_shrink_large_tensors_by_50x() {
+        let algo = GcAlgorithm::dgc_1pct();
+        // (index, value) pairs double the per-kept-element cost: 1% density
+        // is a 2% wire ratio.
+        let r = algo.ratio(1_000_000);
+        assert!((r - 0.02).abs() < 0.001, "ratio={r}");
+    }
+
+    #[test]
+    fn efsignsgd_ratio_is_about_one_thirty_second() {
+        let r = GcAlgorithm::EfSignSgd.ratio(1_000_000);
+        assert!((r - 1.0 / 32.0).abs() < 0.001, "ratio={r}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Compressed tensor representations and their exact wire sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// A compressed gradient tensor as it would travel on the wire.
+///
+/// Each variant records everything needed to reconstruct a dense `f32`
+/// tensor of `len` elements, and [`CompressedTensor::wire_bytes`] reports
+/// the exact number of bytes the representation occupies — the quantity
+/// the communication cost models consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CompressedTensor {
+    /// Sparse selection: `(index, value)` pairs (RandomK, DGC/Top-K).
+    Sparse {
+        /// Dense length of the original tensor.
+        len: usize,
+        /// Indices of the retained elements.
+        indices: Vec<u32>,
+        /// Values of the retained elements.
+        values: Vec<f32>,
+    },
+    /// One sign bit per element plus a single scale (EFSignSGD).
+    Signs {
+        /// Dense length of the original tensor.
+        len: usize,
+        /// Scale applied to every reconstructed sign (mean |g|).
+        scale: f32,
+        /// Bit-packed signs, LSB-first within each word; bit set = positive.
+        bits: Vec<u64>,
+    },
+    /// Multi-level stochastic quantization (QSGD): per-element level codes
+    /// plus the tensor's L2 norm.
+    Quantized {
+        /// Dense length of the original tensor.
+        len: usize,
+        /// Number of quantization levels (codes span `-s..=s`).
+        levels: u8,
+        /// L2 norm of the original tensor.
+        norm: f32,
+        /// One signed code per element.
+        codes: Vec<i8>,
+    },
+    /// Ternary quantization (TernGrad): 2-bit codes {-1, 0, +1} packed four
+    /// per byte, plus a scale.
+    Ternary {
+        /// Dense length of the original tensor.
+        len: usize,
+        /// Scale (max |g|).
+        scale: f32,
+        /// Packed 2-bit codes: 0 => 0, 1 => +1, 2 => -1.
+        packed: Vec<u8>,
+    },
+    /// IEEE 754 binary16 truncation.
+    Half {
+        /// Dense length of the original tensor.
+        len: usize,
+        /// Raw half-precision bit patterns.
+        bits: Vec<u16>,
+    },
+    /// Natural compression: sign bitmap plus one biased exponent byte per
+    /// element (zero encoded as exponent byte 0).
+    Exponents {
+        /// Dense length of the original tensor.
+        len: usize,
+        /// Bit-packed signs, LSB-first; bit set = negative.
+        sign_bits: Vec<u64>,
+        /// Biased exponents: 0 = exact zero, otherwise `exp + 64`.
+        exps: Vec<u8>,
+    },
+}
+
+impl CompressedTensor {
+    /// Dense length of the tensor this compresses.
+    pub fn len(&self) -> usize {
+        match self {
+            CompressedTensor::Sparse { len, .. }
+            | CompressedTensor::Signs { len, .. }
+            | CompressedTensor::Quantized { len, .. }
+            | CompressedTensor::Ternary { len, .. }
+            | CompressedTensor::Half { len, .. }
+            | CompressedTensor::Exponents { len, .. } => *len,
+        }
+    }
+
+    /// Whether the original tensor was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact size of the on-wire representation in bytes.
+    ///
+    /// Counts payload plus the per-tensor scalar metadata (scales, norms,
+    /// lengths are 4-byte fields); this is what the communication cost
+    /// models charge for a compressed tensor.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            CompressedTensor::Sparse {
+                indices, values, ..
+            } => 4 + indices.len() * 4 + values.len() * 4,
+            CompressedTensor::Signs { bits, .. } => 4 + 4 + bits.len() * 8,
+            CompressedTensor::Quantized { codes, .. } => 4 + 4 + 1 + codes.len(),
+            CompressedTensor::Ternary { packed, .. } => 4 + 4 + packed.len(),
+            CompressedTensor::Half { bits, .. } => 4 + bits.len() * 2,
+            CompressedTensor::Exponents {
+                sign_bits, exps, ..
+            } => 4 + sign_bits.len() * 8 + exps.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_wire_bytes_counts_pairs() {
+        let t = CompressedTensor::Sparse {
+            len: 100,
+            indices: vec![1, 5, 9],
+            values: vec![0.1, 0.2, 0.3],
+        };
+        assert_eq!(t.wire_bytes(), 4 + 3 * 4 + 3 * 4);
+        assert_eq!(t.len(), 100);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn signs_wire_bytes_counts_words() {
+        let t = CompressedTensor::Signs {
+            len: 128,
+            scale: 1.0,
+            bits: vec![0, u64::MAX],
+        };
+        assert_eq!(t.wire_bytes(), 4 + 4 + 16);
+    }
+
+    #[test]
+    fn half_is_two_bytes_per_element() {
+        let t = CompressedTensor::Half {
+            len: 10,
+            bits: vec![0; 10],
+        };
+        assert_eq!(t.wire_bytes(), 4 + 20);
+    }
+
+    #[test]
+    fn empty_tensor_reports_empty() {
+        let t = CompressedTensor::Sparse {
+            len: 0,
+            indices: vec![],
+            values: vec![],
+        };
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Deterministic compression-time models for GPU and CPU execution.
+//!
+//! This is the "compression time" empirical model of the paper's
+//! section 4.3: for any GC algorithm, Espresso profiles the computational
+//! time of compression and decompression on GPUs and CPUs across tensor
+//! sizes (100 runs, averaged) and requires the result to be deterministic
+//! per size. We reproduce that model analytically with the two-parameter
+//! form the measurements exhibit:
+//!
+//! ```text
+//! t(n) = launch_overhead + n / throughput        (+ staging for CPU)
+//! ```
+//!
+//! * The **GPU** pays a constant kernel-launch overhead per compression —
+//!   the reason compressing larger tensors is relatively cheaper, which is
+//!   exactly Figure 10's "benefit ratio grows with tensor size" insight and
+//!   Property #2 of the decision algorithm.
+//! * The **CPU** has lower element throughput and additionally pays a PCIe
+//!   staging copy of the dense tensor, but *does not contend with backward
+//!   computation* — the trade-off Espresso's CPU offloading (Algorithm 2)
+//!   exploits.
+//!
+//! The constants are calibrated V100-class / Xeon-8260-class figures; see
+//! `DESIGN.md` section 6 on calibration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::compressor::GcAlgorithm;
+
+/// The compute resource executing a compression operation — the paper's
+/// Dimension 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Device {
+    /// The training GPU (fast, but contends with backward computation).
+    Gpu,
+    /// Host CPUs (slower, pays PCIe staging, but contention-free).
+    Cpu,
+}
+
+impl Device {
+    /// Both devices, for exhaustive iteration.
+    pub const ALL: [Device; 2] = [Device::Gpu, Device::Cpu];
+}
+
+/// Timing parameters for one device class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Fixed overhead per compression operation (kernel launches, stream
+    /// synchronization, task dispatch), seconds.
+    pub launch_overhead: f64,
+    /// Compression throughput, elements per second.
+    pub compress_rate: f64,
+    /// Decompression throughput, elements per second.
+    pub decompress_rate: f64,
+    /// Host-device staging bandwidth in bytes/second, if the device
+    /// requires staging the dense tensor over PCIe (CPU compression).
+    pub staging_bandwidth: Option<f64>,
+}
+
+impl DeviceProfile {
+    /// Time to compress `elems` elements on this device (pure compute;
+    /// host-device staging is charged separately by the simulator, which
+    /// knows the actual staged byte counts and which fabric the copy
+    /// rides).
+    pub fn compress_time(&self, elems: usize) -> f64 {
+        if elems == 0 {
+            return 0.0;
+        }
+        self.launch_overhead + elems as f64 / self.compress_rate
+    }
+
+    /// Time to decompress (and re-densify) `elems` effective elements on
+    /// this device (pure compute; see [`DeviceProfile::compress_time`]).
+    pub fn decompress_time(&self, elems: usize) -> f64 {
+        if elems == 0 {
+            return 0.0;
+        }
+        self.launch_overhead + elems as f64 / self.decompress_rate
+    }
+
+    /// Host-device staging time for `elems` dense elements, if this
+    /// device stages (zero for the GPU).
+    pub fn staging_time(&self, elems: usize) -> f64 {
+        match self.staging_bandwidth {
+            Some(bw) => (elems * 4) as f64 / bw,
+            None => 0.0,
+        }
+    }
+}
+
+/// The full (GPU, CPU) timing model for one GC algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// GPU execution profile.
+    pub gpu: DeviceProfile,
+    /// CPU execution profile.
+    pub cpu: DeviceProfile,
+}
+
+/// Effective host-device staging bandwidth per CPU-compression task,
+/// bytes/second: PCIe 3.0 copies through pinned bounce buffers, shared
+/// with the training job's own H2D traffic.
+const PCIE_STAGING_BW: f64 = 8e9;
+
+/// Fixed GPU-side overhead per compression op: several kernel launches
+/// plus a stream synchronization — the constant the paper cites as the
+/// reason GC "incurs a constant overhead to launch GPU kernels".
+const GPU_LAUNCH_OVERHEAD: f64 = 70e-6;
+
+/// Fixed GPU-side overhead for DGC/top-k: the sample / sort / threshold /
+/// compaction pipeline is many kernels plus host synchronizations, and it
+/// dominates small-tensor top-k (HiPress reports millisecond-scale DGC
+/// launches; this is what makes compressing ResNet101's 314 mostly-small
+/// tensors catastrophic in Figure 13(c)).
+const GPU_TOPK_LAUNCH_OVERHEAD: f64 = 600e-6;
+
+/// Fixed CPU-side dispatch overhead per compression op: task dispatch to
+/// the worker pool, thread-team fork/join, and pinned-buffer management
+/// per tensor.
+const CPU_DISPATCH_OVERHEAD: f64 = 80e-6;
+
+/// GPU element throughput for element-wise quantizers (sign, QSGD,
+/// TernGrad, FP16): memory-bound at a fraction of V100 HBM bandwidth.
+const GPU_QUANT_RATE: f64 = 20e9;
+
+/// GPU element throughput for magnitude top-k (DGC): sampling + sort +
+/// threshold + compaction, an order of magnitude slower than quantizers
+/// (the "DGC compression is expensive" behaviour behind the paper's
+/// Figure 13(c), where HiTopKComm loses up to 54% on ResNet101 + DGC).
+const GPU_TOPK_RATE: f64 = 2.0e9;
+
+/// GPU element throughput for random-k selection: index generation plus a
+/// gather — far cheaper than top-k.
+const GPU_RANDOMK_RATE: f64 = 6e9;
+
+/// CPU element throughput for quantizers. Each task is parallelized
+/// across the worker cores BytePS-style systems reserve for gradient
+/// processing, so per-task rates are multicore rates; the simulator
+/// limits how many tensors are processed concurrently instead
+/// (`SimConfig::cpu_slots`).
+const CPU_QUANT_RATE: f64 = 3.0e9;
+
+/// CPU element throughput for top-k (parallel partial selection).
+const CPU_TOPK_RATE: f64 = 1.0e9;
+
+/// CPU element throughput for random-k (parallel gather).
+const CPU_RANDOMK_RATE: f64 = 1.2e9;
+
+impl TimingModel {
+    /// The calibrated timing model for `algo`.
+    pub fn for_algorithm(algo: GcAlgorithm) -> Self {
+        let (gpu_rate, cpu_rate) = match algo {
+            GcAlgorithm::Dgc { .. } => (GPU_TOPK_RATE, CPU_TOPK_RATE),
+            GcAlgorithm::RandomK { .. } => (GPU_RANDOMK_RATE, CPU_RANDOMK_RATE),
+            _ => (GPU_QUANT_RATE, CPU_QUANT_RATE),
+        };
+        let gpu_launch = if matches!(algo, GcAlgorithm::Dgc { .. }) {
+            GPU_TOPK_LAUNCH_OVERHEAD
+        } else {
+            GPU_LAUNCH_OVERHEAD
+        };
+        Self {
+            gpu: DeviceProfile {
+                launch_overhead: gpu_launch,
+                compress_rate: gpu_rate,
+                decompress_rate: gpu_rate * 2.0,
+                staging_bandwidth: None,
+            },
+            cpu: DeviceProfile {
+                launch_overhead: CPU_DISPATCH_OVERHEAD,
+                compress_rate: cpu_rate,
+                decompress_rate: cpu_rate * 2.0,
+                staging_bandwidth: Some(PCIE_STAGING_BW),
+            },
+        }
+    }
+
+    /// The profile for `device`.
+    pub fn profile(&self, device: Device) -> &DeviceProfile {
+        match device {
+            Device::Gpu => &self.gpu,
+            Device::Cpu => &self.cpu,
+        }
+    }
+
+    /// Time to compress `elems` elements on `device`.
+    pub fn compress_time(&self, device: Device, elems: usize) -> f64 {
+        self.profile(device).compress_time(elems)
+    }
+
+    /// Time to decompress `elems` elements on `device`.
+    pub fn decompress_time(&self, device: Device, elems: usize) -> f64 {
+        self.profile(device).decompress_time(elems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_beats_cpu_per_element_for_large_tensors() {
+        let m = TimingModel::for_algorithm(GcAlgorithm::dgc_1pct());
+        let n = 64_000_000; // 256 MB tensor.
+        assert!(m.compress_time(Device::Gpu, n) < m.compress_time(Device::Cpu, n));
+    }
+
+    #[test]
+    fn launch_overhead_dominates_small_tensors() {
+        // A tiny tensor's GPU compression is almost pure launch overhead —
+        // the Figure 10 insight that small tensors are not worth GPU GC.
+        let m = TimingModel::for_algorithm(GcAlgorithm::EfSignSgd);
+        let t = m.compress_time(Device::Gpu, 1000);
+        assert!(t > 0.9 * GPU_LAUNCH_OVERHEAD && t < 1.2 * GPU_LAUNCH_OVERHEAD);
+    }
+
+    #[test]
+    fn sparsifiers_cost_more_than_quantizers() {
+        let sparse = TimingModel::for_algorithm(GcAlgorithm::dgc_1pct());
+        let quant = TimingModel::for_algorithm(GcAlgorithm::EfSignSgd);
+        let n = 10_000_000;
+        for d in Device::ALL {
+            assert!(
+                sparse.compress_time(d, n) > quant.compress_time(d, n),
+                "{d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_elements_cost_nothing() {
+        let m = TimingModel::for_algorithm(GcAlgorithm::EfSignSgd);
+        for d in Device::ALL {
+            assert_eq!(m.compress_time(d, 0), 0.0);
+            assert_eq!(m.decompress_time(d, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn cpu_staging_is_reported_separately() {
+        let m = TimingModel::for_algorithm(GcAlgorithm::EfSignSgd);
+        let n = 25_000_000; // 100 MB.
+        let staging = m.cpu.staging_time(n);
+        assert!((staging - (n * 4) as f64 / PCIE_STAGING_BW).abs() < 1e-12);
+        assert_eq!(m.gpu.staging_time(n), 0.0);
+    }
+
+    #[test]
+    fn time_is_monotone_in_size() {
+        let m = TimingModel::for_algorithm(GcAlgorithm::randomk_1pct());
+        for d in Device::ALL {
+            let mut prev = 0.0;
+            for n in [1usize, 1000, 100_000, 10_000_000] {
+                let t = m.compress_time(d, n);
+                assert!(t > prev, "{d:?} n={n}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_is_cheaper_than_compress() {
+        let m = TimingModel::for_algorithm(GcAlgorithm::dgc_1pct());
+        let n = 10_000_000;
+        assert!(m.decompress_time(Device::Gpu, n) < m.compress_time(Device::Gpu, n));
+    }
+}

@@ -1,0 +1,36 @@
+//! DNN model zoo: per-tensor size and backward-computation-time profiles.
+//!
+//! This crate stands in for the paper's profiling step (section 4.3):
+//! Espresso "collects execution traces of DNN training jobs without GC for
+//! 100 iterations to capture the starting and ending time of the
+//! computation of each tensor during backward propagation", averages them,
+//! and records tensor sizes. Here:
+//!
+//! * [`profile`] defines [`ModelProfile`] — the "model information"
+//!   configuration file of Figure 6 — with tensors ordered by *backward
+//!   production order* (index 0 is nearest the output layer and is
+//!   produced first),
+//! * [`zoo`] builds the six benchmark models of the paper's Table 4
+//!   (VGG16, ResNet101, UGATIT, BERT-base, GPT2, LSTM) with layer
+//!   structures derived from the real architectures, matching the paper's
+//!   reported model sizes and tensor counts,
+//! * [`trace`] simulates the 100-iteration trace collection with seeded
+//!   measurement noise (<5% normalized standard deviation, as the paper
+//!   observes) and averages it back into a profile.
+
+pub mod profile;
+pub mod trace;
+pub mod zoo;
+
+pub use profile::{ModelKind, ModelProfile, TensorProfile};
+pub use trace::{TraceCollector, TraceStats};
+pub use zoo::Model;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::{
+        profile::{ModelKind, ModelProfile, TensorProfile},
+        trace::{TraceCollector, TraceStats},
+        zoo::Model,
+    };
+}

@@ -1,0 +1,268 @@
+//! Model profiles: the "model information" input of the paper's Figure 6.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a model's throughput is reported in images/s or tokens/s
+/// (section 5.1, "Performance metrics").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Computer-vision model: throughput in images per second.
+    Vision,
+    /// NLP model: throughput in tokens per second.
+    Nlp,
+}
+
+/// One gradient tensor of a DNN model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorProfile {
+    /// Human-readable layer/parameter name.
+    pub name: String,
+    /// Number of `f32` elements.
+    pub elems: usize,
+    /// Backward computation time of this tensor, seconds.
+    pub compute_time: f64,
+}
+
+impl TensorProfile {
+    /// Dense size in bytes (FP32).
+    pub fn bytes(&self) -> usize {
+        self.elems * 4
+    }
+}
+
+/// A complete model profile.
+///
+/// `tensors[0]` is the tensor nearest the output layer — the first whose
+/// gradient becomes available during backward propagation. A tensor's
+/// index therefore *is* its "distance to the output layer" in the sense of
+/// the paper's Property #2 and Lemma 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name as used in the paper's tables.
+    pub name: String,
+    /// Vision or NLP (chooses the throughput metric).
+    pub kind: ModelKind,
+    /// Per-iteration batch size: images for vision models, tokens for NLP
+    /// models (Table 4).
+    pub batch_size: usize,
+    /// Forward-pass time of one iteration, seconds. Communication cannot
+    /// overlap with it (gradients do not exist yet).
+    pub forward_time: f64,
+    /// Gradient tensors in backward production order.
+    pub tensors: Vec<TensorProfile>,
+}
+
+impl ModelProfile {
+    /// Builds a profile and validates it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no tensors, or any tensor is empty, or any time
+    /// is negative — a malformed profile would silently corrupt every
+    /// downstream experiment.
+    pub fn new(
+        name: impl Into<String>,
+        kind: ModelKind,
+        batch_size: usize,
+        forward_time: f64,
+        tensors: Vec<TensorProfile>,
+    ) -> Self {
+        assert!(!tensors.is_empty(), "a model needs at least one tensor");
+        assert!(forward_time >= 0.0, "negative forward time");
+        for t in &tensors {
+            assert!(t.elems > 0, "tensor {} is empty", t.name);
+            assert!(
+                t.compute_time >= 0.0 && t.compute_time.is_finite(),
+                "tensor {} has invalid compute time",
+                t.name
+            );
+        }
+        Self {
+            name: name.into(),
+            kind,
+            batch_size,
+            forward_time,
+            tensors,
+        }
+    }
+
+    /// Number of gradient tensors (the "# of Tensors" row of Table 5).
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> usize {
+        self.tensors.iter().map(|t| t.elems).sum()
+    }
+
+    /// Total model size in bytes (FP32), the "Model size" column of
+    /// Table 4.
+    pub fn total_bytes(&self) -> usize {
+        self.total_params() * 4
+    }
+
+    /// Total backward computation time, seconds.
+    pub fn backward_time(&self) -> f64 {
+        self.tensors.iter().map(|t| t.compute_time).sum()
+    }
+
+    /// Single-GPU iteration time (forward + backward), seconds. This is
+    /// the `T` in the paper's scaling factor `T_n / (n T)`.
+    pub fn single_gpu_iter_time(&self) -> f64 {
+        self.forward_time + self.backward_time()
+    }
+
+    /// Single-GPU training throughput in samples (images/tokens) per
+    /// second.
+    pub fn single_gpu_throughput(&self) -> f64 {
+        self.batch_size as f64 / self.single_gpu_iter_time()
+    }
+
+    /// Histogram of tensor sizes: `(elems, count)` sorted by size
+    /// descending — the quantity plotted in the paper's Figure 11.
+    pub fn size_histogram(&self) -> Vec<(usize, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for t in &self.tensors {
+            *map.entry(t.elems).or_insert(0usize) += 1;
+        }
+        map.into_iter().rev().collect()
+    }
+
+    /// The moment (relative to backward start) at which tensor `idx`'s
+    /// gradient becomes ready, assuming uninterrupted backward execution:
+    /// the sum of compute times of tensors `0..=idx`.
+    pub fn ready_time(&self, idx: usize) -> f64 {
+        self.tensors[..=idx].iter().map(|t| t.compute_time).sum()
+    }
+
+    /// Rescales the profile to a different per-GPU batch size.
+    ///
+    /// Computation time scales linearly with the batch (GPUs at these
+    /// batch sizes are throughput-bound); gradient sizes do not change.
+    /// This is the knob behind batch-size what-if studies: larger batches
+    /// amortize the same communication over more computation, raising the
+    /// FP32 scaling factor and shrinking GC's payoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(&self, batch_size: usize) -> ModelProfile {
+        assert!(batch_size > 0, "batch size must be positive");
+        let scale = batch_size as f64 / self.batch_size as f64;
+        let tensors = self
+            .tensors
+            .iter()
+            .map(|t| TensorProfile {
+                name: t.name.clone(),
+                elems: t.elems,
+                compute_time: t.compute_time * scale,
+            })
+            .collect();
+        ModelProfile {
+            name: self.name.clone(),
+            kind: self.kind,
+            batch_size,
+            forward_time: self.forward_time * scale,
+            tensors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ModelProfile {
+        ModelProfile::new(
+            "tiny",
+            ModelKind::Vision,
+            8,
+            0.010,
+            vec![
+                TensorProfile {
+                    name: "t0".into(),
+                    elems: 100,
+                    compute_time: 0.001,
+                },
+                TensorProfile {
+                    name: "t1".into(),
+                    elems: 200,
+                    compute_time: 0.002,
+                },
+                TensorProfile {
+                    name: "t2".into(),
+                    elems: 100,
+                    compute_time: 0.003,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = tiny();
+        assert_eq!(m.num_tensors(), 3);
+        assert_eq!(m.total_params(), 400);
+        assert_eq!(m.total_bytes(), 1600);
+        assert!((m.backward_time() - 0.006).abs() < 1e-12);
+        assert!((m.single_gpu_iter_time() - 0.016).abs() < 1e-12);
+        assert!((m.single_gpu_throughput() - 8.0 / 0.016).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ready_times_accumulate() {
+        let m = tiny();
+        assert!((m.ready_time(0) - 0.001).abs() < 1e-12);
+        assert!((m.ready_time(1) - 0.003).abs() < 1e-12);
+        assert!((m.ready_time(2) - 0.006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_groups_equal_sizes() {
+        let m = tiny();
+        assert_eq!(m.size_histogram(), vec![(200, 1), (100, 2)]);
+    }
+
+    #[test]
+    fn batch_rescaling_scales_compute_not_sizes() {
+        let m = tiny();
+        let doubled = m.with_batch_size(16);
+        assert_eq!(doubled.batch_size, 16);
+        assert_eq!(doubled.total_params(), m.total_params());
+        assert!((doubled.backward_time() - 2.0 * m.backward_time()).abs() < 1e-12);
+        assert!((doubled.forward_time - 2.0 * m.forward_time).abs() < 1e-12);
+        // Throughput is invariant under linear batch scaling.
+        assert!(
+            (doubled.single_gpu_throughput() - m.single_gpu_throughput()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = tiny().with_batch_size(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tensor")]
+    fn empty_model_rejected() {
+        let _ = ModelProfile::new("x", ModelKind::Nlp, 1, 0.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_tensor_rejected() {
+        let _ = ModelProfile::new(
+            "x",
+            ModelKind::Nlp,
+            1,
+            0.0,
+            vec![TensorProfile {
+                name: "bad".into(),
+                elems: 0,
+                compute_time: 0.0,
+            }],
+        );
+    }
+}

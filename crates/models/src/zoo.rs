@@ -1,0 +1,619 @@
+//! The six benchmark DNN models of the paper's Table 4.
+//!
+//! | Model     | Dataset      | Batch size  | Model size | # tensors |
+//! |-----------|--------------|-------------|------------|-----------|
+//! | VGG16     | ImageNet     | 32 images   | 528 MB     | 32        |
+//! | ResNet101 | ImageNet     | 32 images   | 170 MB     | 314       |
+//! | UGATIT    | selfie2anime | 2 images    | 2559 MB    | 148       |
+//! | BERT-base | SQuAD        | 1024 tokens | 420 MB     | 207       |
+//! | GPT2      | WikiText-2   | 80 tokens   | 475 MB     | 148       |
+//! | LSTM      | WikiText-2   | 80 tokens   | 328 MB     | 10        |
+//!
+//! Tensor lists are derived from the real architectures (actual layer
+//! shapes for VGG16, ResNet101, BERT-base and GPT2; a faithful synthetic
+//! reconstruction for UGATIT and the AWD-LSTM-style language model), and
+//! the tensor counts match the paper's Table 5 row exactly. Per-tensor
+//! backward-computation times are distributed proportionally to estimated
+//! backward FLOPs, scaled so the single-GPU iteration time matches
+//! calibrated V100-class figures (see `DESIGN.md`, "Calibration").
+//!
+//! Ordering: `tensors[0]` is nearest the *output* layer (produced first in
+//! backward propagation). A classifier's head therefore comes first and
+//! the input-side embeddings/convolutions last — which is why VGG16's
+//! giant fully-connected tensors become ready early, the structural fact
+//! behind the paper's Figure 9(c) insight.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{ModelKind, ModelProfile, TensorProfile};
+
+/// The benchmark models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// VGG16 on ImageNet.
+    Vgg16,
+    /// ResNet101 on ImageNet.
+    ResNet101,
+    /// UGATIT on selfie2anime.
+    Ugatit,
+    /// BERT-base fine-tuning on SQuAD.
+    BertBase,
+    /// GPT2 (small) on WikiText-2.
+    Gpt2,
+    /// AWD-LSTM-style language model on WikiText-2.
+    Lstm,
+}
+
+impl Model {
+    /// All six benchmark models, in the paper's Table 4 order.
+    pub const ALL: [Model; 6] = [
+        Model::Vgg16,
+        Model::ResNet101,
+        Model::Ugatit,
+        Model::BertBase,
+        Model::Gpt2,
+        Model::Lstm,
+    ];
+
+    /// Display name as in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Vgg16 => "VGG16",
+            Model::ResNet101 => "ResNet101",
+            Model::Ugatit => "UGATIT",
+            Model::BertBase => "BERT-base",
+            Model::Gpt2 => "GPT2",
+            Model::Lstm => "LSTM",
+        }
+    }
+
+    /// Dataset used in the paper's Table 4.
+    pub fn dataset(self) -> &'static str {
+        match self {
+            Model::Vgg16 | Model::ResNet101 => "ImageNet",
+            Model::Ugatit => "selfie2anime",
+            Model::BertBase => "SQuAD",
+            Model::Gpt2 | Model::Lstm => "WikiText-2",
+        }
+    }
+
+    /// Per-GPU batch size (images or tokens), Table 4.
+    pub fn batch_size(self) -> usize {
+        match self {
+            Model::Vgg16 | Model::ResNet101 => 32,
+            Model::Ugatit => 2,
+            Model::BertBase => 1024,
+            Model::Gpt2 | Model::Lstm => 80,
+        }
+    }
+
+    /// Calibrated single-GPU iteration time (forward + backward) on a
+    /// V100-class accelerator with the Table 4 batch size, seconds.
+    fn iter_time(self) -> f64 {
+        match self {
+            Model::Vgg16 => 0.105,
+            Model::ResNet101 => 0.150,
+            Model::Ugatit => 0.235,
+            Model::BertBase => 0.070,
+            Model::Gpt2 => 0.090,
+            Model::Lstm => 0.130,
+        }
+    }
+
+    /// Builds the full model profile.
+    pub fn profile(self) -> ModelProfile {
+        let (kind, layers) = match self {
+            Model::Vgg16 => (ModelKind::Vision, vgg16_layers()),
+            Model::ResNet101 => (ModelKind::Vision, resnet101_layers()),
+            Model::Ugatit => (ModelKind::Vision, ugatit_layers()),
+            Model::BertBase => (ModelKind::Nlp, bert_base_layers()),
+            Model::Gpt2 => (ModelKind::Nlp, gpt2_layers()),
+            Model::Lstm => (ModelKind::Nlp, lstm_layers()),
+        };
+        build_profile(self, kind, layers)
+    }
+}
+
+/// Fraction of an iteration spent in the forward pass; the rest is
+/// backward (gradient-producing) time. The typical fwd:bwd split is ~1:2.
+const FORWARD_FRACTION: f64 = 0.35;
+
+/// A tensor blueprint: name, element count, and a relative backward
+/// compute weight (proportional to the backward FLOPs attributable to the
+/// layer producing this gradient).
+struct Blueprint {
+    name: String,
+    elems: usize,
+    weight: f64,
+}
+
+fn bp(name: impl Into<String>, elems: usize, weight: f64) -> Blueprint {
+    Blueprint {
+        name: name.into(),
+        elems,
+        weight,
+    }
+}
+
+/// Converts blueprints (listed input-side first, as architectures are
+/// described) into a profile in backward production order with compute
+/// times distributed by weight.
+fn build_profile(model: Model, kind: ModelKind, mut layers: Vec<Blueprint>) -> ModelProfile {
+    // Architectures are declared input -> output; backward produces
+    // output-side gradients first.
+    layers.reverse();
+    let total_weight: f64 = layers.iter().map(|b| b.weight).sum();
+    assert!(total_weight > 0.0, "model has zero compute weight");
+    let iter = model.iter_time();
+    let forward = iter * FORWARD_FRACTION;
+    let backward = iter - forward;
+    let tensors = layers
+        .into_iter()
+        .map(|b| TensorProfile {
+            name: b.name,
+            elems: b.elems,
+            compute_time: backward * b.weight / total_weight,
+        })
+        .collect();
+    ModelProfile::new(model.name(), kind, model.batch_size(), forward, tensors)
+}
+
+/// VGG16: 13 convolutions + 3 fully-connected layers, weight + bias each
+/// (32 tensors). FC layers hold ~90% of the parameters but a tiny share of
+/// the compute; convolutions are the opposite.
+fn vgg16_layers() -> Vec<Blueprint> {
+    // (in_channels, out_channels, output_hw) for the 13 convs of config D.
+    let convs: [(usize, usize, usize); 13] = [
+        (3, 64, 224),
+        (64, 64, 224),
+        (64, 128, 112),
+        (128, 128, 112),
+        (128, 256, 56),
+        (256, 256, 56),
+        (256, 256, 56),
+        (256, 512, 28),
+        (512, 512, 28),
+        (512, 512, 28),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+    ];
+    let mut out = Vec::new();
+    for (i, &(cin, cout, hw)) in convs.iter().enumerate() {
+        // Backward FLOPs ~ 2x forward: 2 * (2 * 9 * cin * cout * hw^2).
+        let flops = 4.0 * 9.0 * (cin * cout) as f64 * (hw * hw) as f64;
+        out.push(bp(format!("conv{}.weight", i + 1), 9 * cin * cout, flops));
+        out.push(bp(format!("conv{}.bias", i + 1), cout, flops * 1e-3));
+    }
+    let fcs: [(usize, usize); 3] = [(25088, 4096), (4096, 4096), (4096, 1000)];
+    for (i, &(fin, fout)) in fcs.iter().enumerate() {
+        let flops = 4.0 * (fin * fout) as f64;
+        out.push(bp(format!("fc{}.weight", i + 1), fin * fout, flops));
+        out.push(bp(format!("fc{}.bias", i + 1), fout, flops * 1e-3));
+    }
+    out
+}
+
+/// ResNet101: conv1 + bn1, four bottleneck stages of (3, 4, 23, 3) blocks,
+/// and the classifier — 314 tensors, matching the paper's Table 5.
+fn resnet101_layers() -> Vec<Blueprint> {
+    let mut out = Vec::new();
+    // Stem: 7x7 conv, 64 channels at 112x112, then BN.
+    let stem_flops = 4.0 * 49.0 * (3 * 64) as f64 * (112 * 112) as f64;
+    out.push(bp("conv1.weight", 49 * 3 * 64, stem_flops));
+    out.push(bp("bn1.weight", 64, 1.0));
+    out.push(bp("bn1.bias", 64, 1.0));
+
+    // (mid_channels, out_channels, blocks, feature_hw) per stage.
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (64, 256, 3, 56),
+        (128, 512, 4, 28),
+        (256, 1024, 23, 14),
+        (512, 2048, 3, 7),
+    ];
+    let mut in_ch = 64;
+    for (s, &(mid, out_ch, blocks, hw)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let block_in = if b == 0 { in_ch } else { out_ch };
+            let prefix = format!("layer{}.{}", s + 1, b);
+            let convs = [
+                (block_in, mid, 1usize), // 1x1 reduce.
+                (mid, mid, 3),           // 3x3.
+                (mid, out_ch, 1),        // 1x1 expand.
+            ];
+            for (c, &(cin, cout, k)) in convs.iter().enumerate() {
+                let flops = 4.0 * (k * k) as f64 * (cin * cout) as f64 * (hw * hw) as f64;
+                out.push(bp(
+                    format!("{prefix}.conv{}.weight", c + 1),
+                    k * k * cin * cout,
+                    flops,
+                ));
+                out.push(bp(format!("{prefix}.bn{}.weight", c + 1), cout, 1.0));
+                out.push(bp(format!("{prefix}.bn{}.bias", c + 1), cout, 1.0));
+            }
+            if b == 0 {
+                // Downsample projection.
+                let flops = 4.0 * (block_in * out_ch) as f64 * (hw * hw) as f64;
+                out.push(bp(
+                    format!("{prefix}.downsample.conv.weight"),
+                    block_in * out_ch,
+                    flops,
+                ));
+                out.push(bp(format!("{prefix}.downsample.bn.weight"), out_ch, 1.0));
+                out.push(bp(format!("{prefix}.downsample.bn.bias"), out_ch, 1.0));
+            }
+        }
+        in_ch = out_ch;
+    }
+    let fc_flops = 4.0 * (2048 * 1000) as f64;
+    out.push(bp("fc.weight", 2048 * 1000, fc_flops));
+    out.push(bp("fc.bias", 1000, fc_flops * 1e-3));
+    out
+}
+
+/// UGATIT (full, non-light mode): two generators whose CAM/AdaILN MLPs
+/// take the flattened 64x64x256 feature map — a single ~268M-parameter FC
+/// each, the reason this model is 2.5 GB — plus four discriminators.
+/// Reconstructed to the paper's 148 tensors / ~2559 MB.
+fn ugatit_layers() -> Vec<Blueprint> {
+    let mut out = Vec::new();
+    // Each generator: encoder (3 downsampling convs), 4 residual blocks,
+    // CAM fcs, the giant MLP, gamma/beta FCs, decoder (2 upsampling convs
+    // + output conv). 40 tensors per generator.
+    for g in ["genA2B", "genB2A"] {
+        let enc: [(usize, usize, usize, usize); 3] = [
+            (3, 64, 7, 256),
+            (64, 128, 3, 128),
+            (128, 256, 3, 64),
+        ];
+        for (i, &(cin, cout, k, hw)) in enc.iter().enumerate() {
+            let flops = 4.0 * (k * k) as f64 * (cin * cout) as f64 * (hw * hw) as f64;
+            out.push(bp(format!("{g}.enc{}.weight", i + 1), k * k * cin * cout, flops));
+            out.push(bp(format!("{g}.enc{}.bias", i + 1), cout, 1.0));
+        }
+        for r in 0..4 {
+            for c in 0..2 {
+                let flops = 4.0 * 9.0 * (256 * 256) as f64 * (64 * 64) as f64;
+                out.push(bp(
+                    format!("{g}.res{r}.conv{}.weight", c + 1),
+                    9 * 256 * 256,
+                    flops,
+                ));
+                out.push(bp(format!("{g}.res{r}.conv{}.bias", c + 1), 256, 1.0));
+            }
+        }
+        // CAM logit FCs.
+        out.push(bp(format!("{g}.gap_fc.weight"), 256, 1.0));
+        out.push(bp(format!("{g}.gmp_fc.weight"), 256, 1.0));
+        out.push(bp(format!("{g}.conv1x1.weight"), 512 * 256, 4.0 * (512 * 256) as f64));
+        out.push(bp(format!("{g}.conv1x1.bias"), 256, 1.0));
+        // The giant AdaILN MLP: FC(64*64*256 -> 256), then FC(256 -> 256),
+        // then gamma and beta heads.
+        let giant = 64 * 64 * 256 * 256;
+        out.push(bp(format!("{g}.mlp.fc1.weight"), giant, 4.0 * giant as f64));
+        out.push(bp(format!("{g}.mlp.fc1.bias"), 256, 1.0));
+        out.push(bp(format!("{g}.mlp.fc2.weight"), 256 * 256, 1.0));
+        out.push(bp(format!("{g}.mlp.fc2.bias"), 256, 1.0));
+        out.push(bp(format!("{g}.gamma.weight"), 256 * 256, 1.0));
+        out.push(bp(format!("{g}.gamma.bias"), 256, 1.0));
+        out.push(bp(format!("{g}.beta.weight"), 256 * 256, 1.0));
+        out.push(bp(format!("{g}.beta.bias"), 256, 1.0));
+        // Decoder.
+        let dec: [(usize, usize, usize, usize); 3] = [
+            (256, 128, 3, 128),
+            (128, 64, 3, 256),
+            (64, 3, 7, 256),
+        ];
+        for (i, &(cin, cout, k, hw)) in dec.iter().enumerate() {
+            let flops = 4.0 * (k * k) as f64 * (cin * cout) as f64 * (hw * hw) as f64;
+            out.push(bp(format!("{g}.dec{}.weight", i + 1), k * k * cin * cout, flops));
+            out.push(bp(format!("{g}.dec{}.bias", i + 1), cout, 1.0));
+        }
+    }
+    // Four discriminators: the global pair is 6 convolutions deep (up to
+    // 2048 channels, 19 tensors each), the local pair 4 deep (15 tensors
+    // each) — as in the real UGATIT.
+    let global: Vec<(usize, usize, usize, usize)> = vec![
+        (3, 64, 4, 128),
+        (64, 128, 4, 64),
+        (128, 256, 4, 32),
+        (256, 512, 4, 16),
+        (512, 1024, 4, 8),
+        (1024, 2048, 4, 8),
+    ];
+    let local: Vec<(usize, usize, usize, usize)> = vec![
+        (3, 64, 4, 128),
+        (64, 128, 4, 64),
+        (128, 256, 4, 32),
+        (256, 512, 4, 32),
+    ];
+    for (d, convs) in [
+        ("disGA", &global),
+        ("disGB", &global),
+        ("disLA", &local),
+        ("disLB", &local),
+    ] {
+        let top = convs.last().unwrap().1;
+        for (i, &(cin, cout, k, hw)) in convs.iter().enumerate() {
+            let flops = 4.0 * (k * k) as f64 * (cin * cout) as f64 * (hw * hw) as f64;
+            out.push(bp(format!("{d}.conv{}.weight", i + 1), k * k * cin * cout, flops));
+            out.push(bp(format!("{d}.conv{}.bias", i + 1), cout, 1.0));
+        }
+        out.push(bp(format!("{d}.gap_fc.weight"), top, 1.0));
+        out.push(bp(format!("{d}.gmp_fc.weight"), top, 1.0));
+        out.push(bp(format!("{d}.conv1x1.weight"), 2 * top * top, 4.0 * (2 * top * top) as f64));
+        out.push(bp(format!("{d}.conv1x1.bias"), top, 1.0));
+        let flops = 4.0 * 16.0 * top as f64 * 64.0;
+        out.push(bp(format!("{d}.out.weight"), 16 * top, flops));
+        out.push(bp(format!("{d}.out.bias"), 1, 1.0));
+        out.push(bp(format!("{d}.pad_embed.weight"), top, 1.0));
+    }
+    out
+}
+
+/// BERT-base for SQuAD: embeddings, 12 transformer layers of 16 tensors,
+/// pooler, prediction-head transform, and the QA head — 207 tensors.
+fn bert_base_layers() -> Vec<Blueprint> {
+    let h = 768usize;
+    let ffn = 3072usize;
+    let mut out = Vec::new();
+    // Embeddings (input side: listed first, produced last in backward).
+    out.push(bp("embeddings.word.weight", 30522 * h, 2.0));
+    out.push(bp("embeddings.position.weight", 512 * h, 0.2));
+    out.push(bp("embeddings.token_type.weight", 2 * h, 0.05));
+    out.push(bp("embeddings.ln.weight", h, 0.05));
+    out.push(bp("embeddings.ln.bias", h, 0.05));
+    for l in 0..12 {
+        let p = format!("encoder.layer.{l}");
+        for name in ["attention.q", "attention.k", "attention.v", "attention.out"] {
+            out.push(bp(format!("{p}.{name}.weight"), h * h, 2.0 * (h * h) as f64));
+            out.push(bp(format!("{p}.{name}.bias"), h, 1.0));
+        }
+        out.push(bp(format!("{p}.attention.ln.weight"), h, 1.0));
+        out.push(bp(format!("{p}.attention.ln.bias"), h, 1.0));
+        out.push(bp(
+            format!("{p}.intermediate.weight"),
+            h * ffn,
+            2.0 * (h * ffn) as f64,
+        ));
+        out.push(bp(format!("{p}.intermediate.bias"), ffn, 1.0));
+        out.push(bp(format!("{p}.output.weight"), ffn * h, 2.0 * (h * ffn) as f64));
+        out.push(bp(format!("{p}.output.bias"), h, 1.0));
+        out.push(bp(format!("{p}.output.ln.weight"), h, 1.0));
+        out.push(bp(format!("{p}.output.ln.bias"), h, 1.0));
+    }
+    // Pooler + prediction-head transform + NSP head + QA span classifier.
+    out.push(bp("pooler.weight", h * h, (h * h) as f64));
+    out.push(bp("pooler.bias", h, 1.0));
+    out.push(bp("cls.transform.weight", h * h, (h * h) as f64));
+    out.push(bp("cls.transform.bias", h, 1.0));
+    out.push(bp("cls.transform.ln.weight", h, 1.0));
+    out.push(bp("cls.transform.ln.bias", h, 1.0));
+    out.push(bp("cls.seq_relationship.weight", h * 2, 1.0));
+    out.push(bp("cls.seq_relationship.bias", 2, 1.0));
+    out.push(bp("qa_outputs.weight", h * 2, 1.0));
+    out.push(bp("qa_outputs.bias", 2, 1.0));
+    out
+}
+
+/// GPT2 (small): token + position embeddings, 12 transformer blocks of 12
+/// tensors, final layer norm — 148 tensors.
+fn gpt2_layers() -> Vec<Blueprint> {
+    let h = 768usize;
+    let mut out = Vec::new();
+    out.push(bp("wte.weight", 50257 * h, 2.0));
+    out.push(bp("wpe.weight", 1024 * h, 0.2));
+    for l in 0..12 {
+        let p = format!("h.{l}");
+        out.push(bp(format!("{p}.ln_1.weight"), h, 1.0));
+        out.push(bp(format!("{p}.ln_1.bias"), h, 1.0));
+        out.push(bp(
+            format!("{p}.attn.c_attn.weight"),
+            h * 3 * h,
+            2.0 * (h * 3 * h) as f64,
+        ));
+        out.push(bp(format!("{p}.attn.c_attn.bias"), 3 * h, 1.0));
+        out.push(bp(format!("{p}.attn.c_proj.weight"), h * h, 2.0 * (h * h) as f64));
+        out.push(bp(format!("{p}.attn.c_proj.bias"), h, 1.0));
+        out.push(bp(format!("{p}.ln_2.weight"), h, 1.0));
+        out.push(bp(format!("{p}.ln_2.bias"), h, 1.0));
+        out.push(bp(
+            format!("{p}.mlp.c_fc.weight"),
+            h * 4 * h,
+            2.0 * (h * 4 * h) as f64,
+        ));
+        out.push(bp(format!("{p}.mlp.c_fc.bias"), 4 * h, 1.0));
+        out.push(bp(
+            format!("{p}.mlp.c_proj.weight"),
+            4 * h * h,
+            2.0 * (h * 4 * h) as f64,
+        ));
+        out.push(bp(format!("{p}.mlp.c_proj.bias"), h, 1.0));
+    }
+    out.push(bp("ln_f.weight", h, 1.0));
+    out.push(bp("ln_f.bias", h, 1.0));
+    out
+}
+
+/// AWD-LSTM-style language model (Merity et al.): a large tied embedding
+/// and three LSTM layers — 10 big tensors, the few-tensor extreme of the
+/// zoo (and the model GC *hurts* on PCIe machines, Table 1).
+fn lstm_layers() -> Vec<Blueprint> {
+    let vocab = 60_000usize;
+    let emb = 600usize;
+    let hidden = 1700usize;
+    let mut out = Vec::new();
+    out.push(bp("embedding.weight", vocab * emb, 2.0 * (vocab * emb) as f64 * 0.05));
+    // (input_size, hidden_size) per layer; last layer projects back to the
+    // embedding size for weight tying.
+    let layers: [(usize, usize); 3] = [(emb, hidden), (hidden, hidden), (hidden, emb)];
+    for (i, &(isz, hsz)) in layers.iter().enumerate() {
+        // Recurrent matmuls run once per token: weight ~ params * seq_len.
+        let seq = 80.0;
+        out.push(bp(
+            format!("lstm{}.weight_ih", i + 1),
+            4 * hsz * isz,
+            seq * (4 * hsz * isz) as f64,
+        ));
+        out.push(bp(
+            format!("lstm{}.weight_hh", i + 1),
+            4 * hsz * hsz,
+            seq * (4 * hsz * hsz) as f64,
+        ));
+        out.push(bp(format!("lstm{}.bias", i + 1), 4 * hsz, 1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_counts_match_table5() {
+        let expected = [
+            (Model::Vgg16, 32),
+            (Model::ResNet101, 314),
+            (Model::Ugatit, 148),
+            (Model::BertBase, 207),
+            (Model::Gpt2, 148),
+            (Model::Lstm, 10),
+        ];
+        for (m, n) in expected {
+            assert_eq!(m.profile().num_tensors(), n, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn model_sizes_match_table4_within_tolerance() {
+        // Paper sizes in MB; we accept +/-10% (the paper's figures round
+        // and depend on framework bookkeeping).
+        let expected_mb = [
+            (Model::Vgg16, 528.0),
+            (Model::ResNet101, 170.0),
+            (Model::Ugatit, 2559.0),
+            (Model::BertBase, 420.0),
+            (Model::Gpt2, 475.0),
+            (Model::Lstm, 328.0),
+        ];
+        for (m, mb) in expected_mb {
+            let actual = m.profile().total_bytes() as f64 / (1024.0 * 1024.0);
+            let rel = (actual - mb).abs() / mb;
+            assert!(
+                rel < 0.10,
+                "{}: expected ~{mb} MB, got {actual:.0} MB",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_sizes_match_table4() {
+        assert_eq!(Model::Vgg16.batch_size(), 32);
+        assert_eq!(Model::Ugatit.batch_size(), 2);
+        assert_eq!(Model::BertBase.batch_size(), 1024);
+        assert_eq!(Model::Lstm.batch_size(), 80);
+    }
+
+    #[test]
+    fn backward_order_puts_head_first() {
+        // VGG16's classifier must be tensor 0; its first conv last.
+        let p = Model::Vgg16.profile();
+        assert!(p.tensors[0].name.starts_with("fc3"));
+        assert!(p.tensors.last().unwrap().name.starts_with("conv1."));
+        // BERT's QA head first, word embeddings last.
+        let b = Model::BertBase.profile();
+        assert!(b.tensors[0].name.starts_with("qa_outputs"));
+        assert!(b.tensors.last().unwrap().name.contains("embeddings.word"));
+    }
+
+    #[test]
+    fn vgg_large_tensors_are_near_the_output() {
+        // The three FC weights dominate the parameters and appear early in
+        // backward order — the structure behind paper Figure 9(c).
+        let p = Model::Vgg16.profile();
+        let mut sized: Vec<(usize, usize)> = p
+            .tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.elems, i))
+            .collect();
+        sized.sort_unstable_by(|a, b| b.cmp(a));
+        let biggest_idx = sized[0].1;
+        assert!(biggest_idx < 6, "fc1.weight should be near the head");
+    }
+
+    #[test]
+    fn bert_has_few_distinct_sizes() {
+        // Figure 11: BERT's tensors cluster on a handful of sizes.
+        let p = Model::BertBase.profile();
+        let hist = p.size_histogram();
+        assert!(hist.len() <= 12, "distinct sizes: {}", hist.len());
+        // The 768x768 projection appears 48 times (+pooler and transform).
+        let count_590k = hist
+            .iter()
+            .find(|&&(s, _)| s == 768 * 768)
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
+        assert!(count_590k >= 48, "590K tensors: {count_590k}");
+    }
+
+    #[test]
+    fn iteration_times_are_calibrated() {
+        for m in Model::ALL {
+            let p = m.profile();
+            let t = p.single_gpu_iter_time();
+            assert!(
+                (t - m.iter_time()).abs() < 1e-9,
+                "{}: {t} vs {}",
+                m.name(),
+                m.iter_time()
+            );
+            assert!((p.forward_time / t - FORWARD_FRACTION).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compute_times_are_positive_and_sum_to_backward() {
+        for m in Model::ALL {
+            let p = m.profile();
+            assert!(p.tensors.iter().all(|t| t.compute_time >= 0.0));
+            let sum: f64 = p.tensors.iter().map(|t| t.compute_time).sum();
+            assert!((sum - p.backward_time()).abs() < 1e-12, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for m in Model::ALL {
+            let p = m.profile();
+            let mut names: Vec<&str> = p.tensors.iter().map(|t| t.name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "{} has duplicate tensor names", m.name());
+        }
+    }
+
+    #[test]
+    fn lstm_is_the_few_large_tensors_extreme() {
+        let p = Model::Lstm.profile();
+        assert_eq!(p.num_tensors(), 10);
+        // Median tensor is > 1M elements.
+        let mut sizes: Vec<usize> = p.tensors.iter().map(|t| t.elems).collect();
+        sizes.sort_unstable();
+        assert!(sizes[5] > 1_000_000);
+    }
+
+    #[test]
+    fn ugatit_is_dominated_by_the_giant_mlp_fcs() {
+        let p = Model::Ugatit.profile();
+        let giant: usize = p
+            .tensors
+            .iter()
+            .filter(|t| t.name.contains("mlp.fc1"))
+            .map(|t| t.elems)
+            .sum();
+        assert!(giant as f64 / p.total_params() as f64 > 0.75);
+    }
+}

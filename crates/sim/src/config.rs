@@ -1,0 +1,65 @@
+//! Simulator configuration.
+
+/// Tunables of the timeline simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Parallel CPU compression slots per worker (the spare-core budget
+    /// BytePS-style systems dedicate to gradient processing).
+    pub cpu_slots: usize,
+    /// Dense-aggregation throughput on the GPU, elements/second.
+    pub gpu_aggregate_rate: f64,
+    /// Dense-aggregation throughput on the CPU pool, elements/second.
+    pub cpu_aggregate_rate: f64,
+    /// Fixed overhead per aggregation kernel, seconds.
+    pub aggregate_overhead: f64,
+    /// Treat compression as free and contention-less: the paper's "Upper
+    /// Bound" baseline ("assuming GC has no compression time and has no
+    /// impact on tensor computation").
+    pub zero_compression_cost: bool,
+    /// Minimum gap between consecutive collectives on a channel to count
+    /// as a communication bubble (Property #1), seconds.
+    pub bubble_epsilon: f64,
+    /// BytePS-style tensor partitioning: dense payloads are split into
+    /// pieces of at most this many bytes, and consecutive dense phases of
+    /// a tensor pipeline piece-wise (piece `p` of the next phase starts as
+    /// soon as piece `p` of the previous phase lands). Compression ops are
+    /// barriers: a whole tensor must be present to compress, and
+    /// compressed blobs travel unpartitioned. Matches BytePS's default
+    /// `BYTEPS_PARTITION_BYTES`.
+    pub partition_bytes: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cpu_slots: 4,
+            gpu_aggregate_rate: 30e9,
+            cpu_aggregate_rate: 3e9,
+            aggregate_overhead: 8e-6,
+            zero_compression_cost: false,
+            bubble_epsilon: 200e-6,
+            partition_bytes: 4e6,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The Upper Bound configuration (section 5.1's definition).
+    pub fn upper_bound() -> Self {
+        Self {
+            zero_compression_cost: true,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_charges_compression() {
+        assert!(!SimConfig::default().zero_compression_cost);
+        assert!(SimConfig::upper_bound().zero_compression_cost);
+    }
+}

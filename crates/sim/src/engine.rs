@@ -1,0 +1,459 @@
+//! The discrete-event scheduling engine.
+//!
+//! Non-preemptive FIFO service on every resource: a task enters its
+//! resource's queue the moment its predecessor finishes, and queued tasks
+//! start in arrival order (ties broken by task construction order, which
+//! places a tensor's compression ahead of the next tensor's computation —
+//! the stream behaviour of Figure 2(b)/(c)).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use espresso_strategy::Strategy;
+
+use crate::{
+    config::SimConfig,
+    job::Job,
+    result::{SimResult, Span, TaskRecord},
+    task::{build_tasks, Resource, Task},
+};
+
+/// Total-ordered f64 for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Simulates one training iteration of `job` under `strategy`.
+///
+/// Returns the full timeline; `result.iteration_time` is the `F(S)` the
+/// decision algorithm minimizes. For search loops that evaluate thousands
+/// of strategies against one job, use [`Simulator`], which caches compiled
+/// stages per (option, tensor size).
+///
+/// # Examples
+///
+/// ```
+/// use espresso_cluster::{Cluster, CommPattern};
+/// use espresso_gc::GcAlgorithm;
+/// use espresso_models::Model;
+/// use espresso_sim::{simulate, Job, SimConfig};
+/// use espresso_strategy::Strategy;
+///
+/// let job = Job::new(
+///     Model::Lstm.profile(),
+///     Cluster::pcie_25g(8, 8),
+///     GcAlgorithm::dgc_1pct(),
+/// );
+/// let fp32 = Strategy::uncompressed(job.num_tensors(), CommPattern::Hierarchical, &job.cluster);
+/// let result = simulate(&job, &fp32, &SimConfig::default());
+/// // Communication makes the iteration slower than a single GPU's.
+/// assert!(result.iteration_time > job.model.single_gpu_iter_time());
+/// ```
+pub fn simulate(job: &Job, strategy: &Strategy, config: &SimConfig) -> SimResult {
+    let tasks = build_tasks(job, strategy, config);
+    finish(job, tasks, config)
+}
+
+fn finish(job: &Job, tasks: Vec<crate::task::Task>, config: &SimConfig) -> SimResult {
+    let spans = run(&tasks, config);
+    let records = tasks
+        .iter()
+        .zip(&spans)
+        .map(|(t, s)| TaskRecord {
+            tensor: t.tensor,
+            kind: t.kind,
+            resource: t.resource,
+            span: *s,
+        })
+        .collect();
+    SimResult::new(job.model.forward_time, records, *config)
+}
+
+/// A reusable simulator for one job: caches the compiled stage lists per
+/// `(compression option, tensor size)` so that strategy-search loops
+/// (Algorithms 1 and 2, brute force) skip re-annotating options and
+/// re-evaluating timing models on every candidate.
+pub struct Simulator {
+    job: Job,
+    config: SimConfig,
+    cache: std::cell::RefCell<
+        std::collections::HashMap<
+            (espresso_strategy::CompressionOption, usize),
+            std::rc::Rc<Vec<crate::task::Stage>>,
+        >,
+    >,
+}
+
+impl Simulator {
+    /// Builds a simulator for `job`.
+    pub fn new(job: Job, config: SimConfig) -> Self {
+        Self {
+            job,
+            config,
+            cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The job being simulated.
+    pub fn job(&self) -> &Job {
+        &self.job
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn tasks(&self, strategy: &Strategy) -> Vec<crate::task::Task> {
+        assert_eq!(
+            strategy.len(),
+            self.job.num_tensors(),
+            "strategy covers {} tensors, model has {}",
+            strategy.len(),
+            self.job.num_tensors()
+        );
+        let mut tasks = Vec::with_capacity(self.job.num_tensors() * 8);
+        let mut prev_compute: Option<usize> = None;
+        let mut cache = self.cache.borrow_mut();
+        for (i, tensor) in self.job.model.tensors.iter().enumerate() {
+            let option = strategy.option(i);
+            let key = ((**option).clone(), tensor.elems);
+            let stages = cache
+                .entry(key)
+                .or_insert_with(|| {
+                    std::rc::Rc::new(crate::task::build_stages(
+                        &self.job,
+                        option,
+                        tensor.elems,
+                        &self.config,
+                    ))
+                })
+                .clone();
+            let compute_idx = crate::task::push_tensor_tasks(
+                &mut tasks,
+                i,
+                tensor.compute_time,
+                &stages,
+                prev_compute,
+            );
+            prev_compute = Some(compute_idx);
+        }
+        tasks
+    }
+
+    /// Full-timeline simulation (cached stage compilation).
+    pub fn simulate(&self, strategy: &Strategy) -> SimResult {
+        finish(&self.job, self.tasks(strategy), &self.config)
+    }
+
+    /// Fast path returning only `F(S)` — skips timeline record assembly.
+    pub fn iteration_time(&self, strategy: &Strategy) -> f64 {
+        let tasks = self.tasks(strategy);
+        let spans = run(&tasks, &self.config);
+        let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+        self.job.model.forward_time + makespan
+    }
+}
+
+/// Core event loop: assigns a start/end span to every task.
+fn run(tasks: &[Task], config: &SimConfig) -> Vec<Span> {
+    let n = tasks.len();
+    // Successor lists (chains, barriers, and the compute sequence are all
+    // `preds` edges).
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree: Vec<usize> = vec![0; n];
+    for (i, t) in tasks.iter().enumerate() {
+        for &p in &t.preds {
+            succs[p].push(i);
+            indegree[i] += 1;
+        }
+    }
+    // Resource servers: GPU and channels are single-server; the CPU pool
+    // has `cpu_slots` servers.
+    let mut servers = ResourcePool::new(config.cpu_slots.max(1));
+
+    let mut spans = vec![
+        Span {
+            start: f64::NAN,
+            end: f64::NAN,
+        };
+        n
+    ];
+    // Event heap: (time, seq, event). Ready events enqueue tasks; finish
+    // events release servers. `seq` makes simultaneous events
+    // deterministic in creation order.
+    let mut heap: BinaryHeap<Reverse<(Time, u64, Event)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<Reverse<(Time, u64, Event)>>, t: f64, e: Event| {
+        heap.push(Reverse((Time(t), seq, e)));
+        seq += 1;
+    };
+
+    // Roots (tasks with no predecessor) are ready at t = 0. Push in index
+    // order so the first compute task heads the GPU queue.
+    for (i, t) in tasks.iter().enumerate() {
+        if t.preds.is_empty() {
+            debug_assert!(matches!(t.resource, Resource::Gpu));
+            push(&mut heap, 0.0, Event::Ready(i));
+        }
+    }
+
+    while let Some(Reverse((Time(now), _, event))) = heap.pop() {
+        match event {
+            Event::Ready(i) => {
+                let res = tasks[i].resource;
+                servers.enqueue(res, i);
+                if let Some((task, start)) = servers.try_start(res, now) {
+                    let end = start + tasks[task].duration;
+                    spans[task] = Span { start, end };
+                    push(&mut heap, end, Event::Finish(task));
+                }
+            }
+            Event::Finish(i) => {
+                let res = tasks[i].resource;
+                servers.release(res, now);
+                for &s in &succs[i] {
+                    indegree[s] -= 1;
+                    if indegree[s] == 0 {
+                        push(&mut heap, now, Event::Ready(s));
+                    }
+                }
+                if let Some((task, start)) = servers.try_start(res, now) {
+                    let end = start + tasks[task].duration;
+                    spans[task] = Span { start, end };
+                    push(&mut heap, end, Event::Finish(task));
+                }
+            }
+        }
+    }
+    debug_assert!(
+        spans.iter().all(|s| s.start.is_finite()),
+        "unscheduled tasks remain (dependency cycle?)"
+    );
+    spans
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Ready(usize),
+    Finish(usize),
+}
+
+/// FIFO multi-server resources.
+struct ResourcePool {
+    gpu_busy: usize,
+    cpu_busy: usize,
+    cpu_slots: usize,
+    intra_busy: usize,
+    inter_busy: usize,
+    queues: [VecDeque<usize>; 4],
+}
+
+impl ResourcePool {
+    fn new(cpu_slots: usize) -> Self {
+        Self {
+            gpu_busy: 0,
+            cpu_busy: 0,
+            cpu_slots,
+            intra_busy: 0,
+            inter_busy: 0,
+            queues: [
+                VecDeque::new(),
+                VecDeque::new(),
+                VecDeque::new(),
+                VecDeque::new(),
+            ],
+        }
+    }
+
+    fn idx(res: Resource) -> usize {
+        match res {
+            Resource::Gpu => 0,
+            Resource::Cpu => 1,
+            Resource::IntraChannel => 2,
+            Resource::InterChannel => 3,
+        }
+    }
+
+    fn capacity(&self, res: Resource) -> usize {
+        match res {
+            Resource::Cpu => self.cpu_slots,
+            _ => 1,
+        }
+    }
+
+    fn busy(&mut self, res: Resource) -> &mut usize {
+        match res {
+            Resource::Gpu => &mut self.gpu_busy,
+            Resource::Cpu => &mut self.cpu_busy,
+            Resource::IntraChannel => &mut self.intra_busy,
+            Resource::InterChannel => &mut self.inter_busy,
+        }
+    }
+
+    fn enqueue(&mut self, res: Resource, task: usize) {
+        self.queues[Self::idx(res)].push_back(task);
+    }
+
+    /// Starts the next queued task if a server is free; returns it with
+    /// its start time.
+    fn try_start(&mut self, res: Resource, now: f64) -> Option<(usize, f64)> {
+        let cap = self.capacity(res);
+        if *self.busy(res) >= cap {
+            return None;
+        }
+        let task = self.queues[Self::idx(res)].pop_front()?;
+        *self.busy(res) += 1;
+        Some((task, now))
+    }
+
+    fn release(&mut self, res: Resource, _now: f64) {
+        let busy = self.busy(res);
+        debug_assert!(*busy > 0, "releasing an idle resource");
+        *busy -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_cluster::{CommPattern, Cluster};
+    use espresso_gc::GcAlgorithm;
+    use espresso_models::Model;
+    use espresso_strategy::OptionSpace;
+
+    fn job() -> Job {
+        Job::new(
+            Model::Lstm.profile(),
+            Cluster::nvlink_100g(8, 8),
+            GcAlgorithm::dgc_1pct(),
+        )
+    }
+
+    #[test]
+    fn fp32_iteration_exceeds_compute_time() {
+        let j = job();
+        let s = Strategy::uncompressed(j.num_tensors(), CommPattern::Hierarchical, &j.cluster);
+        let r = simulate(&j, &s, &SimConfig::default());
+        assert!(r.iteration_time > j.model.single_gpu_iter_time());
+        assert!(r.iteration_time.is_finite());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let j = job();
+        let s = Strategy::uncompressed(j.num_tensors(), CommPattern::Hierarchical, &j.cluster);
+        let a = simulate(&j, &s, &SimConfig::default());
+        let b = simulate(&j, &s, &SimConfig::default());
+        assert_eq!(a.iteration_time, b.iteration_time);
+        assert_eq!(a.tasks.len(), b.tasks.len());
+    }
+
+    #[test]
+    fn channels_never_overlap_two_collectives() {
+        let j = job();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let s = Strategy::uniform(j.num_tensors(), space.gpu_compressed()[0].clone());
+        let r = simulate(&j, &s, &SimConfig::default());
+        for res in [Resource::InterChannel, Resource::IntraChannel, Resource::Gpu] {
+            let mut spans: Vec<Span> = r
+                .tasks
+                .iter()
+                .filter(|t| t.resource == res)
+                .map(|t| t.span)
+                .collect();
+            spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for w in spans.windows(2) {
+                assert!(
+                    w[1].start >= w[0].end - 1e-12,
+                    "{res:?} overlap: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_chains_are_ordered() {
+        let j = job();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let s = Strategy::uniform(j.num_tensors(), space.gpu_compressed()[3].clone());
+        let r = simulate(&j, &s, &SimConfig::default());
+        for tensor in 0..j.num_tensors() {
+            let chain: Vec<&TaskRecord> =
+                r.tasks.iter().filter(|t| t.tensor == tensor).collect();
+            for w in chain.windows(2) {
+                assert!(w[1].span.start >= w[0].span.end - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_at_least_as_fast() {
+        let j = job();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let s = Strategy::uniform(j.num_tensors(), space.gpu_compressed()[0].clone());
+        let real = simulate(&j, &s, &SimConfig::default());
+        let ub = simulate(&j, &s, &SimConfig::upper_bound());
+        assert!(ub.iteration_time <= real.iteration_time + 1e-12);
+    }
+
+    #[test]
+    fn compression_contends_with_compute_on_gpu() {
+        // GPU compression must delay the backward pass: the makespan of
+        // compute tasks grows versus the uncompressed run.
+        let j = job();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let plain = Strategy::uncompressed(j.num_tensors(), CommPattern::Hierarchical, &j.cluster);
+        let gpu_opt = space.gpu_compressed()[0].clone();
+        let compressed = Strategy::uniform(j.num_tensors(), gpu_opt);
+        let r_plain = simulate(&j, &plain, &SimConfig::default());
+        let r_comp = simulate(&j, &compressed, &SimConfig::default());
+        let compute_end = |r: &SimResult| {
+            r.tasks
+                .iter()
+                .filter(|t| t.kind == crate::task::TaskKind::Compute)
+                .map(|t| t.span.end)
+                .fold(0.0f64, f64::max)
+        };
+        assert!(compute_end(&r_comp) > compute_end(&r_plain));
+    }
+
+    #[test]
+    fn cpu_compression_does_not_delay_compute() {
+        let j = job();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let cpu_opt = space
+            .compressed()
+            .into_iter()
+            .find(|o| !o.gpu_only())
+            .unwrap()
+            .with_device(espresso_gc::Device::Cpu);
+        let plain = Strategy::uncompressed(j.num_tensors(), CommPattern::Hierarchical, &j.cluster);
+        let compressed = Strategy::uniform(j.num_tensors(), cpu_opt);
+        let compute_end = |r: &SimResult| {
+            r.tasks
+                .iter()
+                .filter(|t| t.kind == crate::task::TaskKind::Compute)
+                .map(|t| t.span.end)
+                .fold(0.0f64, f64::max)
+        };
+        let r_plain = simulate(&j, &plain, &SimConfig::default());
+        let r_comp = simulate(&j, &compressed, &SimConfig::default());
+        assert!((compute_end(&r_comp) - compute_end(&r_plain)).abs() < 1e-9);
+    }
+}

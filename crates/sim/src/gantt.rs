@@ -1,0 +1,128 @@
+//! ASCII Gantt rendering of simulated timelines.
+//!
+//! Renders one lane per resource — the visual language of the paper's
+//! Figures 2, 5, and 9 — so examples and debugging sessions can *see*
+//! overlap, contention, and bubbles.
+
+use crate::{
+    result::SimResult,
+    task::{Resource, TaskKind},
+};
+
+/// Per-resource lanes: GPU, CPU pool, intra channel, inter channel.
+const LANES: [(Resource, &str); 4] = [
+    (Resource::Gpu, "GPU    "),
+    (Resource::Cpu, "CPU    "),
+    (Resource::IntraChannel, "intra  "),
+    (Resource::InterChannel, "inter  "),
+];
+
+/// Glyph for a task kind.
+fn glyph(kind: TaskKind) -> char {
+    match kind {
+        TaskKind::Compute => '#',
+        TaskKind::Compress(_) => 'c',
+        TaskKind::Decompress(_) => 'd',
+        TaskKind::Aggregate(_) => 'a',
+        TaskKind::Staging => 's',
+        TaskKind::Comm(..) => '=',
+    }
+}
+
+/// Renders the timeline as `width`-column lanes.
+///
+/// Each cell covers `makespan / width` seconds; the glyph is taken from
+/// the task kind occupying the cell's midpoint (first match wins on
+/// multi-server resources). `.` marks idle time.
+pub fn render(result: &SimResult, width: usize) -> String {
+    assert!(width >= 10, "gantt width too small");
+    let span = result.makespan.max(1e-12);
+    let cell = span / width as f64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "0 ms {:\u{2500}<width$} {:.2} ms\n",
+        "",
+        result.makespan * 1e3,
+        width = width.saturating_sub(4)
+    ));
+    for (res, label) in LANES {
+        let tasks: Vec<_> = result
+            .tasks
+            .iter()
+            .filter(|t| t.resource == res && !t.span.is_empty())
+            .collect();
+        if tasks.is_empty() {
+            continue;
+        }
+        let mut lane = vec!['.'; width];
+        for (i, slot) in lane.iter_mut().enumerate() {
+            let t_mid = (i as f64 + 0.5) * cell;
+            if let Some(task) = tasks
+                .iter()
+                .find(|t| t.span.start <= t_mid && t_mid < t.span.end)
+            {
+                *slot = glyph(task.kind);
+            }
+        }
+        out.push_str(label);
+        out.extend(lane);
+        out.push('\n');
+    }
+    out.push_str("legend: # compute  c compress  d decompress  a aggregate  s staging  = comm  . idle\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{config::SimConfig, engine::simulate, job::Job};
+    use espresso_cluster::{CommPattern, Cluster};
+    use espresso_gc::GcAlgorithm;
+    use espresso_models::Model;
+    use espresso_strategy::Strategy;
+
+    fn result() -> SimResult {
+        let job = Job::new(
+            Model::Lstm.profile(),
+            Cluster::nvlink_100g(4, 4),
+            GcAlgorithm::EfSignSgd,
+        );
+        let s = Strategy::uncompressed(job.num_tensors(), CommPattern::Hierarchical, &job.cluster);
+        simulate(&job, &s, &SimConfig::default())
+    }
+
+    #[test]
+    fn lanes_have_exact_width() {
+        let r = result();
+        let g = render(&r, 60);
+        for line in g.lines().filter(|l| l.starts_with("GPU") || l.starts_with("intra")) {
+            assert_eq!(line.chars().count(), 7 + 60, "{line}");
+        }
+    }
+
+    #[test]
+    fn gpu_lane_starts_busy_and_channels_exist() {
+        let r = result();
+        let g = render(&r, 60);
+        let gpu = g.lines().find(|l| l.starts_with("GPU")).unwrap();
+        assert_eq!(gpu.chars().nth(7), Some('#'), "{gpu}");
+        assert!(g.lines().any(|l| l.starts_with("intra")));
+        assert!(g.lines().any(|l| l.starts_with("inter")));
+    }
+
+    #[test]
+    fn uncompressed_run_has_no_compression_glyphs() {
+        let r = result();
+        let g = render(&r, 80);
+        for line in g.lines().filter(|l| !l.starts_with("legend")) {
+            assert!(!line.contains('c') || line.starts_with("legend"), "{line}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width too small")]
+    fn tiny_width_rejected() {
+        let r = result();
+        let _ = render(&r, 2);
+    }
+}

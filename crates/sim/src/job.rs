@@ -1,0 +1,81 @@
+//! A training job: the bundle of the three configuration inputs of the
+//! paper's Figure 6 (model information, GC information, system
+//! information).
+
+use espresso_cluster::Cluster;
+use espresso_gc::{GcAlgorithm, TimingModel};
+use espresso_models::ModelProfile;
+
+/// One distributed training job to simulate or optimize.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The model information: tensor sizes and computation times.
+    pub model: ModelProfile,
+    /// The system information: machines, GPUs, links.
+    pub cluster: Cluster,
+    /// The GC information: algorithm and ratio.
+    pub algo: GcAlgorithm,
+}
+
+impl Job {
+    /// Bundles a job.
+    pub fn new(model: ModelProfile, cluster: Cluster, algo: GcAlgorithm) -> Self {
+        Self {
+            model,
+            cluster,
+            algo,
+        }
+    }
+
+    /// The calibrated compression timing model for this job's algorithm.
+    pub fn timing(&self) -> TimingModel {
+        TimingModel::for_algorithm(self.algo)
+    }
+
+    /// Number of tensors in the model.
+    pub fn num_tensors(&self) -> usize {
+        self.model.num_tensors()
+    }
+
+    /// Training throughput (samples/second per GPU times total GPUs) for a
+    /// given iteration time — the paper's performance metric (images/s or
+    /// tokens/s), aggregated over the job.
+    pub fn throughput(&self, iteration_time: f64) -> f64 {
+        assert!(iteration_time > 0.0, "non-positive iteration time");
+        self.model.batch_size as f64 * self.cluster.total_gpus() as f64 / iteration_time
+    }
+
+    /// The paper's scaling factor `T_n / (n * T)`: job throughput over
+    /// `n` times the single-GPU throughput.
+    pub fn scaling_factor(&self, iteration_time: f64) -> f64 {
+        self.throughput(iteration_time)
+            / (self.cluster.total_gpus() as f64 * self.model.single_gpu_throughput())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_models::Model;
+
+    #[test]
+    fn scaling_factor_is_one_at_single_gpu_speed() {
+        let job = Job::new(
+            Model::Gpt2.profile(),
+            Cluster::nvlink_100g(8, 8),
+            GcAlgorithm::EfSignSgd,
+        );
+        let t = job.model.single_gpu_iter_time();
+        assert!((job.scaling_factor(t) - 1.0).abs() < 1e-9);
+        // Twice the iteration time halves the scaling factor.
+        assert!((job.scaling_factor(2.0 * t) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_scales_with_gpus() {
+        let m = Model::Vgg16.profile();
+        let a = Job::new(m.clone(), Cluster::nvlink_100g(1, 8), GcAlgorithm::EfSignSgd);
+        let b = Job::new(m, Cluster::nvlink_100g(8, 8), GcAlgorithm::EfSignSgd);
+        assert!((b.throughput(0.1) / a.throughput(0.1) - 8.0).abs() < 1e-9);
+    }
+}

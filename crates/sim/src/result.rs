@@ -1,0 +1,469 @@
+//! Simulation results and the timeline analyses the decision algorithm
+//! consumes: communication bubbles (Property #1) and the `o_comm` /
+//! `o_comp` overheads (the section 3 definitions).
+
+use crate::{
+    config::SimConfig,
+    task::{Resource, TaskKind},
+};
+
+/// A half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+impl Span {
+    /// Interval length.
+    pub fn len(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    /// Whether the span has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0.0
+    }
+}
+
+/// One scheduled task with its placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRecord {
+    /// Owning tensor index.
+    pub tensor: usize,
+    /// What the task did.
+    pub kind: TaskKind,
+    /// Where it ran.
+    pub resource: Resource,
+    /// When it ran.
+    pub span: Span,
+}
+
+/// A communication bubble: a gap between consecutive collectives on a
+/// channel (paper Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bubble {
+    /// The channel the bubble appears on.
+    pub channel: Resource,
+    /// Gap start (end of the earlier collective).
+    pub start: f64,
+    /// Gap end (start of the later collective).
+    pub end: f64,
+}
+
+/// The complete outcome of simulating one training iteration.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Forward-pass time preceding the simulated backward window.
+    pub forward_time: f64,
+    /// Time from backward start until the last task completes.
+    pub makespan: f64,
+    /// Full iteration time `F(S)` = forward + makespan.
+    pub iteration_time: f64,
+    /// Every scheduled task.
+    pub tasks: Vec<TaskRecord>,
+    config: SimConfig,
+}
+
+impl SimResult {
+    pub(crate) fn new(forward_time: f64, tasks: Vec<TaskRecord>, config: SimConfig) -> Self {
+        let makespan = tasks.iter().map(|t| t.span.end).fold(0.0f64, f64::max);
+        Self {
+            forward_time,
+            makespan,
+            iteration_time: forward_time + makespan,
+            tasks,
+            config,
+        }
+    }
+
+    /// Spans of all tasks on `resource`, sorted by start time.
+    pub fn resource_spans(&self, resource: Resource) -> Vec<Span> {
+        let mut spans: Vec<Span> = self
+            .tasks
+            .iter()
+            .filter(|t| t.resource == resource && !t.span.is_empty())
+            .map(|t| t.span)
+            .collect();
+        spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+        spans
+    }
+
+    /// Total busy time of a resource.
+    pub fn busy_time(&self, resource: Resource) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.resource == resource)
+            .map(|t| t.span.len())
+            .sum()
+    }
+
+    /// The busier of the two communication channels — where bubble
+    /// analysis is meaningful.
+    pub fn bottleneck_channel(&self) -> Resource {
+        if self.busy_time(Resource::InterChannel) >= self.busy_time(Resource::IntraChannel) {
+            Resource::InterChannel
+        } else {
+            Resource::IntraChannel
+        }
+    }
+
+    /// Communication bubbles on `channel`: gaps longer than the configured
+    /// epsilon between consecutive collectives, where the collective
+    /// *ending* the gap was waiting for its tensor's backward computation
+    /// (the paper's Figure 9 definition: "T1 is not ready for
+    /// communication when T0's communication completes").
+    ///
+    /// Gaps caused by a tensor's own chain (e.g. a recompression between
+    /// two phases) are *not* bubbles: the post-gap work is downstream of
+    /// the channel itself, so compressing earlier tensors still pulls it
+    /// earlier — Property #1's no-benefit argument does not apply.
+    pub fn bubbles(&self, channel: Resource) -> Vec<Bubble> {
+        let mut ops: Vec<&TaskRecord> = self
+            .tasks
+            .iter()
+            .filter(|t| t.resource == channel && !t.span.is_empty())
+            .collect();
+        ops.sort_by(|a, b| a.span.start.total_cmp(&b.span.start));
+        // End of each tensor's backward computation.
+        let compute_end = |tensor: usize| -> f64 {
+            self.tasks
+                .iter()
+                .filter(|t| t.tensor == tensor && t.kind == TaskKind::Compute)
+                .map(|t| t.span.end)
+                .fold(0.0f64, f64::max)
+        };
+        let mut out = Vec::new();
+        for w in ops.windows(2) {
+            let gap_start = w[0].span.end;
+            let gap_end = w[1].span.start;
+            if gap_end - gap_start <= self.config.bubble_epsilon {
+                continue;
+            }
+            // Compute-gated: the follower's gradient was produced at (or
+            // after) the moment the channel went idle.
+            if compute_end(w[1].tensor) >= gap_start - 1e-9 {
+                out.push(Bubble {
+                    channel,
+                    start: gap_start,
+                    end: gap_end,
+                });
+            }
+        }
+        out
+    }
+
+    /// Tensors "communicated before bubbles" on the bottleneck channel —
+    /// the set Property #1 rules out for compression: shrinking their
+    /// communication only widens a gap, it cannot pull later work earlier.
+    pub fn tensors_before_bubbles(&self) -> Vec<usize> {
+        let channel = self.bottleneck_channel();
+        let bubbles = self.bubbles(channel);
+        let Some(last_bubble_start) =
+            bubbles.iter().map(|b| b.start).fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            })
+        else {
+            return Vec::new();
+        };
+        let eps = 1e-9;
+        let mut out: Vec<usize> = self
+            .tasks
+            .iter()
+            .filter(|t| {
+                t.resource == channel && t.kind.is_comm() && t.span.end <= last_bubble_start + eps
+            })
+            .map(|t| t.tensor)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        // A tensor is only "before the bubble" if *all* its traffic on the
+        // channel is; drop tensors with later collectives too.
+        out.retain(|&tensor| {
+            self.tasks
+                .iter()
+                .filter(|t| t.resource == channel && t.kind.is_comm() && t.tensor == tensor)
+                .all(|t| t.span.end <= last_bubble_start + eps)
+        });
+        out
+    }
+
+    /// Union of all backward-computation intervals.
+    fn compute_union(&self) -> Vec<Span> {
+        union(
+            self.tasks
+                .iter()
+                .filter(|t| t.kind == TaskKind::Compute)
+                .map(|t| t.span),
+        )
+    }
+
+    /// Union of all communication intervals (both channels).
+    fn comm_union(&self) -> Vec<Span> {
+        union(
+            self.tasks
+                .iter()
+                .filter(|t| t.kind.is_comm())
+                .map(|t| t.span),
+        )
+    }
+
+    /// Communication overhead `o_comm` of one tensor: its communication
+    /// time that overlaps no tensor computation (section 3).
+    pub fn comm_overhead(&self, tensor: usize) -> f64 {
+        let compute = self.compute_union();
+        self.tasks
+            .iter()
+            .filter(|t| t.tensor == tensor && t.kind.is_comm())
+            .map(|t| t.span.len() - overlap(t.span, &compute))
+            .sum()
+    }
+
+    /// Compression overhead `o_comp` of one tensor: its compression-work
+    /// time that overlaps neither computation nor communication of any
+    /// tensor (section 3).
+    pub fn comp_overhead(&self, tensor: usize) -> f64 {
+        let cover = union_of(self.compute_union(), self.comm_union());
+        self.tasks
+            .iter()
+            .filter(|t| t.tensor == tensor && t.kind.is_compression_work())
+            .map(|t| t.span.len() - overlap(t.span, &cover))
+            .sum()
+    }
+
+    /// Aggregate communication overhead across all tensors.
+    pub fn total_comm_overhead(&self) -> f64 {
+        let compute = self.compute_union();
+        self.tasks
+            .iter()
+            .filter(|t| t.kind.is_comm())
+            .map(|t| t.span.len() - overlap(t.span, &compute))
+            .sum()
+    }
+
+    /// Aggregate compression overhead across all tensors.
+    pub fn total_comp_overhead(&self) -> f64 {
+        let cover = union_of(self.compute_union(), self.comm_union());
+        self.tasks
+            .iter()
+            .filter(|t| t.kind.is_compression_work())
+            .map(|t| t.span.len() - overlap(t.span, &cover))
+            .sum()
+    }
+
+    /// Busy fraction of `resource` over the backward window — the
+    /// utilization summary behind capacity questions ("is the inter
+    /// channel saturated?").
+    pub fn utilization(&self, resource: Resource) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        // Multi-server resources (the CPU pool) can exceed 1.0 busy-time
+        // per wall-second; report per-wall-clock so saturation reads as
+        // slots-used-on-average.
+        self.busy_time(resource) / self.makespan
+    }
+
+    /// All tasks belonging to `tensor`, in start order.
+    pub fn tensor_timeline(&self, tensor: usize) -> Vec<TaskRecord> {
+        let mut out: Vec<TaskRecord> = self
+            .tasks
+            .iter()
+            .filter(|t| t.tensor == tensor)
+            .copied()
+            .collect();
+        out.sort_by(|a, b| a.span.start.total_cmp(&b.span.start));
+        out
+    }
+
+    /// Renders a compact textual timeline (for examples and debugging).
+    pub fn render(&self, max_tensors: usize) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "iteration = {:.3} ms (forward {:.3} ms + backward window {:.3} ms)\n",
+            self.iteration_time * 1e3,
+            self.forward_time * 1e3,
+            self.makespan * 1e3
+        ));
+        for tensor in 0..max_tensors {
+            let tl = self.tensor_timeline(tensor);
+            if tl.is_empty() {
+                break;
+            }
+            s.push_str(&format!("T{tensor}:"));
+            for t in tl {
+                s.push_str(&format!(
+                    " {:?}[{:.2}-{:.2}ms]",
+                    t.kind,
+                    t.span.start * 1e3,
+                    t.span.end * 1e3
+                ));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Merges spans into a sorted disjoint union.
+fn union(spans: impl Iterator<Item = Span>) -> Vec<Span> {
+    let mut v: Vec<Span> = spans.filter(|s| !s.is_empty()).collect();
+    v.sort_by(|a, b| a.start.total_cmp(&b.start));
+    let mut out: Vec<Span> = Vec::with_capacity(v.len());
+    for s in v {
+        match out.last_mut() {
+            Some(last) if s.start <= last.end => {
+                last.end = last.end.max(s.end);
+            }
+            _ => out.push(s),
+        }
+    }
+    out
+}
+
+/// Union of two already-merged span lists.
+fn union_of(a: Vec<Span>, b: Vec<Span>) -> Vec<Span> {
+    union(a.into_iter().chain(b))
+}
+
+/// Length of `span`'s intersection with a merged span list.
+fn overlap(span: Span, cover: &[Span]) -> f64 {
+    let mut total = 0.0;
+    for c in cover {
+        if c.end <= span.start {
+            continue;
+        }
+        if c.start >= span.end {
+            break;
+        }
+        total += (c.end.min(span.end) - c.start.max(span.start)).max(0.0);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(start: f64, end: f64) -> Span {
+        Span { start, end }
+    }
+
+    #[test]
+    fn union_merges_overlaps() {
+        let u = union(vec![span(0.0, 1.0), span(0.5, 2.0), span(3.0, 4.0)].into_iter());
+        assert_eq!(u, vec![span(0.0, 2.0), span(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn overlap_measures_intersection() {
+        let cover = vec![span(0.0, 2.0), span(3.0, 4.0)];
+        assert!((overlap(span(1.0, 3.5), &cover) - 1.5).abs() < 1e-12);
+        assert_eq!(overlap(span(5.0, 6.0), &cover), 0.0);
+        assert!((overlap(span(-1.0, 10.0), &cover) - 3.0).abs() < 1e-12);
+    }
+
+    fn record(tensor: usize, kind: TaskKind, resource: Resource, start: f64, end: f64) -> TaskRecord {
+        TaskRecord {
+            tensor,
+            kind,
+            resource,
+            span: span(start, end),
+        }
+    }
+
+    fn comm(tensor: usize, start: f64, end: f64) -> TaskRecord {
+        record(
+            tensor,
+            TaskKind::Comm(
+                espresso_cluster::CommScope::Flat,
+                espresso_cluster::Routine::Allreduce,
+            ),
+            Resource::InterChannel,
+            start,
+            end,
+        )
+    }
+
+    #[test]
+    fn bubbles_and_rule_out() {
+        // T0 comm [1,2], bubble [2,4], T1 comm [4,5]: T0 is before the
+        // bubble, T1 is not (it is the last communication).
+        let tasks = vec![
+            record(0, TaskKind::Compute, Resource::Gpu, 0.0, 1.0),
+            record(1, TaskKind::Compute, Resource::Gpu, 1.0, 4.0),
+            comm(0, 1.0, 2.0),
+            comm(1, 4.0, 5.0),
+        ];
+        let r = SimResult::new(0.0, tasks, SimConfig::default());
+        let bubbles = r.bubbles(Resource::InterChannel);
+        assert_eq!(bubbles.len(), 1);
+        assert!((bubbles[0].start - 2.0).abs() < 1e-12);
+        assert_eq!(r.tensors_before_bubbles(), vec![0]);
+    }
+
+    #[test]
+    fn no_bubble_means_no_rule_out() {
+        let tasks = vec![
+            record(0, TaskKind::Compute, Resource::Gpu, 0.0, 1.0),
+            comm(0, 1.0, 2.0),
+            comm(1, 2.0, 3.0),
+        ];
+        let r = SimResult::new(0.0, tasks, SimConfig::default());
+        assert!(r.bubbles(Resource::InterChannel).is_empty());
+        assert!(r.tensors_before_bubbles().is_empty());
+    }
+
+    #[test]
+    fn comm_overhead_subtracts_compute_overlap() {
+        // Comm [1,3] overlaps compute [0,2] for 1s: o_comm = 1.
+        let tasks = vec![
+            record(0, TaskKind::Compute, Resource::Gpu, 0.0, 2.0),
+            comm(0, 1.0, 3.0),
+        ];
+        let r = SimResult::new(0.0, tasks, SimConfig::default());
+        assert!((r.comm_overhead(0) - 1.0).abs() < 1e-12);
+        assert!((r.total_comm_overhead() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comp_overhead_subtracts_compute_and_comm() {
+        // Compression [2,5]: compute covers [0,3], comm covers [4,6] ->
+        // exposed [3,4] = 1s.
+        let tasks = vec![
+            record(0, TaskKind::Compute, Resource::Gpu, 0.0, 3.0),
+            record(
+                0,
+                TaskKind::Compress(espresso_gc::Device::Gpu),
+                Resource::Gpu,
+                2.0,
+                5.0,
+            ),
+            comm(0, 4.0, 6.0),
+        ];
+        let r = SimResult::new(0.0, tasks, SimConfig::default());
+        assert!((r.comp_overhead(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_makespan() {
+        let tasks = vec![
+            record(0, TaskKind::Compute, Resource::Gpu, 0.0, 2.0),
+            comm(0, 2.0, 4.0),
+        ];
+        let r = SimResult::new(0.0, tasks, SimConfig::default());
+        assert!((r.utilization(Resource::Gpu) - 0.5).abs() < 1e-12);
+        assert!((r.utilization(Resource::InterChannel) - 0.5).abs() < 1e-12);
+        assert_eq!(r.utilization(Resource::Cpu), 0.0);
+    }
+
+    #[test]
+    fn iteration_time_includes_forward() {
+        let tasks = vec![record(0, TaskKind::Compute, Resource::Gpu, 0.0, 2.0)];
+        let r = SimResult::new(1.5, tasks, SimConfig::default());
+        assert!((r.iteration_time - 3.5).abs() < 1e-12);
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,541 @@
+//! Task-graph construction: a (job, strategy) pair becomes a DAG of
+//! resource-bound tasks.
+//!
+//! ## Partitioned pipelining
+//!
+//! BytePS splits every tensor into partitions of at most
+//! `SimConfig::partition_bytes` and synchronizes the pieces independently,
+//! which pipelines the hierarchical phases: piece `p`'s inter-machine
+//! transfer starts as soon as piece `p` finishes its first intra-machine
+//! phase, while piece `p+1` is still on the intra channel. The builder
+//! reproduces this for *dense* communication stages. Compression-related
+//! ops are barriers — a tensor must be fully resident to be compressed,
+//! and a compressed blob travels as one piece — so chains alternate
+//! between piecewise-parallel dense stages and single-piece compressed
+//! stages.
+//!
+//! ## Stages
+//!
+//! A tensor's op chain compiles to a list of [`Stage`]s — `(kind,
+//! resource, piece count, piece duration)` — which depends only on the
+//! `(option, tensor size, job, config)` tuple. The [`crate::engine::Simulator`]
+//! caches stages per option/size so strategy-search loops do not recompute
+//! annotations and timing models thousands of times.
+
+use espresso_cluster::{CollectiveCost, CommScope, Routine};
+use espresso_gc::Device;
+use espresso_strategy::{option::ComputeKind, CompressionOption, Strategy, Work};
+
+use crate::{config::SimConfig, job::Job};
+
+/// The resource a task occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The worker's GPU execution engine (compute + GPU kernels).
+    Gpu,
+    /// The host CPU compression pool.
+    Cpu,
+    /// The intra-machine channel.
+    IntraChannel,
+    /// The inter-machine channel (also carries flat collectives).
+    InterChannel,
+}
+
+/// What a task represents, for timeline reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskKind {
+    /// Backward computation of a tensor's gradient.
+    Compute,
+    /// A compression kernel.
+    Compress(Device),
+    /// A decompression kernel.
+    Decompress(Device),
+    /// Dense aggregation of received pieces.
+    Aggregate(Device),
+    /// A host-device staging copy for CPU compression, occupying the
+    /// intra-machine fabric (PCIe-only machines share it with collectives).
+    Staging,
+    /// A collective communication (possibly one partition of a tensor).
+    Comm(CommScope, Routine),
+}
+
+impl TaskKind {
+    /// Whether this is a communication task.
+    pub fn is_comm(&self) -> bool {
+        matches!(self, TaskKind::Comm(..))
+    }
+
+    /// Whether this is a compression-related compute task (compress,
+    /// decompress, aggregate, or staging — the work GC adds).
+    pub fn is_compression_work(&self) -> bool {
+        matches!(
+            self,
+            TaskKind::Compress(_)
+                | TaskKind::Decompress(_)
+                | TaskKind::Aggregate(_)
+                | TaskKind::Staging
+        )
+    }
+}
+
+/// One schedulable task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// The tensor this task belongs to.
+    pub tensor: usize,
+    /// What it does.
+    pub kind: TaskKind,
+    /// Which resource it occupies.
+    pub resource: Resource,
+    /// Service time, seconds.
+    pub duration: f64,
+    /// Predecessor task indices (all must finish before this starts).
+    pub preds: Vec<usize>,
+}
+
+/// One compiled stage of a tensor's synchronization chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage {
+    /// What the stage's tasks do.
+    pub kind: TaskKind,
+    /// Where they run.
+    pub resource: Resource,
+    /// Number of parallel pieces (1 for barriers and compressed blobs).
+    pub pieces: usize,
+    /// Service time per piece.
+    pub piece_duration: f64,
+}
+
+/// The collective cost context for a scope on this cluster.
+fn scope_cost(job: &Job, scope: CommScope) -> CollectiveCost {
+    match scope {
+        CommScope::IntraFirst | CommScope::IntraSecond => {
+            CollectiveCost::new(job.cluster.gpus_per_machine, job.cluster.intra)
+        }
+        CommScope::Inter => CollectiveCost::new(job.cluster.machines, job.cluster.inter),
+        CommScope::Flat => {
+            CollectiveCost::new(job.cluster.total_gpus(), job.cluster.flat_link())
+        }
+    }
+}
+
+/// The channel resource for a scope.
+fn scope_resource(scope: CommScope) -> Resource {
+    match scope {
+        CommScope::IntraFirst | CommScope::IntraSecond => Resource::IntraChannel,
+        CommScope::Inter | CommScope::Flat => Resource::InterChannel,
+    }
+}
+
+/// Compiles one tensor's synchronization chain into stages.
+///
+/// Depends only on `(option, elems, job, config)` — cacheable.
+pub fn build_stages(
+    job: &Job,
+    option: &CompressionOption,
+    elems: usize,
+    config: &SimConfig,
+) -> Vec<Stage> {
+    let timing = job.timing();
+    let dense_bytes = (elems * 4) as f64;
+    let parts = ((dense_bytes / config.partition_bytes).ceil() as usize).max(1);
+    let mut stages = Vec::with_capacity(option.ops.len() + 2);
+
+    for aop in option.annotate(elems, job.algo, &job.cluster) {
+        match aop.work {
+            Work::Compute {
+                device,
+                kind,
+                elems,
+                staged_elems,
+            } => {
+                // CPU ops stage data across the host-device boundary. On
+                // PCIe-only machines the copy rides the intra-machine
+                // fabric (explicit channel occupancy around the CPU task);
+                // on NVLink machines PCIe is otherwise idle, so the copy
+                // just extends the CPU task.
+                let stages_data = !config.zero_compression_cost
+                    && device == Device::Cpu
+                    && staged_elems > 0;
+                let externalize_staging = stages_data && job.cluster.staging_shares_intra;
+                let staging_duration = if externalize_staging {
+                    job.cluster.intra.transfer_time((staged_elems * 4) as f64)
+                } else {
+                    0.0
+                };
+                let duration = if config.zero_compression_cost {
+                    0.0
+                } else {
+                    let compute = match kind {
+                        ComputeKind::Compress => timing.compress_time(device, elems),
+                        ComputeKind::Decompress => timing.decompress_time(device, elems),
+                        ComputeKind::Aggregate => {
+                            let rate = match device {
+                                Device::Gpu => config.gpu_aggregate_rate,
+                                Device::Cpu => config.cpu_aggregate_rate,
+                            };
+                            config.aggregate_overhead + elems as f64 / rate
+                        }
+                    };
+                    if stages_data && !externalize_staging {
+                        compute + timing.profile(device).staging_time(staged_elems)
+                    } else {
+                        compute
+                    }
+                };
+                let resource = if config.zero_compression_cost {
+                    // Upper Bound: GC has no impact on computation — keep
+                    // the zero-length task off the GPU queue.
+                    Resource::Cpu
+                } else {
+                    match device {
+                        Device::Gpu => Resource::Gpu,
+                        Device::Cpu => Resource::Cpu,
+                    }
+                };
+                // Compression downloads the dense gradient first;
+                // decompression uploads the dense result afterwards.
+                if externalize_staging && matches!(kind, ComputeKind::Compress) {
+                    stages.push(Stage {
+                        kind: TaskKind::Staging,
+                        resource: Resource::IntraChannel,
+                        pieces: 1,
+                        piece_duration: staging_duration,
+                    });
+                }
+                stages.push(Stage {
+                    kind: match kind {
+                        ComputeKind::Compress => TaskKind::Compress(device),
+                        ComputeKind::Decompress => TaskKind::Decompress(device),
+                        ComputeKind::Aggregate => TaskKind::Aggregate(device),
+                    },
+                    resource,
+                    pieces: 1,
+                    piece_duration: duration,
+                });
+                if externalize_staging && matches!(kind, ComputeKind::Decompress) {
+                    stages.push(Stage {
+                        kind: TaskKind::Staging,
+                        resource: Resource::IntraChannel,
+                        pieces: 1,
+                        piece_duration: staging_duration,
+                    });
+                }
+            }
+            Work::Comm {
+                scope,
+                routine,
+                contrib_bytes,
+            } => {
+                let cost = scope_cost(job, scope);
+                let compressed = matches!(
+                    aop.op,
+                    espresso_strategy::Op::Comm { compressed: true, .. }
+                );
+                // Compressed blobs travel whole; dense payloads are
+                // partitioned per BytePS.
+                let pieces = if compressed { 1 } else { parts };
+                stages.push(Stage {
+                    kind: TaskKind::Comm(scope, routine),
+                    resource: scope_resource(scope),
+                    pieces,
+                    piece_duration: cost.time(routine, contrib_bytes / pieces as f64),
+                });
+            }
+            Work::Free => {}
+        }
+    }
+    stages
+}
+
+/// Appends the tasks of one tensor (compute + compiled stages) to `tasks`.
+///
+/// `prev_compute` is the previous tensor's compute-task index (backward is
+/// sequential).
+pub fn push_tensor_tasks(
+    tasks: &mut Vec<Task>,
+    tensor: usize,
+    compute_time: f64,
+    stages: &[Stage],
+    prev_compute: Option<usize>,
+) -> usize {
+    let compute_idx = tasks.len();
+    tasks.push(Task {
+        tensor,
+        kind: TaskKind::Compute,
+        resource: Resource::Gpu,
+        duration: compute_time,
+        preds: prev_compute.into_iter().collect(),
+    });
+    let mut frontier: Vec<usize> = vec![compute_idx];
+    for stage in stages {
+        if stage.pieces == 1 {
+            let idx = tasks.len();
+            tasks.push(Task {
+                tensor,
+                kind: stage.kind,
+                resource: stage.resource,
+                duration: stage.piece_duration,
+                preds: std::mem::take(&mut frontier),
+            });
+            frontier = vec![idx];
+        } else {
+            let prev = std::mem::take(&mut frontier);
+            frontier = Vec::with_capacity(stage.pieces);
+            for p in 0..stage.pieces {
+                let preds = if prev.len() == stage.pieces {
+                    // Piecewise chaining with the previous dense stage.
+                    vec![prev[p]]
+                } else {
+                    // Barrier boundary (compute, compression, or a stage
+                    // with a different piece count).
+                    prev.clone()
+                };
+                let idx = tasks.len();
+                tasks.push(Task {
+                    tensor,
+                    kind: stage.kind,
+                    resource: stage.resource,
+                    duration: stage.piece_duration,
+                    preds,
+                });
+                frontier.push(idx);
+            }
+        }
+    }
+    compute_idx
+}
+
+/// Builds the task graph for `job` under `strategy` (uncached; the
+/// [`crate::engine::Simulator`] is the cached path).
+///
+/// # Panics
+///
+/// Panics if the strategy's tensor count does not match the model.
+pub fn build_tasks(job: &Job, strategy: &Strategy, config: &SimConfig) -> Vec<Task> {
+    assert_eq!(
+        strategy.len(),
+        job.num_tensors(),
+        "strategy covers {} tensors, model has {}",
+        strategy.len(),
+        job.num_tensors()
+    );
+    let mut tasks: Vec<Task> = Vec::with_capacity(job.num_tensors() * 8);
+    let mut prev_compute: Option<usize> = None;
+    for (i, tensor) in job.model.tensors.iter().enumerate() {
+        let stages = build_stages(job, strategy.option(i), tensor.elems, config);
+        let compute_idx =
+            push_tensor_tasks(&mut tasks, i, tensor.compute_time, &stages, prev_compute);
+        prev_compute = Some(compute_idx);
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_cluster::{CommPattern, Cluster};
+    use espresso_gc::GcAlgorithm;
+    use espresso_models::Model;
+
+    fn job() -> Job {
+        Job::new(
+            Model::Lstm.profile(),
+            Cluster::nvlink_100g(8, 8),
+            GcAlgorithm::dgc_1pct(),
+        )
+    }
+
+    fn no_partition() -> SimConfig {
+        SimConfig {
+            partition_bytes: f64::INFINITY,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn unpartitioned_uncompressed_strategy_builds_compute_plus_comm() {
+        let j = job();
+        let s = Strategy::uncompressed(j.num_tensors(), CommPattern::Hierarchical, &j.cluster);
+        let tasks = build_tasks(&j, &s, &no_partition());
+        // Per tensor: 1 compute + 3 comm phases.
+        assert_eq!(tasks.len(), j.num_tensors() * 4);
+        assert!(tasks.iter().all(|t| !t.kind.is_compression_work()));
+    }
+
+    #[test]
+    fn partitioning_splits_large_dense_tensors() {
+        let j = job();
+        let s = Strategy::uncompressed(j.num_tensors(), CommPattern::Hierarchical, &j.cluster);
+        let config = SimConfig::default();
+        let tasks = build_tasks(&j, &s, &config);
+        let biggest = j
+            .model
+            .tensors
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| t.elems)
+            .unwrap()
+            .0;
+        let expected =
+            ((j.model.tensors[biggest].elems * 4) as f64 / config.partition_bytes).ceil() as usize;
+        let inter_pieces = tasks
+            .iter()
+            .filter(|t| {
+                t.tensor == biggest && matches!(t.kind, TaskKind::Comm(CommScope::Inter, _))
+            })
+            .count();
+        assert_eq!(inter_pieces, expected);
+    }
+
+    #[test]
+    fn piece_durations_sum_to_unpartitioned_bandwidth_term() {
+        // Splitting must preserve total bytes: the summed piece durations
+        // exceed the single-collective duration only by the extra alpha.
+        let j = job();
+        let s = Strategy::uncompressed(j.num_tensors(), CommPattern::Hierarchical, &j.cluster);
+        let part = build_tasks(&j, &s, &SimConfig::default());
+        let whole = build_tasks(&j, &s, &no_partition());
+        let sum_comm = |tasks: &[Task]| -> f64 {
+            tasks
+                .iter()
+                .filter(|t| t.kind.is_comm())
+                .map(|t| t.duration)
+                .sum()
+        };
+        let with = sum_comm(&part);
+        let without = sum_comm(&whole);
+        assert!(with >= without, "partitioning lost bytes");
+        assert!(
+            with < without * 1.5,
+            "alpha inflation too large: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn compute_chain_is_sequential() {
+        let j = job();
+        let s = Strategy::uncompressed(j.num_tensors(), CommPattern::Flat, &j.cluster);
+        let tasks = build_tasks(&j, &s, &SimConfig::default());
+        let computes: Vec<usize> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TaskKind::Compute)
+            .map(|(i, _)| i)
+            .collect();
+        for w in computes.windows(2) {
+            assert_eq!(tasks[w[1]].preds, vec![w[0]]);
+        }
+        assert!(tasks[computes[0]].preds.is_empty());
+    }
+
+    #[test]
+    fn compressed_blobs_are_not_partitioned() {
+        let j = job();
+        let space = espresso_strategy::OptionSpace::enumerate(&j.cluster);
+        let opt = space
+            .gpu_compressed()
+            .into_iter()
+            .find(|o| {
+                o.ops.iter().any(|op| {
+                    matches!(
+                        op,
+                        espresso_strategy::Op::Comm {
+                            scope: CommScope::Inter,
+                            compressed: true,
+                            ..
+                        }
+                    )
+                })
+            })
+            .unwrap();
+        let s = Strategy::uniform(j.num_tensors(), opt);
+        let tasks = build_tasks(&j, &s, &SimConfig::default());
+        let biggest = j
+            .model
+            .tensors
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| t.elems)
+            .unwrap()
+            .0;
+        let inter_pieces = tasks
+            .iter()
+            .filter(|t| {
+                t.tensor == biggest && matches!(t.kind, TaskKind::Comm(CommScope::Inter, _))
+            })
+            .count();
+        assert_eq!(inter_pieces, 1);
+    }
+
+    #[test]
+    fn pcie_cluster_externalizes_cpu_staging() {
+        let j = Job::new(
+            Model::Lstm.profile(),
+            Cluster::pcie_25g(8, 8),
+            GcAlgorithm::dgc_1pct(),
+        );
+        let space = espresso_strategy::OptionSpace::enumerate(&j.cluster);
+        let opt = space
+            .compressed()
+            .into_iter()
+            .find(|o| !o.gpu_only())
+            .unwrap()
+            .with_device(Device::Cpu);
+        let s = Strategy::uniform(j.num_tensors(), opt);
+        let tasks = build_tasks(&j, &s, &SimConfig::default());
+        assert!(
+            tasks
+                .iter()
+                .any(|t| t.kind == TaskKind::Staging && t.resource == Resource::IntraChannel),
+            "no staging tasks on the intra channel"
+        );
+        // On NVLink machines the same strategy has no staging tasks.
+        let j2 = job();
+        let space2 = espresso_strategy::OptionSpace::enumerate(&j2.cluster);
+        let opt2 = space2
+            .compressed()
+            .into_iter()
+            .find(|o| !o.gpu_only())
+            .unwrap()
+            .with_device(Device::Cpu);
+        let s2 = Strategy::uniform(j2.num_tensors(), opt2);
+        let tasks2 = build_tasks(&j2, &s2, &SimConfig::default());
+        assert!(tasks2.iter().all(|t| t.kind != TaskKind::Staging));
+    }
+
+    #[test]
+    fn upper_bound_zeroes_compression() {
+        let j = job();
+        let space = espresso_strategy::OptionSpace::enumerate(&j.cluster);
+        let opt = space.gpu_compressed()[0].clone();
+        let s = Strategy::uniform(j.num_tensors(), opt);
+        let tasks = build_tasks(&j, &s, &SimConfig::upper_bound());
+        for t in &tasks {
+            if t.kind.is_compression_work() {
+                assert_eq!(t.duration, 0.0);
+                assert_eq!(t.resource, Resource::Cpu);
+            }
+        }
+    }
+
+    #[test]
+    fn durations_are_finite_and_nonnegative() {
+        let j = job();
+        let space = espresso_strategy::OptionSpace::enumerate(&j.cluster);
+        for opt in space.all().iter().take(200) {
+            let s = Strategy::uniform(j.num_tensors(), opt.clone());
+            for t in build_tasks(&j, &s, &SimConfig::default()) {
+                assert!(t.duration.is_finite() && t.duration >= 0.0, "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strategy covers")]
+    fn mismatched_strategy_panics() {
+        let j = job();
+        let s = Strategy::uncompressed(3, CommPattern::Flat, &j.cluster);
+        let _ = build_tasks(&j, &s, &SimConfig::default());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests over the timeline simulator.
+
+use espresso_cluster::Cluster;
+use espresso_gc::GcAlgorithm;
+use espresso_models::{ModelKind, ModelProfile, TensorProfile};
+use espresso_sim::{simulate, Job, Resource, SimConfig, Simulator};
+use espresso_strategy::{OptionSpace, Strategy};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_model(tensors: usize, seed: u64) -> ModelProfile {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let list = (0..tensors)
+        .map(|i| TensorProfile {
+            name: format!("t{i}"),
+            elems: rng.random_range(1_000usize..20_000_000),
+            compute_time: rng.random_range(1e-5f64..5e-3),
+        })
+        .collect();
+    ModelProfile::new("rand", ModelKind::Vision, 8, 1e-3, list)
+}
+
+fn random_strategy(job: &Job, space: &OptionSpace, seed: u64) -> Strategy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all = space.all();
+    Strategy::from_options(
+        (0..job.num_tensors())
+            .map(|_| all[rng.random_range(0..all.len())].clone())
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_strategies_produce_wellformed_timelines(
+        tensors in 1usize..20,
+        model_seed in 0u64..1000,
+        strat_seed in 0u64..1000,
+        machines in 1usize..6,
+        gpus in 1usize..6,
+    ) {
+        let cluster = Cluster::pcie_25g(machines, gpus);
+        let job = Job::new(random_model(tensors, model_seed), cluster, GcAlgorithm::EfSignSgd);
+        let space = OptionSpace::enumerate(&cluster);
+        let strategy = random_strategy(&job, &space, strat_seed);
+        let result = simulate(&job, &strategy, &SimConfig::default());
+        // Finite, positive, floored by compute.
+        prop_assert!(result.iteration_time.is_finite());
+        prop_assert!(result.iteration_time >= job.model.single_gpu_iter_time() - 1e-9);
+        // Single-server resources never overlap.
+        for res in [Resource::Gpu, Resource::IntraChannel, Resource::InterChannel] {
+            let spans = result.resource_spans(res);
+            for w in spans.windows(2) {
+                prop_assert!(w[1].start >= w[0].end - 1e-12, "{res:?}");
+            }
+        }
+        // A tensor's synchronization happens strictly after its gradient
+        // is produced (piecewise-pipelined stages may overlap each other,
+        // but never their own compute).
+        for t in 0..job.num_tensors() {
+            let chain = result.tensor_timeline(t);
+            let compute_end = chain
+                .iter()
+                .find(|r| r.kind == espresso_sim::TaskKind::Compute)
+                .map(|r| r.span.end)
+                .unwrap_or(0.0);
+            for r in &chain {
+                if r.kind != espresso_sim::TaskKind::Compute {
+                    prop_assert!(r.span.start >= compute_end - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_simulator_matches_uncached(
+        tensors in 1usize..15,
+        model_seed in 0u64..500,
+        strat_seed in 0u64..500,
+    ) {
+        let cluster = Cluster::nvlink_100g(4, 4);
+        let job = Job::new(random_model(tensors, model_seed), cluster, GcAlgorithm::dgc_1pct());
+        let space = OptionSpace::enumerate(&cluster);
+        let strategy = random_strategy(&job, &space, strat_seed);
+        let config = SimConfig::default();
+        let uncached = simulate(&job, &strategy, &config).iteration_time;
+        let sim = Simulator::new(job.clone(), config);
+        // Twice, to exercise the warm cache path.
+        let first = sim.iteration_time(&strategy);
+        let second = sim.iteration_time(&strategy);
+        prop_assert!((uncached - first).abs() < 1e-12);
+        prop_assert!((first - second).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overheads_are_bounded_by_busy_time(
+        tensors in 1usize..15,
+        model_seed in 0u64..500,
+        strat_seed in 0u64..500,
+    ) {
+        let cluster = Cluster::pcie_25g(3, 4);
+        let job = Job::new(random_model(tensors, model_seed), cluster, GcAlgorithm::randomk_1pct());
+        let space = OptionSpace::enumerate(&cluster);
+        let strategy = random_strategy(&job, &space, strat_seed);
+        let result = simulate(&job, &strategy, &SimConfig::default());
+        let comm_busy = result.busy_time(Resource::IntraChannel)
+            + result.busy_time(Resource::InterChannel);
+        prop_assert!(result.total_comm_overhead() <= comm_busy + 1e-9);
+        prop_assert!(result.total_comp_overhead() >= -1e-12);
+        // Exposed overheads can never exceed the makespan.
+        prop_assert!(result.total_comm_overhead() <= result.makespan + 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_dominates_every_random_strategy(
+        tensors in 1usize..12,
+        model_seed in 0u64..300,
+        strat_seed in 0u64..300,
+    ) {
+        let cluster = Cluster::nvlink_100g(3, 3);
+        let job = Job::new(random_model(tensors, model_seed), cluster, GcAlgorithm::EfSignSgd);
+        let space = OptionSpace::enumerate(&cluster);
+        let strategy = random_strategy(&job, &space, strat_seed);
+        let real = simulate(&job, &strategy, &SimConfig::default()).iteration_time;
+        let free = simulate(&job, &strategy, &SimConfig::upper_bound()).iteration_time;
+        prop_assert!(free <= real + 1e-12);
+    }
+}

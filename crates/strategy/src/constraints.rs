@@ -1,0 +1,152 @@
+//! User-supplied pruning of the option space.
+//!
+//! The paper's section 4.2.2: "it allows users to manually add constraints
+//! to prune the decision tree to rule out undesirable compression options
+//! for their applications. For example, users can limit the number of
+//! compression operations for each tensor to avoid the accuracy loss of
+//! training models."
+
+use serde::{Deserialize, Serialize};
+
+use espresso_cluster::CommPattern;
+use espresso_gc::Device;
+
+use crate::option::CompressionOption;
+
+/// Constraints narrowing the enumerated option space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Maximum number of compression ops per tensor (each recompression
+    /// compounds the compression error). `None` = unlimited.
+    pub max_compressions: Option<usize>,
+    /// Restrict compression to these devices (empty = no restriction).
+    pub allowed_devices: Vec<Device>,
+    /// Restrict to one communication pattern.
+    pub pattern: Option<CommPattern>,
+    /// Forbid compressing intra-machine communication (some deployments
+    /// only trust GC across the slow inter-machine links).
+    pub no_intra_compression: bool,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Self {
+            max_compressions: None,
+            allowed_devices: Vec::new(),
+            pattern: None,
+            no_intra_compression: false,
+        }
+    }
+}
+
+impl Constraints {
+    /// A constraint set limiting each tensor to at most one compression —
+    /// the accuracy-conservative configuration the paper cites as the
+    /// example use.
+    pub fn single_compression() -> Self {
+        Self {
+            max_compressions: Some(1),
+            ..Self::default()
+        }
+    }
+
+    /// Whether `option` survives these constraints.
+    pub fn allows(&self, option: &CompressionOption) -> bool {
+        if let Some(max) = self.max_compressions {
+            if option.compression_count() > max {
+                return false;
+            }
+        }
+        if !self.allowed_devices.is_empty() {
+            if !option
+                .devices()
+                .iter()
+                .all(|d| self.allowed_devices.contains(d))
+            {
+                return false;
+            }
+        }
+        if let Some(p) = self.pattern {
+            if option.pattern != p {
+                return false;
+            }
+        }
+        if self.no_intra_compression {
+            use crate::op::Op;
+            use espresso_cluster::CommScope;
+            let intra_compressed = option.ops.iter().any(|op| {
+                matches!(
+                    op,
+                    Op::Comm {
+                        scope: CommScope::IntraFirst | CommScope::IntraSecond,
+                        compressed: true,
+                        ..
+                    }
+                )
+            });
+            if intra_compressed {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OptionSpace;
+    use espresso_cluster::Cluster;
+
+    #[test]
+    fn default_allows_everything() {
+        let c = Cluster::nvlink_100g(4, 4);
+        let full = OptionSpace::enumerate(&c);
+        let constrained = OptionSpace::enumerate_constrained(&c, &Constraints::default());
+        assert_eq!(full.len(), constrained.len());
+    }
+
+    #[test]
+    fn max_compressions_prunes() {
+        let c = Cluster::nvlink_100g(4, 4);
+        let full = OptionSpace::enumerate(&c);
+        let single = OptionSpace::enumerate_constrained(&c, &Constraints::single_compression());
+        assert!(single.len() < full.len());
+        assert!(single.all().iter().all(|o| o.compression_count() <= 1));
+    }
+
+    #[test]
+    fn device_restriction_prunes_cpu() {
+        let c = Cluster::nvlink_100g(4, 4);
+        let gpu_only = Constraints {
+            allowed_devices: vec![Device::Gpu],
+            ..Constraints::default()
+        };
+        let space = OptionSpace::enumerate_constrained(&c, &gpu_only);
+        assert!(space.all().iter().all(|o| o.gpu_only()));
+    }
+
+    #[test]
+    fn pattern_restriction() {
+        let c = Cluster::nvlink_100g(4, 4);
+        let flat_only = Constraints {
+            pattern: Some(CommPattern::Flat),
+            ..Constraints::default()
+        };
+        let space = OptionSpace::enumerate_constrained(&c, &flat_only);
+        assert!(space.all().iter().all(|o| o.pattern == CommPattern::Flat));
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn no_intra_compression_keeps_inter_gc() {
+        let c = Cluster::nvlink_100g(4, 4);
+        let constraints = Constraints {
+            no_intra_compression: true,
+            ..Constraints::default()
+        };
+        let space = OptionSpace::enumerate_constrained(&c, &constraints);
+        // Inter-compressed options must survive.
+        assert!(space.all().iter().any(|o| o.compresses()));
+    }
+}

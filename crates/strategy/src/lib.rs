@@ -1,0 +1,47 @@
+//! Espresso's decision-tree abstraction (paper section 4.2).
+//!
+//! A *compression option* is a validated sequence of action tasks — the
+//! eight tasks of the paper's Table 3 (Comp, Decomp, Comm, Comm1, Comm2,
+//! Comm_comp, Comm1_comp, Comm2_comp) — that fully determines how one
+//! tensor is synchronized: whether it is compressed (Dimension 1), on
+//! which device (Dimension 2), with which communication schemes
+//! (Dimension 3), and where along the flat/hierarchical pipeline the
+//! compressions and decompressions happen (Dimension 4).
+//!
+//! * [`op`] — the [`Op`] vocabulary and the symbolic payload state machine
+//!   that checks mechanical validity (every option must end with the full
+//!   dense aggregated tensor on every GPU),
+//! * [`option`] — [`CompressionOption`] and its annotation into concrete
+//!   per-op work items ([`Work`]) given a tensor size, GC algorithm, and
+//!   cluster,
+//! * [`tree`] — construction of the full option space by walking the
+//!   decision tree of Figure 8 with its three pruning rules,
+//! * [`strategy`] — a [`Strategy`]: one option per tensor of a model,
+//! * [`constraints`] — user-supplied pruning of the option space
+//!   (section 4.2.2's extensibility hook).
+
+pub mod constraints;
+pub mod op;
+pub mod option;
+pub mod strategy;
+pub mod tasks;
+pub mod tree;
+
+pub use constraints::Constraints;
+pub use op::{Op, PayloadError, PayloadState};
+pub use option::{AnnotatedOp, CompressionOption, Work};
+pub use strategy::Strategy;
+pub use tasks::ActionTask;
+pub use tree::OptionSpace;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::{
+        constraints::Constraints,
+        op::{Op, PayloadState},
+        option::{AnnotatedOp, CompressionOption, Work},
+        strategy::Strategy,
+        tasks::ActionTask,
+        tree::OptionSpace,
+    };
+}

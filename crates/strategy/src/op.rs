@@ -1,0 +1,437 @@
+//! The operation vocabulary of a compression option and the symbolic
+//! payload state machine validating op sequences.
+//!
+//! An [`Op`] is one action task of the paper's Table 3, concretized:
+//! compression/decompression tasks carry their device choice (Dimension 2)
+//! and communication tasks carry their scope and collective routine
+//! (Dimension 3). Aggregation of received pieces appears explicitly so the
+//! timeline simulator can charge for it.
+//!
+//! [`PayloadState`] tracks what a representative GPU holds while the ops
+//! execute: which fraction of the tensor, in how many pieces, compressed
+//! or dense, and how many GPUs per machine participate in inter-machine
+//! communication (`rails` — they share the machine's single NIC, which is
+//! how hierarchical cost accounting stays honest).
+
+use serde::{Deserialize, Serialize};
+
+use espresso_cluster::{CommScope, Cluster, Routine};
+use espresso_gc::Device;
+
+/// One step of a compression option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Op {
+    /// Task `Comp`: compress the current dense payload on `device`.
+    Compress {
+        /// Compute resource performing the compression.
+        device: Device,
+    },
+    /// Task `Decomp`: decompress every held compressed piece on `device`.
+    Decompress {
+        /// Compute resource performing the decompression.
+        device: Device,
+    },
+    /// Sum `pieces` dense replicas into one (after an
+    /// indivisible-compressed exchange or a divisible first step).
+    AggregateSum {
+        /// Compute resource performing the summation.
+        device: Device,
+    },
+    /// Concatenate dense shard pieces into one contiguous tensor (free:
+    /// pieces land in disjoint ranges).
+    Concat,
+    /// One of the communication tasks (`Comm*` of Table 3).
+    Comm {
+        /// Which channel the collective runs on.
+        scope: CommScope,
+        /// The collective routine (Table 2).
+        routine: Routine,
+        /// Whether the payload on the wire is compressed.
+        compressed: bool,
+        /// For a compressed Allgather only: whether the gathered blobs are
+        /// *disjoint shards* to concatenate (second step of a divisible
+        /// scheme) rather than *whole replicas* to sum (indivisible
+        /// scheme). The wire cost is identical; the merge semantics — and
+        /// therefore the follow-up op — differ.
+        shard_gather: bool,
+    },
+}
+
+impl Op {
+    /// Shorthand constructors used heavily by the tree builder.
+    pub fn comp(device: Device) -> Self {
+        Op::Compress { device }
+    }
+
+    /// Shorthand for [`Op::Decompress`].
+    pub fn decomp(device: Device) -> Self {
+        Op::Decompress { device }
+    }
+
+    /// Shorthand for [`Op::Comm`] with replica-gather semantics.
+    pub fn comm(scope: CommScope, routine: Routine, compressed: bool) -> Self {
+        Op::Comm {
+            scope,
+            routine,
+            compressed,
+            shard_gather: false,
+        }
+    }
+
+    /// A compressed Allgather whose blobs are disjoint shards (the second
+    /// step of a divisible scheme).
+    pub fn shard_allgather(scope: CommScope) -> Self {
+        Op::Comm {
+            scope,
+            routine: Routine::Allgather,
+            compressed: true,
+            shard_gather: true,
+        }
+    }
+}
+
+/// How the pieces currently held relate to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PieceKind {
+    /// One self-contained piece.
+    Single,
+    /// Multiple replicas covering the same range: must be summed.
+    Replicas,
+    /// Multiple disjoint shards: must be concatenated.
+    Shards,
+}
+
+/// Mechanical-validity errors for op sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PayloadError {
+    /// A compression was applied to an already-compressed payload, or to
+    /// multiple pieces.
+    BadCompress,
+    /// A decompression was applied to a dense payload.
+    BadDecompress,
+    /// An aggregation/concat was applied to an incompatible piece set.
+    BadMerge,
+    /// A communication's `compressed` flag or routine does not match the
+    /// payload (e.g. Allreduce on a compressed tensor — the Table 2
+    /// constraint).
+    BadComm(&'static str),
+    /// The sequence did not end with the full dense aggregated tensor.
+    BadFinalState(String),
+}
+
+impl std::fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayloadError::BadCompress => write!(f, "compress on invalid payload"),
+            PayloadError::BadDecompress => write!(f, "decompress on dense payload"),
+            PayloadError::BadMerge => write!(f, "merge on incompatible pieces"),
+            PayloadError::BadComm(msg) => write!(f, "invalid communication: {msg}"),
+            PayloadError::BadFinalState(s) => write!(f, "bad final state: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PayloadError {}
+
+/// Symbolic payload of a representative GPU while an option executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PayloadState {
+    /// Fraction of the full tensor covered by *each* held piece.
+    pub frac: f64,
+    /// Number of pieces held.
+    pub pieces: usize,
+    /// Relationship between pieces.
+    pub kind: PieceKind,
+    /// Whether pieces are compressed.
+    pub compressed: bool,
+    /// GPUs per machine participating in inter-machine communication
+    /// (they share the machine's NIC). 1 before any intra phase or after
+    /// a Reduce/Gather-style intra first step; `k` after a scatter-style
+    /// first step; `k` for flat patterns on multi-GPU machines.
+    pub rails: usize,
+}
+
+impl PayloadState {
+    /// The initial state: the full dense gradient on every GPU.
+    pub fn initial(cluster: &Cluster) -> Self {
+        Self {
+            frac: 1.0,
+            pieces: 1,
+            kind: PieceKind::Single,
+            compressed: false,
+            // Until an intra phase concentrates traffic, every GPU of a
+            // machine is a rail on the shared NIC.
+            rails: cluster.gpus_per_machine,
+        }
+    }
+
+    /// Whether this is the valid terminal state (full dense tensor).
+    pub fn is_final(&self) -> bool {
+        self.pieces == 1 && !self.compressed && (self.frac - 1.0).abs() < 1e-9
+    }
+
+    /// Applies `op`, mutating the state, or reports why it is invalid.
+    pub fn apply(&mut self, op: &Op, cluster: &Cluster) -> Result<(), PayloadError> {
+        match *op {
+            Op::Compress { .. } => {
+                if self.compressed || self.pieces != 1 {
+                    return Err(PayloadError::BadCompress);
+                }
+                self.compressed = true;
+            }
+            Op::Decompress { .. } => {
+                if !self.compressed {
+                    return Err(PayloadError::BadDecompress);
+                }
+                self.compressed = false;
+            }
+            Op::AggregateSum { .. } => {
+                if self.compressed || self.pieces < 2 || self.kind != PieceKind::Replicas {
+                    return Err(PayloadError::BadMerge);
+                }
+                self.pieces = 1;
+                self.kind = PieceKind::Single;
+            }
+            Op::Concat => {
+                if self.compressed || self.pieces < 2 || self.kind != PieceKind::Shards {
+                    return Err(PayloadError::BadMerge);
+                }
+                self.frac *= self.pieces as f64;
+                self.pieces = 1;
+                self.kind = PieceKind::Single;
+            }
+            Op::Comm {
+                scope,
+                routine,
+                compressed,
+                shard_gather,
+            } => {
+                self.apply_comm(scope, routine, compressed, shard_gather, cluster)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_comm(
+        &mut self,
+        scope: CommScope,
+        routine: Routine,
+        compressed: bool,
+        shard_gather: bool,
+        cluster: &Cluster,
+    ) -> Result<(), PayloadError> {
+        if compressed != self.compressed {
+            return Err(PayloadError::BadComm("payload/wire compression mismatch"));
+        }
+        if compressed && routine.reduces_in_flight() {
+            // Table 2: compressed tensors cannot use reducing collectives —
+            // their aggregation is not associative.
+            return Err(PayloadError::BadComm("reducing collective on compressed data"));
+        }
+        if !compressed && matches!(routine, Routine::Alltoall | Routine::Gather) {
+            return Err(PayloadError::BadComm(
+                "alltoall/gather are compressed-tensor routines",
+            ));
+        }
+        if shard_gather && !(compressed && routine == Routine::Allgather) {
+            return Err(PayloadError::BadComm(
+                "shard_gather only applies to compressed allgather",
+            ));
+        }
+        let n = match scope {
+            CommScope::IntraFirst | CommScope::IntraSecond => cluster.gpus_per_machine,
+            CommScope::Inter => cluster.machines,
+            CommScope::Flat => cluster.total_gpus(),
+        };
+        if self.pieces != 1 {
+            return Err(PayloadError::BadComm("communicating unmerged pieces"));
+        }
+        match routine {
+            Routine::Allreduce => { /* Full payload in, full payload out. */ }
+            Routine::ReduceScatter => {
+                self.frac /= n as f64;
+            }
+            Routine::Allgather => {
+                if compressed {
+                    // Blobs cannot merge on the wire; they arrive as
+                    // pieces. Whether they are replicas (indivisible
+                    // scheme, summed after decompression) or disjoint
+                    // shards (divisible second step, concatenated) is a
+                    // property of the scheme, carried by `shard_gather`.
+                    self.pieces = n;
+                    self.kind = if shard_gather {
+                        PieceKind::Shards
+                    } else {
+                        PieceKind::Replicas
+                    };
+                } else {
+                    self.frac *= n as f64;
+                }
+            }
+            Routine::Alltoall => {
+                // Each rank keeps 1/n of everyone's payload: n replica
+                // pieces of frac/n each.
+                self.frac /= n as f64;
+                self.pieces = n;
+                self.kind = PieceKind::Replicas;
+            }
+            Routine::Reduce => { /* Root view: full reduced payload. */ }
+            Routine::Broadcast => { /* All ranks end with the root payload. */ }
+            Routine::Gather => {
+                // Root view: n compressed replicas.
+                self.pieces = n;
+                self.kind = PieceKind::Replicas;
+            }
+        }
+        // Track NIC sharing: a scatter-style intra first step splits the
+        // tensor into per-GPU rails that all cross the NIC; a Reduce or
+        // Gather concentrates the tensor on one GPU per machine.
+        if matches!(scope, CommScope::IntraFirst) {
+            self.rails = match routine {
+                Routine::ReduceScatter | Routine::Alltoall => cluster.gpus_per_machine,
+                Routine::Reduce | Routine::Gather => 1,
+                _ => self.rails,
+            };
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::nvlink_100g(4, 8)
+    }
+
+    #[test]
+    fn initial_state_is_full_dense() {
+        let s = PayloadState::initial(&cluster());
+        assert!(s.is_final());
+        assert_eq!(s.rails, 8);
+    }
+
+    #[test]
+    fn flat_allreduce_is_terminal() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        s.apply(&Op::comm(CommScope::Flat, Routine::Allreduce, false), &c)
+            .unwrap();
+        assert!(s.is_final());
+    }
+
+    #[test]
+    fn reduce_scatter_then_allgather_restores() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        s.apply(&Op::comm(CommScope::Flat, Routine::ReduceScatter, false), &c)
+            .unwrap();
+        assert!((s.frac - 1.0 / 32.0).abs() < 1e-12);
+        s.apply(&Op::comm(CommScope::Flat, Routine::Allgather, false), &c)
+            .unwrap();
+        assert!(s.is_final());
+    }
+
+    #[test]
+    fn compressed_allreduce_is_rejected() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        s.apply(&Op::comp(Device::Gpu), &c).unwrap();
+        let err = s
+            .apply(&Op::comm(CommScope::Flat, Routine::Allreduce, true), &c)
+            .unwrap_err();
+        assert!(matches!(err, PayloadError::BadComm(_)));
+    }
+
+    #[test]
+    fn indivisible_compressed_scheme_roundtrip() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        for op in [
+            Op::comp(Device::Gpu),
+            Op::comm(CommScope::Flat, Routine::Allgather, true),
+            Op::decomp(Device::Gpu),
+            Op::AggregateSum { device: Device::Gpu },
+        ] {
+            s.apply(&op, &c).unwrap();
+        }
+        assert!(s.is_final());
+    }
+
+    #[test]
+    fn divisible_compressed_scheme_roundtrip() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        for op in [
+            Op::comp(Device::Gpu),
+            Op::comm(CommScope::Flat, Routine::Alltoall, true),
+            Op::decomp(Device::Cpu),
+            Op::AggregateSum { device: Device::Cpu },
+            Op::comp(Device::Cpu),
+            Op::shard_allgather(CommScope::Flat),
+            Op::decomp(Device::Gpu),
+            Op::Concat,
+        ] {
+            s.apply(&op, &c).unwrap();
+        }
+        assert!(s.is_final(), "state: {s:?}");
+    }
+
+    #[test]
+    fn hierarchical_scatter_sets_rails() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        s.apply(
+            &Op::comm(CommScope::IntraFirst, Routine::ReduceScatter, false),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(s.rails, 8);
+        let mut s2 = PayloadState::initial(&c);
+        s2.apply(&Op::comm(CommScope::IntraFirst, Routine::Reduce, false), &c)
+            .unwrap();
+        assert_eq!(s2.rails, 1);
+    }
+
+    #[test]
+    fn wire_flag_mismatch_rejected() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        let err = s
+            .apply(&Op::comm(CommScope::Flat, Routine::Allgather, true), &c)
+            .unwrap_err();
+        assert!(matches!(err, PayloadError::BadComm(_)));
+    }
+
+    #[test]
+    fn dense_alltoall_rejected() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        let err = s
+            .apply(&Op::comm(CommScope::Flat, Routine::Alltoall, false), &c)
+            .unwrap_err();
+        assert!(matches!(err, PayloadError::BadComm(_)));
+    }
+
+    #[test]
+    fn double_compress_rejected() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        s.apply(&Op::comp(Device::Gpu), &c).unwrap();
+        assert_eq!(
+            s.apply(&Op::comp(Device::Gpu), &c),
+            Err(PayloadError::BadCompress)
+        );
+    }
+
+    #[test]
+    fn decompress_dense_rejected() {
+        let c = cluster();
+        let mut s = PayloadState::initial(&c);
+        assert_eq!(
+            s.apply(&Op::decomp(Device::Gpu), &c),
+            Err(PayloadError::BadDecompress)
+        );
+    }
+}

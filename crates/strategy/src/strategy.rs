@@ -1,0 +1,128 @@
+//! A [`Strategy`]: one compression option per tensor of a model.
+//!
+//! The paper's section 4.2.2: "Let T = {T_i} denote the set of tensors in
+//! a DNN model [...]. S = {c_j} is a compression strategy for the DNN
+//! model, where c_j in C is the compression option for tensor T_j."
+
+use std::sync::Arc;
+
+use espresso_cluster::{CommPattern, Cluster};
+
+use crate::option::CompressionOption;
+
+/// A compression strategy for a model with `N` tensors: `options[i]` is
+/// the compression option of tensor `i` (in backward production order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Strategy {
+    options: Vec<Arc<CompressionOption>>,
+}
+
+impl Strategy {
+    /// The all-uncompressed baseline strategy using `pattern` on `cluster`
+    /// — Algorithm 1's initialization ("no compression for all tensors").
+    pub fn uncompressed(num_tensors: usize, pattern: CommPattern, cluster: &Cluster) -> Self {
+        let opt = CompressionOption::uncompressed(pattern, cluster);
+        Self {
+            options: vec![opt; num_tensors],
+        }
+    }
+
+    /// A strategy from explicit per-tensor options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn from_options(options: Vec<Arc<CompressionOption>>) -> Self {
+        assert!(!options.is_empty(), "a strategy needs at least one tensor");
+        Self { options }
+    }
+
+    /// A strategy applying the same option to every tensor.
+    pub fn uniform(num_tensors: usize, option: Arc<CompressionOption>) -> Self {
+        Self {
+            options: vec![option; num_tensors],
+        }
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Whether the strategy covers zero tensors (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.options.is_empty()
+    }
+
+    /// The option of tensor `idx`.
+    pub fn option(&self, idx: usize) -> &Arc<CompressionOption> {
+        &self.options[idx]
+    }
+
+    /// Replaces tensor `idx`'s option (the `S[idx] = c_i` of Algorithm 1).
+    pub fn set_option(&mut self, idx: usize, option: Arc<CompressionOption>) {
+        self.options[idx] = option;
+    }
+
+    /// Iterates `(tensor index, option)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Arc<CompressionOption>)> {
+        self.options.iter().enumerate()
+    }
+
+    /// Indices of tensors whose option compresses (the paper's `T_gpu`
+    /// when the strategy came out of Algorithm 1).
+    pub fn compressed_tensors(&self) -> Vec<usize> {
+        self.options
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.compresses())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of compressed tensors.
+    pub fn num_compressed(&self) -> usize {
+        self.options.iter().filter(|o| o.compresses()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OptionSpace;
+
+    #[test]
+    fn uncompressed_strategy_compresses_nothing() {
+        let c = Cluster::nvlink_100g(4, 4);
+        let s = Strategy::uncompressed(10, CommPattern::Hierarchical, &c);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.num_compressed(), 0);
+        assert!(s.compressed_tensors().is_empty());
+    }
+
+    #[test]
+    fn set_option_updates_one_tensor() {
+        let c = Cluster::nvlink_100g(4, 4);
+        let space = OptionSpace::enumerate(&c);
+        let compressed = space.gpu_compressed()[0].clone();
+        let mut s = Strategy::uncompressed(5, CommPattern::Hierarchical, &c);
+        s.set_option(2, compressed);
+        assert_eq!(s.num_compressed(), 1);
+        assert_eq!(s.compressed_tensors(), vec![2]);
+    }
+
+    #[test]
+    fn uniform_strategy_shares_the_option() {
+        let c = Cluster::nvlink_100g(4, 4);
+        let space = OptionSpace::enumerate(&c);
+        let opt = space.gpu_compressed()[0].clone();
+        let s = Strategy::uniform(7, opt);
+        assert_eq!(s.num_compressed(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tensor")]
+    fn empty_strategy_rejected() {
+        let _ = Strategy::from_options(vec![]);
+    }
+}

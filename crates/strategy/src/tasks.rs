@@ -1,0 +1,197 @@
+//! The eight action tasks of the paper's Table 3, as a formal vocabulary.
+//!
+//! | Task        | Description                          | Search space              |
+//! |-------------|--------------------------------------|---------------------------|
+//! | Comp        | Compression operation                | {CPU, GPU}                |
+//! | Decomp      | Decompression operation              | {CPU, GPU}                |
+//! | Comm        | Indivisible scheme for UT            | {Allreduce}               |
+//! | Comm1       | First step of a DS for UT            | {Reduce-scatter, Reduce}  |
+//! | Comm2       | Second step of a DS for UT           | {Allgather, Broadcast}    |
+//! | Comm_comp   | Indivisible scheme for CT            | {Allgather}               |
+//! | Comm1_comp  | First step of a DS for CT            | {Alltoall, Gather}        |
+//! | Comm2_comp  | Second step of a DS for CT           | {Allgather, Broadcast}    |
+//!
+//! (UT = uncompressed tensors, CT = compressed tensors, DS = divisible
+//! scheme.) The executable [`crate::op::Op`] vocabulary is finer-grained
+//! — it places each communication at a concrete scope and carries device
+//! choices inline — so this module provides the *classification* back to
+//! the paper's task names, used by tests and by anyone cross-reading the
+//! code against the paper.
+
+use espresso_cluster::Routine;
+
+use crate::op::Op;
+
+/// One of the paper's eight action tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionTask {
+    /// Compression operation.
+    Comp,
+    /// Decompression operation.
+    Decomp,
+    /// Indivisible scheme for uncompressed tensors.
+    Comm,
+    /// First step of a divisible scheme for uncompressed tensors.
+    Comm1,
+    /// Second step of a divisible scheme for uncompressed tensors.
+    Comm2,
+    /// Indivisible scheme for compressed tensors.
+    CommComp,
+    /// First step of a divisible scheme for compressed tensors.
+    Comm1Comp,
+    /// Second step of a divisible scheme for compressed tensors.
+    Comm2Comp,
+}
+
+impl ActionTask {
+    /// All eight tasks, in the paper's Table 3 order.
+    pub const ALL: [ActionTask; 8] = [
+        ActionTask::Comp,
+        ActionTask::Decomp,
+        ActionTask::Comm,
+        ActionTask::Comm1,
+        ActionTask::Comm2,
+        ActionTask::CommComp,
+        ActionTask::Comm1Comp,
+        ActionTask::Comm2Comp,
+    ];
+
+    /// The collective routines this task may choose from (its "search
+    /// space" column); empty for the compute tasks, whose search space is
+    /// the device set instead.
+    pub fn routines(self) -> &'static [Routine] {
+        match self {
+            ActionTask::Comp | ActionTask::Decomp => &[],
+            ActionTask::Comm => &[Routine::Allreduce],
+            ActionTask::Comm1 => &[Routine::ReduceScatter, Routine::Reduce],
+            ActionTask::Comm2 => &[Routine::Allgather, Routine::Broadcast],
+            ActionTask::CommComp => &[Routine::Allgather],
+            ActionTask::Comm1Comp => &[Routine::Alltoall, Routine::Gather],
+            ActionTask::Comm2Comp => &[Routine::Allgather, Routine::Broadcast],
+        }
+    }
+
+    /// Classifies an executable op back to its paper task, or `None` for
+    /// the bookkeeping ops (aggregation/concatenation, which Table 3
+    /// folds into decompression).
+    pub fn classify(op: &Op) -> Option<ActionTask> {
+        Some(match *op {
+            Op::Compress { .. } => ActionTask::Comp,
+            Op::Decompress { .. } => ActionTask::Decomp,
+            Op::AggregateSum { .. } | Op::Concat => return None,
+            Op::Comm {
+                routine,
+                compressed,
+                ..
+            } => match (routine, compressed) {
+                (Routine::Allreduce, false) => ActionTask::Comm,
+                (Routine::ReduceScatter | Routine::Reduce, false) => ActionTask::Comm1,
+                (Routine::Allgather | Routine::Broadcast, false) => ActionTask::Comm2,
+                (Routine::Alltoall | Routine::Gather, true) => ActionTask::Comm1Comp,
+                (Routine::Broadcast, true) => ActionTask::Comm2Comp,
+                (Routine::Allgather, true) => {
+                    // Replica-gather = the indivisible scheme; shard-gather
+                    // = the second step of a divisible scheme.
+                    if matches!(op, Op::Comm { shard_gather: true, .. }) {
+                        ActionTask::Comm2Comp
+                    } else {
+                        ActionTask::CommComp
+                    }
+                }
+                _ => return None,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OptionSpace;
+    use espresso_cluster::{CommScope, Cluster};
+    use espresso_gc::Device;
+
+    #[test]
+    fn table3_search_spaces() {
+        assert_eq!(ActionTask::Comm.routines(), &[Routine::Allreduce]);
+        assert_eq!(
+            ActionTask::Comm1.routines(),
+            &[Routine::ReduceScatter, Routine::Reduce]
+        );
+        assert_eq!(
+            ActionTask::Comm1Comp.routines(),
+            &[Routine::Alltoall, Routine::Gather]
+        );
+        assert_eq!(ActionTask::CommComp.routines(), &[Routine::Allgather]);
+        assert!(ActionTask::Comp.routines().is_empty());
+    }
+
+    #[test]
+    fn classification_covers_basic_ops() {
+        assert_eq!(
+            ActionTask::classify(&Op::comp(Device::Gpu)),
+            Some(ActionTask::Comp)
+        );
+        assert_eq!(
+            ActionTask::classify(&Op::comm(CommScope::Flat, Routine::Allreduce, false)),
+            Some(ActionTask::Comm)
+        );
+        assert_eq!(
+            ActionTask::classify(&Op::comm(CommScope::Inter, Routine::Allgather, true)),
+            Some(ActionTask::CommComp)
+        );
+        assert_eq!(
+            ActionTask::classify(&Op::shard_allgather(CommScope::Inter)),
+            Some(ActionTask::Comm2Comp)
+        );
+        assert_eq!(
+            ActionTask::classify(&Op::Concat),
+            None
+        );
+    }
+
+    #[test]
+    fn every_enumerated_op_maps_to_a_table3_task() {
+        // The tree must only emit ops expressible in the paper's task
+        // vocabulary; each communication op's routine must belong to its
+        // task's declared search space.
+        let cluster = Cluster::nvlink_100g(4, 4);
+        let space = OptionSpace::enumerate(&cluster);
+        for opt in space.all() {
+            for op in &opt.ops {
+                match op {
+                    Op::AggregateSum { .. } | Op::Concat => continue,
+                    _ => {}
+                }
+                let task = ActionTask::classify(op)
+                    .unwrap_or_else(|| panic!("unclassifiable op {op:?} in {}", opt.describe()));
+                if let Op::Comm { routine, .. } = op {
+                    assert!(
+                        task.routines().contains(routine),
+                        "{task:?} does not allow {routine:?} ({})",
+                        opt.describe()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_eight_tasks_appear_somewhere_in_the_space() {
+        // Expressiveness: the enumerated space exercises the entire
+        // Table 3 vocabulary.
+        let cluster = Cluster::nvlink_100g(4, 4);
+        let space = OptionSpace::enumerate(&cluster);
+        let mut seen = std::collections::HashSet::new();
+        for opt in space.all() {
+            for op in &opt.ops {
+                if let Some(task) = ActionTask::classify(op) {
+                    seen.insert(task);
+                }
+            }
+        }
+        for task in ActionTask::ALL {
+            assert!(seen.contains(&task), "{task:?} never appears");
+        }
+    }
+}

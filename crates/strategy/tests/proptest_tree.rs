@@ -1,0 +1,139 @@
+//! Property-based tests over the decision-tree abstraction.
+//!
+//! For arbitrary cluster shapes, the enumerated option space must be
+//! valid, closed under device moves, and self-consistent with the payload
+//! state machine and the annotation layer.
+
+use espresso_cluster::Cluster;
+use espresso_gc::{Device, GcAlgorithm};
+use espresso_strategy::{OptionSpace, Work};
+use proptest::prelude::*;
+
+fn clusters() -> impl Strategy<Value = Cluster> {
+    (1usize..=8, 1usize..=8, prop::bool::ANY).prop_map(|(m, k, pcie)| {
+        if pcie {
+            Cluster::pcie_25g(m, k)
+        } else {
+            Cluster::nvlink_100g(m, k)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_enumerated_option_validates(cluster in clusters()) {
+        let space = OptionSpace::enumerate(&cluster);
+        prop_assert!(!space.is_empty());
+        for opt in space.all() {
+            prop_assert!(opt.validate(&cluster).is_ok(), "{}", opt.describe());
+        }
+    }
+
+    #[test]
+    fn device_moves_preserve_validity(cluster in clusters()) {
+        // Moving every compression op to either device keeps the option
+        // mechanically valid — the property CPU offloading relies on.
+        let space = OptionSpace::enumerate(&cluster);
+        for opt in space.compressed().iter().step_by(37) {
+            for device in Device::ALL {
+                let moved = opt.with_device(device);
+                prop_assert!(moved.validate(&cluster).is_ok(), "{}", moved.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn annotation_is_total_and_sane(
+        cluster in clusters(),
+        elems in 1usize..50_000_000,
+    ) {
+        let space = OptionSpace::enumerate(&cluster);
+        let algo = GcAlgorithm::randomk_1pct();
+        for opt in space.all().iter().step_by(53) {
+            let ann = opt.annotate(elems, algo, &cluster);
+            for a in &ann {
+                match a.work {
+                    Work::Comm { contrib_bytes, .. } => {
+                        prop_assert!(contrib_bytes.is_finite() && contrib_bytes >= 0.0);
+                        // A contribution can never exceed the dense tensor
+                        // replicated across every rail.
+                        let cap = (elems * 4 * cluster.gpus_per_machine) as f64 + 64.0;
+                        prop_assert!(
+                            contrib_bytes <= cap,
+                            "{}: {contrib_bytes} > {cap}",
+                            opt.describe()
+                        );
+                    }
+                    Work::Compute { elems: e, staged_elems, .. } => {
+                        // Effective work is bounded by every participant
+                        // contributing a replica.
+                        let cap = elems * cluster.total_gpus().max(2) * 3;
+                        prop_assert!(e <= cap, "{}: {e} > {cap}", opt.describe());
+                        prop_assert!(staged_elems <= cap);
+                    }
+                    Work::Free => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_options_move_fewer_inter_bytes(
+        machines in 2usize..=8,
+        gpus in 2usize..=8,
+        elems in 1_000_000usize..50_000_000,
+    ) {
+        // For large tensors, every compressed option's total inter-machine
+        // wire contribution is below the uncompressed hierarchical plan's
+        // — the whole point of GC.
+        let cluster = Cluster::nvlink_100g(machines, gpus);
+        let space = OptionSpace::enumerate(&cluster);
+        let algo = GcAlgorithm::Dgc { density: 0.001 };
+        let inter_bytes = |opt: &espresso_strategy::CompressionOption| -> f64 {
+            opt.annotate(elems, algo, &cluster)
+                .iter()
+                .map(|a| match a.work {
+                    Work::Comm {
+                        scope: espresso_cluster::CommScope::Inter,
+                        contrib_bytes,
+                        ..
+                    } => contrib_bytes,
+                    _ => 0.0,
+                })
+                .sum()
+        };
+        let plain = espresso_strategy::CompressionOption::uncompressed(
+            espresso_cluster::CommPattern::Hierarchical,
+            &cluster,
+        );
+        let baseline = inter_bytes(&plain);
+        for opt in space.compressed().iter().step_by(41) {
+            // Only hierarchical options with an inter-compressed phase.
+            let compresses_inter = opt.ops.iter().any(|op| matches!(
+                op,
+                espresso_strategy::Op::Comm {
+                    scope: espresso_cluster::CommScope::Inter,
+                    compressed: true,
+                    ..
+                }
+            ));
+            let has_dense_inter = opt.ops.iter().any(|op| matches!(
+                op,
+                espresso_strategy::Op::Comm {
+                    scope: espresso_cluster::CommScope::Inter,
+                    compressed: false,
+                    ..
+                }
+            ));
+            if compresses_inter && !has_dense_inter {
+                prop_assert!(
+                    inter_bytes(opt) < baseline,
+                    "{} moved more inter bytes than FP32",
+                    opt.describe()
+                );
+            }
+        }
+    }
+}

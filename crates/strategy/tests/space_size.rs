@@ -1,0 +1,22 @@
+//! Reports and bounds the enumerated option-space size.
+
+use espresso_cluster::Cluster;
+use espresso_strategy::OptionSpace;
+
+#[test]
+fn report_space_sizes() {
+    for (name, c) in [
+        ("8x8 nvlink", Cluster::nvlink_100g(8, 8)),
+        ("8x8 pcie", Cluster::pcie_25g(8, 8)),
+        ("1x8", Cluster::nvlink_100g(1, 8)),
+        ("8x1", Cluster::nvlink_100g(8, 1)),
+    ] {
+        let space = OptionSpace::enumerate(&c);
+        println!(
+            "{name}: |C| = {}, |C_gpu| = {}, uncompressed = {}",
+            space.len(),
+            space.gpu_compressed().len(),
+            space.uncompressed().len()
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Seeded synthetic classification datasets.
+
+use rand::{
+    rngs::StdRng,
+    Rng,
+    SeedableRng,
+};
+
+/// A labelled classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature dimensionality.
+    pub dims: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Row-major features, `len = samples * dims`.
+    pub features: Vec<f32>,
+    /// One label per sample.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The feature row of sample `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.features[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Gaussian blobs: `classes` clusters with unit-ish separation and
+    /// per-cluster noise — linearly separable up to the noise level.
+    pub fn blobs(samples: usize, dims: usize, classes: usize, noise: f32, seed: u64) -> Self {
+        assert!(classes >= 2, "need at least two classes");
+        assert!(dims >= 2, "need at least two dimensions");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random unit-ish cluster centers.
+        let centers: Vec<Vec<f32>> = (0..classes)
+            .map(|_| (0..dims).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+            .collect();
+        let mut features = Vec::with_capacity(samples * dims);
+        let mut labels = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let class = i % classes;
+            for d in 0..dims {
+                features.push(centers[class][d] + noise * gaussian(&mut rng));
+            }
+            labels.push(class);
+        }
+        Self {
+            dims,
+            classes,
+            features,
+            labels,
+        }
+    }
+
+    /// Concentric rings in the first two dimensions (not linearly
+    /// separable — exercises the hidden layer), with noise dims appended.
+    pub fn rings(samples: usize, dims: usize, classes: usize, noise: f32, seed: u64) -> Self {
+        assert!(classes >= 2 && dims >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut features = Vec::with_capacity(samples * dims);
+        let mut labels = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let class = i % classes;
+            let radius = 1.0 + class as f32;
+            let theta = rng.random_range(0.0f32..std::f32::consts::TAU);
+            features.push(radius * theta.cos() + noise * gaussian(&mut rng));
+            features.push(radius * theta.sin() + noise * gaussian(&mut rng));
+            for _ in 2..dims {
+                features.push(noise * gaussian(&mut rng));
+            }
+            labels.push(class);
+        }
+        Self {
+            dims,
+            classes,
+            features,
+            labels,
+        }
+    }
+
+    /// Splits into a `(train, eval)` pair, with `eval_fraction` of the
+    /// samples (rounded down) held out from the end. Class balance is
+    /// preserved by the round-robin labelling of the generators.
+    pub fn split(&self, eval_fraction: f64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&eval_fraction));
+        let eval_len = ((self.len() as f64) * eval_fraction) as usize;
+        let train_len = self.len() - eval_len;
+        let take = |lo: usize, hi: usize| Dataset {
+            dims: self.dims,
+            classes: self.classes,
+            features: self.features[lo * self.dims..hi * self.dims].to_vec(),
+            labels: self.labels[lo..hi].to_vec(),
+        };
+        (take(0, train_len), take(train_len, self.len()))
+    }
+
+    /// Splits into `n` equal worker shards (data parallelism).
+    pub fn shards(&self, n: usize) -> Vec<Dataset> {
+        assert!(n >= 1);
+        let per = self.len() / n;
+        assert!(per > 0, "not enough samples for {n} shards");
+        (0..n)
+            .map(|w| {
+                let lo = w * per;
+                let hi = lo + per;
+                Dataset {
+                    dims: self.dims,
+                    classes: self.classes,
+                    features: self.features[lo * self.dims..hi * self.dims].to_vec(),
+                    labels: self.labels[lo..hi].to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.random_range(1e-7f32..1.0);
+    let u2: f32 = rng.random_range(0.0f32..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shape_and_balance() {
+        let d = Dataset::blobs(300, 8, 3, 0.1, 1);
+        assert_eq!(d.len(), 300);
+        assert_eq!(d.features.len(), 300 * 8);
+        for c in 0..3 {
+            assert_eq!(d.labels.iter().filter(|&&l| l == c).count(), 100);
+        }
+    }
+
+    #[test]
+    fn datasets_are_seeded() {
+        let a = Dataset::blobs(50, 4, 2, 0.1, 7);
+        let b = Dataset::blobs(50, 4, 2, 0.1, 7);
+        let c = Dataset::blobs(50, 4, 2, 0.1, 8);
+        assert_eq!(a.features, b.features);
+        assert_ne!(a.features, c.features);
+    }
+
+    #[test]
+    fn shards_partition_evenly() {
+        let d = Dataset::rings(120, 6, 2, 0.05, 3);
+        let shards = d.shards(4);
+        assert_eq!(shards.len(), 4);
+        assert!(shards.iter().all(|s| s.len() == 30));
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 120);
+    }
+
+    #[test]
+    fn rings_have_expected_radii() {
+        let d = Dataset::rings(200, 2, 2, 0.0, 5);
+        for i in 0..d.len() {
+            let r = (d.row(i)[0].powi(2) + d.row(i)[1].powi(2)).sqrt();
+            let expected = 1.0 + d.labels[i] as f32;
+            assert!((r - expected).abs() < 1e-4, "r={r} class={}", d.labels[i]);
+        }
+    }
+}

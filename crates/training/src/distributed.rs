@@ -1,0 +1,296 @@
+//! Data-parallel training with real compressed gradient synchronization.
+//!
+//! Each simulated worker holds a replica of the model and a shard of the
+//! data; every step it computes gradients on its own mini-batch, pushes
+//! each parameter tensor through the configured `espresso-gc` compressor
+//! (with its own per-tensor error-feedback state), and all workers apply
+//! the identical averaged result — synchronous data-parallel DDL's
+//! invariant, executed for real.
+
+use espresso_gc::{aggregate::synchronize, Compressor, ErrorFeedback, GcAlgorithm};
+
+use crate::{data::Dataset, mlp::Mlp, optimizer::Optimizer};
+
+/// How gradients are synchronized each step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncMode {
+    /// Plain FP32 averaging (the paper's FP32 baseline).
+    Fp32,
+    /// Compressed with error feedback.
+    Compressed(GcAlgorithm),
+}
+
+impl SyncMode {
+    /// Display name for logs and figures.
+    pub fn name(&self) -> String {
+        match self {
+            SyncMode::Fp32 => "FP32".to_string(),
+            SyncMode::Compressed(a) => a.name().to_string(),
+        }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone)]
+pub struct TrainLog {
+    /// Mean training loss at each evaluation point.
+    pub loss: Vec<f32>,
+    /// Evaluation accuracy at each evaluation point.
+    pub accuracy: Vec<f64>,
+}
+
+impl TrainLog {
+    /// Final accuracy (the Figure 16 comparison point).
+    pub fn final_accuracy(&self) -> f64 {
+        *self.accuracy.last().expect("at least one evaluation")
+    }
+}
+
+/// A synchronous data-parallel trainer.
+pub struct DistributedTrainer {
+    workers: usize,
+    batch_per_worker: usize,
+    optimizer: Optimizer,
+    mode: SyncMode,
+    compressor: Option<Box<dyn Compressor>>,
+    ef: Vec<Vec<ErrorFeedback>>, // ef[worker][tensor]
+}
+
+impl DistributedTrainer {
+    /// Creates a trainer with `workers` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `batch_per_worker` is zero.
+    pub fn new(workers: usize, batch_per_worker: usize, lr: f32, mode: SyncMode) -> Self {
+        Self::with_optimizer(workers, batch_per_worker, Optimizer::sgd(lr), mode)
+    }
+
+    /// Creates a trainer with an explicit optimizer (e.g. momentum SGD,
+    /// as the paper's real workloads use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `batch_per_worker` is zero.
+    pub fn with_optimizer(
+        workers: usize,
+        batch_per_worker: usize,
+        optimizer: Optimizer,
+        mode: SyncMode,
+    ) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(batch_per_worker > 0, "need a non-empty batch");
+        Self {
+            workers,
+            batch_per_worker,
+            optimizer,
+            mode,
+            compressor: match mode {
+                SyncMode::Fp32 => None,
+                SyncMode::Compressed(a) => Some(a.build()),
+            },
+            ef: Vec::new(),
+        }
+    }
+
+    /// The configured synchronization mode.
+    pub fn mode(&self) -> SyncMode {
+        self.mode
+    }
+
+    /// Trains `model` on `data` for `steps` steps, evaluating on `eval`
+    /// every `eval_every` steps.
+    ///
+    /// Returns the telemetry log; `model` ends in the trained state.
+    pub fn train(
+        &mut self,
+        model: &mut Mlp,
+        data: &Dataset,
+        eval: &Dataset,
+        steps: usize,
+        eval_every: usize,
+    ) -> TrainLog {
+        let shards = data.shards(self.workers);
+        self.optimizer.reset();
+        // Per-worker, per-tensor error-feedback state.
+        self.ef = (0..self.workers)
+            .map(|_| {
+                (0..model.num_tensors())
+                    .map(|t| ErrorFeedback::new(model.tensor_len(t)))
+                    .collect()
+            })
+            .collect();
+        let mut log = TrainLog {
+            loss: Vec::new(),
+            accuracy: Vec::new(),
+        };
+        for step in 0..steps {
+            // Each worker's gradients on its own mini-batch.
+            let mut worker_grads: Vec<Vec<Vec<f32>>> = Vec::with_capacity(self.workers);
+            let mut mean_loss = 0.0f32;
+            for (w, shard) in shards.iter().enumerate() {
+                let batch: Vec<usize> = (0..self.batch_per_worker)
+                    .map(|b| (step * self.batch_per_worker + b + w * 13) % shard.len())
+                    .collect();
+                let (loss, grads) = model.loss_and_grads(shard, &batch);
+                mean_loss += loss / self.workers as f32;
+                worker_grads.push(grads);
+            }
+            // Synchronize each tensor across workers.
+            let synced: Vec<Vec<f32>> = (0..model.num_tensors())
+                .map(|t| {
+                    let per_worker: Vec<Vec<f32>> = worker_grads
+                        .iter()
+                        .map(|g| g[t].clone())
+                        .collect();
+                    match &self.compressor {
+                        None => average(&per_worker),
+                        Some(c) => {
+                            // Move tensor t's per-worker EF states out,
+                            // synchronize, and put them back (the states
+                            // live in a worker-major grid, `synchronize`
+                            // wants them tensor-major).
+                            let mut taken: Vec<ErrorFeedback> = self
+                                .ef
+                                .iter_mut()
+                                .map(|w| std::mem::take(&mut w[t]))
+                                .collect();
+                            let out = synchronize(
+                                c.as_ref(),
+                                &per_worker,
+                                &mut taken,
+                                step as u64,
+                                t as u64,
+                            );
+                            for (w, state) in taken.into_iter().enumerate() {
+                                self.ef[w][t] = state;
+                            }
+                            out
+                        }
+                    }
+                })
+                .collect();
+            let deltas = self.optimizer.step(&synced);
+            model.apply(&deltas, 1.0);
+            if (step + 1) % eval_every == 0 || step + 1 == steps {
+                log.loss.push(mean_loss);
+                log.accuracy.push(model.accuracy(eval));
+            }
+        }
+        log
+    }
+}
+
+fn average(grads: &[Vec<f32>]) -> Vec<f32> {
+    let mut out = vec![0.0f32; grads[0].len()];
+    let inv = 1.0 / grads.len() as f32;
+    for g in grads {
+        for (o, &v) in out.iter_mut().zip(g) {
+            *o += v * inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mode: SyncMode, steps: usize) -> f64 {
+        let (data, eval) = Dataset::blobs(768, 10, 4, 0.55, 21).split(0.25);
+        let mut model = Mlp::new(10, 24, 4, 7);
+        let mut trainer = DistributedTrainer::new(4, 16, 0.25, mode);
+        let log = trainer.train(&mut model, &data, &eval, steps, 50);
+        log.final_accuracy()
+    }
+
+    #[test]
+    fn fp32_distributed_training_converges() {
+        assert!(run(SyncMode::Fp32, 400) > 0.93);
+    }
+
+    #[test]
+    fn efsignsgd_matches_fp32_accuracy() {
+        let fp32 = run(SyncMode::Fp32, 400);
+        let signed = run(SyncMode::Compressed(GcAlgorithm::EfSignSgd), 400);
+        assert!(
+            signed > fp32 - 0.05,
+            "EFSignSGD {signed} vs FP32 {fp32}"
+        );
+    }
+
+    #[test]
+    fn dgc_matches_fp32_accuracy() {
+        let fp32 = run(SyncMode::Fp32, 600);
+        let dgc = run(SyncMode::Compressed(GcAlgorithm::Dgc { density: 0.05 }), 600);
+        assert!(dgc > fp32 - 0.06, "DGC {dgc} vs FP32 {fp32}");
+    }
+
+    #[test]
+    fn randomk_matches_fp32_accuracy() {
+        let fp32 = run(SyncMode::Fp32, 600);
+        let rk = run(
+            SyncMode::Compressed(GcAlgorithm::RandomK { density: 0.1 }),
+            600,
+        );
+        assert!(rk > fp32 - 0.08, "RandomK {rk} vs FP32 {fp32}");
+    }
+
+    #[test]
+    fn workers_stay_consistent() {
+        // The synchronized update is applied identically by construction;
+        // assert the trainer is deterministic end-to-end.
+        let a = run(SyncMode::Compressed(GcAlgorithm::EfSignSgd), 100);
+        let b = run(SyncMode::Compressed(GcAlgorithm::EfSignSgd), 100);
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod momentum_tests {
+    use super::*;
+    use crate::optimizer::Optimizer;
+
+    #[test]
+    fn momentum_with_compression_still_converges() {
+        // DGC's momentum-correction claim at substrate scale: momentum SGD
+        // with sparsified, error-fed-back gradients reaches FP32-momentum
+        // accuracy.
+        let (data, eval) = Dataset::blobs(768, 10, 4, 0.55, 21).split(0.25);
+        let run = |mode: SyncMode| -> f64 {
+            let mut model = Mlp::new(10, 24, 4, 7);
+            let mut trainer = DistributedTrainer::with_optimizer(
+                4,
+                16,
+                Optimizer::momentum(0.05, 0.9),
+                mode,
+            );
+            trainer
+                .train(&mut model, &data, &eval, 400, 100)
+                .final_accuracy()
+        };
+        let fp32 = run(SyncMode::Fp32);
+        let dgc = run(SyncMode::Compressed(GcAlgorithm::Dgc { density: 0.05 }));
+        assert!(fp32 > 0.9, "momentum FP32 failed: {fp32}");
+        assert!(dgc > fp32 - 0.06, "momentum DGC {dgc} vs FP32 {fp32}");
+    }
+
+    #[test]
+    fn momentum_beats_plain_sgd_on_few_steps() {
+        // Sanity: with a small LR budget, momentum makes faster progress.
+        let (data, eval) = Dataset::rings(600, 4, 2, 0.08, 5).split(0.25);
+        let run = |opt: Optimizer| -> f64 {
+            let mut model = Mlp::new(4, 24, 2, 9);
+            let mut trainer = DistributedTrainer::with_optimizer(4, 16, opt, SyncMode::Fp32);
+            trainer
+                .train(&mut model, &data, &eval, 150, 150)
+                .final_accuracy()
+        };
+        let plain = run(Optimizer::sgd(0.02));
+        let momentum = run(Optimizer::momentum(0.02, 0.9));
+        assert!(
+            momentum >= plain - 1e-9,
+            "momentum {momentum} vs plain {plain}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Convergence-validation substrate (paper section 5.4 / Figure 16).
+//!
+//! The paper's convergence claim — gradient compression with error
+//! feedback preserves training accuracy — is a property of the
+//! compression *algorithms*, which this workspace implements for real.
+//! This crate provides the smallest training stack that exercises them
+//! end-to-end:
+//!
+//! * [`data`] — seeded synthetic classification datasets,
+//! * [`mlp`] — a pure-Rust multi-layer perceptron with softmax
+//!   cross-entropy loss,
+//! * [`distributed`] — a data-parallel trainer whose workers push their
+//!   gradients through the *actual* `espresso-gc` compressors (with
+//!   per-worker error-feedback state) before averaging — the exact
+//!   synchronization semantics of compression-enabled DDL.
+//!
+//! Figure 16's SQuAD/ImageNet runs are substituted with these synthetic
+//! tasks per DESIGN.md: the observable being validated (compressed
+//! accuracy ~= FP32 accuracy) transfers, the datasets do not.
+
+pub mod data;
+pub mod distributed;
+pub mod mlp;
+pub mod optimizer;
+
+pub use data::Dataset;
+pub use distributed::{DistributedTrainer, SyncMode, TrainLog};
+pub use mlp::Mlp;
+pub use optimizer::Optimizer;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::{
+        data::Dataset,
+        distributed::{DistributedTrainer, SyncMode, TrainLog},
+        mlp::Mlp,
+        optimizer::Optimizer,
+    };
+}

@@ -1,0 +1,253 @@
+//! A pure-Rust multi-layer perceptron with softmax cross-entropy loss.
+//!
+//! The parameters are exposed as a list of named gradient tensors — the
+//! same shape of interface the DDL stack synchronizes — so the
+//! distributed trainer can compress each parameter tensor independently,
+//! exactly as a real framework does.
+
+use rand::{
+    rngs::StdRng,
+    Rng,
+    SeedableRng,
+};
+
+use crate::data::Dataset;
+
+/// A two-layer perceptron: `dims -> hidden (ReLU) -> classes (softmax)`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Input dimensionality.
+    pub dims: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Parameter tensors: `[w1, b1, w2, b2]`.
+    params: Vec<Vec<f32>>,
+}
+
+/// Indices and shapes of the four parameter tensors.
+const NUM_TENSORS: usize = 4;
+
+impl Mlp {
+    /// Initializes with seeded He-style weights.
+    pub fn new(dims: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale1 = (2.0 / dims as f32).sqrt();
+        let scale2 = (2.0 / hidden as f32).sqrt();
+        let w1 = (0..dims * hidden)
+            .map(|_| rng.random_range(-1.0f32..1.0) * scale1)
+            .collect();
+        let b1 = vec![0.0; hidden];
+        let w2 = (0..hidden * classes)
+            .map(|_| rng.random_range(-1.0f32..1.0) * scale2)
+            .collect();
+        let b2 = vec![0.0; classes];
+        Self {
+            dims,
+            hidden,
+            classes,
+            params: vec![w1, b1, w2, b2],
+        }
+    }
+
+    /// Number of parameter tensors (gradient tensors to synchronize).
+    pub fn num_tensors(&self) -> usize {
+        NUM_TENSORS
+    }
+
+    /// Element count of parameter tensor `i`.
+    pub fn tensor_len(&self, i: usize) -> usize {
+        self.params[i].len()
+    }
+
+    /// Forward pass for one sample: returns (hidden activations, logits).
+    fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let w1 = &self.params[0];
+        let b1 = &self.params[1];
+        let w2 = &self.params[2];
+        let b2 = &self.params[3];
+        let mut h = vec![0.0f32; self.hidden];
+        for (j, hj) in h.iter_mut().enumerate() {
+            let mut acc = b1[j];
+            for (d, &xd) in x.iter().enumerate() {
+                acc += w1[d * self.hidden + j] * xd;
+            }
+            *hj = acc.max(0.0); // ReLU.
+        }
+        let mut logits = vec![0.0f32; self.classes];
+        for (k, lk) in logits.iter_mut().enumerate() {
+            let mut acc = b2[k];
+            for (j, &hj) in h.iter().enumerate() {
+                acc += w2[j * self.classes + k] * hj;
+            }
+            *lk = acc;
+        }
+        (h, logits)
+    }
+
+    /// Mean cross-entropy loss and parameter gradients over a batch of
+    /// sample indices.
+    pub fn loss_and_grads(&self, data: &Dataset, batch: &[usize]) -> (f32, Vec<Vec<f32>>) {
+        assert!(!batch.is_empty(), "empty batch");
+        let mut grads: Vec<Vec<f32>> = self.params.iter().map(|p| vec![0.0; p.len()]).collect();
+        let mut loss = 0.0f32;
+        let inv = 1.0 / batch.len() as f32;
+        for &i in batch {
+            let x = data.row(i);
+            let y = data.labels[i];
+            let (h, logits) = self.forward(x);
+            let probs = softmax(&logits);
+            loss -= (probs[y].max(1e-12)).ln();
+            // dL/dlogits = probs - onehot(y).
+            let mut dlogits = probs;
+            dlogits[y] -= 1.0;
+            // w2, b2 gradients and hidden backprop.
+            let w2 = &self.params[2];
+            let mut dh = vec![0.0f32; self.hidden];
+            for (j, &hj) in h.iter().enumerate() {
+                for (k, &dk) in dlogits.iter().enumerate() {
+                    grads[2][j * self.classes + k] += hj * dk * inv;
+                    dh[j] += w2[j * self.classes + k] * dk;
+                }
+            }
+            for (k, &dk) in dlogits.iter().enumerate() {
+                grads[3][k] += dk * inv;
+            }
+            // ReLU mask then w1, b1 gradients.
+            for (j, dhj) in dh.iter_mut().enumerate() {
+                if h[j] <= 0.0 {
+                    *dhj = 0.0;
+                }
+                grads[1][j] += *dhj * inv;
+            }
+            for (d, &xd) in x.iter().enumerate() {
+                for (j, &dhj) in dh.iter().enumerate() {
+                    grads[0][d * self.hidden + j] += xd * dhj * inv;
+                }
+            }
+        }
+        (loss * inv, grads)
+    }
+
+    /// Applies an SGD step with the given per-tensor gradients.
+    pub fn apply(&mut self, grads: &[Vec<f32>], lr: f32) {
+        assert_eq!(grads.len(), NUM_TENSORS);
+        for (p, g) in self.params.iter_mut().zip(grads) {
+            assert_eq!(p.len(), g.len(), "gradient shape mismatch");
+            for (pv, &gv) in p.iter_mut().zip(g) {
+                *pv -= lr * gv;
+            }
+        }
+    }
+
+    /// Classification accuracy over a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let correct = (0..data.len())
+            .filter(|&i| {
+                let (_, logits) = self.forward(data.row(i));
+                argmax(&logits) == data.labels[i]
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Mean loss over a dataset (no gradients).
+    pub fn loss(&self, data: &Dataset) -> f32 {
+        let mut loss = 0.0;
+        for i in 0..data.len() {
+            let (_, logits) = self.forward(data.row(i));
+            let probs = softmax(&logits);
+            loss -= probs[data.labels[i]].max(1e-12).ln();
+        }
+        loss / data.len() as f32
+    }
+}
+
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let data = Dataset::blobs(8, 3, 2, 0.2, 11);
+        let mlp = Mlp::new(3, 4, 2, 5);
+        let batch: Vec<usize> = (0..8).collect();
+        let (_, grads) = mlp.loss_and_grads(&data, &batch);
+        let eps = 1e-3f32;
+        // Spot-check a handful of coordinates in each tensor.
+        for (ti, grad) in grads.iter().enumerate() {
+            for ci in [0usize, grad.len() / 2, grad.len() - 1] {
+                let mut plus = mlp.clone();
+                plus.params[ti][ci] += eps;
+                let mut minus = mlp.clone();
+                minus.params[ti][ci] -= eps;
+                let lp = {
+                    let (l, _) = plus.loss_and_grads(&data, &batch);
+                    l
+                };
+                let lm = {
+                    let (l, _) = minus.loss_and_grads(&data, &batch);
+                    l
+                };
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grad[ci]).abs() < 2e-2,
+                    "tensor {ti} coord {ci}: fd={fd} analytic={}",
+                    grad[ci]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_sgd_learns_blobs() {
+        let data = Dataset::blobs(200, 8, 3, 0.15, 2);
+        let mut mlp = Mlp::new(8, 16, 3, 3);
+        let batch: Vec<usize> = (0..32).collect();
+        for step in 0..300 {
+            let idx: Vec<usize> = batch.iter().map(|b| (b + step * 32) % data.len()).collect();
+            let (_, grads) = mlp.loss_and_grads(&data, &idx);
+            mlp.apply(&grads, 0.3);
+        }
+        let acc = mlp.accuracy(&data);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn rings_require_the_hidden_layer() {
+        let data = Dataset::rings(300, 2, 2, 0.05, 4);
+        let mut mlp = Mlp::new(2, 24, 2, 9);
+        for step in 0..600 {
+            let idx: Vec<usize> = (0..32).map(|b| (b + step * 32) % data.len()).collect();
+            let (_, grads) = mlp.loss_and_grads(&data, &idx);
+            mlp.apply(&grads, 0.2);
+        }
+        assert!(mlp.accuracy(&data) > 0.9);
+    }
+
+    #[test]
+    fn tensor_metadata() {
+        let mlp = Mlp::new(5, 7, 3, 0);
+        assert_eq!(mlp.num_tensors(), 4);
+        assert_eq!(mlp.tensor_len(0), 35);
+        assert_eq!(mlp.tensor_len(1), 7);
+        assert_eq!(mlp.tensor_len(2), 21);
+        assert_eq!(mlp.tensor_len(3), 3);
+    }
+}

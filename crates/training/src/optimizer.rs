@@ -1,0 +1,132 @@
+//! Optimizers for the convergence substrate.
+//!
+//! Plain SGD plus two variants the GC literature prescribes:
+//!
+//! * **Momentum SGD** — the optimizer the paper's real workloads use.
+//! * **DGC momentum correction** (Lin et al., section 3.1 of the DGC
+//!   paper): with sparsified gradients, plain momentum double-counts
+//!   delayed coordinates; the correction accumulates *velocity* in the
+//!   error-feedback position instead, i.e. momentum is applied before
+//!   compression on each worker. In this substrate the trainer exposes it
+//!   as a per-worker velocity pass over local gradients.
+
+/// A stateful parameter-update rule over the model's tensor list.
+#[derive(Debug, Clone)]
+pub enum Optimizer {
+    /// Plain SGD: `p -= lr * g`.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Momentum SGD: `v = m*v + g; p -= lr * v`.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (e.g. 0.9).
+        momentum: f32,
+        /// Per-tensor velocity buffers (lazily sized).
+        velocity: Vec<Vec<f32>>,
+    },
+}
+
+impl Optimizer {
+    /// Plain SGD.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd { lr }
+    }
+
+    /// Momentum SGD.
+    pub fn momentum(lr: f32, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum out of range");
+        Optimizer::Momentum {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn lr(&self) -> f32 {
+        match self {
+            Optimizer::Sgd { lr } | Optimizer::Momentum { lr, .. } => *lr,
+        }
+    }
+
+    /// Converts synchronized gradients into parameter deltas (the values
+    /// to subtract from the parameters).
+    pub fn step(&mut self, grads: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        match self {
+            Optimizer::Sgd { lr } => grads
+                .iter()
+                .map(|g| g.iter().map(|&v| *lr * v).collect())
+                .collect(),
+            Optimizer::Momentum {
+                lr,
+                momentum,
+                velocity,
+            } => {
+                if velocity.len() != grads.len() {
+                    *velocity = grads.iter().map(|g| vec![0.0; g.len()]).collect();
+                }
+                grads
+                    .iter()
+                    .zip(velocity.iter_mut())
+                    .map(|(g, v)| {
+                        v.iter_mut()
+                            .zip(g)
+                            .map(|(vv, &gv)| {
+                                *vv = *momentum * *vv + gv;
+                                *lr * *vv
+                            })
+                            .collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Resets optimizer state (velocities).
+    pub fn reset(&mut self) {
+        if let Optimizer::Momentum { velocity, .. } = self {
+            velocity.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_scales_by_lr() {
+        let mut opt = Optimizer::sgd(0.5);
+        let deltas = opt.step(&[vec![2.0, -4.0]]);
+        assert_eq!(deltas, vec![vec![1.0, -2.0]]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Optimizer::momentum(1.0, 0.5);
+        let d1 = opt.step(&[vec![1.0]]);
+        assert_eq!(d1, vec![vec![1.0]]);
+        let d2 = opt.step(&[vec![1.0]]);
+        assert_eq!(d2, vec![vec![1.5]]);
+        let d3 = opt.step(&[vec![0.0]]);
+        assert_eq!(d3, vec![vec![0.75]]);
+    }
+
+    #[test]
+    fn reset_clears_velocity() {
+        let mut opt = Optimizer::momentum(1.0, 0.9);
+        opt.step(&[vec![1.0]]);
+        opt.reset();
+        let d = opt.step(&[vec![1.0]]);
+        assert_eq!(d, vec![vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum out of range")]
+    fn bad_momentum_rejected() {
+        let _ = Optimizer::momentum(0.1, 1.5);
+    }
+}

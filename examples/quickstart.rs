@@ -1,0 +1,87 @@
+//! Quickstart: select a near-optimal compression strategy for a training
+//! job and compare it against the FP32 and compression baselines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use espresso_repro::prelude::*;
+use espresso_repro::espresso::baselines::Baseline;
+
+fn main() {
+    // The three inputs of the paper's Figure 6: model information (from
+    // the zoo), GC information (algorithm + ratio), and training-system
+    // information (machines, GPUs, links).
+    let model = Model::BertBase.profile();
+    let cluster = Cluster::nvlink_100g(8, 8);
+    let algo = GcAlgorithm::randomk_1pct();
+    let job = Job::new(model, cluster, algo);
+
+    println!(
+        "Job: {} ({} tensors, {:.0} MB) + {} on {} machines x {} GPUs\n",
+        job.model.name,
+        job.num_tensors(),
+        job.model.total_bytes() as f64 / (1024.0 * 1024.0),
+        job.algo.name(),
+        job.cluster.machines,
+        job.cluster.gpus_per_machine,
+    );
+
+    // Select the strategy: Algorithm 1 (GPU compression decisions),
+    // Algorithm 2 (optimal CPU offloading), CPU backfill.
+    let espresso = Espresso::new(job.clone());
+    let (strategy, report) = espresso.select_strategy();
+    println!(
+        "Espresso selected in {:.0} ms (Alg.1 {:.0} ms, Alg.2 {:.0} ms, backfill {:.0} ms):",
+        (report.gpu_decision_seconds + report.offload_seconds + report.backfill_seconds) * 1e3,
+        report.gpu_decision_seconds * 1e3,
+        report.offload_seconds * 1e3,
+        report.backfill_seconds * 1e3,
+    );
+    println!(
+        "  {} tensors compressed ({} offloaded to CPU, {} CPU-backfilled), {} ruled out by bubbles",
+        strategy.num_compressed(),
+        report.offloaded_tensors,
+        report.backfilled_tensors,
+        report.ruled_out_tensors,
+    );
+    println!(
+        "  iteration time {:.2} ms -> throughput {:.0} tokens/s, scaling factor {:.3}\n",
+        report.iteration_time * 1e3,
+        job.throughput(report.iteration_time),
+        job.scaling_factor(report.iteration_time),
+    );
+
+    println!("Strategy census:");
+    print!("{}", espresso_repro::espresso::Census::of(&job, &strategy).render());
+    println!();
+
+    // A peek at the chosen per-tensor options.
+    println!("Sample of per-tensor decisions:");
+    for idx in [0usize, 1, 10, 100, job.num_tensors() - 1] {
+        println!(
+            "  T{idx:<3} {:<34} {}",
+            job.model.tensors[idx].name,
+            strategy.option(idx).describe()
+        );
+    }
+    println!();
+
+    // Comparison against the section 5 baselines.
+    println!("{:<16} {:>12} {:>9}", "scheme", "tokens/s", "scaling");
+    for b in Baseline::ALL {
+        let t = espresso.evaluate(&b.strategy(&job));
+        println!(
+            "{:<16} {:>12.0} {:>9.3}",
+            b.name(),
+            job.throughput(t),
+            job.scaling_factor(t)
+        );
+    }
+    println!(
+        "{:<16} {:>12.0} {:>9.3}",
+        "Espresso",
+        job.throughput(report.iteration_time),
+        job.scaling_factor(report.iteration_time)
+    );
+}

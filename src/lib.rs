@@ -1,0 +1,24 @@
+//! Workspace façade crate for the Espresso reproduction.
+//!
+//! This crate exists so the repository root can host the runnable
+//! [`examples/`](../examples) and the cross-crate integration tests in
+//! [`tests/`](../tests). It re-exports every member crate under one roof so
+//! examples can `use espresso_repro::prelude::*`.
+
+pub use espresso;
+pub use espresso_cluster as cluster;
+pub use espresso_gc as gc;
+pub use espresso_models as models;
+pub use espresso_sim as sim;
+pub use espresso_strategy as strategy;
+pub use espresso_training as training;
+
+/// One-stop imports for examples and integration tests.
+pub mod prelude {
+    pub use espresso_cluster::prelude::*;
+    pub use espresso_gc::prelude::*;
+    pub use espresso_models::prelude::*;
+    pub use espresso_sim::prelude::*;
+    pub use espresso_strategy::prelude::*;
+    pub use espresso::prelude::*;
+}

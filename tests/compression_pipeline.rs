@@ -1,0 +1,109 @@
+//! Cross-crate compression-path integration: the wire sizes the strategy
+//! layer *plans with* must match what the gc layer *actually produces*,
+//! and compressed synchronization must stay numerically faithful at the
+//! scales the zoo uses.
+
+use espresso_repro::gc::prelude::*;
+use espresso_repro::prelude::*;
+
+#[test]
+fn planned_wire_sizes_match_real_blobs() {
+    // The simulator charges communication using
+    // `GcAlgorithm::compressed_bytes`; the actual compressors must produce
+    // exactly those bytes for every zoo tensor size.
+    for algo in [
+        GcAlgorithm::randomk_1pct(),
+        GcAlgorithm::dgc_1pct(),
+        GcAlgorithm::EfSignSgd,
+        GcAlgorithm::Qsgd { levels: 127 },
+        GcAlgorithm::TernGrad,
+        GcAlgorithm::Fp16,
+    ] {
+        let compressor = algo.build();
+        for model in [Model::Lstm, Model::Vgg16] {
+            for tensor in &model.profile().tensors {
+                // Cap the actual compression work at 1M elements; the size
+                // formula is what is under test and it is exact.
+                let n = tensor.elems.min(1 << 20);
+                let grad = vec![0.5f32; n];
+                let blob = compressor.compress(&grad, CompressCtx::default());
+                assert_eq!(
+                    blob.wire_bytes(),
+                    algo.compressed_bytes(n),
+                    "{} x {}",
+                    algo.name(),
+                    n
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn synchronization_error_is_bounded_for_quantizers() {
+    // One synchronization round of EFSignSGD across 8 workers: the
+    // averaged result points in the right direction per coordinate sign
+    // for coordinated gradients.
+    let comp = GcAlgorithm::EfSignSgd.build();
+    let n = 4096;
+    let grads: Vec<Vec<f32>> = (0..8)
+        .map(|w| {
+            (0..n)
+                .map(|i| ((i + w) as f32 * 0.1).sin() + 2.0 * ((i % 7) as f32 - 3.0))
+                .collect()
+        })
+        .collect();
+    let mut efs: Vec<ErrorFeedback> = (0..8).map(|_| ErrorFeedback::new(n)).collect();
+    let synced = synchronize(comp.as_ref(), &grads, &mut efs, 0, 0);
+    let mean: Vec<f32> = (0..n)
+        .map(|i| grads.iter().map(|g| g[i]).sum::<f32>() / 8.0)
+        .collect();
+    let agree = (0..n)
+        .filter(|&i| mean[i].abs() > 0.5 && synced[i].signum() == mean[i].signum())
+        .count();
+    let strong = (0..n).filter(|&i| mean[i].abs() > 0.5).count();
+    assert!(
+        agree as f64 / strong as f64 > 0.95,
+        "sign agreement {agree}/{strong}"
+    );
+}
+
+#[test]
+fn strategy_serialization_round_trips() {
+    // Compression options are declarative data; they must survive JSON
+    // (the format of the Figure 6 configuration files).
+    let cluster = Cluster::nvlink_100g(4, 4);
+    let space = OptionSpace::enumerate(&cluster);
+    for opt in space.all().iter().step_by(211) {
+        let json = serde_json::to_string(&**opt).unwrap();
+        let back: espresso_repro::strategy::CompressionOption =
+            serde_json::from_str(&json).unwrap();
+        assert_eq!(back, **opt);
+        back.validate(&cluster).unwrap();
+    }
+}
+
+#[test]
+fn end_to_end_compressed_training_with_the_paper_suite() {
+    // Every algorithm the paper evaluates trains the substitute task to
+    // within a few points of FP32 — the Figure 16 property, cross-crate.
+    use espresso_repro::training::{Dataset, DistributedTrainer, Mlp, SyncMode};
+    let (train, eval) = Dataset::blobs(768, 10, 4, 0.55, 77).split(0.25);
+    let run = |mode: SyncMode| -> f64 {
+        let mut model = Mlp::new(10, 24, 4, 3);
+        let mut trainer = DistributedTrainer::new(4, 16, 0.25, mode);
+        trainer
+            .train(&mut model, &train, &eval, 400, 100)
+            .final_accuracy()
+    };
+    let fp32 = run(SyncMode::Fp32);
+    assert!(fp32 > 0.8, "FP32 failed to learn: {fp32}");
+    for algo in GcAlgorithm::paper_suite() {
+        let acc = run(SyncMode::Compressed(algo));
+        assert!(
+            acc > fp32 - 0.08,
+            "{}: {acc} vs FP32 {fp32}",
+            algo.name()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! The shipped JSON configuration files (Figure 6's three inputs) must
+//! parse and drive a full selection.
+
+use espresso_repro::espresso::config::{build_job, GcConfig, ModelConfig, SystemConfig};
+use espresso_repro::espresso::Espresso;
+use serde::Deserialize;
+
+#[derive(Debug, Deserialize)]
+struct FileConfig {
+    model: ModelConfig,
+    gc: GcConfig,
+    system: SystemConfig,
+}
+
+fn load(path: &str) -> FileConfig {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn shipped_configs_parse_and_resolve() {
+    for path in [
+        "examples/configs/bert_nvlink.json",
+        "examples/configs/lstm_pcie.json",
+    ] {
+        let cfg = load(path);
+        let job = build_job(&cfg.model, &cfg.gc, &cfg.system, None).unwrap();
+        assert_eq!(job.cluster.total_gpus(), 64, "{path}");
+        assert!(job.num_tensors() > 0, "{path}");
+    }
+}
+
+#[test]
+fn lstm_config_drives_a_full_selection() {
+    let cfg = load("examples/configs/lstm_pcie.json");
+    // Shrink the cluster so the test stays fast in debug builds.
+    let system = SystemConfig {
+        machines: 2,
+        gpus_per_machine: 4,
+        ..cfg.system
+    };
+    let job = build_job(&cfg.model, &cfg.gc, &system, None).unwrap();
+    let (strategy, report) = Espresso::new(job).select_strategy();
+    assert_eq!(strategy.len(), 10);
+    assert!(report.iteration_time > 0.0);
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration: the full Figure 6 pipeline — three
+//! configuration inputs, trace collection, strategy selection, execution
+//! in the timeline simulator — and the paper's headline invariants.
+
+use espresso_repro::espresso::baselines::Baseline;
+use espresso_repro::espresso::config::{build_job, GcConfig, ModelConfig, SystemConfig};
+use espresso_repro::espresso::{upper_bound_time, Espresso};
+use espresso_repro::prelude::*;
+
+/// A small-but-real job: 4 machines x 4 GPUs keeps every test fast while
+/// still exercising intra + inter phases.
+fn small_job(model: &str, algo: GcAlgorithm, pcie: bool) -> Job {
+    let model = ModelConfig::Named {
+        model: model.into(),
+    };
+    let gc = GcConfig { algorithm: algo };
+    let system = SystemConfig {
+        machines: 4,
+        gpus_per_machine: 4,
+        intra: if pcie {
+            espresso_repro::cluster::IntraFabric::Pcie
+        } else {
+            espresso_repro::cluster::IntraFabric::NvLink
+        },
+        inter_gbps: if pcie { 25.0 } else { 100.0 },
+    };
+    build_job(&model, &gc, &system, None).expect("zoo model resolves")
+}
+
+#[test]
+fn configs_to_strategy_pipeline() {
+    let job = small_job("LSTM", GcAlgorithm::EfSignSgd, true);
+    let espresso = Espresso::new(job.clone());
+    let (strategy, report) = espresso.select_strategy();
+    assert_eq!(strategy.len(), job.num_tensors());
+    assert!(report.iteration_time > 0.0 && report.iteration_time.is_finite());
+    // Executing the selected strategy reproduces the reported time.
+    let executed = simulate(&job, &strategy, &SimConfig::default());
+    assert!((executed.iteration_time - report.iteration_time).abs() < 1e-9);
+}
+
+#[test]
+fn espresso_beats_every_baseline_on_every_small_job() {
+    // The paper's headline invariant, across models, algorithms, and both
+    // testbeds (at reduced scale for test time).
+    let cases = [
+        ("LSTM", GcAlgorithm::dgc_1pct(), true),
+        ("LSTM", GcAlgorithm::EfSignSgd, false),
+        ("VGG16", GcAlgorithm::randomk_1pct(), true),
+        ("GPT2", GcAlgorithm::EfSignSgd, false),
+    ];
+    for (model, algo, pcie) in cases {
+        let job = small_job(model, algo, pcie);
+        let espresso = Espresso::new(job.clone());
+        let (_, report) = espresso.select_strategy();
+        for b in Baseline::ALL {
+            let t = espresso.evaluate(&b.strategy(&job));
+            assert!(
+                report.iteration_time <= t + 1e-9,
+                "{model}+{}: Espresso {:.3}ms lost to {} {:.3}ms",
+                algo.name(),
+                report.iteration_time * 1e3,
+                b.name(),
+                t * 1e3
+            );
+        }
+    }
+}
+
+#[test]
+fn upper_bound_dominates_espresso() {
+    for (model, algo) in [
+        ("LSTM", GcAlgorithm::EfSignSgd),
+        ("VGG16", GcAlgorithm::randomk_1pct()),
+    ] {
+        let job = small_job(model, algo, true);
+        let espresso = Espresso::new(job.clone());
+        let (_, report) = espresso.select_strategy();
+        let ub = upper_bound_time(&job, espresso.space());
+        assert!(
+            ub <= report.iteration_time + 1e-9,
+            "{model}: UB {ub} vs Espresso {}",
+            report.iteration_time
+        );
+    }
+}
+
+#[test]
+fn selection_is_deterministic() {
+    let job = small_job("VGG16", GcAlgorithm::dgc_1pct(), true);
+    let a = Espresso::new(job.clone()).select_strategy();
+    let b = Espresso::new(job).select_strategy();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1.iteration_time, b.1.iteration_time);
+}
+
+#[test]
+fn trace_collection_barely_perturbs_the_decision() {
+    // Section 4.3: decisions are made from *measured* (noisy, averaged)
+    // profiles; the outcome must be robust to that measurement noise.
+    let model = ModelConfig::Named {
+        model: "LSTM".into(),
+    };
+    let gc = GcConfig {
+        algorithm: GcAlgorithm::EfSignSgd,
+    };
+    let system = SystemConfig {
+        machines: 4,
+        gpus_per_machine: 4,
+        intra: espresso_repro::cluster::IntraFabric::Pcie,
+        inter_gbps: 25.0,
+    };
+    let exact = build_job(&model, &gc, &system, None).unwrap();
+    let traced = build_job(&model, &gc, &system, Some(&TraceCollector::default())).unwrap();
+    let (_, exact_report) = Espresso::new(exact).select_strategy();
+    let (_, traced_report) = Espresso::new(traced).select_strategy();
+    let rel = (exact_report.iteration_time - traced_report.iteration_time).abs()
+        / exact_report.iteration_time;
+    assert!(rel < 0.05, "trace noise changed the outcome by {rel}");
+}
+
+#[test]
+fn compressing_helps_iff_communication_bound() {
+    // A compute-bound job gains ~nothing; a communication-bound one gains
+    // a lot — the paper's Table 1 dichotomy at small scale.
+    let comm_bound = small_job("VGG16", GcAlgorithm::randomk_1pct(), true);
+    let espresso = Espresso::new(comm_bound.clone());
+    let (_, report) = espresso.select_strategy();
+    let fp32 = espresso.evaluate(&Baseline::Fp32.strategy(&comm_bound));
+    assert!(
+        fp32 / report.iteration_time > 1.5,
+        "VGG16 on PCIe should gain a lot, got {:.2}x",
+        fp32 / report.iteration_time
+    );
+}

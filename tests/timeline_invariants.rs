@@ -1,0 +1,129 @@
+//! Cross-crate timeline invariants: every strategy the tree can express
+//! must execute to a well-formed, conservation-respecting timeline.
+
+use espresso_repro::prelude::*;
+
+fn job() -> Job {
+    Job::new(
+        Model::Lstm.profile(),
+        Cluster::pcie_25g(4, 4),
+        GcAlgorithm::randomk_1pct(),
+    )
+}
+
+#[test]
+fn every_option_in_the_space_simulates_cleanly() {
+    let job = job();
+    let space = OptionSpace::enumerate(&job.cluster);
+    let config = SimConfig::default();
+    for opt in space.all() {
+        let strategy = Strategy::uniform(job.num_tensors(), opt.clone());
+        let result = simulate(&job, &strategy, &config);
+        assert!(
+            result.iteration_time.is_finite() && result.iteration_time > 0.0,
+            "{}",
+            opt.describe()
+        );
+        // Every task fits inside the makespan.
+        for t in &result.tasks {
+            assert!(t.span.start >= -1e-12 && t.span.end <= result.makespan + 1e-9);
+            assert!(t.span.end >= t.span.start);
+        }
+    }
+}
+
+#[test]
+fn single_server_resources_never_overlap() {
+    let job = job();
+    let space = OptionSpace::enumerate(&job.cluster);
+    let config = SimConfig::default();
+    // Spot-check a spread of options, not just the first.
+    for opt in space.all().iter().step_by(97) {
+        let strategy = Strategy::uniform(job.num_tensors(), opt.clone());
+        let result = simulate(&job, &strategy, &config);
+        for res in [
+            Resource::Gpu,
+            Resource::IntraChannel,
+            Resource::InterChannel,
+        ] {
+            let spans = result.resource_spans(res);
+            for w in spans.windows(2) {
+                assert!(
+                    w[1].start >= w[0].end - 1e-12,
+                    "{res:?} overlap in {}",
+                    opt.describe()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compute_time_is_a_lower_bound() {
+    // No strategy can beat the pure computation time.
+    let job = job();
+    let space = OptionSpace::enumerate(&job.cluster);
+    let config = SimConfig::default();
+    let floor = job.model.single_gpu_iter_time();
+    for opt in space.all().iter().step_by(53) {
+        let strategy = Strategy::uniform(job.num_tensors(), opt.clone());
+        let t = simulate(&job, &strategy, &config).iteration_time;
+        assert!(t >= floor - 1e-9, "{} beat the compute floor", opt.describe());
+    }
+}
+
+#[test]
+fn more_machines_never_lowers_iteration_time_for_fp32() {
+    // Fixed per-GPU batch: scaling out adds communication, so iteration
+    // time is monotone in machine count for the uncompressed plan.
+    let mut prev = 0.0;
+    for machines in [1usize, 2, 4, 8] {
+        let job = Job::new(
+            Model::Gpt2.profile(),
+            Cluster::nvlink_100g(machines, 8),
+            GcAlgorithm::EfSignSgd,
+        );
+        let strategy = Strategy::uncompressed(
+            job.num_tensors(),
+            espresso_repro::cluster::CommPattern::Hierarchical,
+            &job.cluster,
+        );
+        let t = simulate(&job, &strategy, &SimConfig::default()).iteration_time;
+        assert!(t >= prev - 1e-9, "{machines} machines: {t} < {prev}");
+        prev = t;
+    }
+}
+
+#[test]
+fn upper_bound_config_removes_all_compression_cost() {
+    let job = job();
+    let space = OptionSpace::enumerate(&job.cluster);
+    let opt = space.gpu_compressed()[0].clone();
+    let strategy = Strategy::uniform(job.num_tensors(), opt);
+    let real = simulate(&job, &strategy, &SimConfig::default());
+    let ub = simulate(&job, &strategy, &SimConfig::upper_bound());
+    assert!(ub.iteration_time < real.iteration_time);
+    assert_eq!(ub.total_comp_overhead(), 0.0);
+}
+
+#[test]
+fn slower_interconnect_means_slower_iteration() {
+    let model = Model::BertBase.profile();
+    let fast = Job::new(model.clone(), Cluster::nvlink_100g(4, 4), GcAlgorithm::EfSignSgd);
+    let slow = Job::new(model, Cluster::pcie_25g(4, 4), GcAlgorithm::EfSignSgd);
+    let s_fast = Strategy::uncompressed(
+        fast.num_tensors(),
+        espresso_repro::cluster::CommPattern::Hierarchical,
+        &fast.cluster,
+    );
+    let s_slow = Strategy::uncompressed(
+        slow.num_tensors(),
+        espresso_repro::cluster::CommPattern::Hierarchical,
+        &slow.cluster,
+    );
+    let config = SimConfig::default();
+    assert!(
+        simulate(&slow, &s_slow, &config).iteration_time
+            > simulate(&fast, &s_fast, &config).iteration_time
+    );
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Offline CI gate: build, test, lint. No network access required — all
+# dependencies are in-repo path crates (see DESIGN.md "Dependencies").
+set -eu
+
+echo "== build (release) =="
+cargo build --release --workspace --all-targets
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

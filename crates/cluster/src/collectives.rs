@@ -24,12 +24,10 @@
 //! documentation of what that means; callers decide whether the
 //! contribution is a whole blob or a shard.
 
-use serde::{Deserialize, Serialize};
-
 use crate::link::Link;
 
 /// A collective communication routine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Routine {
     /// Ring allreduce: every rank starts and ends with the full tensor.
     /// `contrib` = full tensor size.
@@ -158,6 +156,16 @@ impl CollectiveCost {
         routine.time(self.n, contrib, self.link)
     }
 }
+
+espresso_json::impl_json_unit_enum!(Routine {
+    Allreduce,
+    ReduceScatter,
+    Allgather,
+    Alltoall,
+    Reduce,
+    Broadcast,
+    Gather,
+});
 
 #[cfg(test)]
 mod tests {

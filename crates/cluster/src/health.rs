@@ -1,0 +1,411 @@
+//! Link-state modeling: the health of a cluster's communication fabrics.
+//!
+//! The cost models of this crate assume pristine hardware; real clusters
+//! degrade — a flapping NIC renegotiates to a lower rate, a failed NVLink
+//! lane drops the fabric to its PCIe fallback path, congestion from a
+//! co-located job taxes the inter-machine network. [`ClusterHealth`]
+//! captures the observed state of each fabric and
+//! [`Cluster::effective`](crate::Cluster::effective) re-costs the
+//! topology around it, so the decision algorithms optimize against the
+//! cluster that actually exists rather than the one in the config file.
+
+use std::fmt;
+
+use crate::link::{Link, LinkClass};
+use crate::topology::Cluster;
+
+/// The observed health of one communication fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LinkState {
+    /// Operating at its configured rate.
+    #[default]
+    Nominal,
+    /// Operating, but slower: effective bandwidth is the configured
+    /// bandwidth divided by `factor` (`factor` ≥ 1; `factor` = 2 means
+    /// half the configured rate). Per-step latency is unchanged — rate
+    /// renegotiation and congestion tax throughput, not propagation.
+    Degraded {
+        /// Bandwidth-reduction factor, ≥ 1 and finite.
+        factor: f64,
+    },
+    /// Not operating at all. What this means depends on the fabric: a
+    /// down intra-machine fabric falls back to the PCIe tree (as NCCL
+    /// does when NVLink rings cannot be built), while a down
+    /// inter-machine network makes a multi-machine job unreachable.
+    Down,
+}
+
+impl LinkState {
+    /// Applies this state to `link`, producing the effective link.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidLinkState`] for a non-finite or sub-unity
+    /// degradation factor; [`ClusterError::LinkDown`] for
+    /// [`LinkState::Down`] — the caller decides whether a fallback path
+    /// exists.
+    pub fn apply(self, link: Link, fabric: &'static str) -> Result<Link, ClusterError> {
+        match self {
+            LinkState::Nominal => Ok(link),
+            LinkState::Degraded { factor } => {
+                if !(factor.is_finite() && factor >= 1.0) {
+                    return Err(ClusterError::InvalidLinkState {
+                        fabric,
+                        message: format!(
+                            "degradation factor must be finite and >= 1, got {factor}"
+                        ),
+                    });
+                }
+                Ok(Link::new(link.bandwidth / factor, link.alpha))
+            }
+            LinkState::Down => Err(ClusterError::LinkDown { fabric }),
+        }
+    }
+
+    /// Whether this state is [`LinkState::Nominal`].
+    pub fn is_nominal(self) -> bool {
+        matches!(self, LinkState::Nominal)
+    }
+}
+
+/// Observed health of both fabrics of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterHealth {
+    /// State of the intra-machine fabric (NVLink mesh or PCIe tree).
+    pub intra: LinkState,
+    /// State of the inter-machine network.
+    pub inter: LinkState,
+}
+
+impl ClusterHealth {
+    /// Fully healthy cluster (both fabrics nominal).
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// Inter-machine network degraded by `factor`.
+    pub fn inter_degraded(factor: f64) -> Self {
+        Self {
+            intra: LinkState::Nominal,
+            inter: LinkState::Degraded { factor },
+        }
+    }
+
+    /// Intra-machine fabric degraded by `factor`.
+    pub fn intra_degraded(factor: f64) -> Self {
+        Self {
+            intra: LinkState::Degraded { factor },
+            inter: LinkState::Nominal,
+        }
+    }
+
+    /// Whether both fabrics are nominal.
+    pub fn is_nominal(&self) -> bool {
+        self.intra.is_nominal() && self.inter.is_nominal()
+    }
+}
+
+/// Errors constructing or re-costing a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The topology has no machines or no GPUs.
+    InvalidTopology {
+        /// What was wrong.
+        message: String,
+    },
+    /// A link parameter is out of range (non-positive bandwidth,
+    /// negative latency, non-finite values).
+    InvalidLink {
+        /// What was wrong.
+        message: String,
+    },
+    /// A [`LinkState`] carries an out-of-range parameter.
+    InvalidLinkState {
+        /// Which fabric ("intra" or "inter").
+        fabric: &'static str,
+        /// What was wrong.
+        message: String,
+    },
+    /// A fabric is down and no fallback path exists.
+    LinkDown {
+        /// Which fabric ("intra" or "inter").
+        fabric: &'static str,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidTopology { message } => {
+                write!(f, "invalid topology: {message}")
+            }
+            ClusterError::InvalidLink { message } => write!(f, "invalid link: {message}"),
+            ClusterError::InvalidLinkState { fabric, message } => {
+                write!(f, "invalid {fabric} link state: {message}")
+            }
+            ClusterError::LinkDown { fabric } => {
+                write!(f, "the {fabric} fabric is down and no fallback path exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl Cluster {
+    /// Re-costs this cluster under `health`, returning the topology the
+    /// decision algorithms should optimize against.
+    ///
+    /// * A **degraded** fabric keeps its latency but loses bandwidth by
+    ///   the given factor.
+    /// * A **down intra-machine fabric** falls back to the PCIe tree
+    ///   (the path NCCL takes when it cannot build NVLink rings), and
+    ///   host-device staging then shares that tree. If the fabric
+    ///   already *is* the PCIe tree there is nothing left to fall back
+    ///   to, and the error is surfaced instead.
+    /// * A **down inter-machine network** is an error for multi-machine
+    ///   jobs (the cluster is partitioned) and a no-op for single-machine
+    ///   jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::LinkDown`] when no fallback exists, and
+    /// [`ClusterError::InvalidLinkState`] for malformed degradation
+    /// factors.
+    pub fn effective(&self, health: &ClusterHealth) -> Result<Cluster, ClusterError> {
+        let mut cluster = *self;
+        cluster.intra = match health.intra {
+            LinkState::Down => {
+                let fallback = LinkClass::Pcie3x16.link();
+                if self.intra.bandwidth <= fallback.bandwidth {
+                    // Already riding PCIe (or something slower): a down
+                    // fabric leaves the machine's GPUs disconnected.
+                    return Err(ClusterError::LinkDown { fabric: "intra" });
+                }
+                // NVLink down -> NCCL-style PCIe fallback; staging
+                // copies now contend with collectives on the same tree.
+                cluster.staging_shares_intra = true;
+                fallback
+            }
+            state => state.apply(self.intra, "intra")?,
+        };
+        cluster.inter = match health.inter {
+            LinkState::Down if self.is_multi_machine() => {
+                return Err(ClusterError::LinkDown { fabric: "inter" });
+            }
+            // Single machine: the inter network is unused; keep the
+            // configured link so the struct stays well-formed.
+            LinkState::Down => self.inter,
+            state => state.apply(self.inter, "inter")?,
+        };
+        Ok(cluster)
+    }
+
+    /// Fallible counterpart of [`Cluster::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidTopology`] for empty topologies.
+    pub fn try_new(
+        machines: usize,
+        gpus_per_machine: usize,
+        intra: crate::topology::IntraFabric,
+        inter: LinkClass,
+    ) -> Result<Self, ClusterError> {
+        let mut cluster = Self::try_with_links(
+            machines,
+            gpus_per_machine,
+            intra.link_class().link(),
+            inter.link(),
+        )?;
+        cluster.staging_shares_intra = matches!(intra, crate::topology::IntraFabric::Pcie);
+        Ok(cluster)
+    }
+
+    /// Fallible counterpart of [`Cluster::with_links`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidTopology`] for empty topologies,
+    /// [`ClusterError::InvalidLink`] for malformed links.
+    pub fn try_with_links(
+        machines: usize,
+        gpus_per_machine: usize,
+        intra: Link,
+        inter: Link,
+    ) -> Result<Self, ClusterError> {
+        if machines == 0 {
+            return Err(ClusterError::InvalidTopology {
+                message: "a cluster needs at least one machine".into(),
+            });
+        }
+        if gpus_per_machine == 0 {
+            return Err(ClusterError::InvalidTopology {
+                message: "a machine needs at least one GPU".into(),
+            });
+        }
+        for (name, link) in [("intra", intra), ("inter", inter)] {
+            if !(link.bandwidth > 0.0 && link.bandwidth.is_finite()) {
+                return Err(ClusterError::InvalidLink {
+                    message: format!(
+                        "{name} bandwidth must be positive and finite, got {}",
+                        link.bandwidth
+                    ),
+                });
+            }
+            if !(link.alpha >= 0.0 && link.alpha.is_finite()) {
+                return Err(ClusterError::InvalidLink {
+                    message: format!(
+                        "{name} latency must be non-negative and finite, got {}",
+                        link.alpha
+                    ),
+                });
+            }
+        }
+        Ok(Self {
+            machines,
+            gpus_per_machine,
+            intra,
+            inter,
+            staging_shares_intra: false,
+        })
+    }
+}
+
+impl espresso_json::ToJson for LinkState {
+    fn to_json(&self) -> espresso_json::Json {
+        use espresso_json::{enums, Json};
+        match self {
+            LinkState::Nominal => Json::Str("Nominal".into()),
+            LinkState::Degraded { factor } => {
+                enums::tagged("Degraded", Json::obj(vec![("factor", Json::Num(*factor))]))
+            }
+            LinkState::Down => Json::Str("Down".into()),
+        }
+    }
+}
+
+impl espresso_json::FromJson for LinkState {
+    fn from_json(v: &espresso_json::Json) -> Result<Self, espresso_json::DecodeError> {
+        use espresso_json::enums;
+        let (name, payload) = enums::variant(v)?;
+        match name {
+            "Nominal" => Ok(LinkState::Nominal),
+            "Degraded" => Ok(LinkState::Degraded {
+                factor: payload.req("factor").map_err(|e| e.at("Degraded"))?,
+            }),
+            "Down" => Ok(LinkState::Down),
+            other => Err(enums::unknown(other, &["Nominal", "Degraded", "Down"])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::IntraFabric;
+
+    #[test]
+    fn nominal_health_is_identity() {
+        let c = Cluster::nvlink_100g(8, 8);
+        assert_eq!(c.effective(&ClusterHealth::nominal()).unwrap(), c);
+    }
+
+    #[test]
+    fn degradation_divides_bandwidth_only() {
+        let c = Cluster::nvlink_100g(8, 8);
+        let e = c.effective(&ClusterHealth::inter_degraded(2.0)).unwrap();
+        assert!((e.inter.bandwidth - c.inter.bandwidth / 2.0).abs() < 1.0);
+        assert_eq!(e.inter.alpha, c.inter.alpha);
+        assert_eq!(e.intra, c.intra);
+    }
+
+    #[test]
+    fn down_nvlink_falls_back_to_pcie() {
+        let c = Cluster::nvlink_100g(4, 8);
+        let e = c
+            .effective(&ClusterHealth {
+                intra: LinkState::Down,
+                inter: LinkState::Nominal,
+            })
+            .unwrap();
+        assert_eq!(e.intra, LinkClass::Pcie3x16.link());
+        assert!(e.staging_shares_intra, "fallback shares the PCIe tree");
+    }
+
+    #[test]
+    fn down_pcie_has_no_fallback() {
+        let c = Cluster::pcie_25g(4, 8);
+        let err = c
+            .effective(&ClusterHealth {
+                intra: LinkState::Down,
+                inter: LinkState::Nominal,
+            })
+            .unwrap_err();
+        assert_eq!(err, ClusterError::LinkDown { fabric: "intra" });
+    }
+
+    #[test]
+    fn down_inter_partitions_multi_machine_jobs() {
+        let c = Cluster::nvlink_100g(2, 8);
+        let health = ClusterHealth {
+            intra: LinkState::Nominal,
+            inter: LinkState::Down,
+        };
+        assert_eq!(
+            c.effective(&health).unwrap_err(),
+            ClusterError::LinkDown { fabric: "inter" }
+        );
+        // A single-machine job never touches the inter network.
+        let single = Cluster::nvlink_100g(1, 8);
+        assert!(single.effective(&health).is_ok());
+    }
+
+    #[test]
+    fn bad_degradation_factor_rejected() {
+        let c = Cluster::nvlink_100g(2, 8);
+        for factor in [0.5, 0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = c
+                .effective(&ClusterHealth::inter_degraded(factor))
+                .unwrap_err();
+            assert!(
+                matches!(err, ClusterError::InvalidLinkState { fabric: "inter", .. }),
+                "{factor}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_constructors_return_errors_not_panics() {
+        assert!(matches!(
+            Cluster::try_new(0, 8, IntraFabric::NvLink, LinkClass::Ethernet100G),
+            Err(ClusterError::InvalidTopology { .. })
+        ));
+        assert!(matches!(
+            Cluster::try_with_links(2, 0, LinkClass::NvLink2.link(), LinkClass::Ethernet100G.link()),
+            Err(ClusterError::InvalidTopology { .. })
+        ));
+        let bad = Link {
+            bandwidth: -1.0,
+            alpha: 0.0,
+        };
+        assert!(matches!(
+            Cluster::try_with_links(2, 8, bad, LinkClass::Ethernet100G.link()),
+            Err(ClusterError::InvalidLink { .. })
+        ));
+        assert!(Cluster::try_new(2, 8, IntraFabric::Pcie, LinkClass::Ethernet25G)
+            .is_ok_and(|c| c.staging_shares_intra));
+    }
+
+    #[test]
+    fn degraded_cluster_costs_more() {
+        use crate::collectives::CollectiveCost;
+        use crate::Routine;
+        let c = Cluster::nvlink_100g(4, 8);
+        let e = c.effective(&ClusterHealth::inter_degraded(3.0)).unwrap();
+        let bytes = 4.0 * 25_557_032.0;
+        let nominal = CollectiveCost::new(c.machines, c.inter).time(Routine::Allreduce, bytes);
+        let degraded = CollectiveCost::new(e.machines, e.inter).time(Routine::Allreduce, bytes);
+        assert!(degraded > nominal * 2.0, "{degraded} vs {nominal}");
+    }
+}

@@ -19,11 +19,13 @@
 //! All times are in seconds (`f64`) and all sizes in bytes.
 
 pub mod collectives;
+pub mod health;
 pub mod link;
 pub mod phases;
 pub mod topology;
 
 pub use collectives::{CollectiveCost, Routine};
+pub use health::{ClusterError, ClusterHealth, LinkState};
 pub use link::{Link, LinkClass};
 pub use phases::{CommPattern, CommScope, PhasePlan};
 pub use topology::{Cluster, IntraFabric};
@@ -32,6 +34,7 @@ pub use topology::{Cluster, IntraFabric};
 pub mod prelude {
     pub use crate::{
         collectives::{CollectiveCost, Routine},
+        health::{ClusterError, ClusterHealth, LinkState},
         link::{Link, LinkClass},
         phases::{CommPattern, CommScope, PhasePlan},
         topology::{Cluster, IntraFabric},

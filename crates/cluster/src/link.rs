@@ -5,14 +5,12 @@
 //! per byte). This is the classical model the paper's section 4.3 adopts
 //! from Thakur et al. for predicting collective times.
 
-use serde::{Deserialize, Serialize};
-
 /// A point-to-point (or effective per-participant) communication channel.
 ///
 /// `bandwidth` is the effective bytes/second a single participant can move
 /// through the channel during a well-pipelined collective; `alpha` is the
 /// fixed per-communication-step latency (launch + propagation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// Effective per-participant bandwidth in bytes per second.
     pub bandwidth: f64,
@@ -56,7 +54,7 @@ impl Link {
 /// The effective collective bandwidths are deliberately below the marketing
 /// line rates: they are the sustained algorithm bandwidths NCCL reports on
 /// these fabrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkClass {
     /// NVLink 2.0: 1.2 Tbps aggregate per GPU; effective ring-collective
     /// bandwidth on a DGX-1-class machine is ~130 GB/s per GPU.

@@ -13,15 +13,13 @@
 //! abstraction in `espresso-strategy` decides *which routines and
 //! compressions* run inside each phase.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{
     collectives::CollectiveCost,
     topology::Cluster,
 };
 
 /// The scope of one communication phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CommScope {
     /// Among the GPUs of one machine (first hierarchical phase).
     IntraFirst,
@@ -41,7 +39,7 @@ impl CommScope {
 }
 
 /// Flat or hierarchical synchronization (the paper's `flat comm?` decision).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CommPattern {
     /// One phase over all GPUs.
     Flat,
@@ -115,6 +113,9 @@ impl PhasePlan {
         self.cost(scope).n
     }
 }
+
+espresso_json::impl_json_unit_enum!(CommScope { IntraFirst, Inter, IntraSecond, Flat });
+espresso_json::impl_json_unit_enum!(CommPattern { Flat, Hierarchical });
 
 #[cfg(test)]
 mod tests {

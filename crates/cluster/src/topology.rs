@@ -1,14 +1,12 @@
 //! Machine/GPU topology of a data-parallel training job.
 
-use serde::{Deserialize, Serialize};
-
 use crate::link::{Link, LinkClass};
 
 /// The intra-machine GPU interconnect of a testbed.
 ///
 /// The paper evaluates two: NVLink-based machines (testbed 1) and
 /// PCIe-only machines (testbed 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IntraFabric {
     /// NVLink 2.0 GPU-to-GPU mesh (testbed 1).
     NvLink,
@@ -31,7 +29,7 @@ impl IntraFabric {
 /// Mirrors the "training system information" configuration file of the
 /// paper's Figure 6: number of machines, GPUs per machine, and the network
 /// bandwidth of both the intra- and inter-machine channels.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cluster {
     /// Number of machines (N in the paper).
     pub machines: usize,
@@ -45,7 +43,6 @@ pub struct Cluster {
     /// same fabric as intra-machine collectives. True on PCIe-only
     /// machines — D2H/H2D copies and NCCL both ride the PCIe tree — and
     /// false on NVLink machines, where collectives leave PCIe free.
-    #[serde(default)]
     pub staging_shares_intra: bool,
 }
 
@@ -140,6 +137,8 @@ impl Cluster {
         }
     }
 }
+
+espresso_json::impl_json_unit_enum!(IntraFabric { NvLink, Pcie });
 
 #[cfg(test)]
 mod tests {

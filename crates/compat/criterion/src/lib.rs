@@ -1,0 +1,162 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supplies the API surface the workspace's bench files use —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with [`Throughput`] — backed by a simple
+//! wall-clock timing loop instead of criterion's statistical machinery.
+//! Results print as `name: median time / iter (throughput)` lines.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing driver handed to `b.iter(...)` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to smooth noise.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm up and pick an iteration count targeting ~100ms of work.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = t1.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn report(group: Option<&str>, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    let time = if per_iter < 1e-6 {
+        format!("{:.1} ns", per_iter * 1e9)
+    } else if per_iter < 1e-3 {
+        format!("{:.2} us", per_iter * 1e6)
+    } else {
+        format!("{:.3} ms", per_iter * 1e3)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.2} Melem/s)", n as f64 / per_iter / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(" ({:.2} MB/s)", n as f64 / per_iter / 1e6)
+        }
+        None => String::new(),
+    };
+    match group {
+        Some(g) => println!("{g}/{name}: {time}/iter{rate}"),
+        None => println!("{name}: {time}/iter{rate}"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the simple
+    /// harness sizes its loop by wall-clock instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(Some(&self.name), name, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; groups have no shared state to flush).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Times one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(None, name, &b, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_loop() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("inner", |b| b.iter(|| std::hint::black_box(2 * 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access to crates.io, so this path
+//! crate supplies the subset of proptest's API its test suites use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `name in strategy` bindings,
+//! * [`Strategy`] for numeric ranges, tuples, and mapped strategies
+//!   (`prop_map`),
+//! * `prop::collection::vec` and `prop::bool::ANY`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. Inputs are drawn from a deterministic generator seeded from
+//! the test body's source position, so failures are reproducible run to
+//! run; the failing values are printed by the assertion message instead of
+//! being minimized.
+
+pub use rand::rngs::StdRng;
+pub use rand::{Rng, RngCore, SeedableRng};
+
+/// Harness configuration: how many random cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// A strategy producing `f` applied to this strategy's values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident)+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A B);
+impl_tuple_strategy!(A B C);
+impl_tuple_strategy!(A B C D);
+impl_tuple_strategy!(A B C D E);
+impl_tuple_strategy!(A B C D E F);
+
+/// Namespaced strategy constructors, mirroring proptest's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// A strategy for `Vec`s whose length is drawn from `size` and
+        /// whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(
+            element: S,
+            size: std::ops::Range<usize>,
+        ) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// The result of [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.random_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// A fair coin.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The fair-coin strategy, named as proptest names it.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.random::<bool>()
+            }
+        }
+    }
+}
+
+/// One-stop imports for property tests.
+pub mod prelude {
+    pub use super::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Derives a per-test seed from the test's source location so every test
+/// draws an independent, reproducible stream.
+pub fn seed_from_location(file: &str, line: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h ^ line as u64).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Property-test harness macro: each `#[test] fn name(binding in strategy,
+/// ...)` block becomes a standard test running `cases` deterministic
+/// random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let seed = $crate::seed_from_location(file!(), line!());
+                for case in 0..config.cases {
+                    let mut rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(
+                        seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),* ) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a property over generated inputs (no shrinking; panics with the
+/// formatted message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality over generated inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality over generated inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1usize..10, y in -1.0f64..1.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u64..5, 0u64..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair <= 8);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0.0f32..1.0, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn bool_any_flips(b in prop::bool::ANY) {
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let s = super::seed_from_location("a.rs", 10);
+        assert_eq!(s, super::seed_from_location("a.rs", 10));
+        assert_ne!(s, super::seed_from_location("a.rs", 11));
+    }
+}

@@ -284,23 +284,24 @@ impl Crippled {
     /// The Alltoall+Alltoall option of the Figure 15(d) mechanism.
     fn alltoall_alltoall_option(job: &Job, device: Device) -> Arc<CompressionOption> {
         let c = &job.cluster;
-        let mut ops = Vec::new();
-        // First intra step compressed via Alltoall.
-        ops.push(Op::comp(device));
-        ops.push(Op::comm(CommScope::IntraFirst, Routine::Alltoall, true));
-        ops.push(Op::decomp(device));
-        ops.push(Op::AggregateSum { device });
-        // Recompress for inter Alltoall/Allgather.
-        ops.push(Op::comp(device));
-        ops.push(Op::comm(CommScope::Inter, Routine::Alltoall, true));
-        ops.push(Op::decomp(device));
-        ops.push(Op::AggregateSum { device });
-        ops.push(Op::comp(device));
-        ops.push(Op::shard_allgather(CommScope::Inter));
-        ops.push(Op::decomp(device));
-        ops.push(Op::Concat);
-        // Second intra step: Allgather of the dense shards.
-        ops.push(Op::comm(CommScope::IntraSecond, Routine::Allgather, false));
+        let ops = vec![
+            // First intra step compressed via Alltoall.
+            Op::comp(device),
+            Op::comm(CommScope::IntraFirst, Routine::Alltoall, true),
+            Op::decomp(device),
+            Op::AggregateSum { device },
+            // Recompress for inter Alltoall/Allgather.
+            Op::comp(device),
+            Op::comm(CommScope::Inter, Routine::Alltoall, true),
+            Op::decomp(device),
+            Op::AggregateSum { device },
+            Op::comp(device),
+            Op::shard_allgather(CommScope::Inter),
+            Op::decomp(device),
+            Op::Concat,
+            // Second intra step: Allgather of the dense shards.
+            Op::comm(CommScope::IntraSecond, Routine::Allgather, false),
+        ];
         CompressionOption::new(CommPattern::Hierarchical, ops, c)
             .expect("alltoall+alltoall option must be valid")
     }

@@ -16,19 +16,37 @@
 //!               "intra": "NvLink", "inter_gbps": 100.0 }
 //! }
 //! ```
+//!
+//! Robustness flags:
+//!
+//! * `--faults SPEC` — inject a deterministic fault plan into the
+//!   timeline simulation and report the perturbed iteration time. `SPEC`
+//!   is either a bare seed (`--faults 7`) or `key=value` pairs
+//!   (`--faults seed=7,straggler=1.5,inter=2.0,jitter=0.05`).
+//! * `--inter-degraded F` / `--intra-degraded F` — re-cost the cluster
+//!   with a link degraded by factor `F` (bandwidth divided by `F`).
+//! * `--robust` — run the ensemble-based robust selector instead of the
+//!   plain nominal selection and print the candidate table.
+//!
+//! All input errors (missing files, malformed JSON, bad field values,
+//! bad fault specs) are reported with file/field context and exit 1 —
+//! never a panic.
 
 use espresso::baselines::Baseline;
-use espresso::config::{build_job, GcConfig, ModelConfig, SystemConfig};
-use espresso::Espresso;
-use espresso_cluster::IntraFabric;
+use espresso::config::{build_job, FileConfig, GcConfig, ModelConfig, SystemConfig};
+use espresso::robust::RobustSelector;
+use espresso::{Espresso, EspressoError};
+use espresso_cluster::{ClusterHealth, IntraFabric, LinkState};
 use espresso_gc::GcAlgorithm;
-use serde::Deserialize;
+use espresso_sim::{FaultPlan, Simulator};
 
-#[derive(Debug, Deserialize)]
-struct FileConfig {
+struct Options {
     model: ModelConfig,
     gc: GcConfig,
     system: SystemConfig,
+    faults: Option<String>,
+    health: ClusterHealth,
+    robust: bool,
 }
 
 fn usage() -> ! {
@@ -36,14 +54,16 @@ fn usage() -> ! {
         "usage: espresso-cli [--config FILE.json] | \
          [--model NAME --algo randomk|dgc|efsignsgd|qsgd|terngrad|fp16 \
          [--density F] [--machines N] [--gpus K] [--intra nvlink|pcie] \
-         [--inter-gbps G]]"
+         [--inter-gbps G]] \
+         [--faults SPEC] [--inter-degraded F] [--intra-degraded F] [--robust]"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> (ModelConfig, GcConfig, SystemConfig) {
+fn parse_args() -> Result<Options, EspressoError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
+    let mut config_path: Option<String> = None;
     let mut model = "BERT-base".to_string();
     let mut algo = "randomk".to_string();
     let mut density = 0.01f64;
@@ -51,17 +71,17 @@ fn parse_args() -> (ModelConfig, GcConfig, SystemConfig) {
     let mut gpus = 8usize;
     let mut intra = IntraFabric::NvLink;
     let mut inter_gbps = 100.0f64;
+    let mut faults: Option<String> = None;
+    let mut health = ClusterHealth::nominal();
+    let mut robust = false;
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        let degraded = |flag: &str, raw: String| -> Result<f64, EspressoError> {
+            raw.parse::<f64>()
+                .map_err(|_| EspressoError::config(flag, format!("not a number: {raw}")))
+        };
         match flag.as_str() {
-            "--config" => {
-                let path = value();
-                let text = std::fs::read_to_string(&path)
-                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-                let cfg: FileConfig = serde_json::from_str(&text)
-                    .unwrap_or_else(|e| panic!("bad config {path}: {e}"));
-                return (cfg.model, cfg.gc, cfg.system);
-            }
+            "--config" => config_path = Some(value()),
             "--model" => model = value(),
             "--algo" => algo = value(),
             "--density" => density = value().parse().unwrap_or_else(|_| usage()),
@@ -75,6 +95,18 @@ fn parse_args() -> (ModelConfig, GcConfig, SystemConfig) {
                 }
             }
             "--inter-gbps" => inter_gbps = value().parse().unwrap_or_else(|_| usage()),
+            "--faults" => faults = Some(value()),
+            "--inter-degraded" => {
+                health.inter = LinkState::Degraded {
+                    factor: degraded("--inter-degraded", value())?,
+                }
+            }
+            "--intra-degraded" => {
+                health.intra = LinkState::Degraded {
+                    factor: degraded("--intra-degraded", value())?,
+                }
+            }
+            "--robust" => robust = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -82,36 +114,46 @@ fn parse_args() -> (ModelConfig, GcConfig, SystemConfig) {
             }
         }
     }
-    let algorithm = match algo.to_ascii_lowercase().as_str() {
-        "randomk" => GcAlgorithm::RandomK { density },
-        "dgc" => GcAlgorithm::Dgc { density },
-        "efsignsgd" => GcAlgorithm::EfSignSgd,
-        "qsgd" => GcAlgorithm::Qsgd { levels: 127 },
-        "terngrad" => GcAlgorithm::TernGrad,
-        "fp16" => GcAlgorithm::Fp16,
-        _ => usage(),
-    };
-    (
-        ModelConfig::Named { model },
-        GcConfig { algorithm },
-        SystemConfig {
-            machines,
-            gpus_per_machine: gpus,
-            intra,
-            inter_gbps,
-        },
-    )
-}
-
-fn main() {
-    let (model, gc, system) = parse_args();
-    let job = match build_job(&model, &gc, &system, None) {
-        Ok(job) => job,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+    let (model, gc, system) = match config_path {
+        Some(path) => {
+            let cfg = FileConfig::load(&path)?;
+            (cfg.model, cfg.gc, cfg.system)
+        }
+        None => {
+            let algorithm = match algo.to_ascii_lowercase().as_str() {
+                "randomk" => GcAlgorithm::RandomK { density },
+                "dgc" => GcAlgorithm::Dgc { density },
+                "efsignsgd" => GcAlgorithm::EfSignSgd,
+                "qsgd" => GcAlgorithm::Qsgd { levels: 127 },
+                "terngrad" => GcAlgorithm::TernGrad,
+                "fp16" => GcAlgorithm::Fp16,
+                _ => usage(),
+            };
+            (
+                ModelConfig::Named { model },
+                GcConfig { algorithm },
+                SystemConfig {
+                    machines,
+                    gpus_per_machine: gpus,
+                    intra,
+                    inter_gbps,
+                },
+            )
         }
     };
+    Ok(Options {
+        model,
+        gc,
+        system,
+        faults,
+        health,
+        robust,
+    })
+}
+
+fn run() -> Result<(), EspressoError> {
+    let opts = parse_args()?;
+    let job = build_job(&opts.model, &opts.gc, &opts.system, None)?;
     println!(
         "job: {} + {} on {}x{} GPUs ({:.0} Gbps inter)",
         job.model.name,
@@ -120,6 +162,15 @@ fn main() {
         job.cluster.gpus_per_machine,
         job.cluster.inter.bandwidth * 8.0 / 0.84 / 1e9,
     );
+    let plan = opts
+        .faults
+        .as_deref()
+        .map(|spec| {
+            FaultPlan::parse(spec, job.cluster.total_gpus())
+                .map_err(|e| EspressoError::Fault { message: e.message })
+        })
+        .transpose()?;
+
     let espresso = Espresso::new(job.clone());
     let (strategy, report) = espresso.select_strategy();
     println!(
@@ -136,6 +187,46 @@ fn main() {
         job.throughput(report.iteration_time),
         job.scaling_factor(report.iteration_time)
     );
+
+    if let Some(plan) = &plan {
+        let sim = Simulator::new(job.clone(), *espresso.config());
+        let faulted = sim.iteration_time_with_faults(&strategy, plan);
+        println!(
+            "under faults (seed {}): iteration {:.2} ms ({:+.0}% vs nominal), \
+             straggler x{:.2}, jitter {:.0}%",
+            plan.seed,
+            faulted * 1e3,
+            (faulted / report.iteration_time - 1.0) * 100.0,
+            plan.straggler_factor(),
+            plan.kernel_jitter * 100.0,
+        );
+    }
+
+    if opts.robust || !opts.health.is_nominal() {
+        let mut selector = RobustSelector::new(job.clone(), opts.health);
+        if let Some(plan) = plan.clone() {
+            selector = selector.with_faults(plan);
+        }
+        let selection = selector.select()?;
+        println!(
+            "\nrobust selection: {} | mean {:.2} ms | worst {:.2} ms over {} scenarios",
+            selection.chosen,
+            selection.mean_time * 1e3,
+            selection.worst_time * 1e3,
+            selection.scenarios,
+        );
+        println!("candidates (mean / worst, * = admitted by worst-case bound):");
+        for c in &selection.candidates {
+            println!(
+                "  {}{:<20} {:>8.2} ms / {:>8.2} ms",
+                if c.admitted { '*' } else { ' ' },
+                c.name,
+                c.mean * 1e3,
+                c.worst * 1e3,
+            );
+        }
+    }
+
     println!("\nstrategy census:");
     print!("{}", espresso::Census::of(&job, &strategy).render());
     println!("\nbaselines:");
@@ -147,5 +238,13 @@ fn main() {
             t * 1e3,
             (t / report.iteration_time - 1.0) * 100.0
         );
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }

@@ -1,20 +1,22 @@
 //! The three configuration files of the paper's Figure 6: model
 //! information, GC information, and training-system information.
 //!
-//! Each is a serde-serializable struct; [`build_job`] assembles them into
-//! a simulatable/optimizable [`Job`]. JSON is the on-disk format.
-
-use serde::{Deserialize, Serialize};
+//! Each section decodes from JSON via `espresso-json`; [`build_job`]
+//! assembles them into a simulatable/optimizable [`Job`]. Every failure
+//! on this path is an [`EspressoError`] naming the file and field — no
+//! panics on user input.
 
 use espresso_cluster::{Cluster, IntraFabric, Link};
 use espresso_gc::GcAlgorithm;
+use espresso_json::{DecodeError, FromJson, Json, ToJson};
 use espresso_models::{Model, ModelProfile, TraceCollector};
 use espresso_sim::Job;
 
+use crate::error::EspressoError;
+
 /// Model information: either a zoo model by name, or an explicit profile
 /// (e.g. from a user's own trace collection).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone)]
 pub enum ModelConfig {
     /// A zoo model by paper name (e.g. `"BERT-base"`).
     Named {
@@ -33,29 +35,75 @@ impl ModelConfig {
     ///
     /// # Errors
     ///
-    /// Returns an error naming the unknown model if the name is not in the
-    /// zoo.
-    pub fn resolve(&self) -> Result<ModelProfile, String> {
+    /// [`EspressoError::UnknownModel`] naming the unknown model and the
+    /// zoo's contents if the name is not in the zoo.
+    pub fn resolve(&self) -> Result<ModelProfile, EspressoError> {
         match self {
             ModelConfig::Named { model } => Model::ALL
                 .iter()
                 .find(|m| m.name().eq_ignore_ascii_case(model))
                 .map(|m| m.profile())
-                .ok_or_else(|| format!("unknown model '{model}'")),
+                .ok_or_else(|| EspressoError::UnknownModel {
+                    name: model.clone(),
+                    known: Model::ALL.iter().map(|m| m.name()).collect(),
+                }),
             ModelConfig::Explicit { profile } => Ok(profile.clone()),
         }
     }
 }
 
+impl ToJson for ModelConfig {
+    fn to_json(&self) -> Json {
+        match self {
+            ModelConfig::Named { model } => Json::obj(vec![("model", model.to_json())]),
+            ModelConfig::Explicit { profile } => Json::obj(vec![("profile", profile.to_json())]),
+        }
+    }
+}
+
+impl FromJson for ModelConfig {
+    // Untagged, like the serde original: try the `model` form first, then
+    // the explicit-profile form.
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        if v.get("model").is_some() {
+            return Ok(ModelConfig::Named {
+                model: v.req("model")?,
+            });
+        }
+        if v.get("profile").is_some() {
+            return Ok(ModelConfig::Explicit {
+                profile: v.req("profile")?,
+            });
+        }
+        Err(DecodeError::new(
+            "expected a model section with either `model` (zoo name) or `profile` (explicit)",
+        ))
+    }
+}
+
 /// GC information: the algorithm and its ratio (the enum carries both).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GcConfig {
     /// The compression algorithm.
     pub algorithm: GcAlgorithm,
 }
 
+impl ToJson for GcConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("algorithm", self.algorithm.to_json())])
+    }
+}
+
+impl FromJson for GcConfig {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        Ok(Self {
+            algorithm: v.req("algorithm")?,
+        })
+    }
+}
+
 /// Training-system information.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Number of machines.
     pub machines: usize,
@@ -69,15 +117,118 @@ pub struct SystemConfig {
 
 impl SystemConfig {
     /// Resolves to a cluster.
-    pub fn resolve(&self) -> Cluster {
-        Cluster::with_links(
+    ///
+    /// # Errors
+    ///
+    /// [`EspressoError::Cluster`] for empty topologies,
+    /// [`EspressoError::Config`] for malformed bandwidth.
+    pub fn resolve(&self) -> Result<Cluster, EspressoError> {
+        if !(self.inter_gbps > 0.0 && self.inter_gbps.is_finite()) {
+            return Err(EspressoError::config(
+                "system.inter_gbps",
+                format!("must be positive and finite, got {}", self.inter_gbps),
+            ));
+        }
+        let mut cluster = Cluster::try_with_links(
             self.machines,
             self.gpus_per_machine,
             self.intra.link_class().link(),
             // Effective TCP bandwidth at ~84% of line rate, matching the
             // calibrated link classes.
             Link::from_gbps(self.inter_gbps * 0.84, 25e-6),
-        )
+        )?;
+        cluster.staging_shares_intra = matches!(self.intra, IntraFabric::Pcie);
+        Ok(cluster)
+    }
+}
+
+impl ToJson for SystemConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("machines", self.machines.to_json()),
+            ("gpus_per_machine", self.gpus_per_machine.to_json()),
+            ("intra", self.intra.to_json()),
+            ("inter_gbps", self.inter_gbps.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SystemConfig {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        Ok(Self {
+            machines: v.req("machines")?,
+            gpus_per_machine: v.req("gpus_per_machine")?,
+            intra: v.req("intra")?,
+            inter_gbps: v.req("inter_gbps")?,
+        })
+    }
+}
+
+/// The on-disk combination of all three sections, as `--config` accepts.
+#[derive(Debug, Clone)]
+pub struct FileConfig {
+    /// Model information.
+    pub model: ModelConfig,
+    /// GC information.
+    pub gc: GcConfig,
+    /// Training-system information.
+    pub system: SystemConfig,
+}
+
+impl ToJson for FileConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("model", self.model.to_json()),
+            ("gc", self.gc.to_json()),
+            ("system", self.system.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FileConfig {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        Ok(Self {
+            model: v.req("model")?,
+            gc: v.req("gc")?,
+            system: v.req("system")?,
+        })
+    }
+}
+
+impl FileConfig {
+    /// Loads and decodes a configuration file.
+    ///
+    /// # Errors
+    ///
+    /// [`EspressoError::Io`] if the file cannot be read,
+    /// [`EspressoError::Json`] (with line/column) if it is not JSON, and
+    /// [`EspressoError::Config`] (with the field path) if a field is
+    /// missing or malformed.
+    pub fn load(path: &str) -> Result<Self, EspressoError> {
+        let text = std::fs::read_to_string(path).map_err(|e| EspressoError::io(path, &e))?;
+        Self::parse(&text).map_err(|e| e.in_file(path))
+    }
+
+    /// Decodes a configuration from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileConfig::load`], minus I/O.
+    pub fn parse(text: &str) -> Result<Self, EspressoError> {
+        let json = Json::parse(text).map_err(|e| EspressoError::Json {
+            file: String::new(),
+            message: e.to_string(),
+        })?;
+        FileConfig::from_json(&json).map_err(EspressoError::from)
+    }
+
+    /// Assembles the loaded sections into a job (see [`build_job`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`build_job`].
+    pub fn build_job(&self, trace: Option<&TraceCollector>) -> Result<Job, EspressoError> {
+        build_job(&self.model, &self.gc, &self.system, trace)
     }
 }
 
@@ -87,18 +238,18 @@ impl SystemConfig {
 ///
 /// # Errors
 ///
-/// Propagates model-resolution failures.
+/// Propagates model-resolution and cluster-construction failures.
 pub fn build_job(
     model: &ModelConfig,
     gc: &GcConfig,
     system: &SystemConfig,
     trace: Option<&TraceCollector>,
-) -> Result<Job, String> {
+) -> Result<Job, EspressoError> {
     let mut profile = model.resolve()?;
     if let Some(collector) = trace {
         profile = collector.measured_profile(&profile);
     }
-    Ok(Job::new(profile, system.resolve(), gc.algorithm))
+    Ok(Job::new(profile, system.resolve()?, gc.algorithm))
 }
 
 #[cfg(test)]
@@ -114,11 +265,13 @@ mod tests {
     }
 
     #[test]
-    fn unknown_model_errors() {
+    fn unknown_model_errors_and_lists_the_zoo() {
         let cfg = ModelConfig::Named {
             model: "AlexNet".into(),
         };
-        assert!(cfg.resolve().unwrap_err().contains("AlexNet"));
+        let err = cfg.resolve().unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("AlexNet") && s.contains("BERT-base"), "{s}");
     }
 
     #[test]
@@ -129,15 +282,54 @@ mod tests {
             intra: IntraFabric::NvLink,
             inter_gbps: 100.0,
         };
-        let json = serde_json::to_string(&system).unwrap();
-        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        let json = Json::encode(&system);
+        let back: SystemConfig = Json::decode(&json).unwrap();
         assert_eq!(back.machines, 8);
         let gc = GcConfig {
             algorithm: GcAlgorithm::dgc_1pct(),
         };
-        let json = serde_json::to_string(&gc).unwrap();
-        let back: GcConfig = serde_json::from_str(&json).unwrap();
+        let json = Json::encode(&gc);
+        let back: GcConfig = Json::decode(&json).unwrap();
         assert_eq!(back.algorithm, GcAlgorithm::dgc_1pct());
+    }
+
+    #[test]
+    fn malformed_sections_name_the_field() {
+        let text = r#"{
+            "model": { "model": "LSTM" },
+            "gc": { "algorithm": { "Dgc": { "density": 2.0 } } },
+            "system": { "machines": 2, "gpus_per_machine": 4,
+                        "intra": "Pcie", "inter_gbps": 25.0 }
+        }"#;
+        let err = FileConfig::parse(text).unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("gc.algorithm.Dgc.density"), "{s}");
+
+        let missing = r#"{ "model": { "model": "LSTM" }, "gc": { "algorithm": "Fp16" } }"#;
+        let err = FileConfig::parse(missing).unwrap_err();
+        assert!(err.to_string().contains("system"), "{err}");
+
+        let not_json = "{ model: }";
+        let err = FileConfig::parse(not_json).unwrap_err();
+        assert!(matches!(err, EspressoError::Json { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_machines_is_an_error_not_a_panic() {
+        let system = SystemConfig {
+            machines: 0,
+            gpus_per_machine: 8,
+            intra: IntraFabric::NvLink,
+            inter_gbps: 100.0,
+        };
+        assert!(matches!(system.resolve(), Err(EspressoError::Cluster(_))));
+        let system = SystemConfig {
+            machines: 2,
+            gpus_per_machine: 8,
+            intra: IntraFabric::NvLink,
+            inter_gbps: f64::NAN,
+        };
+        assert!(matches!(system.resolve(), Err(EspressoError::Config { .. })));
     }
 
     #[test]

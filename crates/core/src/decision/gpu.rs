@@ -47,9 +47,7 @@ pub struct GpuDecision {
 /// when the topology has both levels (the BytePS deployment of the paper),
 /// flat otherwise.
 pub fn default_pattern(job: &Job) -> CommPattern {
-    if job.cluster.is_multi_machine() && job.cluster.has_intra_comm() {
-        CommPattern::Hierarchical
-    } else if job.cluster.is_multi_machine() {
+    if job.cluster.is_multi_machine() {
         CommPattern::Hierarchical
     } else {
         CommPattern::Flat
@@ -104,7 +102,7 @@ pub fn decide_with_simulator(
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
             let (sa, sb) = (job.model.tensors[a].elems, job.model.tensors[b].elems);
-            let tie = if pass % 2 == 0 { a.cmp(&b) } else { b.cmp(&a) };
+            let tie = if pass.is_multiple_of(2) { a.cmp(&b) } else { b.cmp(&a) };
             sb.cmp(&sa).then(tie)
         });
         order

@@ -1,0 +1,181 @@
+//! The workspace-wide error hierarchy for user-input paths.
+//!
+//! Internal invariants still assert — a bug should fail loudly — but
+//! anything a *user* can get wrong (a config file, a CLI flag, a fault
+//! spec, a cluster description) surfaces as an [`EspressoError`] carrying
+//! enough context to fix the input: the file, the field path, and what
+//! was expected. Hand-rolled in the `thiserror` style (no proc-macro
+//! dependencies in the offline build).
+
+use std::fmt;
+
+use espresso_cluster::ClusterError;
+
+/// Any error reaching the user from Espresso's input surfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EspressoError {
+    /// A file could not be read.
+    Io {
+        /// Path of the file.
+        file: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// A file failed to parse as JSON.
+    Json {
+        /// Path of the file (or a pseudo-path like `<inline>`).
+        file: String,
+        /// Parser message, already carrying line/column.
+        message: String,
+    },
+    /// A configuration value is missing, malformed, or out of range.
+    Config {
+        /// Originating file, when known.
+        file: Option<String>,
+        /// Dotted field path (e.g. `system.machines`), empty when the
+        /// error is not tied to one field.
+        field: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A model name not present in the zoo.
+    UnknownModel {
+        /// The requested name.
+        name: String,
+        /// The names that would have worked.
+        known: Vec<&'static str>,
+    },
+    /// Topology or link-state construction failed.
+    Cluster(ClusterError),
+    /// A fault-plan specification could not be understood.
+    Fault {
+        /// What was wrong with the spec.
+        message: String,
+    },
+}
+
+impl EspressoError {
+    /// An [`EspressoError::Io`] from a path and an OS error.
+    pub fn io(file: impl Into<String>, err: &std::io::Error) -> Self {
+        EspressoError::Io {
+            file: file.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// A field-level config error not (yet) tied to a file.
+    pub fn config(field: impl Into<String>, message: impl Into<String>) -> Self {
+        EspressoError::Config {
+            file: None,
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a source file to variants that can carry one, so callers
+    /// that know the path can add it as the error bubbles up.
+    #[must_use]
+    pub fn in_file(mut self, file: &str) -> Self {
+        match &mut self {
+            EspressoError::Config { file: slot, .. }
+                if slot.is_none() => {
+                    *slot = Some(file.to_string());
+                }
+            EspressoError::Io { file: slot, .. } | EspressoError::Json { file: slot, .. }
+                if slot.is_empty() => {
+                    *slot = file.to_string();
+                }
+            _ => {}
+        }
+        self
+    }
+}
+
+impl fmt::Display for EspressoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EspressoError::Io { file, message } => write!(f, "cannot read {file}: {message}"),
+            EspressoError::Json { file, message } => {
+                write!(f, "invalid JSON in {file}: {message}")
+            }
+            EspressoError::Config {
+                file,
+                field,
+                message,
+            } => {
+                match file {
+                    Some(file) => write!(f, "invalid config {file}: ")?,
+                    None => write!(f, "invalid config: ")?,
+                }
+                if field.is_empty() {
+                    write!(f, "{message}")
+                } else {
+                    write!(f, "field `{field}`: {message}")
+                }
+            }
+            EspressoError::UnknownModel { name, known } => write!(
+                f,
+                "unknown model '{name}'; the zoo has: {}",
+                known.join(", ")
+            ),
+            EspressoError::Cluster(e) => write!(f, "cluster error: {e}"),
+            EspressoError::Fault { message } => write!(f, "invalid fault spec: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EspressoError {}
+
+impl From<ClusterError> for EspressoError {
+    fn from(e: ClusterError) -> Self {
+        EspressoError::Cluster(e)
+    }
+}
+
+impl From<espresso_json::DecodeError> for EspressoError {
+    fn from(e: espresso_json::DecodeError) -> Self {
+        EspressoError::Config {
+            file: None,
+            field: e.path,
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = EspressoError::config("system.machines", "must be positive").in_file("a.json");
+        let s = e.to_string();
+        assert!(s.contains("a.json") && s.contains("system.machines"), "{s}");
+
+        let e = EspressoError::UnknownModel {
+            name: "AlexNet".into(),
+            known: vec!["VGG16", "LSTM"],
+        };
+        let s = e.to_string();
+        assert!(s.contains("AlexNet") && s.contains("VGG16"), "{s}");
+    }
+
+    #[test]
+    fn in_file_does_not_overwrite() {
+        let e = EspressoError::Config {
+            file: Some("first.json".into()),
+            field: "x".into(),
+            message: "bad".into(),
+        }
+        .in_file("second.json");
+        assert!(e.to_string().contains("first.json"));
+    }
+
+    #[test]
+    fn decode_errors_become_config_errors() {
+        let err = espresso_json::DecodeError::new("expected number").at("inter_gbps").at("system");
+        let e: EspressoError = err.into();
+        let s = e.to_string();
+        assert!(s.contains("system.inter_gbps"), "{s}");
+    }
+}

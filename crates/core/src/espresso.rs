@@ -105,6 +105,11 @@ impl Espresso {
         &self.space
     }
 
+    /// The simulator configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
     /// Selects a near-optimal strategy: Algorithm 1 (GPU compression
     /// decisions) then Algorithm 2 (optimal CPU offloading).
     pub fn select_strategy(&self) -> (Strategy, Report) {

@@ -23,14 +23,18 @@ pub mod baselines;
 pub mod census;
 pub mod config;
 pub mod decision;
+pub mod error;
 pub mod espresso;
+pub mod robust;
 pub mod upper_bound;
 
 pub use baselines::Baseline;
 pub use census::Census;
-pub use config::{GcConfig, ModelConfig, SystemConfig};
+pub use config::{FileConfig, GcConfig, ModelConfig, SystemConfig};
+pub use error::EspressoError;
 pub use espresso::{Espresso, Report};
 pub use espresso_strategy::Strategy;
+pub use robust::{DegradationMonitor, NoiseEnvelope, RobustSelection, RobustSelector};
 pub use upper_bound::upper_bound_time;
 
 /// Convenient re-exports of the crate's primary types.
@@ -38,9 +42,11 @@ pub mod prelude {
     pub use crate::{
         baselines::Baseline,
         census::Census,
-        config::{GcConfig, ModelConfig, SystemConfig},
+        config::{FileConfig, GcConfig, ModelConfig, SystemConfig},
         decision::{brute, gpu, offload},
+        error::EspressoError,
         espresso::{Espresso, Report},
+        robust::{DegradationMonitor, NoiseEnvelope, RobustSelection, RobustSelector},
         upper_bound::upper_bound_time,
     };
 }

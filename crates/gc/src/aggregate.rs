@@ -118,7 +118,7 @@ mod tests {
         // blobs, so every worker computing it gets the same answer; check
         // by computing twice from the same compressed set.
         let comp = Dgc::new(0.5);
-        let grads = vec![vec![1.0, -3.0, 0.5, 2.0], vec![0.2, 5.0, -0.1, 0.0]];
+        let grads = [vec![1.0, -3.0, 0.5, 2.0], vec![0.2, 5.0, -0.1, 0.0]];
         let compressed: Vec<_> = grads
             .iter()
             .enumerate()

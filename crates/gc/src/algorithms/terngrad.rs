@@ -127,7 +127,7 @@ mod tests {
         let c = TernGrad::new();
         let grad = vec![0.25f32, -0.5, 1.0];
         let trials = 6000;
-        let mut acc = vec![0.0f64; 3];
+        let mut acc = [0.0f64; 3];
         for w in 0..trials {
             let out = c.decompress(&c.compress(&grad, ctx(w)));
             for (a, &o) in acc.iter_mut().zip(&out) {

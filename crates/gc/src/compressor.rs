@@ -1,7 +1,5 @@
 //! The [`Compressor`] trait and the [`GcAlgorithm`] configuration enum.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{
     algorithms::{Dgc, EfSignSgd, Fp16, Natural, Qsgd, RandomK, TernGrad},
     tensor::CompressedTensor,
@@ -83,7 +81,7 @@ pub trait Compressor: Send + Sync {
 /// Configuration-level identification of a GC algorithm — the "GC
 /// information" file of the paper's Figure 6 (algorithm + compression
 /// ratio).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GcAlgorithm {
     /// Random-k sparsification with the given density (e.g. 0.01 keeps 1%).
     RandomK {
@@ -234,6 +232,70 @@ impl GcAlgorithm {
                 pieces * nnz
             }
             None => pieces * piece_elems,
+        }
+    }
+}
+
+use espresso_json::{enums, DecodeError, FromJson, Json, ToJson};
+
+impl ToJson for GcAlgorithm {
+    fn to_json(&self) -> Json {
+        match self {
+            GcAlgorithm::RandomK { density } => {
+                enums::tagged("RandomK", Json::obj(vec![("density", density.to_json())]))
+            }
+            GcAlgorithm::Dgc { density } => {
+                enums::tagged("Dgc", Json::obj(vec![("density", density.to_json())]))
+            }
+            GcAlgorithm::EfSignSgd => Json::Str("EfSignSgd".into()),
+            GcAlgorithm::Qsgd { levels } => {
+                enums::tagged("Qsgd", Json::obj(vec![("levels", levels.to_json())]))
+            }
+            GcAlgorithm::TernGrad => Json::Str("TernGrad".into()),
+            GcAlgorithm::Fp16 => Json::Str("Fp16".into()),
+            GcAlgorithm::Natural => Json::Str("Natural".into()),
+        }
+    }
+}
+
+impl FromJson for GcAlgorithm {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        const VARIANTS: &[&str] = &[
+            "RandomK", "Dgc", "EfSignSgd", "Qsgd", "TernGrad", "Fp16", "Natural",
+        ];
+        let (name, payload) = enums::variant(v)?;
+        let decode_density = |payload: &Json| -> Result<f64, DecodeError> {
+            let density: f64 = payload.req("density").map_err(|e| e.at(name))?;
+            if !(density > 0.0 && density <= 1.0) {
+                return Err(DecodeError::new(format!(
+                    "density must be in (0, 1], got {density}"
+                ))
+                .at("density")
+                .at(name));
+            }
+            Ok(density)
+        };
+        match name {
+            "RandomK" => Ok(GcAlgorithm::RandomK {
+                density: decode_density(payload)?,
+            }),
+            "Dgc" => Ok(GcAlgorithm::Dgc {
+                density: decode_density(payload)?,
+            }),
+            "EfSignSgd" => Ok(GcAlgorithm::EfSignSgd),
+            "Qsgd" => {
+                let levels: u8 = payload.req("levels").map_err(|e| e.at(name))?;
+                if levels == 0 {
+                    return Err(DecodeError::new("levels must be at least 1")
+                        .at("levels")
+                        .at(name));
+                }
+                Ok(GcAlgorithm::Qsgd { levels })
+            }
+            "TernGrad" => Ok(GcAlgorithm::TernGrad),
+            "Fp16" => Ok(GcAlgorithm::Fp16),
+            "Natural" => Ok(GcAlgorithm::Natural),
+            other => Err(enums::unknown(other, VARIANTS)),
         }
     }
 }

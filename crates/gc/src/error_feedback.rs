@@ -121,7 +121,7 @@ mod tests {
         let mut grad = vec![0.01f32; 10];
         grad[0] = 1.0; // Always wins round one.
         let rounds = 2000;
-        let mut transmitted = vec![0.0f32; 10];
+        let mut transmitted = [0.0f32; 10];
         for round in 0..rounds {
             let ctx = CompressCtx {
                 round,

@@ -1,14 +1,12 @@
 //! Compressed tensor representations and their exact wire sizes.
 
-use serde::{Deserialize, Serialize};
-
 /// A compressed gradient tensor as it would travel on the wire.
 ///
 /// Each variant records everything needed to reconstruct a dense `f32`
 /// tensor of `len` elements, and [`CompressedTensor::wire_bytes`] reports
 /// the exact number of bytes the representation occupies — the quantity
 /// the communication cost models consume.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CompressedTensor {
     /// Sparse selection: `(index, value)` pairs (RandomK, DGC/Top-K).
     Sparse {

@@ -23,13 +23,11 @@
 //! The constants are calibrated V100-class / Xeon-8260-class figures; see
 //! `DESIGN.md` section 6 on calibration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::compressor::GcAlgorithm;
 
 /// The compute resource executing a compression operation — the paper's
 /// Dimension 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Device {
     /// The training GPU (fast, but contends with backward computation).
     Gpu,
@@ -43,7 +41,7 @@ impl Device {
 }
 
 /// Timing parameters for one device class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceProfile {
     /// Fixed overhead per compression operation (kernel launches, stream
     /// synchronization, task dispatch), seconds.
@@ -89,7 +87,7 @@ impl DeviceProfile {
 }
 
 /// The full (GPU, CPU) timing model for one GC algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingModel {
     /// GPU execution profile.
     pub gpu: DeviceProfile,
@@ -193,6 +191,8 @@ impl TimingModel {
         self.profile(device).decompress_time(elems)
     }
 }
+
+espresso_json::impl_json_unit_enum!(Device { Gpu, Cpu });
 
 #[cfg(test)]
 mod tests {

@@ -1,10 +1,8 @@
 //! Model profiles: the "model information" input of the paper's Figure 6.
 
-use serde::{Deserialize, Serialize};
-
 /// Whether a model's throughput is reported in images/s or tokens/s
 /// (section 5.1, "Performance metrics").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// Computer-vision model: throughput in images per second.
     Vision,
@@ -13,7 +11,7 @@ pub enum ModelKind {
 }
 
 /// One gradient tensor of a DNN model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TensorProfile {
     /// Human-readable layer/parameter name.
     pub name: String,
@@ -36,7 +34,7 @@ impl TensorProfile {
 /// gradient becomes available during backward propagation. A tensor's
 /// index therefore *is* its "distance to the output layer" in the sense of
 /// the paper's Property #2 and Lemma 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelProfile {
     /// Model name as used in the paper's tables.
     pub name: String,
@@ -166,6 +164,82 @@ impl ModelProfile {
             forward_time: self.forward_time * scale,
             tensors,
         }
+    }
+}
+
+espresso_json::impl_json_unit_enum!(ModelKind { Vision, Nlp });
+
+impl espresso_json::ToJson for TensorProfile {
+    fn to_json(&self) -> espresso_json::Json {
+        espresso_json::Json::obj(vec![
+            ("name", espresso_json::ToJson::to_json(&self.name)),
+            ("elems", espresso_json::ToJson::to_json(&self.elems)),
+            ("compute_time", espresso_json::ToJson::to_json(&self.compute_time)),
+        ])
+    }
+}
+
+impl espresso_json::FromJson for TensorProfile {
+    fn from_json(v: &espresso_json::Json) -> Result<Self, espresso_json::DecodeError> {
+        Ok(Self {
+            name: v.req("name")?,
+            elems: v.req("elems")?,
+            compute_time: v.req("compute_time")?,
+        })
+    }
+}
+
+impl espresso_json::ToJson for ModelProfile {
+    fn to_json(&self) -> espresso_json::Json {
+        espresso_json::Json::obj(vec![
+            ("name", espresso_json::ToJson::to_json(&self.name)),
+            ("kind", espresso_json::ToJson::to_json(&self.kind)),
+            ("batch_size", espresso_json::ToJson::to_json(&self.batch_size)),
+            ("forward_time", espresso_json::ToJson::to_json(&self.forward_time)),
+            ("tensors", espresso_json::ToJson::to_json(&self.tensors)),
+        ])
+    }
+}
+
+impl espresso_json::FromJson for ModelProfile {
+    fn from_json(v: &espresso_json::Json) -> Result<Self, espresso_json::DecodeError> {
+        let profile = Self {
+            name: v.req("name")?,
+            kind: v.req("kind")?,
+            batch_size: v.req("batch_size")?,
+            forward_time: v.req("forward_time")?,
+            tensors: v.req("tensors")?,
+        };
+        // A decoded profile must satisfy the same invariants
+        // `ModelProfile::new` asserts, but user input earns an error
+        // rather than a panic.
+        if profile.tensors.is_empty() {
+            return Err(espresso_json::DecodeError::new(
+                "a model needs at least one tensor",
+            )
+            .at("tensors"));
+        }
+        if !(profile.forward_time.is_finite() && profile.forward_time >= 0.0) {
+            return Err(espresso_json::DecodeError::new(
+                "forward time must be finite and non-negative",
+            )
+            .at("forward_time"));
+        }
+        for (i, t) in profile.tensors.iter().enumerate() {
+            if t.elems == 0 {
+                return Err(espresso_json::DecodeError::new("tensor has zero elements")
+                    .at(&format!("[{i}]"))
+                    .at("tensors"));
+            }
+            if !(t.compute_time.is_finite() && t.compute_time >= 0.0) {
+                return Err(espresso_json::DecodeError::new(
+                    "compute time must be finite and non-negative",
+                )
+                .at(&format!("[{i}]"))
+                .at("tensors"));
+            }
+        }
+        Ok(profile)
     }
 }
 

@@ -23,12 +23,10 @@
 //! giant fully-connected tensors become ready early, the structural fact
 //! behind the paper's Figure 9(c) insight.
 
-use serde::{Deserialize, Serialize};
-
 use crate::profile::{ModelKind, ModelProfile, TensorProfile};
 
 /// The benchmark models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Model {
     /// VGG16 on ImageNet.
     Vgg16,
@@ -356,13 +354,14 @@ fn ugatit_layers() -> Vec<Blueprint> {
 fn bert_base_layers() -> Vec<Blueprint> {
     let h = 768usize;
     let ffn = 3072usize;
-    let mut out = Vec::new();
     // Embeddings (input side: listed first, produced last in backward).
-    out.push(bp("embeddings.word.weight", 30522 * h, 2.0));
-    out.push(bp("embeddings.position.weight", 512 * h, 0.2));
-    out.push(bp("embeddings.token_type.weight", 2 * h, 0.05));
-    out.push(bp("embeddings.ln.weight", h, 0.05));
-    out.push(bp("embeddings.ln.bias", h, 0.05));
+    let mut out = vec![
+        bp("embeddings.word.weight", 30522 * h, 2.0),
+        bp("embeddings.position.weight", 512 * h, 0.2),
+        bp("embeddings.token_type.weight", 2 * h, 0.05),
+        bp("embeddings.ln.weight", h, 0.05),
+        bp("embeddings.ln.bias", h, 0.05),
+    ];
     for l in 0..12 {
         let p = format!("encoder.layer.{l}");
         for name in ["attention.q", "attention.k", "attention.v", "attention.out"] {

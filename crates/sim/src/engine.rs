@@ -13,6 +13,7 @@ use espresso_strategy::Strategy;
 
 use crate::{
     config::SimConfig,
+    fault::FaultPlan,
     job::Job,
     result::{SimResult, Span, TaskRecord},
     task::{build_tasks, Resource, Task},
@@ -64,11 +65,32 @@ impl Ord for Time {
 /// ```
 pub fn simulate(job: &Job, strategy: &Strategy, config: &SimConfig) -> SimResult {
     let tasks = build_tasks(job, strategy, config);
-    finish(job, tasks, config)
+    finish(job, tasks, config, None)
 }
 
-fn finish(job: &Job, tasks: Vec<crate::task::Task>, config: &SimConfig) -> SimResult {
-    let spans = run(&tasks, config);
+/// Simulates one training iteration of `job` under `strategy` with the
+/// perturbations of `faults` injected into the task-duration path.
+///
+/// Same seed, job, strategy, and config ⇒ bit-identical timelines: the
+/// engine stays deterministic, faults only reshape service times (see
+/// [`FaultPlan::effective_duration`]).
+pub fn simulate_with_faults(
+    job: &Job,
+    strategy: &Strategy,
+    config: &SimConfig,
+    faults: &FaultPlan,
+) -> SimResult {
+    let tasks = build_tasks(job, strategy, config);
+    finish(job, tasks, config, Some(faults))
+}
+
+fn finish(
+    job: &Job,
+    tasks: Vec<crate::task::Task>,
+    config: &SimConfig,
+    faults: Option<&FaultPlan>,
+) -> SimResult {
+    let spans = run(&tasks, config, faults);
     let records = tasks
         .iter()
         .zip(&spans)
@@ -89,13 +111,14 @@ fn finish(job: &Job, tasks: Vec<crate::task::Task>, config: &SimConfig) -> SimRe
 pub struct Simulator {
     job: Job,
     config: SimConfig,
-    cache: std::cell::RefCell<
-        std::collections::HashMap<
-            (espresso_strategy::CompressionOption, usize),
-            std::rc::Rc<Vec<crate::task::Stage>>,
-        >,
-    >,
+    cache: std::cell::RefCell<StageCache>,
 }
+
+/// Memoized stage lists keyed by `(compression option, tensor size)`.
+type StageCache = std::collections::HashMap<
+    (espresso_strategy::CompressionOption, usize),
+    std::rc::Rc<Vec<crate::task::Stage>>,
+>;
 
 impl Simulator {
     /// Builds a simulator for `job`.
@@ -156,20 +179,44 @@ impl Simulator {
 
     /// Full-timeline simulation (cached stage compilation).
     pub fn simulate(&self, strategy: &Strategy) -> SimResult {
-        finish(&self.job, self.tasks(strategy), &self.config)
+        finish(&self.job, self.tasks(strategy), &self.config, None)
+    }
+
+    /// Full-timeline simulation under a fault plan (cached stages).
+    pub fn simulate_with_faults(&self, strategy: &Strategy, faults: &FaultPlan) -> SimResult {
+        finish(&self.job, self.tasks(strategy), &self.config, Some(faults))
     }
 
     /// Fast path returning only `F(S)` — skips timeline record assembly.
     pub fn iteration_time(&self, strategy: &Strategy) -> f64 {
         let tasks = self.tasks(strategy);
-        let spans = run(&tasks, &self.config);
+        let spans = run(&tasks, &self.config, None);
+        let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+        self.job.model.forward_time + makespan
+    }
+
+    /// Fast path returning only the perturbed `F(S)`.
+    pub fn iteration_time_with_faults(&self, strategy: &Strategy, faults: &FaultPlan) -> f64 {
+        let tasks = self.tasks(strategy);
+        let spans = run(&tasks, &self.config, Some(faults));
         let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
         self.job.model.forward_time + makespan
     }
 }
 
 /// Core event loop: assigns a start/end span to every task.
-fn run(tasks: &[Task], config: &SimConfig) -> Vec<Span> {
+///
+/// With a fault plan, each task's service time is resolved at its start
+/// time through [`FaultPlan::effective_duration`] — the single injection
+/// point, so queueing and dependency interactions downstream of a
+/// perturbed task stay mechanically correct.
+fn run(tasks: &[Task], config: &SimConfig, faults: Option<&FaultPlan>) -> Vec<Span> {
+    let service = |task: usize, start: f64| -> f64 {
+        match faults {
+            None => tasks[task].duration,
+            Some(plan) => plan.effective_duration(&tasks[task], task, start),
+        }
+    };
     let n = tasks.len();
     // Successor lists (chains, barriers, and the compute sequence are all
     // `preds` edges).
@@ -217,7 +264,7 @@ fn run(tasks: &[Task], config: &SimConfig) -> Vec<Span> {
                 let res = tasks[i].resource;
                 servers.enqueue(res, i);
                 if let Some((task, start)) = servers.try_start(res, now) {
-                    let end = start + tasks[task].duration;
+                    let end = start + service(task, start);
                     spans[task] = Span { start, end };
                     push(&mut heap, end, Event::Finish(task));
                 }
@@ -232,7 +279,7 @@ fn run(tasks: &[Task], config: &SimConfig) -> Vec<Span> {
                     }
                 }
                 if let Some((task, start)) = servers.try_start(res, now) {
-                    let end = start + tasks[task].duration;
+                    let end = start + service(task, start);
                     spans[task] = Span { start, end };
                     push(&mut heap, end, Event::Finish(task));
                 }

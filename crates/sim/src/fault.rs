@@ -1,0 +1,618 @@
+//! Seeded fault injection for the timeline simulator.
+//!
+//! The decision algorithms optimize against a *nominal* empirical model;
+//! real clusters serve stragglers, congested links, noisy kernels, and
+//! CPU contention. A [`FaultPlan`] perturbs the simulated timeline with
+//! exactly those phenomena, injected where the engine computes task
+//! durations so every contention and bubble interaction downstream of a
+//! perturbed task stays mechanically correct.
+//!
+//! ## Semantics
+//!
+//! The simulator models one *representative worker* of a synchronous
+//! data-parallel job, so faults are mapped to their job-wide effect:
+//!
+//! * **Stragglers** — per-GPU compute slowdown factors. A synchronous
+//!   job advances at the pace of its slowest worker, so the
+//!   representative timeline's compute tasks are scaled by the *maximum*
+//!   factor.
+//! * **Degraded links** — steady per-link multipliers on the alpha
+//!   (latency) and beta (serialization) components of every collective
+//!   on that channel, plus *transient bandwidth drops*: windows during
+//!   which the beta component is further multiplied. Collectives run at
+//!   the pace of their slowest participant, so the factors describe the
+//!   worst link in the ring.
+//! * **CPU contention bursts** — windows during which host-side
+//!   compression work is slowed (co-located jobs stealing the pool).
+//! * **Kernel jitter** — per-task multiplicative noise on compression /
+//!   decompression kernels, keyed by `(seed, task index)` so the draw is
+//!   independent of scheduling order.
+//!
+//! A task is billed at the rate in effect at its *start* time (a task
+//! that starts inside a drop window pays the dropped bandwidth for its
+//! whole service). This keeps the event loop single-pass and
+//! deterministic; windows are long relative to task service times in
+//! practice, so the approximation is mild.
+//!
+//! Determinism: the same `(plan, tasks)` pair always yields bit-identical
+//! timelines. Randomness only enters through [`FaultPlan::from_seed`],
+//! which is a pure function of its seed, and through the jitter stream,
+//! which is a pure function of `(seed, task index)`.
+
+use std::fmt;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::task::{Resource, Task, TaskKind};
+
+/// A time window during which a multiplicative slowdown applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Window start, seconds into the backward pass.
+    pub start: f64,
+    /// Window length, seconds.
+    pub duration: f64,
+    /// Slowdown factor while active (≥ 1).
+    pub factor: f64,
+}
+
+impl Burst {
+    /// Whether `t` falls inside this window.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.start + self.duration
+    }
+}
+
+/// Steady and transient degradation of one communication channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// Multiplier on the latency (alpha) component (≥ 1).
+    pub alpha_mult: f64,
+    /// Steady multiplier on the serialization (beta) component (≥ 1).
+    pub beta_mult: f64,
+    /// Transient bandwidth drops; factors stack multiplicatively with
+    /// `beta_mult` while a window is active.
+    pub drops: Vec<Burst>,
+}
+
+impl LinkFault {
+    /// A healthy link.
+    pub fn nominal() -> Self {
+        Self {
+            alpha_mult: 1.0,
+            beta_mult: 1.0,
+            drops: Vec::new(),
+        }
+    }
+
+    /// Whether this fault is a no-op.
+    pub fn is_nominal(&self) -> bool {
+        self.alpha_mult == 1.0 && self.beta_mult == 1.0 && self.drops.is_empty()
+    }
+
+    /// The beta multiplier in effect at time `t` (steady × active drops).
+    pub fn beta_factor_at(&self, t: f64) -> f64 {
+        let mut f = self.beta_mult;
+        for d in &self.drops {
+            if d.contains(t) {
+                f *= d.factor;
+            }
+        }
+        f
+    }
+}
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// A malformed fault plan or fault spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl FaultError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A deterministic perturbation of the simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the jitter stream (and, for generated plans, the draw).
+    pub seed: u64,
+    /// Per-worker compute slowdown factors (each ≥ 1). The engine applies
+    /// the maximum — a synchronous job paces on its slowest worker. Empty
+    /// means no stragglers.
+    pub gpu_slowdowns: Vec<f64>,
+    /// Intra-machine channel degradation.
+    pub intra: LinkFault,
+    /// Inter-machine channel degradation.
+    pub inter: LinkFault,
+    /// Host-CPU contention bursts (co-located jobs stealing the pool).
+    pub cpu_bursts: Vec<Burst>,
+    /// Relative magnitude of compression-kernel latency jitter, in
+    /// `[0, 1)`: each kernel's duration is scaled by a factor drawn
+    /// uniformly from `[1 - jitter, 1 + jitter]`.
+    pub kernel_jitter: f64,
+}
+
+impl FaultPlan {
+    /// A plan that perturbs nothing (the identity).
+    pub fn nominal() -> Self {
+        Self {
+            seed: 0,
+            gpu_slowdowns: Vec::new(),
+            intra: LinkFault::nominal(),
+            inter: LinkFault::nominal(),
+            cpu_bursts: Vec::new(),
+            kernel_jitter: 0.0,
+        }
+    }
+
+    /// Draws a random-but-plausible fault scenario for a job of `world`
+    /// workers. A pure function of `(seed, world)`: the same arguments
+    /// always produce the same plan, and therefore the same timeline.
+    pub fn from_seed(seed: u64, world: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Stragglers: each worker independently straggles with p = 0.1,
+        // by up to 2.5x (quadratic shaping keeps most slowdowns mild).
+        let gpu_slowdowns = (0..world)
+            .map(|_| {
+                let straggles = rng.random::<f64>() < 0.1;
+                let u = rng.random::<f64>();
+                if straggles {
+                    1.0 + 1.5 * u * u
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let link = |rng: &mut StdRng| {
+            let alpha_mult = 1.0 + 0.5 * rng.random::<f64>();
+            let beta_mult = if rng.random::<f64>() < 0.3 {
+                1.0 + 2.0 * rng.random::<f64>()
+            } else {
+                1.0
+            };
+            let n_drops = rng.random_range(0..3usize);
+            let drops = (0..n_drops)
+                .map(|_| Burst {
+                    start: rng.random_range(0.0..0.5),
+                    duration: rng.random_range(0.01..0.2),
+                    factor: 1.0 + 4.0 * rng.random::<f64>(),
+                })
+                .collect();
+            LinkFault {
+                alpha_mult,
+                beta_mult,
+                drops,
+            }
+        };
+        let intra = link(&mut rng);
+        let inter = link(&mut rng);
+        let n_bursts = rng.random_range(0..2usize);
+        let cpu_bursts = (0..n_bursts)
+            .map(|_| Burst {
+                start: rng.random_range(0.0..0.5),
+                duration: rng.random_range(0.02..0.3),
+                factor: 1.0 + 3.0 * rng.random::<f64>(),
+            })
+            .collect();
+        let kernel_jitter = 0.02 + 0.08 * rng.random::<f64>();
+        Self {
+            seed,
+            gpu_slowdowns,
+            intra,
+            inter,
+            cpu_bursts,
+            kernel_jitter,
+        }
+    }
+
+    /// Parses a `--faults` specification.
+    ///
+    /// Two forms:
+    ///
+    /// * a bare integer — a seed for [`FaultPlan::from_seed`] (`world` is
+    ///   the job's GPU count, supplied by the caller);
+    /// * comma-separated `key=value` pairs: `seed=7`, `straggler=1.5`
+    ///   (slowest worker's compute slowdown), `intra=2.0` / `inter=2.0`
+    ///   (steady beta multipliers), `alpha=1.5` (alpha multiplier, both
+    ///   channels), `jitter=0.05`. Unset keys stay nominal.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError`] naming the offending key or value.
+    pub fn parse(spec: &str, world: usize) -> Result<Self, FaultError> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err(FaultError::new("empty fault spec"));
+        }
+        if let Ok(seed) = spec.parse::<u64>() {
+            return Ok(Self::from_seed(seed, world));
+        }
+        let mut plan = Self::nominal();
+        for pair in spec.split(',') {
+            let (key, value) = pair.split_once('=').ok_or_else(|| {
+                FaultError::new(format!(
+                    "expected key=value, got `{pair}` (keys: seed, straggler, intra, inter, alpha, jitter)"
+                ))
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            let parse_f64 = || {
+                value.parse::<f64>().map_err(|_| {
+                    FaultError::new(format!("`{key}` needs a number, got `{value}`"))
+                })
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value.parse::<u64>().map_err(|_| {
+                        FaultError::new(format!("`seed` needs an integer, got `{value}`"))
+                    })?;
+                }
+                "straggler" => plan.gpu_slowdowns = vec![parse_f64()?],
+                "intra" => plan.intra.beta_mult = parse_f64()?,
+                "inter" => plan.inter.beta_mult = parse_f64()?,
+                "alpha" => {
+                    let a = parse_f64()?;
+                    plan.intra.alpha_mult = a;
+                    plan.inter.alpha_mult = a;
+                }
+                "jitter" => plan.kernel_jitter = parse_f64()?,
+                other => {
+                    return Err(FaultError::new(format!(
+                        "unknown fault key `{other}` (keys: seed, straggler, intra, inter, alpha, jitter)"
+                    )));
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Checks every parameter is in range.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError`] naming the out-of-range parameter.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let check_mult = |name: &str, v: f64| {
+            if v.is_finite() && v >= 1.0 {
+                Ok(())
+            } else {
+                Err(FaultError::new(format!(
+                    "{name} must be finite and >= 1, got {v}"
+                )))
+            }
+        };
+        for (i, s) in self.gpu_slowdowns.iter().enumerate() {
+            check_mult(&format!("gpu_slowdowns[{i}]"), *s)?;
+        }
+        for (name, link) in [("intra", &self.intra), ("inter", &self.inter)] {
+            check_mult(&format!("{name}.alpha_mult"), link.alpha_mult)?;
+            check_mult(&format!("{name}.beta_mult"), link.beta_mult)?;
+            for (i, d) in link.drops.iter().enumerate() {
+                check_mult(&format!("{name}.drops[{i}].factor"), d.factor)?;
+                check_window(&format!("{name}.drops[{i}]"), d)?;
+            }
+        }
+        for (i, b) in self.cpu_bursts.iter().enumerate() {
+            check_mult(&format!("cpu_bursts[{i}].factor"), b.factor)?;
+            check_window(&format!("cpu_bursts[{i}]"), b)?;
+        }
+        if !(self.kernel_jitter.is_finite() && (0.0..1.0).contains(&self.kernel_jitter)) {
+            return Err(FaultError::new(format!(
+                "kernel_jitter must be in [0, 1), got {}",
+                self.kernel_jitter
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether this plan is the identity.
+    pub fn is_nominal(&self) -> bool {
+        self.straggler_factor() == 1.0
+            && self.intra.is_nominal()
+            && self.inter.is_nominal()
+            && self.cpu_bursts.is_empty()
+            && self.kernel_jitter == 0.0
+    }
+
+    /// The compute slowdown that gates the representative timeline: the
+    /// slowest worker's factor.
+    pub fn straggler_factor(&self) -> f64 {
+        self.gpu_slowdowns.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// The CPU-contention factor in effect at time `t`.
+    pub fn cpu_factor_at(&self, t: f64) -> f64 {
+        let mut f = 1.0;
+        for b in &self.cpu_bursts {
+            if b.contains(t) {
+                f *= b.factor;
+            }
+        }
+        f
+    }
+
+    /// The jitter factor for task `index` — a pure function of
+    /// `(seed, index)`, so it does not depend on scheduling order.
+    pub fn jitter_factor(&self, index: usize) -> f64 {
+        if self.kernel_jitter == 0.0 {
+            return 1.0;
+        }
+        // splitmix64 of (seed ^ index) -> uniform in [-1, 1).
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64); // [0, 1)
+        1.0 + self.kernel_jitter * (2.0 * unit - 1.0)
+    }
+
+    /// The effective service time of `task` (the `index`-th task of the
+    /// graph) when it starts at `start`.
+    ///
+    /// This is the engine's single injection point: it is called exactly
+    /// where the nominal engine reads `task.duration`, so queueing and
+    /// dependency interactions downstream of a perturbed task remain
+    /// mechanically correct.
+    pub fn effective_duration(&self, task: &Task, index: usize, start: f64) -> f64 {
+        let d = task.duration;
+        match task.resource {
+            Resource::Gpu => match task.kind {
+                TaskKind::Compute => d * self.straggler_factor(),
+                // GPU kernels ride the straggler's GPU too, plus jitter.
+                _ => d * self.straggler_factor() * self.jitter_factor(index),
+            },
+            Resource::Cpu => {
+                let contention = self.cpu_factor_at(start);
+                match task.kind {
+                    TaskKind::Compress(_) | TaskKind::Decompress(_) => {
+                        d * contention * self.jitter_factor(index)
+                    }
+                    _ => d * contention,
+                }
+            }
+            Resource::IntraChannel | Resource::InterChannel => {
+                let fault = match task.resource {
+                    Resource::IntraChannel => &self.intra,
+                    _ => &self.inter,
+                };
+                if fault.is_nominal() {
+                    return d;
+                }
+                // Split the nominal duration into its alpha and beta
+                // components (recorded at build time) and scale each.
+                let alpha = task.alpha_secs.min(d);
+                let beta = d - alpha;
+                alpha * fault.alpha_mult + beta * fault.beta_factor_at(start)
+            }
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+fn check_window(name: &str, b: &Burst) -> Result<(), FaultError> {
+    if !(b.start.is_finite() && b.start >= 0.0) {
+        return Err(FaultError::new(format!(
+            "{name}.start must be finite and >= 0, got {}",
+            b.start
+        )));
+    }
+    if !(b.duration.is_finite() && b.duration >= 0.0) {
+        return Err(FaultError::new(format!(
+            "{name}.duration must be finite and >= 0, got {}",
+            b.duration
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_pure() {
+        let a = FaultPlan::from_seed(42, 64);
+        let b = FaultPlan::from_seed(42, 64);
+        assert_eq!(a, b);
+        let c = FaultPlan::from_seed(43, 64);
+        assert_ne!(a, c);
+        a.validate().unwrap();
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn nominal_plan_is_identity() {
+        let plan = FaultPlan::nominal();
+        assert!(plan.is_nominal());
+        let task = Task {
+            tensor: 0,
+            kind: TaskKind::Compute,
+            resource: Resource::Gpu,
+            duration: 0.5,
+            alpha_secs: 0.0,
+            preds: vec![],
+        };
+        assert_eq!(plan.effective_duration(&task, 7, 0.1), 0.5);
+    }
+
+    #[test]
+    fn straggler_scales_compute() {
+        let plan = FaultPlan {
+            gpu_slowdowns: vec![1.0, 2.0, 1.3],
+            ..FaultPlan::nominal()
+        };
+        assert_eq!(plan.straggler_factor(), 2.0);
+        let task = Task {
+            tensor: 0,
+            kind: TaskKind::Compute,
+            resource: Resource::Gpu,
+            duration: 0.5,
+            alpha_secs: 0.0,
+            preds: vec![],
+        };
+        assert_eq!(plan.effective_duration(&task, 0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn link_fault_splits_alpha_and_beta() {
+        let plan = FaultPlan {
+            inter: LinkFault {
+                alpha_mult: 3.0,
+                beta_mult: 2.0,
+                drops: vec![],
+            },
+            ..FaultPlan::nominal()
+        };
+        let task = Task {
+            tensor: 0,
+            kind: TaskKind::Comm(
+                espresso_cluster::CommScope::Inter,
+                espresso_cluster::Routine::Allreduce,
+            ),
+            resource: Resource::InterChannel,
+            duration: 1.0,
+            alpha_secs: 0.1,
+            preds: vec![],
+        };
+        // 0.1 * 3 + 0.9 * 2 = 2.1
+        let d = plan.effective_duration(&task, 0, 0.0);
+        assert!((d - 2.1).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn drops_apply_only_inside_their_window() {
+        let plan = FaultPlan {
+            inter: LinkFault {
+                alpha_mult: 1.0,
+                beta_mult: 1.0,
+                // Binary-exact bounds so the half-open window test is
+                // not at the mercy of 0.2 + 0.1 != 0.3.
+                drops: vec![Burst {
+                    start: 0.25,
+                    duration: 0.125,
+                    factor: 5.0,
+                }],
+            },
+            ..FaultPlan::nominal()
+        };
+        let task = Task {
+            tensor: 0,
+            kind: TaskKind::Comm(
+                espresso_cluster::CommScope::Inter,
+                espresso_cluster::Routine::Allreduce,
+            ),
+            resource: Resource::InterChannel,
+            duration: 1.0,
+            alpha_secs: 0.0,
+            preds: vec![],
+        };
+        assert_eq!(plan.effective_duration(&task, 0, 0.1), 1.0);
+        assert_eq!(plan.effective_duration(&task, 0, 0.25), 5.0); // inclusive start
+        assert_eq!(plan.effective_duration(&task, 0, 0.3), 5.0);
+        assert_eq!(plan.effective_duration(&task, 0, 0.375), 1.0); // exclusive end
+    }
+
+    #[test]
+    fn cpu_bursts_slow_host_work() {
+        let plan = FaultPlan {
+            cpu_bursts: vec![Burst {
+                start: 0.0,
+                duration: 1.0,
+                factor: 2.0,
+            }],
+            ..FaultPlan::nominal()
+        };
+        let task = Task {
+            tensor: 0,
+            kind: TaskKind::Compress(espresso_gc::Device::Cpu),
+            resource: Resource::Cpu,
+            duration: 0.5,
+            alpha_secs: 0.0,
+            preds: vec![],
+        };
+        assert_eq!(plan.effective_duration(&task, 0, 0.5), 1.0);
+        assert_eq!(plan.effective_duration(&task, 0, 1.5), 0.5);
+    }
+
+    #[test]
+    fn jitter_is_order_independent_and_bounded() {
+        let plan = FaultPlan {
+            seed: 9,
+            kernel_jitter: 0.1,
+            ..FaultPlan::nominal()
+        };
+        for idx in 0..1000 {
+            let f = plan.jitter_factor(idx);
+            assert!((0.9..=1.1).contains(&f), "{f}");
+            assert_eq!(f, plan.jitter_factor(idx));
+        }
+        // Different seeds decorrelate.
+        let other = FaultPlan { seed: 10, ..plan.clone() };
+        assert_ne!(plan.jitter_factor(3), other.jitter_factor(3));
+    }
+
+    #[test]
+    fn parse_accepts_seed_and_kv_forms() {
+        let by_seed = FaultPlan::parse("1234", 16).unwrap();
+        assert_eq!(by_seed, FaultPlan::from_seed(1234, 16));
+
+        let kv = FaultPlan::parse("seed=7, straggler=1.5, inter=2.0, jitter=0.05", 16).unwrap();
+        assert_eq!(kv.seed, 7);
+        assert_eq!(kv.straggler_factor(), 1.5);
+        assert_eq!(kv.inter.beta_mult, 2.0);
+        assert_eq!(kv.intra.beta_mult, 1.0);
+        assert_eq!(kv.kernel_jitter, 0.05);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for bad in ["", "straggler", "straggler=x", "bogus=1", "straggler=0.5", "jitter=2"] {
+            assert!(FaultPlan::parse(bad, 16).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut plan = FaultPlan::nominal();
+        plan.gpu_slowdowns = vec![0.5];
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::nominal();
+        plan.intra.beta_mult = f64::NAN;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::nominal();
+        plan.cpu_bursts = vec![Burst {
+            start: -1.0,
+            duration: 0.1,
+            factor: 2.0,
+        }];
+        assert!(plan.validate().is_err());
+    }
+}

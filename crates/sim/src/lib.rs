@@ -32,13 +32,15 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod gantt;
 pub mod job;
 pub mod result;
 pub mod task;
 
 pub use config::SimConfig;
-pub use engine::{simulate, Simulator};
+pub use engine::{simulate, simulate_with_faults, Simulator};
+pub use fault::{Burst, FaultError, FaultPlan, LinkFault};
 pub use job::Job;
 pub use result::{Bubble, SimResult, Span, TaskRecord};
 pub use task::{Resource, Stage, TaskKind};
@@ -47,7 +49,8 @@ pub use task::{Resource, Stage, TaskKind};
 pub mod prelude {
     pub use crate::{
         config::SimConfig,
-        engine::{simulate, Simulator},
+        engine::{simulate, simulate_with_faults, Simulator},
+        fault::{Burst, FaultError, FaultPlan, LinkFault},
         job::Job,
         result::{Bubble, SimResult, Span, TaskRecord},
         task::{Resource, TaskKind},

@@ -89,6 +89,10 @@ pub struct Task {
     pub resource: Resource,
     /// Service time, seconds.
     pub duration: f64,
+    /// The latency (alpha) component of `duration` for communication
+    /// tasks, zero otherwise. Fault injection scales the alpha and beta
+    /// components of a degraded link independently.
+    pub alpha_secs: f64,
     /// Predecessor task indices (all must finish before this starts).
     pub preds: Vec<usize>,
 }
@@ -104,18 +108,19 @@ pub struct Stage {
     pub pieces: usize,
     /// Service time per piece.
     pub piece_duration: f64,
+    /// Latency (alpha) component of `piece_duration` for communication
+    /// stages, zero otherwise.
+    pub piece_alpha: f64,
 }
 
-/// The collective cost context for a scope on this cluster.
-fn scope_cost(job: &Job, scope: CommScope) -> CollectiveCost {
+/// The participant count and link for a scope on this cluster.
+fn scope_params(job: &Job, scope: CommScope) -> (usize, espresso_cluster::Link) {
     match scope {
         CommScope::IntraFirst | CommScope::IntraSecond => {
-            CollectiveCost::new(job.cluster.gpus_per_machine, job.cluster.intra)
+            (job.cluster.gpus_per_machine, job.cluster.intra)
         }
-        CommScope::Inter => CollectiveCost::new(job.cluster.machines, job.cluster.inter),
-        CommScope::Flat => {
-            CollectiveCost::new(job.cluster.total_gpus(), job.cluster.flat_link())
-        }
+        CommScope::Inter => (job.cluster.machines, job.cluster.inter),
+        CommScope::Flat => (job.cluster.total_gpus(), job.cluster.flat_link()),
     }
 }
 
@@ -201,6 +206,7 @@ pub fn build_stages(
                         resource: Resource::IntraChannel,
                         pieces: 1,
                         piece_duration: staging_duration,
+                        piece_alpha: 0.0,
                     });
                 }
                 stages.push(Stage {
@@ -212,6 +218,7 @@ pub fn build_stages(
                     resource,
                     pieces: 1,
                     piece_duration: duration,
+                    piece_alpha: 0.0,
                 });
                 if externalize_staging && matches!(kind, ComputeKind::Decompress) {
                     stages.push(Stage {
@@ -219,6 +226,7 @@ pub fn build_stages(
                         resource: Resource::IntraChannel,
                         pieces: 1,
                         piece_duration: staging_duration,
+                        piece_alpha: 0.0,
                     });
                 }
             }
@@ -227,7 +235,8 @@ pub fn build_stages(
                 routine,
                 contrib_bytes,
             } => {
-                let cost = scope_cost(job, scope);
+                let (n, link) = scope_params(job, scope);
+                let cost = CollectiveCost::new(n, link);
                 let compressed = matches!(
                     aop.op,
                     espresso_strategy::Op::Comm { compressed: true, .. }
@@ -235,11 +244,21 @@ pub fn build_stages(
                 // Compressed blobs travel whole; dense payloads are
                 // partitioned per BytePS.
                 let pieces = if compressed { 1 } else { parts };
+                let per_piece = contrib_bytes / pieces as f64;
+                let piece_duration = cost.time(routine, per_piece);
+                // The serialization (beta) part is the cost over the same
+                // link with its latency zeroed; the remainder is alpha.
+                let beta_only = CollectiveCost::new(
+                    n,
+                    espresso_cluster::Link::new(link.bandwidth, 0.0),
+                )
+                .time(routine, per_piece);
                 stages.push(Stage {
                     kind: TaskKind::Comm(scope, routine),
                     resource: scope_resource(scope),
                     pieces,
-                    piece_duration: cost.time(routine, contrib_bytes / pieces as f64),
+                    piece_duration,
+                    piece_alpha: (piece_duration - beta_only).max(0.0),
                 });
             }
             Work::Free => {}
@@ -265,6 +284,7 @@ pub fn push_tensor_tasks(
         kind: TaskKind::Compute,
         resource: Resource::Gpu,
         duration: compute_time,
+        alpha_secs: 0.0,
         preds: prev_compute.into_iter().collect(),
     });
     let mut frontier: Vec<usize> = vec![compute_idx];
@@ -276,6 +296,7 @@ pub fn push_tensor_tasks(
                 kind: stage.kind,
                 resource: stage.resource,
                 duration: stage.piece_duration,
+                alpha_secs: stage.piece_alpha,
                 preds: std::mem::take(&mut frontier),
             });
             frontier = vec![idx];
@@ -297,6 +318,7 @@ pub fn push_tensor_tasks(
                     kind: stage.kind,
                     resource: stage.resource,
                     duration: stage.piece_duration,
+                    alpha_secs: stage.piece_alpha,
                     preds,
                 });
                 frontier.push(idx);

@@ -6,15 +6,14 @@
 //! compression operations for each tensor to avoid the accuracy loss of
 //! training models."
 
-use serde::{Deserialize, Serialize};
-
 use espresso_cluster::CommPattern;
 use espresso_gc::Device;
 
 use crate::option::CompressionOption;
 
 /// Constraints narrowing the enumerated option space.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
 pub struct Constraints {
     /// Maximum number of compression ops per tensor (each recompression
     /// compounds the compression error). `None` = unlimited.
@@ -28,16 +27,6 @@ pub struct Constraints {
     pub no_intra_compression: bool,
 }
 
-impl Default for Constraints {
-    fn default() -> Self {
-        Self {
-            max_compressions: None,
-            allowed_devices: Vec::new(),
-            pattern: None,
-            no_intra_compression: false,
-        }
-    }
-}
 
 impl Constraints {
     /// A constraint set limiting each tensor to at most one compression —
@@ -57,15 +46,14 @@ impl Constraints {
                 return false;
             }
         }
-        if !self.allowed_devices.is_empty() {
-            if !option
+        if !self.allowed_devices.is_empty()
+            && !option
                 .devices()
                 .iter()
                 .all(|d| self.allowed_devices.contains(d))
             {
                 return false;
             }
-        }
         if let Some(p) = self.pattern {
             if option.pattern != p {
                 return false;

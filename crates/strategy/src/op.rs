@@ -13,13 +13,11 @@
 //! communication (`rails` — they share the machine's single NIC, which is
 //! how hierarchical cost accounting stays honest).
 
-use serde::{Deserialize, Serialize};
-
 use espresso_cluster::{CommScope, Cluster, Routine};
 use espresso_gc::Device;
 
 /// One step of a compression option.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Op {
     /// Task `Comp`: compress the current dense payload on `device`.
     Compress {
@@ -294,6 +292,66 @@ impl PayloadState {
             };
         }
         Ok(())
+    }
+}
+
+use espresso_json::{enums, DecodeError, FromJson, Json, ToJson};
+
+impl ToJson for Op {
+    fn to_json(&self) -> Json {
+        match self {
+            Op::Compress { device } => {
+                enums::tagged("Compress", Json::obj(vec![("device", device.to_json())]))
+            }
+            Op::Decompress { device } => {
+                enums::tagged("Decompress", Json::obj(vec![("device", device.to_json())]))
+            }
+            Op::AggregateSum { device } => {
+                enums::tagged("AggregateSum", Json::obj(vec![("device", device.to_json())]))
+            }
+            Op::Concat => Json::Str("Concat".into()),
+            Op::Comm {
+                scope,
+                routine,
+                compressed,
+                shard_gather,
+            } => enums::tagged(
+                "Comm",
+                Json::obj(vec![
+                    ("scope", scope.to_json()),
+                    ("routine", routine.to_json()),
+                    ("compressed", compressed.to_json()),
+                    ("shard_gather", shard_gather.to_json()),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for Op {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        const VARIANTS: &[&str] = &["Compress", "Decompress", "AggregateSum", "Concat", "Comm"];
+        let (name, payload) = enums::variant(v)?;
+        let op = match name {
+            "Compress" => Op::Compress {
+                device: payload.req("device").map_err(|e| e.at(name))?,
+            },
+            "Decompress" => Op::Decompress {
+                device: payload.req("device").map_err(|e| e.at(name))?,
+            },
+            "AggregateSum" => Op::AggregateSum {
+                device: payload.req("device").map_err(|e| e.at(name))?,
+            },
+            "Concat" => Op::Concat,
+            "Comm" => Op::Comm {
+                scope: payload.req("scope").map_err(|e| e.at(name))?,
+                routine: payload.req("routine").map_err(|e| e.at(name))?,
+                compressed: payload.req("compressed").map_err(|e| e.at(name))?,
+                shard_gather: payload.req("shard_gather").map_err(|e| e.at(name))?,
+            },
+            other => return Err(enums::unknown(other, VARIANTS)),
+        };
+        Ok(op)
     }
 }
 

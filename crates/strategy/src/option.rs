@@ -3,15 +3,13 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use espresso_cluster::{CommPattern, CommScope, Cluster, Routine};
 use espresso_gc::{Device, GcAlgorithm};
 
 use crate::op::{Op, PayloadError, PayloadState};
 
 /// The kind of compute work an op performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComputeKind {
     /// A compression kernel.
     Compress,
@@ -64,7 +62,7 @@ pub struct AnnotatedOp {
 
 /// A validated compression option: a path from `Start` to `End` in the
 /// paper's Figure 8.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CompressionOption {
     /// Flat or hierarchical communication (the `flat comm?` decision).
     pub pattern: CommPattern,
@@ -302,6 +300,26 @@ impl CompressionOption {
             CommPattern::Hierarchical => "hier",
         };
         format!("{prefix}[{}]", parts.join(" "))
+    }
+}
+
+use espresso_json::{DecodeError, FromJson, Json, ToJson};
+
+impl ToJson for CompressionOption {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("pattern", self.pattern.to_json()),
+            ("ops", self.ops.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CompressionOption {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        Ok(Self {
+            pattern: v.req("pattern")?,
+            ops: v.req("ops")?,
+        })
     }
 }
 

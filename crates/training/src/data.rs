@@ -49,8 +49,8 @@ impl Dataset {
         let mut labels = Vec::with_capacity(samples);
         for i in 0..samples {
             let class = i % classes;
-            for d in 0..dims {
-                features.push(centers[class][d] + noise * gaussian(&mut rng));
+            for &center in &centers[class] {
+                features.push(center + noise * gaussian(&mut rng));
             }
             labels.push(class);
         }

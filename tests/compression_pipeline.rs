@@ -75,9 +75,9 @@ fn strategy_serialization_round_trips() {
     let cluster = Cluster::nvlink_100g(4, 4);
     let space = OptionSpace::enumerate(&cluster);
     for opt in space.all().iter().step_by(211) {
-        let json = serde_json::to_string(&**opt).unwrap();
+        let json = espresso_json::Json::encode(&**opt);
         let back: espresso_repro::strategy::CompressionOption =
-            serde_json::from_str(&json).unwrap();
+            espresso_json::Json::decode(&json).unwrap();
         assert_eq!(back, **opt);
         back.validate(&cluster).unwrap();
     }

@@ -1,21 +1,10 @@
 //! The shipped JSON configuration files (Figure 6's three inputs) must
-//! parse and drive a full selection.
+//! parse and drive a full selection — via the library's own
+//! [`FileConfig`] loader, so the tests exercise the same non-panicking
+//! error path as `espresso-cli --config`.
 
-use espresso_repro::espresso::config::{build_job, GcConfig, ModelConfig, SystemConfig};
-use espresso_repro::espresso::Espresso;
-use serde::Deserialize;
-
-#[derive(Debug, Deserialize)]
-struct FileConfig {
-    model: ModelConfig,
-    gc: GcConfig,
-    system: SystemConfig,
-}
-
-fn load(path: &str) -> FileConfig {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
-    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
-}
+use espresso_repro::espresso::config::{build_job, FileConfig, SystemConfig};
+use espresso_repro::espresso::{Espresso, EspressoError};
 
 #[test]
 fn shipped_configs_parse_and_resolve() {
@@ -23,8 +12,8 @@ fn shipped_configs_parse_and_resolve() {
         "examples/configs/bert_nvlink.json",
         "examples/configs/lstm_pcie.json",
     ] {
-        let cfg = load(path);
-        let job = build_job(&cfg.model, &cfg.gc, &cfg.system, None).unwrap();
+        let cfg = FileConfig::load(path).unwrap_or_else(|e| panic!("{e}"));
+        let job = cfg.build_job(None).unwrap();
         assert_eq!(job.cluster.total_gpus(), 64, "{path}");
         assert!(job.num_tensors() > 0, "{path}");
     }
@@ -32,7 +21,7 @@ fn shipped_configs_parse_and_resolve() {
 
 #[test]
 fn lstm_config_drives_a_full_selection() {
-    let cfg = load("examples/configs/lstm_pcie.json");
+    let cfg = FileConfig::load("examples/configs/lstm_pcie.json").unwrap();
     // Shrink the cluster so the test stays fast in debug builds.
     let system = SystemConfig {
         machines: 2,
@@ -43,4 +32,27 @@ fn lstm_config_drives_a_full_selection() {
     let (strategy, report) = Espresso::new(job).select_strategy();
     assert_eq!(strategy.len(), 10);
     assert!(report.iteration_time > 0.0);
+}
+
+#[test]
+fn loader_errors_carry_file_and_field_context() {
+    // Missing file: an Io error naming the path.
+    let err = FileConfig::load("examples/configs/does_not_exist.json").unwrap_err();
+    assert!(matches!(err, EspressoError::Io { .. }), "{err}");
+    assert!(err.to_string().contains("does_not_exist.json"), "{err}");
+
+    // Malformed field: a Config error with the dotted path.
+    let err = FileConfig::parse(
+        r#"{
+            "model": { "model": "LSTM" },
+            "gc": { "algorithm": { "RandomK": { "density": -1.0 } } },
+            "system": { "machines": 2, "gpus_per_machine": 4,
+                        "intra": "Pcie", "inter_gbps": 25.0 }
+        }"#,
+    )
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("gc.algorithm.RandomK.density"),
+        "{err}"
+    );
 }

@@ -12,4 +12,14 @@ cargo test -q --workspace
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== serve smoke =="
+# One decision + one /metrics scrape against an ephemeral-port server,
+# then a clean shutdown. Exits non-zero on any non-200.
+./target/release/espresso-loadgen --smoke
+
+echo "== serve bench =="
+# Brief load run (cached + uncached phases) regenerating BENCH_serve.json.
+./target/release/espresso-loadgen --clients 4 --requests 2000 \
+    --uncached-requests 200 --out BENCH_serve.json
+
 echo "CI OK"

@@ -300,6 +300,34 @@ impl espresso_json::FromJson for LinkState {
     }
 }
 
+impl espresso_json::ToJson for ClusterHealth {
+    fn to_json(&self) -> espresso_json::Json {
+        use espresso_json::Json;
+        Json::obj(vec![
+            ("intra", self.intra.to_json()),
+            ("inter", self.inter.to_json()),
+        ])
+    }
+}
+
+impl espresso_json::FromJson for ClusterHealth {
+    // Both fabrics are optional and default to nominal, so a request can
+    // say only what is wrong: `{"inter": {"Degraded": {"factor": 2.0}}}`.
+    fn from_json(v: &espresso_json::Json) -> Result<Self, espresso_json::DecodeError> {
+        use espresso_json::{DecodeError, Json};
+        if !matches!(v, Json::Obj(_)) {
+            return Err(DecodeError::new(format!(
+                "expected a health object with optional `intra`/`inter`, found {}",
+                v.type_name()
+            )));
+        }
+        Ok(ClusterHealth {
+            intra: v.opt("intra")?.unwrap_or_default(),
+            inter: v.opt("inter")?.unwrap_or_default(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +423,29 @@ mod tests {
         ));
         assert!(Cluster::try_new(2, 8, IntraFabric::Pcie, LinkClass::Ethernet25G)
             .is_ok_and(|c| c.staging_shares_intra));
+    }
+
+    #[test]
+    fn health_round_trips_through_json_with_defaults() {
+        use espresso_json::Json;
+        let health = ClusterHealth {
+            intra: LinkState::Down,
+            inter: LinkState::Degraded { factor: 2.5 },
+        };
+        let back: ClusterHealth = Json::decode(&Json::encode(&health)).unwrap();
+        assert_eq!(back, health);
+
+        // Omitted fabrics default to nominal.
+        let partial: ClusterHealth =
+            Json::decode(r#"{"inter": {"Degraded": {"factor": 2.0}}}"#).unwrap();
+        assert_eq!(partial.intra, LinkState::Nominal);
+        assert_eq!(partial.inter, LinkState::Degraded { factor: 2.0 });
+        let empty: ClusterHealth = Json::decode("{}").unwrap();
+        assert!(empty.is_nominal());
+
+        // Non-objects are rejected with a helpful message.
+        let err = Json::decode::<ClusterHealth>("[1, 2]").unwrap_err();
+        assert!(err.message.contains("health object"), "{err}");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   compression time and no compute impact),
 //! * [`config`] — the three configuration files of Figure 6,
 //! * [`espresso`] — the end-to-end [`Espresso`] front-end: configs in,
-//!   near-optimal [`Strategy`] out, with timing telemetry.
+//!   near-optimal [`Strategy`] out, with timing telemetry,
+//! * [`service`] — the [`DecisionRequest`] → [`Decision`] API shared by
+//!   `espresso-cli` and the `espresso-serve` HTTP service, so the two
+//!   front-ends cannot drift.
 
 pub mod baselines;
 pub mod census;
@@ -26,6 +29,7 @@ pub mod decision;
 pub mod error;
 pub mod espresso;
 pub mod robust;
+pub mod service;
 pub mod upper_bound;
 
 pub use baselines::Baseline;
@@ -35,6 +39,7 @@ pub use error::EspressoError;
 pub use espresso::{Espresso, Report};
 pub use espresso_strategy::Strategy;
 pub use robust::{DegradationMonitor, NoiseEnvelope, RobustSelection, RobustSelector};
+pub use service::{decide, Decision, DecisionRequest, DecisionResponse};
 pub use upper_bound::upper_bound_time;
 
 /// Convenient re-exports of the crate's primary types.
@@ -47,6 +52,7 @@ pub mod prelude {
         error::EspressoError,
         espresso::{Espresso, Report},
         robust::{DegradationMonitor, NoiseEnvelope, RobustSelection, RobustSelector},
+        service::{decide, Decision, DecisionRequest, DecisionResponse},
         upper_bound::upper_bound_time,
     };
 }

@@ -605,6 +605,27 @@ impl Json {
         out
     }
 
+    /// A canonical deep copy: object keys sorted (recursively), values
+    /// otherwise untouched. Two semantically identical documents whose
+    /// objects merely list keys in different orders canonicalize to equal
+    /// trees — and therefore to byte-identical [`Json::render`] output,
+    /// which is what cache keys should be derived from.
+    #[must_use]
+    pub fn canonical(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::canonical).collect()),
+            Json::Obj(pairs) => {
+                let mut sorted: Vec<(String, Json)> = pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.canonical()))
+                    .collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(sorted)
+            }
+            other => other.clone(),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         let (nl, pad, pad_close) = match indent {
             Some(w) => (
@@ -833,6 +854,18 @@ mod tests {
             let rendered = Json::Num(x).render();
             assert_eq!(rendered.parse::<f64>().unwrap(), x, "{rendered}");
         }
+    }
+
+    #[test]
+    fn canonical_sorts_keys_recursively() {
+        let a = Json::parse(r#"{"b": {"y": 1, "x": [ {"q": 2, "p": 3} ]}, "a": true}"#).unwrap();
+        let b = Json::parse(r#"{"a": true, "b": {"x": [ {"p": 3, "q": 2} ], "y": 1}}"#).unwrap();
+        assert_ne!(a.render(), b.render(), "inputs differ in key order");
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.canonical().render(), b.canonical().render());
+        // Arrays keep their order — position is semantic in JSON.
+        let arr = Json::parse("[2, 1]").unwrap();
+        assert_eq!(arr.canonical().render(), "[2,1]");
     }
 
     #[test]

@@ -28,26 +28,26 @@
 //! * `--robust` — run the ensemble-based robust selector instead of the
 //!   plain nominal selection and print the candidate table.
 //!
+//! The decision plumbing lives in `espresso::service` and is shared with
+//! the HTTP server, which this binary also hosts:
+//!
+//! ```sh
+//! espresso-cli serve --addr 127.0.0.1:8080 --workers 8
+//! ```
+//!
 //! All input errors (missing files, malformed JSON, bad field values,
 //! bad fault specs) are reported with file/field context and exit 1 —
 //! never a panic.
 
+use std::time::Duration;
+
 use espresso::baselines::Baseline;
-use espresso::config::{build_job, FileConfig, GcConfig, ModelConfig, SystemConfig};
-use espresso::robust::RobustSelector;
+use espresso::config::{FileConfig, GcConfig, ModelConfig, SystemConfig};
+use espresso::service::{decide, DecisionRequest};
 use espresso::{Espresso, EspressoError};
 use espresso_cluster::{ClusterHealth, IntraFabric, LinkState};
 use espresso_gc::GcAlgorithm;
-use espresso_sim::{FaultPlan, Simulator};
-
-struct Options {
-    model: ModelConfig,
-    gc: GcConfig,
-    system: SystemConfig,
-    faults: Option<String>,
-    health: ClusterHealth,
-    robust: bool,
-}
+use espresso_serve::{signal, ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
@@ -55,13 +55,15 @@ fn usage() -> ! {
          [--model NAME --algo randomk|dgc|efsignsgd|qsgd|terngrad|fp16 \
          [--density F] [--machines N] [--gpus K] [--intra nvlink|pcie] \
          [--inter-gbps G]] \
-         [--faults SPEC] [--inter-degraded F] [--intra-degraded F] [--robust]"
+         [--faults SPEC] [--inter-degraded F] [--intra-degraded F] [--robust]\n\
+         \n\
+         or:    espresso-cli serve [--addr HOST:PORT] [--workers N] \
+         [--queue N] [--cache N] [--shards N] [--deadline-ms N]"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> Result<Options, EspressoError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn parse_args(args: &[String]) -> Result<DecisionRequest, EspressoError> {
     let mut it = args.iter();
     let mut config_path: Option<String> = None;
     let mut model = "BERT-base".to_string();
@@ -141,19 +143,21 @@ fn parse_args() -> Result<Options, EspressoError> {
             )
         }
     };
-    Ok(Options {
+    Ok(DecisionRequest {
         model,
         gc,
         system,
-        faults,
         health,
+        faults,
         robust,
     })
 }
 
-fn run() -> Result<(), EspressoError> {
-    let opts = parse_args()?;
-    let job = build_job(&opts.model, &opts.gc, &opts.system, None)?;
+fn run(args: &[String]) -> Result<(), EspressoError> {
+    let request = parse_args(args)?;
+    let decision = decide(&request)?;
+    let job = &decision.job;
+    let report = &decision.report;
     println!(
         "job: {} + {} on {}x{} GPUs ({:.0} Gbps inter)",
         job.model.name,
@@ -162,21 +166,10 @@ fn run() -> Result<(), EspressoError> {
         job.cluster.gpus_per_machine,
         job.cluster.inter.bandwidth * 8.0 / 0.84 / 1e9,
     );
-    let plan = opts
-        .faults
-        .as_deref()
-        .map(|spec| {
-            FaultPlan::parse(spec, job.cluster.total_gpus())
-                .map_err(|e| EspressoError::Fault { message: e.message })
-        })
-        .transpose()?;
-
-    let espresso = Espresso::new(job.clone());
-    let (strategy, report) = espresso.select_strategy();
     println!(
         "selected in {:.0} ms: {} compressed / {} offloaded / {} backfilled / {} ruled out",
         (report.gpu_decision_seconds + report.offload_seconds + report.backfill_seconds) * 1e3,
-        strategy.num_compressed(),
+        decision.strategy.num_compressed(),
         report.offloaded_tensors,
         report.backfilled_tensors,
         report.ruled_out_tensors,
@@ -188,9 +181,7 @@ fn run() -> Result<(), EspressoError> {
         job.scaling_factor(report.iteration_time)
     );
 
-    if let Some(plan) = &plan {
-        let sim = Simulator::new(job.clone(), *espresso.config());
-        let faulted = sim.iteration_time_with_faults(&strategy, plan);
+    if let (Some(plan), Some(faulted)) = (&decision.fault_plan, decision.faulted_iteration_time) {
         println!(
             "under faults (seed {}): iteration {:.2} ms ({:+.0}% vs nominal), \
              straggler x{:.2}, jitter {:.0}%",
@@ -202,12 +193,7 @@ fn run() -> Result<(), EspressoError> {
         );
     }
 
-    if opts.robust || !opts.health.is_nominal() {
-        let mut selector = RobustSelector::new(job.clone(), opts.health);
-        if let Some(plan) = plan.clone() {
-            selector = selector.with_faults(plan);
-        }
-        let selection = selector.select()?;
+    if let Some(selection) = &decision.robust {
         println!(
             "\nrobust selection: {} | mean {:.2} ms | worst {:.2} ms over {} scenarios",
             selection.chosen,
@@ -228,10 +214,14 @@ fn run() -> Result<(), EspressoError> {
     }
 
     println!("\nstrategy census:");
-    print!("{}", espresso::Census::of(&job, &strategy).render());
+    print!(
+        "{}",
+        espresso::Census::of(job, &decision.strategy).render()
+    );
     println!("\nbaselines:");
+    let evaluator = Espresso::new(job.clone());
     for b in Baseline::ALL {
-        let t = espresso.evaluate(&b.strategy(&job));
+        let t = evaluator.evaluate(&b.strategy(job));
         println!(
             "  {:<16} {:.2} ms ({:+.0}% vs Espresso)",
             b.name(),
@@ -242,8 +232,62 @@ fn run() -> Result<(), EspressoError> {
     Ok(())
 }
 
+fn run_serve(args: &[String]) -> Result<(), EspressoError> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:8080".into(),
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        let parse_num = |flag: &str, raw: String| -> Result<usize, EspressoError> {
+            raw.parse::<usize>()
+                .map_err(|_| EspressoError::config(flag, format!("not a number: {raw}")))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--workers" => config.workers = parse_num("--workers", value())?.max(1),
+            "--queue" => config.queue_depth = parse_num("--queue", value())?.max(1),
+            "--cache" => config.cache_entries = parse_num("--cache", value())?.max(1),
+            "--shards" => config.cache_shards = parse_num("--shards", value())?.max(1),
+            "--deadline-ms" => {
+                config.deadline =
+                    Duration::from_millis(parse_num("--deadline-ms", value())?.max(1) as u64)
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let workers = config.workers;
+    let cache_entries = config.cache_entries;
+    let server = Server::start(config)?;
+    println!(
+        "espresso-serve listening on {} ({} workers, cache {} entries)",
+        server.addr(),
+        workers,
+        cache_entries,
+    );
+    println!("routes: POST /decide | GET /metrics | GET /healthz  (ctrl-c to stop)");
+    signal::install();
+    while !signal::signaled() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("\nshutting down: draining queue and in-flight requests...");
+    server.shutdown();
+    println!("bye");
+    Ok(())
+}
+
 fn main() {
-    if let Err(e) = run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((first, rest)) if first == "serve" => run_serve(rest),
+        _ => run(&args),
+    };
+    if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

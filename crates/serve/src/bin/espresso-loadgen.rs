@@ -1,0 +1,409 @@
+//! Loopback load harness for the decision server.
+//!
+//! Starts an in-process [`Server`] (or targets `--addr`), drives it with
+//! `--clients` concurrent keep-alive connections, and writes
+//! `BENCH_serve.json` with throughput, client-side latency percentiles,
+//! and cache hit rates.
+//!
+//! Two phases run by default:
+//!
+//! * **cached** — every request is drawn from a small pool of distinct
+//!   bodies (primed once beforehand), so the server answers from its
+//!   decision cache. This measures the serving path itself.
+//! * **uncached** — every request is unique (a fresh RandomK density), so
+//!   every request runs Algorithms 1–2. This measures decision cost under
+//!   concurrency.
+//!
+//! `--repeat-ratio R` replaces the two defaults with a single mixed phase
+//! where each request is pooled with probability `R` and unique otherwise.
+//!
+//! `--smoke` runs the CI gate instead: start a server on an ephemeral
+//! port, issue one decision and one `/metrics` request, assert both are
+//! 200, shut down cleanly.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use espresso_json::Json;
+use espresso_serve::client::Connection;
+use espresso_serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: espresso-loadgen [--smoke] [--addr HOST:PORT] [--clients N] \
+         [--requests N] [--uncached-requests N] [--repeat-ratio R] \
+         [--model NAME] [--out FILE] [--seed N]"
+    );
+    std::process::exit(2)
+}
+
+#[derive(Clone)]
+struct Options {
+    smoke: bool,
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    uncached_requests: usize,
+    repeat_ratio: Option<f64>,
+    model: String,
+    out: String,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            smoke: false,
+            addr: None,
+            clients: 4,
+            requests: 2000,
+            uncached_requests: 200,
+            repeat_ratio: None,
+            model: "LSTM".into(),
+            out: "BENCH_serve.json".into(),
+            seed: 42,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--addr" => opts.addr = Some(value()),
+            "--clients" => opts.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => opts.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--uncached-requests" => {
+                opts.uncached_requests = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--repeat-ratio" => {
+                opts.repeat_ratio = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--model" => opts.model = value(),
+            "--out" => opts.out = value(),
+            "--seed" => opts.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    opts.clients = opts.clients.max(1);
+    opts
+}
+
+/// A decision-request body with the given RandomK density.
+fn body(model: &str, machines: usize, density: f64) -> Vec<u8> {
+    format!(
+        r#"{{"model":{{"model":"{model}"}},"gc":{{"algorithm":{{"RandomK":{{"density":{density}}}}}}},"system":{{"machines":{machines},"gpus_per_machine":4,"intra":"Pcie","inter_gbps":25.0}}}}"#
+    )
+    .into_bytes()
+}
+
+/// The fixed pool the cached phase draws from: distinct configs, all
+/// primed before measurement so every draw is a hit.
+fn pool(model: &str) -> Vec<Vec<u8>> {
+    let mut bodies = Vec::new();
+    for machines in [2usize, 4] {
+        for density in [0.01, 0.02, 0.05, 0.1] {
+            bodies.push(body(model, machines, density));
+        }
+    }
+    bodies
+}
+
+/// Monotonic counter making the "uncached" bodies globally unique: each
+/// perturbs the density by a distinct number of nano-steps, which changes
+/// the canonical key without meaningfully changing the workload.
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn unique_body(model: &str) -> Vec<u8> {
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    // machines = 1 keeps the per-decision cost low enough that the
+    // uncached phase measures decision throughput, not sim-sweep depth.
+    body(model, 1, 0.01 + n as f64 * 1e-9)
+}
+
+struct PhaseResult {
+    name: &'static str,
+    requests: usize,
+    seconds: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    decisions_computed: u64,
+}
+
+impl PhaseResult {
+    fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::Num(self.requests as f64)),
+            ("seconds", Json::Num(self.seconds)),
+            ("throughput_rps", Json::Num(self.throughput_rps)),
+            ("latency_p50_ms", Json::Num(self.p50_ms)),
+            ("latency_p95_ms", Json::Num(self.p95_ms)),
+            ("latency_p99_ms", Json::Num(self.p99_ms)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("cache_misses", Json::Num(self.cache_misses as f64)),
+            ("cache_hit_rate", Json::Num(self.hit_rate())),
+            ("decisions_computed", Json::Num(self.decisions_computed as f64)),
+        ])
+    }
+}
+
+/// Snapshot of the server-side counters this harness cares about.
+#[derive(Default, Clone, Copy)]
+struct Counters {
+    cache_hits: u64,
+    cache_misses: u64,
+    decisions_computed: u64,
+}
+
+fn read_counters(addr: SocketAddr) -> Counters {
+    let Ok(resp) = espresso_serve::client::request(addr, "GET", "/metrics", b"") else {
+        return Counters::default();
+    };
+    let Ok(doc) = Json::parse(&String::from_utf8_lossy(&resp.body)) else {
+        return Counters::default();
+    };
+    Counters {
+        cache_hits: doc.req::<u64>("cache_hits").unwrap_or(0),
+        cache_misses: doc.req::<u64>("cache_misses").unwrap_or(0),
+        decisions_computed: doc.req::<u64>("decisions_computed").unwrap_or(0),
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+/// Runs one phase: `total` requests spread over `clients` keep-alive
+/// connections, each request pooled with probability `repeat_ratio`.
+fn run_phase(
+    name: &'static str,
+    addr: SocketAddr,
+    opts: &Options,
+    total: usize,
+    repeat_ratio: f64,
+) -> Result<PhaseResult, String> {
+    let bodies = Arc::new(pool(&opts.model));
+    let model = Arc::new(opts.model.clone());
+    let before = read_counters(addr);
+    let started = Instant::now();
+    let per_client = total.div_ceil(opts.clients);
+    let handles: Vec<_> = (0..opts.clients)
+        .map(|client_id| {
+            let bodies = Arc::clone(&bodies);
+            let model = Arc::clone(&model);
+            let seed = opts.seed ^ (client_id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            std::thread::spawn(move || -> Result<Vec<f64>, String> {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut conn = Connection::open(addr, Duration::from_secs(30))
+                    .map_err(|e| format!("connect {addr}: {e}"))?;
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let fresh;
+                    let body: &[u8] = if rng.random_bool(repeat_ratio) {
+                        &bodies[rng.random_range(0..bodies.len())]
+                    } else {
+                        fresh = unique_body(&model);
+                        &fresh
+                    };
+                    let t0 = Instant::now();
+                    let resp = conn
+                        .request("POST", "/decide", body)
+                        .map_err(|e| format!("request {i} on client {client_id}: {e}"))?;
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    if resp.status != 200 {
+                        return Err(format!(
+                            "client {client_id} request {i}: status {} body {}",
+                            resp.status,
+                            String::from_utf8_lossy(&resp.body)
+                        ));
+                    }
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    for handle in handles {
+        latencies.extend(handle.join().map_err(|_| "client thread panicked")??);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let after = read_counters(addr);
+    latencies.sort_by(f64::total_cmp);
+    let requests = latencies.len();
+    Ok(PhaseResult {
+        name,
+        requests,
+        seconds,
+        throughput_rps: requests as f64 / seconds.max(1e-9),
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        cache_hits: after.cache_hits.saturating_sub(before.cache_hits),
+        cache_misses: after.cache_misses.saturating_sub(before.cache_misses),
+        decisions_computed: after
+            .decisions_computed
+            .saturating_sub(before.decisions_computed),
+    })
+}
+
+/// Sends every pool body once so the cached phase starts warm.
+fn prime(addr: SocketAddr, opts: &Options) -> Result<(), String> {
+    let mut conn =
+        Connection::open(addr, Duration::from_secs(30)).map_err(|e| format!("connect: {e}"))?;
+    for body in pool(&opts.model) {
+        let resp = conn
+            .request("POST", "/decide", &body)
+            .map_err(|e| format!("prime: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "prime: status {} body {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The CI gate: one decision, one metrics scrape, clean shutdown.
+fn smoke(opts: &Options) -> Result<(), String> {
+    let server = Server::start(ServeConfig::default()).map_err(|e| e.to_string())?;
+    let addr = server.addr();
+    let decision = espresso_serve::client::request(addr, "POST", "/decide", &body(&opts.model, 2, 0.01))
+        .map_err(|e| format!("decide: {e}"))?;
+    if decision.status != 200 {
+        return Err(format!(
+            "decide: status {} body {}",
+            decision.status,
+            String::from_utf8_lossy(&decision.body)
+        ));
+    }
+    let doc = Json::parse(&String::from_utf8_lossy(&decision.body))
+        .map_err(|e| format!("decide response is not JSON: {e}"))?;
+    let iteration_ms = doc
+        .req::<f64>("iteration_time_ms")
+        .map_err(|e| format!("decide response: {e}"))?;
+    let metrics = espresso_serve::client::request(addr, "GET", "/metrics", b"")
+        .map_err(|e| format!("metrics: {e}"))?;
+    if metrics.status != 200 {
+        return Err(format!("metrics: status {}", metrics.status));
+    }
+    Json::parse(&String::from_utf8_lossy(&metrics.body))
+        .map_err(|e| format!("metrics response is not JSON: {e}"))?;
+    server.shutdown();
+    println!("serve smoke OK: decision in {iteration_ms:.2} ms iteration time, metrics scraped, clean shutdown");
+    Ok(())
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    if opts.smoke {
+        return smoke(opts);
+    }
+    // Either target an external server or host one in-process.
+    let mut hosted: Option<Server> = None;
+    let addr: SocketAddr = match &opts.addr {
+        Some(addr) => addr.parse().map_err(|e| format!("--addr {addr}: {e}"))?,
+        None => {
+            let server = Server::start(ServeConfig {
+                workers: opts.clients + 2,
+                ..ServeConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
+            let addr = server.addr();
+            hosted = Some(server);
+            addr
+        }
+    };
+
+    prime(addr, opts)?;
+    let phases: Vec<PhaseResult> = match opts.repeat_ratio {
+        Some(ratio) => vec![run_phase("mixed", addr, opts, opts.requests, ratio)?],
+        None => vec![
+            run_phase("cached", addr, opts, opts.requests, 1.0)?,
+            run_phase("uncached", addr, opts, opts.uncached_requests, 0.0)?,
+        ],
+    };
+
+    for phase in &phases {
+        println!(
+            "{:<8} {:>6} requests in {:>6.2} s | {:>8.0} req/s | p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms | hit rate {:.0}%",
+            phase.name,
+            phase.requests,
+            phase.seconds,
+            phase.throughput_rps,
+            phase.p50_ms,
+            phase.p95_ms,
+            phase.p99_ms,
+            phase.hit_rate() * 100.0,
+        );
+    }
+
+    let doc = Json::obj(vec![
+        (
+            "config",
+            Json::obj(vec![
+                ("clients", Json::Num(opts.clients as f64)),
+                ("model", Json::Str(opts.model.clone())),
+                ("seed", Json::Num(opts.seed as f64)),
+                (
+                    "repeat_ratio",
+                    opts.repeat_ratio.map_or(Json::Null, Json::Num),
+                ),
+            ]),
+        ),
+        (
+            "phases",
+            Json::obj(
+                phases
+                    .iter()
+                    .map(|p| (p.name, p.to_json()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ]);
+    std::fs::write(&opts.out, doc.pretty() + "\n")
+        .map_err(|e| format!("write {}: {e}", opts.out))?;
+    println!("wrote {}", opts.out);
+
+    if let Some(server) = hosted {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_options(&args);
+    if let Err(e) = run(&opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

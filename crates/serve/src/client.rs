@@ -1,0 +1,125 @@
+//! A minimal blocking HTTP/1.1 client for loopback use.
+//!
+//! Just enough for the load generator, the smoke tests, and the CI gate:
+//! keep-alive connections, `Content-Length` framing, and nothing else.
+//! Not a general HTTP client — it assumes the well-behaved responses
+//! [`crate::server`] produces.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A keep-alive connection to one server.
+pub struct Connection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// A response: status code and body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Connection {
+    /// Connects to `addr` with `timeout` applied to connect, reads, and
+    /// writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn open(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Issues one request and reads the complete response.
+    ///
+    /// # Errors
+    ///
+    /// Any socket failure, or `InvalidData` for a response this client is
+    /// too simple to frame.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let invalid = |what: &str| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+        };
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            if self.buf.len() > 64 * 1024 {
+                return Err(invalid("response head too large"));
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::from(std::io::ErrorKind::UnexpectedEof));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| invalid("response head is not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid("malformed status line"))?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| invalid("malformed Content-Length"))?;
+                }
+            }
+        }
+        let total = head_end + 4 + content_length;
+        while self.buf.len() < total {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::from(std::io::ErrorKind::UnexpectedEof));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Response { status, body })
+    }
+}
+
+/// One-shot convenience: open, request, close.
+///
+/// # Errors
+///
+/// As [`Connection::request`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<Response> {
+    Connection::open(addr, Duration::from_secs(10))?.request(method, path, body)
+}

@@ -1,0 +1,374 @@
+//! A minimal, defensive HTTP/1.1 message layer.
+//!
+//! The service exposes three routes to trusted-but-buggy clients, so the
+//! parser optimizes for *robustness*, not feature coverage: any byte
+//! sequence either parses, is recognizably incomplete ([`Parsed::Partial`]
+//! — more bytes may still complete it), or fails with an [`HttpError`]
+//! carrying a well-formed 4xx/5xx status. It never panics, and every
+//! resource is bounded: head size, header count, and body size all have
+//! hard caps. Pipelined requests are supported — [`parse_request`] reports
+//! how many bytes it consumed so the caller can re-parse the remainder.
+
+use std::fmt;
+
+/// Hard caps on request resources.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of the request head (request line + headers).
+    pub max_head: usize,
+    /// Maximum bytes of the request body.
+    pub max_body: usize,
+    /// Maximum number of headers.
+    pub max_headers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head: 8 * 1024,
+            max_body: 1024 * 1024,
+            max_headers: 64,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request method, as sent (e.g. `POST`).
+    pub method: String,
+    /// Request target (e.g. `/decide`).
+    pub path: String,
+    /// Header name/value pairs, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default, overridden by `Connection: close`).
+    pub fn wants_keep_alive(&self) -> bool {
+        !matches!(
+            self.header("connection").map(str::trim),
+            Some(v) if v.eq_ignore_ascii_case("close")
+        )
+    }
+}
+
+/// A protocol failure mapping to a definite HTTP status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpError {
+    /// The 4xx/5xx status to answer with.
+    pub status: u16,
+    /// Human-readable reason, safe to echo in the response body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        debug_assert!((400..600).contains(&status));
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.status, status_text(self.status), self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Outcome of one parse attempt over a byte buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Parsed {
+    /// A complete request; `consumed` bytes of the buffer belong to it
+    /// (the remainder is the start of the next pipelined request).
+    Complete {
+        /// The request.
+        request: Request,
+        /// Bytes of the buffer this request occupied.
+        consumed: usize,
+    },
+    /// The buffer holds a prefix of a request; more bytes are needed.
+    Partial,
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'^' | b'`' | b'|' | b'~')
+}
+
+/// Attempts to parse one request from the front of `buf`.
+///
+/// # Errors
+///
+/// An [`HttpError`] with a definite 4xx/5xx status for anything that can
+/// never become a valid request: malformed syntax (400), an oversized
+/// head (431), an oversized body (413), a bad `Content-Length` (400), a
+/// `Transfer-Encoding` we do not implement (501), or an HTTP version we
+/// do not speak (505). Never panics, for any input.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, HttpError> {
+    // Locate the end of the head within the cap.
+    let window = &buf[..buf.len().min(limits.max_head + 4)];
+    let head_end = match find_crlf_crlf(window) {
+        Some(pos) => pos,
+        None if buf.len() > limits.max_head => {
+            return Err(HttpError::new(
+                431,
+                format!("request head exceeds {} bytes", limits.max_head),
+            ));
+        }
+        None => return Ok(Parsed::Partial),
+    };
+    if head_end > limits.max_head {
+        return Err(HttpError::new(
+            431,
+            format!("request head exceeds {} bytes", limits.max_head),
+        ));
+    }
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+
+    // Request line: METHOD SP TARGET SP VERSION, single spaces.
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ));
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::new(400, format!("malformed method {method:?}")));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::new(
+            400,
+            format!("request target must be absolute, got {path:?}"),
+        ));
+    }
+    match version {
+        "HTTP/1.1" | "HTTP/1.0" => {}
+        other => {
+            return Err(HttpError::new(
+                505,
+                format!("unsupported protocol version {other:?}"),
+            ));
+        }
+    }
+
+    // Headers.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::new(
+                431,
+                format!("more than {} headers", limits.max_headers),
+            ));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header line {line:?}")))?;
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::new(400, format!("malformed header name {name:?}")));
+        }
+        let value = value.trim_matches([' ', '\t']);
+        if value.bytes().any(|b| b < 0x20 && b != b'\t') {
+            return Err(HttpError::new(
+                400,
+                format!("control bytes in value of header {name:?}"),
+            ));
+        }
+        headers.push((name.to_string(), value.to_string()));
+    }
+
+    // Body framing.
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::new(501, "transfer encodings are not supported"));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(raw) => raw.trim().parse::<usize>().map_err(|_| {
+            HttpError::new(400, format!("malformed Content-Length {raw:?}"))
+        })?,
+    };
+    if content_length > limits.max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds {} byte cap", limits.max_body),
+        ));
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(Parsed::Partial);
+    }
+    let mut request = request;
+    request.body = buf[head_end + 4..total].to_vec();
+    Ok(Parsed::Complete {
+        request,
+        consumed: total,
+    })
+}
+
+fn find_crlf_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrases for the statuses the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a complete response with framing headers.
+pub fn write_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Parsed, HttpError> {
+        parse_request(bytes, &Limits::default())
+    }
+
+    #[test]
+    fn complete_request_with_body_parses() {
+        let raw = b"POST /decide HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        match parse(raw).unwrap() {
+            Parsed::Complete { request, consumed } => {
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.path, "/decide");
+                assert_eq!(request.body, b"abcd");
+                assert_eq!(consumed, raw.len());
+                assert!(request.wants_keep_alive());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let raw = b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let Parsed::Complete { request, .. } = parse(raw).unwrap() else {
+            panic!("expected complete");
+        };
+        assert!(!request.wants_keep_alive());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let Parsed::Complete { request, consumed } = parse(raw).unwrap() else {
+            panic!("expected complete");
+        };
+        assert_eq!(request.path, "/healthz");
+        let Parsed::Complete { request, consumed: c2 } = parse(&raw[consumed..]).unwrap() else {
+            panic!("expected second request");
+        };
+        assert_eq!(request.path, "/metrics");
+        assert_eq!(consumed + c2, raw.len());
+    }
+
+    #[test]
+    fn truncated_head_and_body_are_partial() {
+        assert_eq!(parse(b"POST /decide HT").unwrap(), Parsed::Partial);
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap(),
+            Parsed::Partial
+        );
+        assert_eq!(parse(b"").unwrap(), Parsed::Partial);
+    }
+
+    #[test]
+    fn malformed_inputs_get_definite_4xx_5xx() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"NOT A REQUEST AT ALL\r\n\r\n", 400),
+            (b"get /x HTTP/1.1\r\n\r\n", 400),
+            (b"GET x HTTP/1.1\r\n\r\n", 400),
+            (b"GET /x HTTP/2.0\r\n\r\n", 505),
+            (b"GET /x HTTP/1.1\r\nBad Header\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nContent-Length: two\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            (b"\xff\xfe /x HTTP/1.1\r\n\r\n", 400),
+        ];
+        for (raw, want) in cases {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status, *want, "{err}");
+        }
+    }
+
+    #[test]
+    fn oversized_resources_are_rejected() {
+        let limits = Limits {
+            max_head: 64,
+            max_body: 16,
+            max_headers: 2,
+        };
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(128));
+        assert_eq!(
+            parse_request(long_head.as_bytes(), &limits).unwrap_err().status,
+            431
+        );
+        let big_body = b"POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        assert_eq!(parse_request(big_body, &limits).unwrap_err().status, 413);
+        let many_headers = b"GET /x HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        assert_eq!(parse_request(many_headers, &limits).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn response_writer_frames_correctly() {
+        let out = write_response(200, "application/json", b"{}", true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+}

@@ -1,0 +1,143 @@
+//! A bounded MPMC work queue for the worker thread pool.
+//!
+//! The accept loop pushes connections with [`BoundedQueue::try_push`] —
+//! which *fails* rather than blocks when the queue is full, so overload
+//! turns into an immediate 503 (backpressure) instead of an unbounded
+//! accept backlog. Workers block on [`BoundedQueue::pop`]. Closing the
+//! queue wakes every worker; they drain what was already queued and then
+//! exit, which is exactly the graceful-shutdown order the server wants.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues `item`, or hands it back if the queue is full or closed.
+    /// Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the item was not enqueued, so the caller
+    /// can shed it (e.g. answer 503).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: no further pushes succeed; blocked and future
+    /// `pop`s drain the backlog and then return `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn overflow_hands_the_item_back() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(3), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.try_push(7).unwrap();
+        q.close();
+        let mut got: Vec<Option<u32>> = consumers
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(7)]);
+    }
+}

@@ -1,0 +1,57 @@
+//! SIGTERM / ctrl-c handling without a signals crate.
+//!
+//! The handler does the only async-signal-safe thing there is to do: it
+//! stores into a process-global `AtomicBool`. The `serve` front-end polls
+//! [`signaled`] and turns it into a graceful
+//! [`Server::shutdown`](crate::Server::shutdown). The `signal(2)` symbol
+//! is bound directly from the platform libc (std already links it); on
+//! non-Unix targets installation is a no-op and shutdown relies on the
+//! embedder calling `Server::shutdown` itself.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT or SIGTERM has been received since [`install`].
+pub fn signaled() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// Test/embedder hook: behave as if a signal had arrived.
+pub fn trigger() {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+/// Installs handlers for SIGINT (ctrl-c) and SIGTERM. Idempotent.
+pub fn install() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+/// No signal support on this platform; [`signaled`] only reflects
+/// [`trigger`].
+pub fn install() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_flips_the_flag() {
+        install();
+        trigger();
+        assert!(signaled());
+    }
+}

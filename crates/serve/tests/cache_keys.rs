@@ -1,0 +1,81 @@
+//! Decision-cache keying: semantically identical requests must share a
+//! cache line, and health changes must split it.
+//!
+//! The server keys its cache on `fnv1a64(canonical_key())`, where the
+//! canonical key is the request re-encoded with defaults made explicit
+//! and object keys sorted. These tests pin the equivalences that make
+//! the cache correct.
+
+use espresso::service::DecisionRequest;
+use espresso_serve::fnv1a64;
+
+fn key(text: &str) -> u64 {
+    let request = DecisionRequest::parse(text).expect("request should parse");
+    fnv1a64(request.canonical_key().as_bytes())
+}
+
+const BASE: &str = r#"{
+    "model": { "model": "LSTM" },
+    "gc": { "algorithm": { "RandomK": { "density": 0.01 } } },
+    "system": { "machines": 2, "gpus_per_machine": 4,
+                "intra": "Pcie", "inter_gbps": 25.0 }
+}"#;
+
+#[test]
+fn key_order_never_splits_a_cache_line() {
+    // The same request with every object's keys permuted and the
+    // optional fields spelled out explicitly.
+    let shuffled = r#"{
+        "system": { "inter_gbps": 25.0, "intra": "Pcie",
+                    "gpus_per_machine": 4, "machines": 2 },
+        "gc": { "algorithm": { "RandomK": { "density": 0.01 } } },
+        "robust": false,
+        "health": { "intra": "Nominal", "inter": "Nominal" },
+        "model": { "model": "LSTM" }
+    }"#;
+    assert_eq!(key(BASE), key(shuffled));
+}
+
+#[test]
+fn omitted_defaults_and_explicit_defaults_share_a_key() {
+    let explicit = r#"{
+        "model": { "model": "LSTM" },
+        "gc": { "algorithm": { "RandomK": { "density": 0.01 } } },
+        "system": { "machines": 2, "gpus_per_machine": 4,
+                    "intra": "Pcie", "inter_gbps": 25.0 },
+        "health": { "inter": "Nominal", "intra": "Nominal" },
+        "robust": false
+    }"#;
+    assert_eq!(key(BASE), key(explicit));
+}
+
+#[test]
+fn different_health_means_a_different_key() {
+    let degraded = r#"{
+        "model": { "model": "LSTM" },
+        "gc": { "algorithm": { "RandomK": { "density": 0.01 } } },
+        "system": { "machines": 2, "gpus_per_machine": 4,
+                    "intra": "Pcie", "inter_gbps": 25.0 },
+        "health": { "inter": { "Degraded": { "factor": 2.0 } } }
+    }"#;
+    assert_ne!(key(BASE), key(degraded));
+}
+
+#[test]
+fn every_semantic_field_participates_in_the_key() {
+    let variants = [
+        BASE.replace("\"LSTM\"", "\"VGG16\""),
+        BASE.replace("0.01", "0.02"),
+        BASE.replace("\"machines\": 2", "\"machines\": 4"),
+        BASE.replace("\"Pcie\"", "\"NvLink\""),
+        BASE.replace("25.0", "100.0"),
+    ];
+    let base_key = key(BASE);
+    for variant in &variants {
+        assert_ne!(base_key, key(variant), "variant did not change the key:\n{variant}");
+    }
+    // And the robust flag, which changes the decision even though the
+    // job is identical.
+    let robust = BASE.trim_end().trim_end_matches('}').to_string() + ", \"robust\": true }";
+    assert_ne!(base_key, key(&robust));
+}

@@ -1,0 +1,111 @@
+//! Property-based tests over the HTTP request parser.
+//!
+//! The parser's contract is total: *any* byte sequence either yields a
+//! complete request, is recognizably incomplete, or fails with a definite
+//! 4xx/5xx status — and it never panics. These properties throw arbitrary
+//! noise, oversized inputs, truncations, and pipelines at it.
+
+use espresso_serve::http::{parse_request, Limits, Parsed};
+use proptest::prelude::*;
+
+/// Every error the parser can emit must carry a status the server knows
+/// how to phrase.
+fn assert_definite_error(status: u16) {
+    assert!(
+        matches!(status, 400 | 413 | 431 | 501 | 505),
+        "unexpected parser status {status}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(noise in prop::collection::vec(0u8..=255, 0..512)) {
+        match parse_request(&noise, &Limits::default()) {
+            Ok(Parsed::Complete { consumed, .. }) => prop_assert!(consumed <= noise.len()),
+            Ok(Parsed::Partial) => {}
+            Err(e) => assert_definite_error(e.status),
+        }
+    }
+
+    #[test]
+    fn noise_after_a_valid_head_never_panics(
+        tail in prop::collection::vec(0u8..=255, 0..256),
+        content_length in 0usize..200,
+    ) {
+        // A plausible head followed by arbitrary body bytes: must parse
+        // (body = declared prefix), stay partial, or fail definitely.
+        let mut raw = format!(
+            "POST /decide HTTP/1.1\r\nContent-Length: {content_length}\r\n\r\n"
+        )
+        .into_bytes();
+        let head_len = raw.len();
+        raw.extend_from_slice(&tail);
+        match parse_request(&raw, &Limits::default()) {
+            Ok(Parsed::Complete { request, consumed }) => {
+                prop_assert_eq!(request.body.len(), content_length);
+                prop_assert_eq!(consumed, head_len + content_length);
+                prop_assert!(tail.len() >= content_length);
+            }
+            Ok(Parsed::Partial) => prop_assert!(tail.len() < content_length),
+            Err(e) => assert_definite_error(e.status),
+        }
+    }
+
+    #[test]
+    fn oversized_heads_are_431_not_hangs(pad in 1usize..2048) {
+        // Once the buffer exceeds max_head with no terminator, the parser
+        // must reject rather than ask for more bytes forever.
+        let limits = Limits { max_head: 256, ..Limits::default() };
+        let raw = format!("GET /{} HTTP/1.1\r\n", "x".repeat(256 + pad));
+        let err = parse_request(raw.as_bytes(), &limits).unwrap_err();
+        prop_assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_request_is_partial_or_the_whole(
+        cut in 0usize..64,
+        body_len in 0usize..32,
+    ) {
+        let body = "b".repeat(body_len);
+        let raw = format!(
+            "POST /decide HTTP/1.1\r\nHost: test\r\nContent-Length: {body_len}\r\n\r\n{body}"
+        );
+        let raw = raw.as_bytes();
+        let cut = cut.min(raw.len());
+        match parse_request(&raw[..cut], &Limits::default()) {
+            Ok(Parsed::Partial) => prop_assert!(cut < raw.len()),
+            Ok(Parsed::Complete { consumed, .. }) => prop_assert_eq!(consumed, raw.len()),
+            Err(e) => {
+                // A prefix of a valid request can never be rejected: the
+                // remaining bytes would have completed it.
+                panic!("truncation at {cut} rejected with {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence(
+        paths in prop::collection::vec(1usize..20, 1..8),
+    ) {
+        // N back-to-back requests in one buffer: parsing must walk them
+        // all, in order, consuming exactly the buffer.
+        let raw: Vec<u8> = paths
+            .iter()
+            .map(|n| format!("GET /{} HTTP/1.1\r\n\r\n", "p".repeat(*n)))
+            .collect::<String>()
+            .into_bytes();
+        let mut offset = 0;
+        for n in &paths {
+            match parse_request(&raw[offset..], &Limits::default()).unwrap() {
+                Parsed::Complete { request, consumed } => {
+                    prop_assert_eq!(request.path.len(), n + 1);
+                    offset += consumed;
+                }
+                Parsed::Partial => panic!("pipelined request was partial"),
+            }
+        }
+        prop_assert_eq!(offset, raw.len());
+    }
+}

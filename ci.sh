@@ -1,25 +1,36 @@
 #!/usr/bin/env sh
-# Offline CI gate: build, test, lint. No network access required — all
-# dependencies are in-repo path crates (see DESIGN.md "Dependencies").
+# Offline CI gate: build, test, lint, audit. No network access required —
+# all dependencies are in-repo path crates (see DESIGN.md "Dependencies").
 set -eu
 
-echo "== build (release) =="
-cargo build --release --workspace --all-targets
+# Per-step wall-clock timing: step <name> <cmd...> runs the command,
+# echoes a banner before and the elapsed seconds after.
+step() {
+    name="$1"; shift
+    echo "== $name =="
+    t0=$(date +%s)
+    "$@"
+    echo "-- $name: $(( $(date +%s) - t0 ))s"
+}
 
-echo "== test =="
-cargo test -q --workspace
+step "build (release)" cargo build --release --workspace --all-targets
 
-echo "== clippy (-D warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+step "test" cargo test -q --workspace
 
-echo "== serve smoke =="
+step "clippy (-D warnings)" cargo clippy --workspace --all-targets -- -D warnings
+
+# Verification layer: oracle sweep (200 sampled jobs, incl. degraded and
+# faulted), timeline invariant audit over the fault corpus, golden-trace
+# byte diff, and serve-path equivalence. Prints its own per-step timing;
+# exits non-zero with a minimized repro / located byte diff on failure.
+step "audit" ./target/release/espresso-audit all
+
 # One decision + one /metrics scrape against an ephemeral-port server,
 # then a clean shutdown. Exits non-zero on any non-200.
-./target/release/espresso-loadgen --smoke
+step "serve smoke" ./target/release/espresso-loadgen --smoke
 
-echo "== serve bench =="
 # Brief load run (cached + uncached phases) regenerating BENCH_serve.json.
-./target/release/espresso-loadgen --clients 4 --requests 2000 \
+step "serve bench" ./target/release/espresso-loadgen --clients 4 --requests 2000 \
     --uncached-requests 200 --out BENCH_serve.json
 
 echo "CI OK"

@@ -1,0 +1,61 @@
+//! The verification layer over the Espresso reproduction.
+//!
+//! Everything in this crate answers one question — *is the simulator
+//! telling the truth?* — from four independent directions:
+//!
+//! * [`sweep`] — the **differential oracle**: exhaustive enumeration of
+//!   a pruned decision space on hundreds of sampled small jobs, checking
+//!   that Algorithms 1 + 2 land within a configured bound of the true
+//!   optimum, under nominal, degraded-health, and seeded-fault
+//!   conditions. Failures shrink to a minimal JSON reproduction.
+//! * [`corpus`] — the **timeline invariant auditor** run over a corpus
+//!   of simulated traces (paper models × GC algorithms × fault plans).
+//!   Debug builds audit every engine output inline; this is the
+//!   release-mode sweep of the same checks.
+//! * [`goldens`] — **golden-trace snapshots**: byte-exact canonical-JSON
+//!   Gantt traces for the six paper models × three GC algorithms,
+//!   regenerated only deliberately (`UPDATE_GOLDENS=1`).
+//! * [`serve_check`] — **serve-path determinism**: cache hits and forced
+//!   recomputations of the same decision request must be byte-identical,
+//!   across a perturb-then-restore health excursion.
+//!
+//! The `espresso-audit` binary drives all four with per-step timing and
+//! is wired into `ci.sh` as the `audit` step.
+
+pub mod corpus;
+pub mod goldens;
+pub mod jobs;
+pub mod serve_check;
+pub mod sweep;
+
+use std::time::Instant;
+
+/// Wall-clock timing for one named audit step, printed as it finishes.
+pub struct StepTimer {
+    name: &'static str,
+    start: Instant,
+}
+
+impl StepTimer {
+    /// Starts timing `name` and announces it.
+    pub fn start(name: &'static str) -> Self {
+        println!("== audit step: {name} ==");
+        Self {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops the timer, printing the verdict and elapsed seconds.
+    /// Returns `ok` unchanged so call sites can fold it into an overall
+    /// exit status.
+    pub fn finish(self, ok: bool) -> bool {
+        println!(
+            "   {}: {} in {:.2}s",
+            self.name,
+            if ok { "OK" } else { "FAILED" },
+            self.start.elapsed().as_secs_f64()
+        );
+        ok
+    }
+}

@@ -1,181 +1,8 @@
-//! Brute-force strategy search for small instances.
+//! Deprecated location of the brute-force search.
 //!
-//! The paper's section 4.4.1: naively enumerating strategies costs
-//! `O(|C|^N)` — the ">24h" rows of Tables 5 and 6. This module provides
-//! the exact search for tiny `N` (used to validate that Espresso's greedy
-//! decision is near-optimal) and a measured-extrapolation estimator that
-//! reproduces the brute-force columns without actually burning a day.
+//! The exhaustive enumerator grew from a test-only helper into the
+//! public differential oracle and moved to [`crate::oracle`]; this
+//! module re-exports it so existing `decision::brute` imports keep
+//! working. New code should use `espresso::oracle` directly.
 
-use std::sync::Arc;
-
-use espresso_sim::{Job, SimConfig, Simulator};
-use espresso_strategy::{CompressionOption, Strategy};
-
-/// Result of an exhaustive search.
-#[derive(Debug, Clone)]
-pub struct BruteResult {
-    /// The optimal strategy over the candidate set.
-    pub strategy: Strategy,
-    /// Its iteration time.
-    pub iteration_time: f64,
-    /// Strategies evaluated.
-    pub evaluated: usize,
-}
-
-/// Exhaustively searches all `|candidates|^N` strategies.
-///
-/// # Panics
-///
-/// Panics if the search space exceeds `limit` — call sites must keep this
-/// to toy instances (the whole point of Espresso is that this explodes).
-pub fn search(
-    job: &Job,
-    candidates: &[Arc<CompressionOption>],
-    config: &SimConfig,
-    limit: usize,
-) -> BruteResult {
-    let n = job.num_tensors();
-    let total = (candidates.len() as f64).powi(n as i32);
-    assert!(
-        total <= limit as f64,
-        "brute-force space {total:.3e} exceeds limit {limit}"
-    );
-    let sim = Simulator::new(job.clone(), *config);
-    let mut counters = vec![0usize; n];
-    let mut best: Option<(f64, Strategy)> = None;
-    let mut evaluated = 0usize;
-    loop {
-        let strategy = Strategy::from_options(
-            counters.iter().map(|&c| candidates[c].clone()).collect(),
-        );
-        let t = sim.iteration_time(&strategy);
-        evaluated += 1;
-        if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
-            best = Some((t, strategy));
-        }
-        // Odometer.
-        let mut i = 0;
-        loop {
-            if i == n {
-                let (iteration_time, strategy) = best.expect("at least one strategy evaluated");
-                return BruteResult {
-                    strategy,
-                    iteration_time,
-                    evaluated,
-                };
-            }
-            counters[i] += 1;
-            if counters[i] < candidates.len() {
-                break;
-            }
-            counters[i] = 0;
-            i += 1;
-        }
-    }
-}
-
-/// Estimates the wall-clock time a full brute-force search would take, by
-/// timing `sample` simulations and extrapolating to `|C|^N` — how the
-/// ">24h" entries of Table 5 are produced.
-pub fn estimate_full_search_seconds(
-    job: &Job,
-    candidates: &[Arc<CompressionOption>],
-    config: &SimConfig,
-    sample: usize,
-) -> f64 {
-    assert!(sample > 0, "need at least one sample simulation");
-    let sim = Simulator::new(job.clone(), *config);
-    let strategy = Strategy::uniform(job.num_tensors(), candidates[0].clone());
-    let start = std::time::Instant::now();
-    for _ in 0..sample {
-        let _ = sim.iteration_time(&strategy);
-    }
-    let per_sim = start.elapsed().as_secs_f64() / sample as f64;
-    per_sim * (candidates.len() as f64).powi(job.num_tensors() as i32)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::decision::gpu;
-    use espresso_cluster::Cluster;
-    use espresso_gc::GcAlgorithm;
-    use espresso_models::{ModelKind, ModelProfile, TensorProfile};
-    use espresso_strategy::OptionSpace;
-
-    /// A 3-tensor toy model (the shape of the paper's Figure 2).
-    fn toy_job() -> Job {
-        let tensors = vec![
-            TensorProfile {
-                name: "t0".into(),
-                elems: 4_000_000,
-                compute_time: 0.004,
-            },
-            TensorProfile {
-                name: "t1".into(),
-                elems: 8_000_000,
-                compute_time: 0.006,
-            },
-            TensorProfile {
-                name: "t2".into(),
-                elems: 16_000_000,
-                compute_time: 0.010,
-            },
-        ];
-        let model = ModelProfile::new("toy", ModelKind::Vision, 8, 0.010, tensors);
-        Job::new(model, Cluster::pcie_25g(4, 4), GcAlgorithm::dgc_1pct())
-    }
-
-    #[test]
-    fn espresso_is_close_to_brute_force_optimum() {
-        let job = toy_job();
-        let config = SimConfig::default();
-        let space = OptionSpace::enumerate(&job.cluster);
-        // Small candidate set: the uncompressed baseline plus a handful of
-        // distinct GPU options.
-        let mut candidates = vec![CompressionOption::uncompressed(
-            gpu::default_pattern(&job),
-            &job.cluster,
-        )];
-        let gpu_opts = space.gpu_compressed();
-        candidates.extend(gpu_opts.iter().take(5).cloned());
-        let brute = search(&job, &candidates, &config, 100_000);
-        let esp = gpu::decide_with_candidates(&job, &gpu_opts, &config);
-        let gap = (esp.iteration_time - brute.iteration_time) / brute.iteration_time;
-        // Espresso searches a *larger* candidate set than this truncated
-        // brute force, so it may even win; it must never lose by much.
-        assert!(gap < 0.10, "gap {gap} (esp {} vs brute {})", esp.iteration_time, brute.iteration_time);
-    }
-
-    #[test]
-    fn brute_force_beats_or_matches_any_uniform_strategy() {
-        let job = toy_job();
-        let config = SimConfig::default();
-        let space = OptionSpace::enumerate(&job.cluster);
-        let candidates: Vec<_> = space.gpu_compressed().into_iter().take(3).collect();
-        let brute = search(&job, &candidates, &config, 100_000);
-        for c in &candidates {
-            let uniform = Strategy::uniform(job.num_tensors(), c.clone());
-            let t = crate::decision::iteration_time(&job, &uniform, &config);
-            assert!(brute.iteration_time <= t + 1e-12);
-        }
-    }
-
-    #[test]
-    fn estimate_extrapolates_exponentially() {
-        let job = toy_job();
-        let space = OptionSpace::enumerate(&job.cluster);
-        let candidates: Vec<_> = space.gpu_compressed().into_iter().take(4).collect();
-        let est = estimate_full_search_seconds(&job, &candidates, &SimConfig::default(), 5);
-        assert!(est > 0.0 && est.is_finite());
-    }
-
-    #[test]
-    #[should_panic(expected = "exceeds limit")]
-    fn oversized_space_panics() {
-        let job = toy_job();
-        let space = OptionSpace::enumerate(&job.cluster);
-        let candidates = space.gpu_compressed();
-        let _ = search(&job, &candidates, &SimConfig::default(), 10);
-    }
-}
+pub use crate::oracle::{estimate_full_search_seconds, search, BruteResult};

@@ -1,6 +1,6 @@
 //! Espresso's compression decision algorithms (paper section 4.4).
 
-pub mod brute;
+pub mod brute; // Re-export shim; the enumerator lives in `crate::oracle`.
 pub mod gpu;
 pub mod offload;
 pub mod refine;

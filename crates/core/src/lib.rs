@@ -7,9 +7,10 @@
 //!   size/position prioritization, overhead-aware option selection),
 //! * [`decision::offload`] — **Algorithm 2**: provably optimal CPU
 //!   offloading via Lemma 1 grouping,
-//! * [`decision::brute`] — exhaustive search for small instances, used to
-//!   validate near-optimality and to reproduce the "brute force" rows of
-//!   Tables 5 and 6,
+//! * [`oracle`] — the public brute-force differential oracle: exhaustive
+//!   search over the pruned option space for small instances, used to
+//!   validate near-optimality (the audit layer's ground truth) and to
+//!   reproduce the "brute force" rows of Tables 5 and 6,
 //! * [`baselines`] — the comparison systems of section 5 (BytePS FP32,
 //!   HiPress, HiTopKComm, BytePS-Compress) and the crippled-dimension
 //!   mechanisms of Figure 15,
@@ -28,6 +29,7 @@ pub mod config;
 pub mod decision;
 pub mod error;
 pub mod espresso;
+pub mod oracle;
 pub mod robust;
 pub mod service;
 pub mod upper_bound;
@@ -48,9 +50,10 @@ pub mod prelude {
         baselines::Baseline,
         census::Census,
         config::{FileConfig, GcConfig, ModelConfig, SystemConfig},
-        decision::{brute, gpu, offload},
+        decision::{gpu, offload},
         error::EspressoError,
         espresso::{Espresso, Report},
+        oracle,
         robust::{DegradationMonitor, NoiseEnvelope, RobustSelection, RobustSelector},
         service::{decide, Decision, DecisionRequest, DecisionResponse},
         upper_bound::upper_bound_time,

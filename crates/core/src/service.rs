@@ -213,6 +213,13 @@ impl FromJson for RobustSummary {
 
 /// The wire shape of one decision: everything a client needs to apply
 /// (and sanity-check) the selected strategy, flattened to plain JSON.
+///
+/// The body is a pure function of the [`DecisionRequest`] — recomputing
+/// a decision yields byte-identical JSON, which is what makes response
+/// caching by canonical request key sound (and auditable: see
+/// `crates/serve/tests/equivalence.rs`). Wall-clock telemetry such as
+/// selection latency deliberately lives in the server's `/metrics`
+/// histograms, never in this body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecisionResponse {
     /// Resolved model name.
@@ -229,8 +236,6 @@ pub struct DecisionResponse {
     pub throughput_samples_per_sec: f64,
     /// Scaling factor versus ideal linear scaling.
     pub scaling_factor: f64,
-    /// Wall-clock milliseconds the decision algorithms took.
-    pub decision_ms: f64,
     /// Tensors selected for compression.
     pub compressed_tensors: usize,
     /// Tensors whose compression was offloaded to CPUs.
@@ -258,10 +263,6 @@ impl Decision {
             iteration_time_ms: self.report.iteration_time * 1e3,
             throughput_samples_per_sec: self.job.throughput(self.report.iteration_time),
             scaling_factor: self.job.scaling_factor(self.report.iteration_time),
-            decision_ms: (self.report.gpu_decision_seconds
-                + self.report.offload_seconds
-                + self.report.backfill_seconds)
-                * 1e3,
             compressed_tensors: self.strategy.num_compressed(),
             offloaded_tensors: self.report.offloaded_tensors,
             backfilled_tensors: self.report.backfilled_tensors,
@@ -291,7 +292,6 @@ impl ToJson for DecisionResponse {
                 self.throughput_samples_per_sec.to_json(),
             ),
             ("scaling_factor", self.scaling_factor.to_json()),
-            ("decision_ms", self.decision_ms.to_json()),
             ("compressed_tensors", self.compressed_tensors.to_json()),
             ("offloaded_tensors", self.offloaded_tensors.to_json()),
             ("backfilled_tensors", self.backfilled_tensors.to_json()),
@@ -319,7 +319,6 @@ impl FromJson for DecisionResponse {
             iteration_time_ms: v.req("iteration_time_ms")?,
             throughput_samples_per_sec: v.req("throughput_samples_per_sec")?,
             scaling_factor: v.req("scaling_factor")?,
-            decision_ms: v.req("decision_ms")?,
             compressed_tensors: v.req("compressed_tensors")?,
             offloaded_tensors: v.req("offloaded_tensors")?,
             backfilled_tensors: v.req("backfilled_tensors")?,

@@ -49,10 +49,30 @@ impl Connection {
     /// Any socket failure, or `InvalidData` for a response this client is
     /// too simple to frame.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        self.request_with(method, path, &[], body)
+    }
+
+    /// Issues one request with extra headers (e.g. `Cache-Control:
+    /// no-cache` to force the server to recompute a cached decision).
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::request`].
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<Response> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
         self.read_response()

@@ -67,6 +67,22 @@ impl Histogram {
         }
     }
 
+    /// Running cumulative bucket counts — `out[i]` is the number of
+    /// observations at or below bucket `i`'s upper bound. By construction
+    /// monotone non-decreasing with `out[last] == count()`; the
+    /// well-formedness tests assert exactly that, so a broken `record`
+    /// (e.g. an index that skips buckets or double-counts) is caught at
+    /// the histogram layer rather than as a mysterious percentile.
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .scan(0u64, |acc, &c| {
+                *acc += c;
+                Some(*acc)
+            })
+            .collect()
+    }
+
     /// The `q`-quantile (`0 < q <= 1`), seconds: the upper bound of the
     /// bucket holding the rank-`ceil(q * total)` observation. Accurate to
     /// one bucket width (~9%).
@@ -100,6 +116,9 @@ pub struct Metrics {
     pub rejected_queue_full: AtomicU64,
     /// Requests shed with 503 because their deadline expired in queue.
     pub rejected_deadline: AtomicU64,
+    /// `/decide` requests that forced recomputation via
+    /// `Cache-Control: no-cache`.
+    pub cache_bypass: AtomicU64,
     /// Responses with a 4xx status.
     pub client_errors: AtomicU64,
     /// Responses with a 5xx status.
@@ -124,6 +143,7 @@ impl Metrics {
             decisions_computed: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
+            cache_bypass: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
             decision_latency: Mutex::new(Histogram::default()),
@@ -191,6 +211,7 @@ impl Metrics {
             ("decisions_computed", load(&self.decisions_computed).to_json()),
             ("rejected_queue_full", load(&self.rejected_queue_full).to_json()),
             ("rejected_deadline", load(&self.rejected_deadline).to_json()),
+            ("cache_bypass", load(&self.cache_bypass).to_json()),
             ("client_errors", load(&self.client_errors).to_json()),
             ("server_errors", load(&self.server_errors).to_json()),
             ("cache_hits", cache.hits.to_json()),
@@ -247,6 +268,42 @@ mod tests {
         let empty = Histogram::default();
         assert_eq!(empty.quantile(0.99), 0.0);
         assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_is_well_formed_under_randomized_load() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        // Many seeds, several load shapes: cumulative counts must be
+        // monotone non-decreasing and end at the observation count, and
+        // quantiles must be ordered p50 <= p95 <= p99.
+        for seed in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut h = Histogram::default();
+            let n = rng.random_range(1..2000usize);
+            for _ in 0..n {
+                // Log-uniform from 100 ns to ~100 s, plus occasional junk.
+                let v = match rng.random_range(0..20u32) {
+                    0 => -1.0,
+                    1 => f64::INFINITY,
+                    _ => 1e-7 * 10f64.powf(rng.random_range(0.0..9.0f64)),
+                };
+                h.record(v);
+            }
+            let cum = h.cumulative_counts();
+            assert_eq!(cum.len(), BUCKETS);
+            for w in cum.windows(2) {
+                assert!(w[1] >= w[0], "cumulative counts regressed: {w:?}");
+            }
+            assert_eq!(*cum.last().unwrap(), h.count());
+            assert_eq!(h.count(), n as u64);
+            let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+            assert!(
+                p50 <= p95 && p95 <= p99,
+                "seed {seed}: p50 {p50} p95 {p95} p99 {p99}"
+            );
+            // Quantiles are bucket upper bounds: positive and finite.
+            assert!(p50 > 0.0 && p99.is_finite());
+        }
     }
 
     #[test]

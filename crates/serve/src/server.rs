@@ -394,7 +394,15 @@ fn decide_route(shared: &Shared, request: &Request, deadline: Instant) -> Respon
         Err(e) => return espresso_error_response(&e),
     };
     let key = fnv1a64(decision_request.canonical_key().as_bytes());
-    if let Some(cached) = shared.cache.get(key) {
+    // `Cache-Control: no-cache` forces recomputation — the audit layer's
+    // lever for proving cached and computed answers are byte-identical.
+    // The fresh result still replaces the cache entry.
+    let bypass = request
+        .header("cache-control")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("no-cache"));
+    if bypass {
+        shared.metrics.cache_bypass.fetch_add(1, Ordering::Relaxed);
+    } else if let Some(cached) = shared.cache.get(key) {
         return (200, "application/json", cached.as_ref().clone());
     }
     let t0 = Instant::now();

@@ -1,0 +1,486 @@
+//! The timeline invariant auditor.
+//!
+//! A simulated timeline is a *claim* about how one training iteration
+//! unfolds; this module checks that claim against the physics the engine
+//! is supposed to respect, independently of how the schedule was produced.
+//! Every check works on the output records plus the rebuilt task graph, so
+//! the auditor catches engine bugs (a task started before its input
+//! existed, two collectives on one channel at once) rather than merely
+//! re-running the engine.
+//!
+//! Checked invariants:
+//!
+//! 1. **Alignment** — records correspond 1:1, in order, to the task graph
+//!    ([`crate::engine`]'s `finish` zips tasks and spans index-wise).
+//! 2. **Span sanity** — every span is finite, non-negative, ends no later
+//!    than the makespan, and no earlier than it starts.
+//! 3. **Dependency ordering** — no task starts before every predecessor
+//!    in the DAG has finished.
+//! 4. **Resource exclusivity** — the GPU engine and both channels are
+//!    single-server (no two spans overlap); the CPU pool never exceeds
+//!    `SimConfig::cpu_slots` concurrent tasks.
+//! 5. **Phase legality** — per tensor, hierarchical phases run in order:
+//!    no inter-machine piece starts before the first intra-machine
+//!    (first-phase) piece has landed, and no second intra phase piece
+//!    starts before the first inter piece has landed. (Min-start versus
+//!    min-end, *not* task-by-task: partitioned dense stages pipeline, so
+//!    piece `p+1` of the first phase legally overlaps piece `p` of the
+//!    second.)
+//! 6. **Conservation** — compressed data does not vanish: a tensor with
+//!    compression work has downstream decompression or aggregation, any
+//!    decompression follows the first compression, and a tensor with
+//!    decompression was compressed in the first place.
+//!
+//! All invariants hold under fault injection too — faults reshape service
+//! times, never ordering — so the auditor runs unchanged over perturbed
+//! timelines. Debug and test builds audit every engine output
+//! automatically (a `debug_assert!` in the engine); release search loops
+//! pay nothing.
+
+use std::fmt;
+
+use espresso_cluster::CommScope;
+use espresso_strategy::Strategy;
+
+use crate::{
+    config::SimConfig,
+    job::Job,
+    result::{SimResult, TaskRecord},
+    task::{build_tasks, Resource, Task, TaskKind},
+};
+
+/// Scheduling tolerance, seconds: float noise, not physics.
+pub const AUDIT_EPS: f64 = 1e-9;
+
+/// One broken invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant broke (a stable, grep-able name).
+    pub rule: &'static str,
+    /// Human-readable specifics: tasks, tensors, times.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+/// Audits `result` as the outcome of simulating `strategy` on `job`:
+/// rebuilds the task graph and runs every invariant check.
+pub fn audit(job: &Job, strategy: &Strategy, config: &SimConfig, result: &SimResult) -> Vec<Violation> {
+    let tasks = build_tasks(job, strategy, config);
+    audit_tasks(&tasks, result, config)
+}
+
+/// Audits `result` against an already-built task graph.
+///
+/// The records must be the engine's output for exactly `tasks` (same
+/// order); alignment is itself the first invariant checked, and the
+/// remaining checks are skipped if it fails.
+pub fn audit_tasks(tasks: &[Task], result: &SimResult, config: &SimConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_alignment(tasks, &result.tasks, &mut out);
+    if !out.is_empty() {
+        return out;
+    }
+    check_spans(result, &mut out);
+    check_dependencies(tasks, &result.tasks, &mut out);
+    check_exclusivity(&result.tasks, config, &mut out);
+    check_phase_order(&result.tasks, &mut out);
+    check_conservation(&result.tasks, &mut out);
+    out
+}
+
+/// Invariant 1: records mirror the task graph index-wise.
+fn check_alignment(tasks: &[Task], records: &[TaskRecord], out: &mut Vec<Violation>) {
+    if tasks.len() != records.len() {
+        out.push(Violation {
+            rule: "alignment",
+            detail: format!(
+                "task graph has {} tasks but the timeline has {} records",
+                tasks.len(),
+                records.len()
+            ),
+        });
+        return;
+    }
+    for (i, (t, r)) in tasks.iter().zip(records).enumerate() {
+        if t.tensor != r.tensor || t.kind != r.kind || t.resource != r.resource {
+            out.push(Violation {
+                rule: "alignment",
+                detail: format!(
+                    "record {i} is T{} {:?} on {:?} but the graph says T{} {:?} on {:?}",
+                    r.tensor, r.kind, r.resource, t.tensor, t.kind, t.resource
+                ),
+            });
+            return;
+        }
+    }
+}
+
+/// Invariant 2: spans are finite, ordered, and inside the iteration.
+fn check_spans(result: &SimResult, out: &mut Vec<Violation>) {
+    for (i, r) in result.tasks.iter().enumerate() {
+        let s = r.span;
+        if !s.start.is_finite() || !s.end.is_finite() {
+            out.push(Violation {
+                rule: "span-finite",
+                detail: format!("task {i} (T{} {:?}) has span {s:?}", r.tensor, r.kind),
+            });
+            continue;
+        }
+        if s.start < -AUDIT_EPS || s.end < s.start - AUDIT_EPS {
+            out.push(Violation {
+                rule: "span-order",
+                detail: format!(
+                    "task {i} (T{} {:?}) runs [{:.9}, {:.9}]",
+                    r.tensor, r.kind, s.start, s.end
+                ),
+            });
+        }
+        if s.end > result.makespan + AUDIT_EPS {
+            out.push(Violation {
+                rule: "span-in-makespan",
+                detail: format!(
+                    "task {i} ends at {:.9} past makespan {:.9}",
+                    s.end, result.makespan
+                ),
+            });
+        }
+    }
+}
+
+/// Invariant 3: a task starts only after all its predecessors end.
+fn check_dependencies(tasks: &[Task], records: &[TaskRecord], out: &mut Vec<Violation>) {
+    for (i, t) in tasks.iter().enumerate() {
+        for &p in &t.preds {
+            if records[i].span.start < records[p].span.end - AUDIT_EPS {
+                out.push(Violation {
+                    rule: "dependency",
+                    detail: format!(
+                        "task {i} (T{} {:?}) starts at {:.9} before predecessor {p} (T{} {:?}) ends at {:.9}",
+                        records[i].tensor,
+                        records[i].kind,
+                        records[i].span.start,
+                        records[p].tensor,
+                        records[p].kind,
+                        records[p].span.end
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Invariant 4: single-server resources never overlap; the CPU pool never
+/// exceeds its slot count.
+fn check_exclusivity(records: &[TaskRecord], config: &SimConfig, out: &mut Vec<Violation>) {
+    for res in [Resource::Gpu, Resource::IntraChannel, Resource::InterChannel] {
+        let mut spans: Vec<(usize, &TaskRecord)> = records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.resource == res && !r.span.is_empty())
+            .collect();
+        spans.sort_by(|a, b| a.1.span.start.total_cmp(&b.1.span.start));
+        for w in spans.windows(2) {
+            let (ia, a) = w[0];
+            let (ib, b) = w[1];
+            if b.span.start < a.span.end - AUDIT_EPS {
+                out.push(Violation {
+                    rule: "exclusivity",
+                    detail: format!(
+                        "{res:?}: task {ia} [{:.9}, {:.9}] overlaps task {ib} [{:.9}, {:.9}]",
+                        a.span.start, a.span.end, b.span.start, b.span.end
+                    ),
+                });
+            }
+        }
+    }
+    // CPU pool: sweep start/end events, concurrency bounded by cpu_slots.
+    let slots = config.cpu_slots.max(1) as i64;
+    let mut events: Vec<(f64, i64)> = Vec::new();
+    for r in records.iter().filter(|r| r.resource == Resource::Cpu && !r.span.is_empty()) {
+        events.push((r.span.start, 1));
+        events.push((r.span.end, -1));
+    }
+    // Ends before starts at (float-)equal times: back-to-back is legal.
+    events.sort_by(|a, b| {
+        (a.0 + AUDIT_EPS * a.1 as f64).total_cmp(&(b.0 + AUDIT_EPS * b.1 as f64))
+    });
+    let mut live = 0i64;
+    for (t, delta) in events {
+        live += delta;
+        if live > slots {
+            out.push(Violation {
+                rule: "cpu-slots",
+                detail: format!("{live} concurrent CPU tasks at t = {t:.9} (pool has {slots})"),
+            });
+            return; // One report is enough; later events just repeat it.
+        }
+    }
+}
+
+/// Invariant 5: hierarchical phases run in order per tensor, judged by
+/// min-start versus min-end so legal piece pipelining is not flagged.
+fn check_phase_order(records: &[TaskRecord], out: &mut Vec<Violation>) {
+    let num_tensors = records.iter().map(|r| r.tensor + 1).max().unwrap_or(0);
+    for tensor in 0..num_tensors {
+        let scoped = |scope: CommScope| -> Vec<&TaskRecord> {
+            records
+                .iter()
+                .filter(|r| r.tensor == tensor && matches!(r.kind, TaskKind::Comm(s, _) if s == scope))
+                .collect()
+        };
+        let min_start = |rs: &[&TaskRecord]| rs.iter().map(|r| r.span.start).fold(f64::INFINITY, f64::min);
+        let min_end = |rs: &[&TaskRecord]| rs.iter().map(|r| r.span.end).fold(f64::INFINITY, f64::min);
+        let intra1 = scoped(CommScope::IntraFirst);
+        let inter = scoped(CommScope::Inter);
+        let intra2 = scoped(CommScope::IntraSecond);
+        if !intra1.is_empty() && !inter.is_empty() && min_start(&inter) < min_end(&intra1) - AUDIT_EPS {
+            out.push(Violation {
+                rule: "phase-order",
+                detail: format!(
+                    "T{tensor}: inter phase starts at {:.9} before any intra-first piece lands ({:.9})",
+                    min_start(&inter),
+                    min_end(&intra1)
+                ),
+            });
+        }
+        if !inter.is_empty() && !intra2.is_empty() && min_start(&intra2) < min_end(&inter) - AUDIT_EPS {
+            out.push(Violation {
+                rule: "phase-order",
+                detail: format!(
+                    "T{tensor}: intra-second phase starts at {:.9} before any inter piece lands ({:.9})",
+                    min_start(&intra2),
+                    min_end(&inter)
+                ),
+            });
+        }
+    }
+}
+
+/// Invariant 6: compressed data is always decompressed or aggregated, and
+/// only after it was compressed.
+fn check_conservation(records: &[TaskRecord], out: &mut Vec<Violation>) {
+    let num_tensors = records.iter().map(|r| r.tensor + 1).max().unwrap_or(0);
+    for tensor in 0..num_tensors {
+        let of = |pred: fn(&TaskKind) -> bool| -> Vec<&TaskRecord> {
+            records
+                .iter()
+                .filter(|r| r.tensor == tensor && pred(&r.kind))
+                .collect()
+        };
+        let compresses = of(|k| matches!(k, TaskKind::Compress(_)));
+        let decompresses = of(|k| matches!(k, TaskKind::Decompress(_)));
+        let aggregates = of(|k| matches!(k, TaskKind::Aggregate(_)));
+        if !compresses.is_empty() && decompresses.is_empty() && aggregates.is_empty() {
+            out.push(Violation {
+                rule: "conservation",
+                detail: format!(
+                    "T{tensor} is compressed {} time(s) but never decompressed or aggregated",
+                    compresses.len()
+                ),
+            });
+        }
+        if !decompresses.is_empty() {
+            if compresses.is_empty() {
+                out.push(Violation {
+                    rule: "conservation",
+                    detail: format!("T{tensor} is decompressed but was never compressed"),
+                });
+            } else {
+                let first_compress_end =
+                    compresses.iter().map(|r| r.span.end).fold(f64::INFINITY, f64::min);
+                for d in &decompresses {
+                    if d.span.start < first_compress_end - AUDIT_EPS {
+                        out.push(Violation {
+                            rule: "conservation",
+                            detail: format!(
+                                "T{tensor}: decompression starts at {:.9} before the first compression ends at {:.9}",
+                                d.span.start, first_compress_end
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{engine::simulate, engine::simulate_with_faults, fault::FaultPlan, result::Span};
+    use espresso_cluster::{CommPattern, Cluster, Routine};
+    use espresso_gc::GcAlgorithm;
+    use espresso_models::Model;
+    use espresso_strategy::OptionSpace;
+
+    fn job() -> Job {
+        Job::new(
+            Model::Lstm.profile(),
+            Cluster::pcie_25g(4, 4),
+            GcAlgorithm::dgc_1pct(),
+        )
+    }
+
+    #[test]
+    fn clean_timelines_have_no_violations() {
+        let j = job();
+        let config = SimConfig::default();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let mut strategies = vec![Strategy::uncompressed(
+            j.num_tensors(),
+            CommPattern::Hierarchical,
+            &j.cluster,
+        )];
+        for opt in space.all().iter().take(40) {
+            strategies.push(Strategy::uniform(j.num_tensors(), opt.clone()));
+        }
+        for s in &strategies {
+            let r = simulate(&j, s, &config);
+            let v = audit(&j, s, &config, &r);
+            assert!(v.is_empty(), "{s:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn faulted_timelines_still_satisfy_invariants() {
+        let j = job();
+        let config = SimConfig::default();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let s = Strategy::uniform(j.num_tensors(), space.gpu_compressed()[0].clone());
+        for seed in 0..8 {
+            let plan = FaultPlan::from_seed(seed, j.cluster.total_gpus());
+            let r = simulate_with_faults(&j, &s, &config, &plan);
+            let v = audit(&j, &s, &config, &r);
+            assert!(v.is_empty(), "seed {seed}: {v:?}");
+        }
+    }
+
+    /// Corrupting a span must be caught — the auditor is not a rubber
+    /// stamp.
+    #[test]
+    fn corrupted_overlap_is_caught() {
+        let j = job();
+        let config = SimConfig::default();
+        let s = Strategy::uncompressed(j.num_tensors(), CommPattern::Hierarchical, &j.cluster);
+        let tasks = build_tasks(&j, &s, &config);
+        let mut r = simulate(&j, &s, &config);
+        // Drag a GPU task backwards over its neighbour and its deps.
+        let idx = r
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.resource == Resource::Gpu && t.span.start > 0.0)
+            .map(|(i, _)| i)
+            .next_back()
+            .unwrap();
+        r.tasks[idx].span = Span {
+            start: 0.0,
+            end: r.tasks[idx].span.end,
+        };
+        let v = audit_tasks(&tasks, &r, &config);
+        assert!(
+            v.iter().any(|v| v.rule == "exclusivity" || v.rule == "dependency"),
+            "corruption not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn misaligned_records_are_caught() {
+        let j = job();
+        let config = SimConfig::default();
+        let s = Strategy::uncompressed(j.num_tensors(), CommPattern::Hierarchical, &j.cluster);
+        let tasks = build_tasks(&j, &s, &config);
+        let mut r = simulate(&j, &s, &config);
+        r.tasks.pop();
+        let v = audit_tasks(&tasks, &r, &config);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "alignment");
+    }
+
+    #[test]
+    fn phase_disorder_is_caught() {
+        // Hand-built illegal timeline: inter starts before intra-first
+        // lands.
+        let mk = |scope, start: f64, end: f64| TaskRecord {
+            tensor: 0,
+            kind: TaskKind::Comm(scope, Routine::ReduceScatter),
+            resource: if scope == CommScope::Inter {
+                Resource::InterChannel
+            } else {
+                Resource::IntraChannel
+            },
+            span: Span { start, end },
+        };
+        let records = vec![
+            mk(CommScope::IntraFirst, 1.0, 2.0),
+            mk(CommScope::Inter, 0.5, 1.5),
+        ];
+        let r = SimResult::new(0.0, records, SimConfig::default());
+        let mut out = Vec::new();
+        check_phase_order(&r.tasks, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "phase-order");
+    }
+
+    #[test]
+    fn pipelined_pieces_are_not_flagged() {
+        // Piece pipelining: intra piece 2 overlaps inter piece 1 — legal.
+        let mk = |scope, start: f64, end: f64| TaskRecord {
+            tensor: 0,
+            kind: TaskKind::Comm(scope, Routine::ReduceScatter),
+            resource: if scope == CommScope::Inter {
+                Resource::InterChannel
+            } else {
+                Resource::IntraChannel
+            },
+            span: Span { start, end },
+        };
+        let records = vec![
+            mk(CommScope::IntraFirst, 0.0, 1.0),
+            mk(CommScope::IntraFirst, 1.0, 2.0),
+            mk(CommScope::Inter, 1.0, 3.0), // overlaps intra piece 2
+        ];
+        let r = SimResult::new(0.0, records, SimConfig::default());
+        let mut out = Vec::new();
+        check_phase_order(&r.tasks, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn vanished_compression_is_caught() {
+        let records = vec![TaskRecord {
+            tensor: 0,
+            kind: TaskKind::Compress(espresso_gc::Device::Gpu),
+            resource: Resource::Gpu,
+            span: Span { start: 0.0, end: 1.0 },
+        }];
+        let mut out = Vec::new();
+        check_conservation(&records, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "conservation");
+    }
+
+    #[test]
+    fn cpu_overcommit_is_caught() {
+        let config = SimConfig {
+            cpu_slots: 2,
+            ..SimConfig::default()
+        };
+        let records: Vec<TaskRecord> = (0..3)
+            .map(|i| TaskRecord {
+                tensor: i,
+                kind: TaskKind::Compress(espresso_gc::Device::Cpu),
+                resource: Resource::Cpu,
+                span: Span { start: 0.0, end: 1.0 },
+            })
+            .collect();
+        let mut out = Vec::new();
+        check_exclusivity(&records, &config, &mut out);
+        assert!(out.iter().any(|v| v.rule == "cpu-slots"), "{out:?}");
+    }
+}

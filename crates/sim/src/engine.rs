@@ -101,7 +101,18 @@ fn finish(
             span: *s,
         })
         .collect();
-    SimResult::new(job.model.forward_time, records, *config)
+    let result = SimResult::new(job.model.forward_time, records, *config);
+    // Debug/test builds audit every timeline the engine emits; release
+    // search loops skip the pass (the audit CLI re-checks explicitly).
+    #[cfg(debug_assertions)]
+    {
+        let violations = crate::audit::audit_tasks(&tasks, &result, config);
+        debug_assert!(
+            violations.is_empty(),
+            "engine produced an invalid timeline: {violations:#?}"
+        );
+    }
+    result
 }
 
 /// A reusable simulator for one job: caches the compiled stage lists per

@@ -1,8 +1,13 @@
-//! ASCII Gantt rendering of simulated timelines.
+//! ASCII Gantt rendering and canonical JSON export of simulated timelines.
 //!
-//! Renders one lane per resource — the visual language of the paper's
-//! Figures 2, 5, and 9 — so examples and debugging sessions can *see*
-//! overlap, contention, and bubbles.
+//! [`render`] draws one lane per resource — the visual language of the
+//! paper's Figures 2, 5, and 9 — so examples and debugging sessions can
+//! *see* overlap, contention, and bubbles. [`export_json`] serializes the
+//! same timeline as canonical JSON (sorted keys, shortest-round-trip
+//! numbers) so two identical simulations render byte-identically — the
+//! foundation of the golden-trace regression suite.
+
+use espresso_json::Json;
 
 use crate::{
     result::SimResult,
@@ -72,6 +77,63 @@ pub fn render(result: &SimResult, width: usize) -> String {
     out
 }
 
+/// Stable label for a task kind (`compress.gpu`, `comm.inter.reducescatter`).
+pub fn kind_label(kind: TaskKind) -> String {
+    let device = |d: espresso_gc::Device| match d {
+        espresso_gc::Device::Gpu => "gpu",
+        espresso_gc::Device::Cpu => "cpu",
+    };
+    match kind {
+        TaskKind::Compute => "compute".into(),
+        TaskKind::Compress(d) => format!("compress.{}", device(d)),
+        TaskKind::Decompress(d) => format!("decompress.{}", device(d)),
+        TaskKind::Aggregate(d) => format!("aggregate.{}", device(d)),
+        TaskKind::Staging => "staging".into(),
+        TaskKind::Comm(scope, routine) => {
+            format!("comm.{scope:?}.{routine:?}").to_lowercase()
+        }
+    }
+}
+
+/// Stable label for a resource.
+pub fn resource_label(resource: Resource) -> &'static str {
+    match resource {
+        Resource::Gpu => "gpu",
+        Resource::Cpu => "cpu",
+        Resource::IntraChannel => "intra",
+        Resource::InterChannel => "inter",
+    }
+}
+
+/// Serializes the timeline as canonical JSON.
+///
+/// Keys are sorted and numbers use Rust's shortest-round-trip formatting,
+/// so the same simulation always renders to the same bytes — and *any*
+/// timing change, however small, is a visible diff. Task order is the
+/// engine's construction order (deterministic).
+pub fn export_json(result: &SimResult) -> Json {
+    let tasks: Vec<Json> = result
+        .tasks
+        .iter()
+        .map(|t| {
+            Json::obj(vec![
+                ("tensor", Json::Num(t.tensor as f64)),
+                ("kind", Json::Str(kind_label(t.kind))),
+                ("resource", Json::Str(resource_label(t.resource).into())),
+                ("start", Json::Num(t.span.start)),
+                ("end", Json::Num(t.span.end)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("forward_time", Json::Num(result.forward_time)),
+        ("makespan", Json::Num(result.makespan)),
+        ("iteration_time", Json::Num(result.iteration_time)),
+        ("tasks", Json::Arr(tasks)),
+    ])
+    .canonical()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +186,43 @@ mod tests {
     fn tiny_width_rejected() {
         let r = result();
         let _ = render(&r, 2);
+    }
+
+    #[test]
+    fn export_json_is_byte_deterministic() {
+        let a = export_json(&result()).render();
+        let b = export_json(&result()).render();
+        assert_eq!(a, b);
+        assert!(a.contains("\"iteration_time\""));
+        assert!(a.contains("\"kind\":\"compute\""));
+    }
+
+    #[test]
+    fn export_json_round_trips_through_the_parser() {
+        let r = result();
+        let text = export_json(&r).render();
+        let parsed = espresso_json::Json::parse(&text).unwrap();
+        let tasks = match parsed.get("tasks") {
+            Some(espresso_json::Json::Arr(items)) => items.len(),
+            other => panic!("tasks missing: {other:?}"),
+        };
+        assert_eq!(tasks, r.tasks.len());
+        // Canonical: re-canonicalizing is a fixed point.
+        assert_eq!(parsed.canonical().render(), text);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        use espresso_cluster::{CommScope, Routine};
+        assert_eq!(kind_label(TaskKind::Compute), "compute");
+        assert_eq!(
+            kind_label(TaskKind::Compress(espresso_gc::Device::Cpu)),
+            "compress.cpu"
+        );
+        assert_eq!(
+            kind_label(TaskKind::Comm(CommScope::Inter, Routine::Allgather)),
+            "comm.inter.allgather"
+        );
+        assert_eq!(resource_label(Resource::IntraChannel), "intra");
     }
 }

@@ -30,6 +30,7 @@
 //! `o_comm` / `o_comp` (section 3's definitions — the parts of
 //! communication/compression time that no other work overlaps).
 
+pub mod audit;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -38,6 +39,7 @@ pub mod job;
 pub mod result;
 pub mod task;
 
+pub use audit::{audit, audit_tasks, Violation};
 pub use config::SimConfig;
 pub use engine::{simulate, simulate_with_faults, Simulator};
 pub use fault::{Burst, FaultError, FaultPlan, LinkFault};
@@ -48,6 +50,7 @@ pub use task::{Resource, Stage, TaskKind};
 /// Convenient re-exports of the crate's primary types.
 pub mod prelude {
     pub use crate::{
+        audit::{audit, audit_tasks, Violation},
         config::SimConfig,
         engine::{simulate, simulate_with_faults, Simulator},
         fault::{Burst, FaultError, FaultPlan, LinkFault},

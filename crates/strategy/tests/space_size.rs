@@ -1,15 +1,21 @@
-//! Reports and bounds the enumerated option-space size.
+//! Reports and pins the enumerated option-space size.
+//!
+//! The exact sizes are pinned so any change to the tree's pruning rules
+//! is a *visible* diff, and so the core crate's oracle can assert parity
+//! (`crates/core/src/oracle.rs` pins the same numbers — update both
+//! files in the same commit when the tree changes).
 
 use espresso_cluster::Cluster;
 use espresso_strategy::OptionSpace;
 
 #[test]
 fn report_space_sizes() {
-    for (name, c) in [
-        ("8x8 nvlink", Cluster::nvlink_100g(8, 8)),
-        ("8x8 pcie", Cluster::pcie_25g(8, 8)),
-        ("1x8", Cluster::nvlink_100g(1, 8)),
-        ("8x1", Cluster::nvlink_100g(8, 1)),
+    // (name, cluster, |C|, |C_gpu|, |uncompressed|)
+    for (name, c, total, gpu, uncompressed) in [
+        ("8x8 nvlink", Cluster::nvlink_100g(8, 8), 3005, 89, 9),
+        ("8x8 pcie", Cluster::pcie_25g(8, 8), 3005, 89, 9),
+        ("1x8", Cluster::nvlink_100g(1, 8), 105, 13, 5),
+        ("8x1", Cluster::nvlink_100g(8, 1), 110, 14, 6),
     ] {
         let space = OptionSpace::enumerate(&c);
         println!(
@@ -17,6 +23,13 @@ fn report_space_sizes() {
             space.len(),
             space.gpu_compressed().len(),
             space.uncompressed().len()
+        );
+        assert_eq!(space.len(), total, "{name}: |C| drifted");
+        assert_eq!(space.gpu_compressed().len(), gpu, "{name}: |C_gpu| drifted");
+        assert_eq!(
+            space.uncompressed().len(),
+            uncompressed,
+            "{name}: uncompressed count drifted"
         );
     }
 }

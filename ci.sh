@@ -33,4 +33,29 @@ step "serve smoke" ./target/release/espresso-loadgen --smoke
 step "serve bench" ./target/release/espresso-loadgen --clients 4 --requests 2000 \
     --uncached-requests 200 --out BENCH_serve.json
 
+# Crash/recovery gate: train with a checkpoint cadence, halt mid-run (a
+# simulated process crash), resume from the checkpoint, and require the
+# resumed run's weight and state fingerprints to equal an uninterrupted
+# run's — the bitwise-resume guarantee, end to end through the CLI.
+recover() {
+    ckpt_dir=$(mktemp -d)
+    faults="crash=30:1,slow=50-90:4.0"
+    ./target/release/espresso-cli train --steps 120 --checkpoint-every 40 \
+        --halt-at 70 --checkpoint-dir "$ckpt_dir" --faults "$faults" > /dev/null
+    resumed=$(./target/release/espresso-cli train --steps 120 \
+        --checkpoint-dir "$ckpt_dir" --resume --faults "$faults" \
+        | grep -E "^(weights|state) fingerprint:")
+    fresh=$(./target/release/espresso-cli train --steps 120 --faults "$faults" \
+        | grep -E "^(weights|state) fingerprint:")
+    rm -rf "$ckpt_dir"
+    if [ "$resumed" != "$fresh" ]; then
+        echo "recover: resumed fingerprints differ from uninterrupted run" >&2
+        echo "resumed:" >&2; echo "$resumed" >&2
+        echo "fresh:"   >&2; echo "$fresh" >&2
+        exit 1
+    fi
+    echo "recover: crash at 70, resume from checkpoint 40, fingerprints match"
+}
+step "recover" recover
+
 echo "CI OK"

@@ -21,12 +21,14 @@
 pub mod collectives;
 pub mod health;
 pub mod link;
+pub mod membership;
 pub mod phases;
 pub mod topology;
 
 pub use collectives::{CollectiveCost, Routine};
 pub use health::{ClusterError, ClusterHealth, LinkState};
 pub use link::{Link, LinkClass};
+pub use membership::Membership;
 pub use phases::{CommPattern, CommScope, PhasePlan};
 pub use topology::{Cluster, IntraFabric};
 

@@ -1,0 +1,292 @@
+//! Worker membership: which ranks of a data-parallel job are still alive.
+//!
+//! [`ClusterHealth`](crate::ClusterHealth) models *fabric* degradation;
+//! this module models *worker* loss — the other failure mode a long
+//! training run must survive. A [`Membership`] starts with every rank of
+//! the configured job alive and records crashes as they happen; its
+//! [`effective_cluster`](Membership::effective_cluster) maps the surviving
+//! ranks back onto a [`Cluster`] topology so the decision algorithms can
+//! re-plan against the cluster that actually remains.
+//!
+//! # Placement policy
+//!
+//! Ranks are placed densely: worker `w` lives on machine
+//! `w / gpus_per_machine` (the layout every launcher in the paper's
+//! testbeds uses). A machine survives while at least one of its workers
+//! does. Because [`Cluster`] is homogeneous — `machines ×
+//! gpus_per_machine` with no per-machine shape — the shrunken topology is
+//! conservative: it keeps the surviving machines and takes the *minimum*
+//! surviving worker count among them as the uniform GPUs-per-machine.
+//! That under-counts stragglers' siblings slightly but never over-promises
+//! intra-machine aggregation capacity, which is the safe direction for a
+//! planner choosing between intra-first and direct-inter strategies.
+
+use crate::health::{ClusterError, ClusterHealth};
+use crate::topology::Cluster;
+
+/// Live/lost status of every rank in a data-parallel job, plus the
+/// observed fabric health of what remains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Membership {
+    total: usize,
+    lost: Vec<usize>,
+    health: ClusterHealth,
+}
+
+impl Membership {
+    /// A fresh membership: `total` ranks, all alive, fabrics nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero — a job with no workers cannot train.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a job needs at least one worker");
+        Self {
+            total,
+            lost: Vec::new(),
+            health: ClusterHealth::nominal(),
+        }
+    }
+
+    /// Number of ranks the job was configured with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Ranks recorded as lost, in the order they failed.
+    pub fn lost(&self) -> &[usize] {
+        &self.lost
+    }
+
+    /// Ranks still alive, in ascending order.
+    pub fn alive(&self) -> Vec<usize> {
+        (0..self.total).filter(|w| !self.lost.contains(w)).collect()
+    }
+
+    /// Number of ranks still alive.
+    pub fn alive_count(&self) -> usize {
+        self.total - self.lost.len()
+    }
+
+    /// Whether rank `worker` is still alive (out-of-range ranks are not).
+    pub fn is_alive(&self, worker: usize) -> bool {
+        worker < self.total && !self.lost.contains(&worker)
+    }
+
+    /// Records rank `worker` as lost.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidTopology`] if the rank is out of range, was
+    /// already lost, or is the last survivor — a membership must always
+    /// describe a runnable job, so the final worker cannot be removed.
+    pub fn lose_worker(&mut self, worker: usize) -> Result<(), ClusterError> {
+        if worker >= self.total {
+            return Err(ClusterError::InvalidTopology {
+                message: format!("worker {worker} out of range for {} ranks", self.total),
+            });
+        }
+        if self.lost.contains(&worker) {
+            return Err(ClusterError::InvalidTopology {
+                message: format!("worker {worker} was already lost"),
+            });
+        }
+        if self.alive_count() == 1 {
+            return Err(ClusterError::InvalidTopology {
+                message: "cannot lose the last surviving worker".into(),
+            });
+        }
+        self.lost.push(worker);
+        Ok(())
+    }
+
+    /// The observed fabric health of the surviving cluster.
+    pub fn health(&self) -> &ClusterHealth {
+        &self.health
+    }
+
+    /// Replaces the observed fabric health.
+    pub fn set_health(&mut self, health: ClusterHealth) {
+        self.health = health;
+    }
+
+    /// Maps the surviving ranks onto `template` (the configured topology)
+    /// using the placement policy above, then re-costs the result under
+    /// the recorded fabric health.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidTopology`] if `template` has fewer GPUs than
+    /// the membership has ranks; fabric errors as
+    /// [`Cluster::effective`].
+    pub fn effective_cluster(&self, template: &Cluster) -> Result<Cluster, ClusterError> {
+        if template.total_gpus() < self.total {
+            return Err(ClusterError::InvalidTopology {
+                message: format!(
+                    "template has {} GPUs but membership tracks {} ranks",
+                    template.total_gpus(),
+                    self.total
+                ),
+            });
+        }
+        let per_machine = template.gpus_per_machine;
+        // Survivors per machine under dense placement; machines beyond the
+        // ranks actually used (total < template capacity) don't exist.
+        let machines_used = self.total.div_ceil(per_machine);
+        let mut survivors = vec![0usize; machines_used];
+        for w in self.alive() {
+            survivors[w / per_machine] += 1;
+        }
+        let alive_machines: Vec<usize> = survivors.iter().copied().filter(|&s| s > 0).collect();
+        // lose_worker never removes the last rank, so at least one machine
+        // still has a survivor.
+        let machines = alive_machines.len();
+        let min_gpus = alive_machines.iter().copied().min().unwrap();
+        let mut shrunk = *template;
+        shrunk.machines = machines;
+        shrunk.gpus_per_machine = min_gpus;
+        shrunk.effective(&self.health)
+    }
+}
+
+impl espresso_json::ToJson for Membership {
+    fn to_json(&self) -> espresso_json::Json {
+        use espresso_json::Json;
+        Json::obj(vec![
+            ("total", Json::Num(self.total as f64)),
+            (
+                "lost",
+                Json::Arr(self.lost.iter().map(|&w| Json::Num(w as f64)).collect()),
+            ),
+            ("health", self.health.to_json()),
+        ])
+    }
+}
+
+impl espresso_json::FromJson for Membership {
+    fn from_json(v: &espresso_json::Json) -> Result<Self, espresso_json::DecodeError> {
+        use espresso_json::DecodeError;
+        let total: usize = v.req("total")?;
+        if total == 0 {
+            return Err(DecodeError::new("membership total must be positive").at("total"));
+        }
+        let lost: Vec<usize> = v.req("lost")?;
+        let health: ClusterHealth = v.req("health")?;
+        for (i, &w) in lost.iter().enumerate() {
+            if w >= total {
+                return Err(
+                    DecodeError::new(format!("lost worker {w} out of range for {total} ranks"))
+                        .at("lost"),
+                );
+            }
+            if lost[..i].contains(&w) {
+                return Err(DecodeError::new(format!("worker {w} listed lost twice")).at("lost"));
+            }
+        }
+        if lost.len() >= total {
+            return Err(DecodeError::new("membership must keep at least one survivor").at("lost"));
+        }
+        Ok(Self {
+            total,
+            lost,
+            health,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::LinkState;
+
+    #[test]
+    fn fresh_membership_is_all_alive() {
+        let m = Membership::new(8);
+        assert_eq!(m.alive_count(), 8);
+        assert_eq!(m.alive(), (0..8).collect::<Vec<_>>());
+        assert!(m.is_alive(7));
+        assert!(!m.is_alive(8));
+        assert!(m.health().is_nominal());
+    }
+
+    #[test]
+    fn losing_workers_tracks_order_and_rejects_repeats() {
+        let mut m = Membership::new(4);
+        m.lose_worker(2).unwrap();
+        m.lose_worker(0).unwrap();
+        assert_eq!(m.lost(), &[2, 0]);
+        assert_eq!(m.alive(), vec![1, 3]);
+        assert!(m.lose_worker(2).is_err(), "already lost");
+        assert!(m.lose_worker(9).is_err(), "out of range");
+    }
+
+    #[test]
+    fn last_survivor_cannot_be_lost() {
+        let mut m = Membership::new(2);
+        m.lose_worker(0).unwrap();
+        let err = m.lose_worker(1).unwrap_err();
+        assert!(matches!(err, ClusterError::InvalidTopology { .. }), "{err}");
+        assert_eq!(m.alive_count(), 1);
+    }
+
+    #[test]
+    fn effective_cluster_shrinks_by_dense_placement() {
+        // 2 machines x 4 GPUs; losing rank 5 (machine 1) leaves machine 0
+        // with 4 survivors and machine 1 with 3 -> homogeneous 2 x 3.
+        let template = Cluster::nvlink_100g(2, 4);
+        let mut m = Membership::new(8);
+        m.lose_worker(5).unwrap();
+        let c = m.effective_cluster(&template).unwrap();
+        assert_eq!((c.machines, c.gpus_per_machine), (2, 3));
+
+        // Losing every rank of machine 1 drops the machine entirely.
+        for w in [4, 6, 7] {
+            m.lose_worker(w).unwrap();
+        }
+        let c = m.effective_cluster(&template).unwrap();
+        assert_eq!((c.machines, c.gpus_per_machine), (1, 4));
+    }
+
+    #[test]
+    fn effective_cluster_applies_recorded_health() {
+        let template = Cluster::nvlink_100g(2, 4);
+        let mut m = Membership::new(8);
+        m.set_health(ClusterHealth::inter_degraded(2.0));
+        let c = m.effective_cluster(&template).unwrap();
+        assert!((c.inter.bandwidth - template.inter.bandwidth / 2.0).abs() < 1.0);
+        m.set_health(ClusterHealth {
+            intra: LinkState::Nominal,
+            inter: LinkState::Down,
+        });
+        assert!(m.effective_cluster(&template).is_err(), "partitioned");
+    }
+
+    #[test]
+    fn template_too_small_is_rejected() {
+        let template = Cluster::nvlink_100g(1, 4);
+        let m = Membership::new(8);
+        assert!(matches!(
+            m.effective_cluster(&template),
+            Err(ClusterError::InvalidTopology { .. })
+        ));
+    }
+
+    #[test]
+    fn json_round_trip_and_validation() {
+        use espresso_json::Json;
+        let mut m = Membership::new(6);
+        m.lose_worker(4).unwrap();
+        m.set_health(ClusterHealth::intra_degraded(1.5));
+        let back: Membership = Json::decode(&Json::encode(&m)).unwrap();
+        assert_eq!(back, m);
+
+        for bad in [
+            r#"{"total": 0, "lost": [], "health": {}}"#,
+            r#"{"total": 2, "lost": [2], "health": {}}"#,
+            r#"{"total": 2, "lost": [0, 0], "health": {}}"#,
+            r#"{"total": 2, "lost": [0, 1], "health": {}}"#,
+        ] {
+            assert!(Json::decode::<Membership>(bad).is_err(), "{bad}");
+        }
+    }
+}

@@ -40,7 +40,7 @@ pub use config::{FileConfig, GcConfig, ModelConfig, SystemConfig};
 pub use error::EspressoError;
 pub use espresso::{Espresso, Report};
 pub use espresso_strategy::Strategy;
-pub use robust::{DegradationMonitor, NoiseEnvelope, RobustSelection, RobustSelector};
+pub use robust::{replan, DegradationMonitor, NoiseEnvelope, Replan, RobustSelection, RobustSelector};
 pub use service::{decide, Decision, DecisionRequest, DecisionResponse};
 pub use upper_bound::upper_bound_time;
 
@@ -54,7 +54,7 @@ pub mod prelude {
         error::EspressoError,
         espresso::{Espresso, Report},
         oracle,
-        robust::{DegradationMonitor, NoiseEnvelope, RobustSelection, RobustSelector},
+        robust::{replan, DegradationMonitor, NoiseEnvelope, Replan, RobustSelection, RobustSelector},
         service::{decide, Decision, DecisionRequest, DecisionResponse},
         upper_bound::upper_bound_time,
     };

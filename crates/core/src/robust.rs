@@ -443,6 +443,81 @@ impl DegradationMonitor {
     pub fn fallback_strategy(job: &Job) -> Strategy {
         baselines::fp32(job)
     }
+
+    /// Reconstructs a monitor from checkpointed state — the restore half
+    /// of [`DegradationMonitor::new`] plus the accumulated
+    /// `divergence`/`samples`, so a resumed run observes exactly the
+    /// smoothing history the interrupted run had.
+    ///
+    /// # Panics
+    ///
+    /// As [`DegradationMonitor::new`]; additionally panics for a negative
+    /// or NaN divergence (infinity is legal — it is what a broken
+    /// observation records).
+    pub fn restore(predicted: f64, divergence: f64, samples: usize) -> Self {
+        let mut monitor = Self::new(predicted);
+        assert!(
+            divergence >= 0.0 && !divergence.is_nan(),
+            "divergence must be non-negative, got {divergence}"
+        );
+        monitor.divergence = divergence;
+        monitor.samples = samples;
+        monitor
+    }
+}
+
+/// The outcome of an online re-plan (see [`replan`]).
+#[derive(Debug, Clone)]
+pub struct Replan {
+    /// The strategy to continue training with.
+    pub strategy: Strategy,
+    /// Predicted iteration time under the re-planned conditions — what a
+    /// [`DegradationMonitor`] should be rebased to.
+    pub predicted_time: f64,
+    /// Which candidate won (`"espresso"` for the nominal path, otherwise
+    /// the [`RobustSelection::chosen`] name).
+    pub chosen: String,
+    /// Whether the re-planned strategy differs from the one previously in
+    /// force.
+    pub changed: bool,
+}
+
+/// Re-selects the compression strategy online, against the cluster that
+/// currently exists: `job` must already describe the *surviving* topology
+/// (e.g. via [`espresso_cluster::Membership::effective_cluster`] mapped
+/// back to a template without health applied — health is passed here).
+///
+/// On a nominal-health cluster this is the plain Espresso decision
+/// (section 4.4) — cheap and exactly what the offline planner would have
+/// chosen for this topology. Under degraded health it runs the full
+/// [`RobustSelector`] ensemble, so the re-planned strategy is hedged
+/// against the same measurement drift that likely caused the trip.
+///
+/// `current` is the strategy in force before the event; `changed` reports
+/// whether the re-plan actually picked something different.
+///
+/// # Errors
+///
+/// As [`RobustSelector::select`].
+pub fn replan(
+    job: &Job,
+    health: &ClusterHealth,
+    current: &Strategy,
+) -> Result<Replan, EspressoError> {
+    let (strategy, predicted_time, chosen) = if health.is_nominal() {
+        let (strategy, report) = Espresso::new(job.clone()).select_strategy();
+        (strategy, report.iteration_time, "espresso".to_string())
+    } else {
+        let selection = RobustSelector::new(job.clone(), *health).select()?;
+        (selection.strategy, selection.mean_time, selection.chosen)
+    };
+    let changed = strategy != *current;
+    Ok(Replan {
+        strategy,
+        predicted_time,
+        chosen,
+        changed,
+    })
 }
 
 #[cfg(test)]
@@ -574,5 +649,113 @@ mod tests {
         let fallback = DegradationMonitor::fallback_strategy(&job);
         assert_eq!(fallback.num_compressed(), 0);
         assert_eq!(fallback.len(), job.num_tensors());
+    }
+
+    #[test]
+    fn trip_threshold_is_strictly_exceeded_not_met() {
+        // Divergence comparison is strict `>`: an observation whose
+        // steady-state divergence sits exactly at the threshold never
+        // trips, one epsilon above does. First observation seeds the
+        // smoother directly, so a single sample reaches steady state.
+        let mut at = DegradationMonitor::new(1.0);
+        assert_eq!(at.observe(1.15), MonitorVerdict::Healthy);
+        assert!((at.divergence() - 0.15).abs() < 1e-12);
+
+        let mut above = DegradationMonitor::new(1.0);
+        assert_eq!(above.observe(1.16), MonitorVerdict::Redecide);
+
+        let mut at_fb = DegradationMonitor::new(1.0);
+        assert_eq!(at_fb.observe(1.50), MonitorVerdict::Redecide);
+        let mut above_fb = DegradationMonitor::new(1.0);
+        assert_eq!(above_fb.observe(1.51), MonitorVerdict::Fallback);
+    }
+
+    #[test]
+    fn recovery_needs_sustained_healthy_observations() {
+        // Hysteresis through smoothing: after a trip, one on-prediction
+        // observation is not enough to bring the divergence back under the
+        // threshold — it must be sustained (divergence decays by the
+        // smoothing factor per healthy sample).
+        let mut m = DegradationMonitor::new(1.0);
+        for _ in 0..10 {
+            m.observe(1.4);
+        }
+        assert_eq!(m.observe(1.4), MonitorVerdict::Redecide);
+        assert_eq!(
+            m.observe(1.0),
+            MonitorVerdict::Redecide,
+            "one good sample must not clear a sustained trip"
+        );
+        let mut healthy_after = 0;
+        while m.observe(1.0) != MonitorVerdict::Healthy {
+            healthy_after += 1;
+            assert!(healthy_after < 100, "divergence never decayed");
+        }
+        assert!(
+            healthy_after >= 1,
+            "recovery took {healthy_after} extra samples; hysteresis gone"
+        );
+    }
+
+    #[test]
+    fn rebase_resets_divergence_and_sample_count() {
+        let mut m = DegradationMonitor::new(1.0);
+        for _ in 0..5 {
+            m.observe(2.0);
+        }
+        assert!(m.divergence() > 0.5);
+        m.rebase(2.0);
+        assert_eq!(m.divergence(), 0.0);
+        assert_eq!(m.samples(), 0);
+        assert_eq!(m.predicted(), 2.0);
+        assert_eq!(m.observe(2.0), MonitorVerdict::Healthy);
+    }
+
+    #[test]
+    fn restore_resumes_the_smoothing_history() {
+        let mut live = DegradationMonitor::new(1.0);
+        for _ in 0..7 {
+            live.observe(1.3);
+        }
+        let mut restored =
+            DegradationMonitor::restore(live.predicted(), live.divergence(), live.samples());
+        // Same future observations -> same verdicts and same divergence.
+        for _ in 0..5 {
+            assert_eq!(live.observe(1.3), restored.observe(1.3));
+        }
+        assert_eq!(live.divergence(), restored.divergence());
+        assert_eq!(live.samples(), restored.samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "divergence must be non-negative")]
+    fn restore_rejects_negative_divergence() {
+        let _ = DegradationMonitor::restore(1.0, -0.1, 3);
+    }
+
+    #[test]
+    fn replan_on_nominal_health_matches_plain_espresso() {
+        let job = small_job();
+        let (expected, report) = Espresso::new(job.clone()).select_strategy();
+        let r = replan(&job, &ClusterHealth::nominal(), &expected).unwrap();
+        assert_eq!(r.strategy, expected);
+        assert!(!r.changed);
+        assert_eq!(r.chosen, "espresso");
+        assert!((r.predicted_time - report.iteration_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replan_under_degraded_health_reports_change() {
+        let job = small_job();
+        let current = DegradationMonitor::fallback_strategy(&job);
+        // The fallback is all-FP32; any Espresso-style selection for an
+        // EFSignSGD job compresses something, so the re-plan must differ.
+        let r = replan(&job, &ClusterHealth::inter_degraded(4.0), &current).unwrap();
+        assert!(r.predicted_time > 0.0);
+        if r.strategy != current {
+            assert!(r.changed);
+        } else {
+            assert!(!r.changed);
+        }
     }
 }

@@ -51,12 +51,42 @@ pub fn synchronize(
     round: u64,
     tensor: u64,
 ) -> Vec<f32> {
+    synchronize_masked(compressor, grads, ef_states, round, tensor, None)
+}
+
+/// [`synchronize`] with a delivery mask: worker `w`'s push is aggregated
+/// only when `delivered[w]` is true. Every worker still compresses and
+/// updates its *own* error-feedback state (the sender cannot know its
+/// push was lost), but a dropped push contributes nothing to the average
+/// — the semantics of a lost gradient message in a real PS/all-gather
+/// round. The average is taken over the delivered contributions.
+///
+/// `delivered = None` means everything arrived.
+///
+/// # Panics
+///
+/// As [`synchronize`]; additionally panics if the mask length differs
+/// from the worker count or if *no* push was delivered (a round where
+/// every message is lost has no defined result — callers should treat it
+/// as a failed iteration instead).
+pub fn synchronize_masked(
+    compressor: &dyn Compressor,
+    grads: &[Vec<f32>],
+    ef_states: &mut [ErrorFeedback],
+    round: u64,
+    tensor: u64,
+    delivered: Option<&[bool]>,
+) -> Vec<f32> {
     assert_eq!(
         grads.len(),
         ef_states.len(),
         "one error-feedback state per worker required"
     );
     assert!(!grads.is_empty(), "need at least one worker");
+    if let Some(mask) = delivered {
+        assert_eq!(mask.len(), grads.len(), "one delivery flag per worker");
+        assert!(mask.iter().any(|&d| d), "every push in the round was lost");
+    }
     let len = grads[0].len();
     let compressed: Vec<CompressedTensor> = grads
         .iter()
@@ -71,8 +101,17 @@ pub fn synchronize(
             ef.compress_with_feedback(compressor, grad, ctx)
         })
         .collect();
-    let mut sum = aggregate_dense(compressor, &compressed, len);
-    let scale = 1.0 / grads.len() as f32;
+    let arrived: Vec<CompressedTensor> = match delivered {
+        None => compressed,
+        Some(mask) => compressed
+            .into_iter()
+            .zip(mask)
+            .filter(|(_, &d)| d)
+            .map(|(c, _)| c)
+            .collect(),
+    };
+    let mut sum = aggregate_dense(compressor, &arrived, len);
+    let scale = 1.0 / arrived.len() as f32;
     sum.iter_mut().for_each(|v| *v *= scale);
     sum
 }
@@ -147,6 +186,58 @@ mod tests {
         for (o, g) in out.iter().zip(&grads[0]) {
             assert_eq!(o.signum(), g.signum());
         }
+    }
+
+    #[test]
+    fn masked_sync_averages_over_delivered_only() {
+        let comp = Fp16::new();
+        let grads = vec![vec![2.0, 4.0], vec![4.0, 0.0], vec![6.0, 8.0]];
+        let mut efs = vec![ErrorFeedback::new(2); 3];
+        // Worker 1's push is lost: average of workers 0 and 2.
+        let out = synchronize_masked(&comp, &grads, &mut efs, 0, 0, Some(&[true, false, true]));
+        assert_eq!(out, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn masked_sync_still_updates_dropped_senders_ef() {
+        // The sender of a lost push cannot know; its EF state must advance
+        // exactly as if the push had been delivered.
+        let comp = EfSignSgd::new();
+        let grads = vec![vec![1.0, -2.0, 3.0, -4.0]; 2];
+        let mut efs_masked = vec![ErrorFeedback::new(4); 2];
+        let mut efs_full = vec![ErrorFeedback::new(4); 2];
+        synchronize_masked(&comp, &grads, &mut efs_masked, 3, 1, Some(&[true, false]));
+        synchronize(&comp, &grads, &mut efs_full, 3, 1);
+        assert_eq!(efs_masked[1].residual(), efs_full[1].residual());
+    }
+
+    #[test]
+    fn full_mask_matches_unmasked() {
+        let comp = Fp16::new();
+        let grads = vec![vec![2.0, 4.0], vec![4.0, 0.0]];
+        let mut efs_a = vec![ErrorFeedback::new(2); 2];
+        let mut efs_b = vec![ErrorFeedback::new(2); 2];
+        let a = synchronize(&comp, &grads, &mut efs_a, 0, 0);
+        let b = synchronize_masked(&comp, &grads, &mut efs_b, 0, 0, Some(&[true, true]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "every push in the round was lost")]
+    fn all_dropped_panics() {
+        let comp = Fp16::new();
+        let grads = vec![vec![1.0], vec![2.0]];
+        let mut efs = vec![ErrorFeedback::new(1); 2];
+        let _ = synchronize_masked(&comp, &grads, &mut efs, 0, 0, Some(&[false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one delivery flag per worker")]
+    fn mask_length_mismatch_panics() {
+        let comp = Fp16::new();
+        let grads = vec![vec![1.0], vec![2.0]];
+        let mut efs = vec![ErrorFeedback::new(1); 2];
+        let _ = synchronize_masked(&comp, &grads, &mut efs, 0, 0, Some(&[true]));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::tensor::CompressedTensor;
 /// assert!(ef.residual_norm_sq() > 0.0);
 /// assert_eq!(blob.len(), 4);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ErrorFeedback {
     residual: Vec<f32>,
 }
@@ -92,6 +92,51 @@ impl ErrorFeedback {
     /// Clears the residual (e.g. at epoch boundaries in some recipes).
     pub fn reset(&mut self) {
         self.residual.iter_mut().for_each(|r| *r = 0.0);
+    }
+
+    /// Reconstructs an EF state from an exported residual — the restore
+    /// half of checkpointing (see `espresso-training::checkpoint`).
+    pub fn from_residual(residual: Vec<f32>) -> Self {
+        Self { residual }
+    }
+
+    /// Folds `scale * other.residual` into this state's residual — the
+    /// elastic-recovery merge policy: when a worker is lost, its
+    /// untransmitted gradient mass is redistributed across the survivors
+    /// (each takes `1/survivors` of it) instead of being dropped, so the
+    /// error-feedback convergence guarantee keeps holding through the
+    /// membership change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states track tensors of different lengths.
+    pub fn merge_scaled(&mut self, other: &ErrorFeedback, scale: f32) {
+        assert_eq!(
+            self.residual.len(),
+            other.residual.len(),
+            "merging error-feedback states of different tensor lengths"
+        );
+        for (r, &o) in self.residual.iter_mut().zip(&other.residual) {
+            *r += scale * o;
+        }
+    }
+}
+
+impl espresso_json::ToJson for ErrorFeedback {
+    // The wire form is just the residual array: `f32 -> f64` is exact and
+    // the JSON layer renders f64 shortest-round-trip, so export/import is
+    // bit-identical for finite values (NaN/Inf never appear in a residual
+    // that came from finite gradients).
+    fn to_json(&self) -> espresso_json::Json {
+        espresso_json::ToJson::to_json(&self.residual)
+    }
+}
+
+impl espresso_json::FromJson for ErrorFeedback {
+    fn from_json(v: &espresso_json::Json) -> Result<Self, espresso_json::DecodeError> {
+        Ok(Self {
+            residual: <Vec<f32> as espresso_json::FromJson>::from_json(v)?,
+        })
     }
 }
 
@@ -185,5 +230,35 @@ mod tests {
         let mut ef = ErrorFeedback::new(4);
         let comp = EfSignSgd::new();
         ef.compress_with_feedback(&comp, &[1.0], CompressCtx::default());
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        use espresso_json::{FromJson, ToJson};
+        let mut ef = ErrorFeedback::new(8);
+        let comp = EfSignSgd::new();
+        let grad: Vec<f32> = (0..8).map(|i| ((i as f32) * 1.371).sin() * 1e-3).collect();
+        ef.compress_with_feedback(&comp, &grad, CompressCtx::default());
+        let text = ef.to_json().render();
+        let back = ErrorFeedback::from_json(&espresso_json::Json::parse(&text).unwrap()).unwrap();
+        let bits: Vec<u32> = ef.residual().iter().map(|r| r.to_bits()).collect();
+        let bits_back: Vec<u32> = back.residual().iter().map(|r| r.to_bits()).collect();
+        assert_eq!(bits, bits_back);
+    }
+
+    #[test]
+    fn merge_scaled_redistributes_residual_mass() {
+        let mut survivor = ErrorFeedback::from_residual(vec![1.0, -2.0]);
+        let lost = ErrorFeedback::from_residual(vec![4.0, 8.0]);
+        survivor.merge_scaled(&lost, 0.5);
+        assert_eq!(survivor.residual(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tensor lengths")]
+    fn merge_scaled_length_mismatch_panics() {
+        let mut a = ErrorFeedback::new(2);
+        let b = ErrorFeedback::new(3);
+        a.merge_scaled(&b, 1.0);
     }
 }

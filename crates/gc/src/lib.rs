@@ -42,7 +42,7 @@ pub use timing::{Device, DeviceProfile, TimingModel};
 /// Convenient re-exports of the crate's primary types.
 pub mod prelude {
     pub use crate::{
-        aggregate::synchronize,
+        aggregate::{synchronize, synchronize_masked},
         compressor::{CompressCtx, Compressor, GcAlgorithm},
         error_feedback::ErrorFeedback,
         tensor::CompressedTensor,

@@ -17,6 +17,22 @@
 
 use std::fmt;
 
+/// 64-bit FNV-1a: a stable, dependency-free hash for canonical JSON
+/// bytes. Unlike `DefaultHasher` it is identical across processes and
+/// releases, so hashes can be logged, compared, persisted (checkpoint
+/// checksums), and tested deterministically. A single-byte substitution
+/// in an equal-length input always changes the hash: every round
+/// `h = (h ^ b) * p` is a bijection in `h` for fixed `b` (odd `p`), so
+/// a divergence introduced at any position can never cancel.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {

@@ -35,6 +35,21 @@
 //! espresso-cli serve --addr 127.0.0.1:8080 --workers 8
 //! ```
 //!
+//! The fault-tolerant training runtime (DESIGN.md section 11) is exposed
+//! as a third subcommand:
+//!
+//! ```sh
+//! espresso-cli train --workers 4 --steps 200 --checkpoint-every 50 \
+//!                    --checkpoint-dir /tmp/ckpt --faults crash=40:1
+//! # ... crash, then:
+//! espresso-cli train --workers 4 --steps 200 --checkpoint-dir /tmp/ckpt --resume
+//! ```
+//!
+//! It prints every runtime event (worker losses, re-plans, fallback
+//! trips, checkpoints) plus `weights fingerprint:` / `state fingerprint:`
+//! lines, which `ci.sh recover` compares across a crash-and-resume run
+//! and an uninterrupted one.
+//!
 //! All input errors (missing files, malformed JSON, bad field values,
 //! bad fault specs) are reported with file/field context and exit 1 —
 //! never a panic.
@@ -45,9 +60,15 @@ use espresso::baselines::Baseline;
 use espresso::config::{FileConfig, GcConfig, ModelConfig, SystemConfig};
 use espresso::service::{decide, DecisionRequest};
 use espresso::{Espresso, EspressoError};
-use espresso_cluster::{ClusterHealth, IntraFabric, LinkState};
+use espresso_cluster::{Cluster, ClusterHealth, IntraFabric, LinkState};
 use espresso_gc::GcAlgorithm;
+use espresso_models::Model;
 use espresso_serve::{signal, ServeConfig, Server};
+use espresso_sim::Job;
+use espresso_training::checkpoint::CheckpointStore;
+use espresso_training::faults::TrainFaultPlan;
+use espresso_training::runtime::{RuntimeConfig, RuntimeEvent, TrainingRuntime};
+use espresso_training::Dataset;
 
 fn usage() -> ! {
     eprintln!(
@@ -58,7 +79,13 @@ fn usage() -> ! {
          [--faults SPEC] [--inter-degraded F] [--intra-degraded F] [--robust]\n\
          \n\
          or:    espresso-cli serve [--addr HOST:PORT] [--workers N] \
-         [--queue N] [--cache N] [--shards N] [--deadline-ms N]"
+         [--queue N] [--cache N] [--shards N] [--deadline-ms N]\n\
+         \n\
+         or:    espresso-cli train [--machines N] [--gpus K] [--steps N] \
+         [--batch N] [--algo NAME] [--density F] [--eval-every N] \
+         [--checkpoint-every N] [--checkpoint-dir DIR] [--resume] \
+         [--halt-at N] [--faults SPEC]  (SPEC: seed, or \
+         crash=STEP:WORKER,drop=STEP:WORKER,slow=FROM-UNTIL:F,degrade=STEP:F)"
     );
     std::process::exit(2)
 }
@@ -232,6 +259,150 @@ fn run(args: &[String]) -> Result<(), EspressoError> {
     Ok(())
 }
 
+fn run_train(args: &[String]) -> Result<(), EspressoError> {
+    let mut machines = 2usize;
+    let mut gpus = 2usize;
+    let mut intra = IntraFabric::Pcie;
+    let mut algo = "randomk".to_string();
+    let mut density = 0.05f64;
+    let mut steps = 200usize;
+    let mut batch = 8usize;
+    let mut eval_every = 50usize;
+    let mut checkpoint_every: Option<usize> = None;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
+    let mut halt_at: Option<usize> = None;
+    let mut faults: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        let parse_num = |flag: &str, raw: String| -> Result<usize, EspressoError> {
+            raw.parse::<usize>()
+                .map_err(|_| EspressoError::config(flag, format!("not a number: {raw}")))
+        };
+        match flag.as_str() {
+            "--machines" => machines = parse_num("--machines", value())?.max(1),
+            "--gpus" => gpus = parse_num("--gpus", value())?.max(1),
+            "--intra" => {
+                intra = match value().to_ascii_lowercase().as_str() {
+                    "nvlink" => IntraFabric::NvLink,
+                    "pcie" => IntraFabric::Pcie,
+                    _ => usage(),
+                }
+            }
+            "--algo" => algo = value(),
+            "--density" => density = value().parse().unwrap_or_else(|_| usage()),
+            "--steps" => steps = parse_num("--steps", value())?.max(1),
+            "--batch" => batch = parse_num("--batch", value())?.max(1),
+            "--eval-every" => eval_every = parse_num("--eval-every", value())?.max(1),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(parse_num("--checkpoint-every", value())?.max(1))
+            }
+            "--checkpoint-dir" => checkpoint_dir = Some(value()),
+            "--resume" => resume = true,
+            "--halt-at" => halt_at = Some(parse_num("--halt-at", value())?.max(1)),
+            "--faults" => faults = Some(value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let algorithm = match algo.to_ascii_lowercase().as_str() {
+        "randomk" => GcAlgorithm::RandomK { density },
+        "dgc" => GcAlgorithm::Dgc { density },
+        "efsignsgd" => GcAlgorithm::EfSignSgd,
+        "qsgd" => GcAlgorithm::Qsgd { levels: 127 },
+        "terngrad" => GcAlgorithm::TernGrad,
+        "fp16" => GcAlgorithm::Fp16,
+        _ => usage(),
+    };
+    let cluster = match intra {
+        IntraFabric::NvLink => Cluster::nvlink_100g(machines, gpus),
+        IntraFabric::Pcie => Cluster::pcie_25g(machines, gpus),
+    };
+    let job = Job::new(Model::Lstm.profile(), cluster, algorithm);
+    let mut config = RuntimeConfig::for_job(job, 8, 3);
+    config.batch_per_worker = batch;
+    config.steps = steps;
+    config.eval_every = eval_every.min(steps);
+    config.checkpoint_every = checkpoint_every;
+    config.halt_at = halt_at;
+    config.resume = resume;
+    if let Some(spec) = &faults {
+        config.faults = TrainFaultPlan::parse(spec, config.workers, steps)
+            .map_err(|e| EspressoError::config("--faults", e.to_string()))?;
+    }
+    println!(
+        "train: {} workers ({machines}x{gpus}), {} mode, {steps} steps, faults: {}",
+        config.workers,
+        algo.to_ascii_lowercase(),
+        faults.as_deref().unwrap_or("none"),
+    );
+
+    // The training task is synthetic and seeded: every run sees the same
+    // data, so fingerprints are comparable across processes.
+    let (data, eval) = Dataset::blobs(320, 8, 3, 0.2, 11).split(0.25);
+
+    let mut runtime = TrainingRuntime::new(config);
+    if let Some(dir) = &checkpoint_dir {
+        let store = CheckpointStore::new(dir)
+            .map_err(|e| EspressoError::config("--checkpoint-dir", e.to_string()))?;
+        runtime = runtime.with_store(store);
+    }
+    let report = runtime
+        .run(&data, &eval)
+        .map_err(|e| EspressoError::config("train", e.to_string()))?;
+
+    for event in &report.events {
+        match event {
+            RuntimeEvent::Resumed { step } => println!("  [{step:>4}] resumed from checkpoint"),
+            RuntimeEvent::WorkerLost { step, worker } => {
+                println!("  [{step:>4}] worker {worker} lost; shard redistributed")
+            }
+            RuntimeEvent::HealthChanged { step } => {
+                println!("  [{step:>4}] fabric health changed")
+            }
+            RuntimeEvent::Replanned {
+                step,
+                chosen,
+                changed,
+            } => println!(
+                "  [{step:>4}] re-planned online: {chosen}{}",
+                if *changed { " (strategy changed)" } else { " (unchanged)" }
+            ),
+            RuntimeEvent::DroppedPush { step, worker } => {
+                println!("  [{step:>4}] gradient push from worker {worker} dropped")
+            }
+            RuntimeEvent::FallbackEngaged { step } => {
+                println!("  [{step:>4}] degradation monitor tripped: BytePS-FP32 fallback")
+            }
+            RuntimeEvent::FallbackRecovered { step } => {
+                println!("  [{step:>4}] healthy streak: compression re-enabled")
+            }
+            RuntimeEvent::Checkpointed { step } => {
+                println!("  [{step:>4}] checkpoint persisted")
+            }
+        }
+    }
+    println!(
+        "{}: {} steps this process, {} re-plans, {} fallback trips",
+        if report.completed {
+            "completed"
+        } else {
+            "halted (simulated crash)"
+        },
+        report.steps_run,
+        report.replans,
+        report.fallback_trips,
+    );
+    println!("final accuracy: {:.4}", report.final_accuracy());
+    println!("weights fingerprint: {:016x}", report.weights_fingerprint());
+    println!("state fingerprint: {:016x}", report.state_fingerprint());
+    Ok(())
+}
+
 fn run_serve(args: &[String]) -> Result<(), EspressoError> {
     let mut config = ServeConfig {
         addr: "127.0.0.1:8080".into(),
@@ -285,6 +456,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
         Some((first, rest)) if first == "serve" => run_serve(rest),
+        Some((first, rest)) if first == "train" => run_train(rest),
         _ => run(&args),
     };
     if let Err(e) = result {

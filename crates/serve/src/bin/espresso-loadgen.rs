@@ -19,9 +19,18 @@
 //!
 //! `--smoke` runs the CI gate instead: start a server on an ephemeral
 //! port, issue one decision and one `/metrics` request, assert both are
-//! 200, shut down cleanly.
+//! 200, run the chaos probes (below), shut down cleanly.
+//!
+//! `--chaos` runs only the adversarial-client phase: malformed JSON
+//! (expect 400), an oversized `Content-Length` (expect 413 without
+//! reading the body), a mid-request disconnect, a byte-at-a-time slow
+//! writer (expect 200 within the server deadline), and raw non-HTTP
+//! garbage. After every probe the server must still answer a well-formed
+//! request with 200 — the point is that an abusive client costs the
+//! server nothing but the connection.
 
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,9 +43,9 @@ use rand::{Rng, SeedableRng};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: espresso-loadgen [--smoke] [--addr HOST:PORT] [--clients N] \
-         [--requests N] [--uncached-requests N] [--repeat-ratio R] \
-         [--model NAME] [--out FILE] [--seed N]"
+        "usage: espresso-loadgen [--smoke] [--chaos] [--addr HOST:PORT] \
+         [--clients N] [--requests N] [--uncached-requests N] \
+         [--repeat-ratio R] [--model NAME] [--out FILE] [--seed N]"
     );
     std::process::exit(2)
 }
@@ -44,6 +53,7 @@ fn usage() -> ! {
 #[derive(Clone)]
 struct Options {
     smoke: bool,
+    chaos: bool,
     addr: Option<String>,
     clients: usize,
     requests: usize,
@@ -58,6 +68,7 @@ impl Default for Options {
     fn default() -> Self {
         Self {
             smoke: false,
+            chaos: false,
             addr: None,
             clients: 4,
             requests: 2000,
@@ -77,6 +88,7 @@ fn parse_options(args: &[String]) -> Options {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--smoke" => opts.smoke = true,
+            "--chaos" => opts.chaos = true,
             "--addr" => opts.addr = Some(value()),
             "--clients" => opts.clients = value().parse().unwrap_or_else(|_| usage()),
             "--requests" => opts.requests = value().parse().unwrap_or_else(|_| usage()),
@@ -293,7 +305,164 @@ fn prime(addr: SocketAddr, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// The CI gate: one decision, one metrics scrape, clean shutdown.
+/// Opens a raw TCP connection, writes `payload` byte-for-byte (optionally
+/// throttled), and returns the status code of whatever response comes
+/// back (`None` when the server just closes the connection).
+fn raw_probe(addr: SocketAddr, payload: &[u8], chunk: usize, pause: Duration) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    for piece in payload.chunks(chunk.max(1)) {
+        if stream.write_all(piece).is_err() {
+            // The server may legitimately reject early (e.g. 413 before
+            // the body); keep going to the read.
+            break;
+        }
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+    }
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 1024];
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&scratch[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+        }
+    }
+    let head = buf.split(|&b| b == b'\r').next()?;
+    std::str::from_utf8(head)
+        .ok()?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+fn http_request(path: &str, body: &[u8]) -> Vec<u8> {
+    let mut req = format!(
+        "POST {path} HTTP/1.1\r\nHost: chaos\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    req
+}
+
+/// Asserts the server still answers a well-formed decision request.
+fn assert_alive(addr: SocketAddr, model: &str, after: &str) -> Result<(), String> {
+    let resp = espresso_serve::client::request(addr, "POST", "/decide", &body(model, 2, 0.01))
+        .map_err(|e| format!("well-formed request after {after}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "well-formed request after {after}: status {} body {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    Ok(())
+}
+
+/// The adversarial-client probes. Each misbehaves in a different way;
+/// after every probe the server must answer a clean request with 200.
+fn chaos_probes(addr: SocketAddr, model: &str) -> Result<usize, String> {
+    let fast = Duration::ZERO;
+
+    // 1. Syntactically valid HTTP, body is not JSON: a clean 400.
+    let status = raw_probe(
+        addr,
+        &http_request("/decide", b"{this is not json"),
+        usize::MAX,
+        fast,
+    );
+    if status != Some(400) {
+        return Err(format!("malformed JSON: expected 400, got {status:?}"));
+    }
+    assert_alive(addr, model, "malformed JSON")?;
+
+    // 2. Content-Length far past the body cap: 413 without reading the
+    // (never-sent) ten megabytes.
+    let oversized =
+        b"POST /decide HTTP/1.1\r\nHost: chaos\r\nContent-Length: 10485760\r\n\r\n".to_vec();
+    let status = raw_probe(addr, &oversized, usize::MAX, fast);
+    if status != Some(413) {
+        return Err(format!("oversized Content-Length: expected 413, got {status:?}"));
+    }
+    assert_alive(addr, model, "oversized Content-Length")?;
+
+    // 3. Mid-request disconnect: promise 512 bytes, send 20, hang up.
+    {
+        let mut partial =
+            b"POST /decide HTTP/1.1\r\nHost: chaos\r\nContent-Length: 512\r\n\r\n".to_vec();
+        partial.extend_from_slice(b"{\"model\":{\"model\"");
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = stream.write_all(&partial);
+            drop(stream); // Abandon the request mid-body.
+        }
+    }
+    assert_alive(addr, model, "mid-request disconnect")?;
+
+    // 4. Slow writer: a valid request trickled a few bytes at a time,
+    // total well inside the server deadline. Must still get 200.
+    let status = raw_probe(
+        addr,
+        &http_request("/decide", &body(model, 2, 0.02)),
+        24,
+        Duration::from_millis(20),
+    );
+    if status != Some(200) {
+        return Err(format!("slow writer: expected 200, got {status:?}"));
+    }
+    assert_alive(addr, model, "slow writer")?;
+
+    // 5. Raw non-HTTP garbage (a TLS-looking preamble). Any 4xx or a
+    // plain close is fine; the server must not die.
+    let garbage = [0x16u8, 0x03, 0x01, 0x00, 0xff, 0x00, 0x00, 0xde, 0xad]
+        .repeat(16);
+    let status = raw_probe(addr, &garbage, usize::MAX, fast);
+    if let Some(code) = status {
+        if !(400..500).contains(&code) {
+            return Err(format!("garbage bytes: expected a 4xx or close, got {code}"));
+        }
+    }
+    assert_alive(addr, model, "garbage bytes")?;
+
+    Ok(5)
+}
+
+/// The standalone `--chaos` phase: host (or target) a server, run the
+/// probes, confirm the server is still healthy.
+fn chaos(opts: &Options) -> Result<(), String> {
+    let mut hosted: Option<Server> = None;
+    let addr: SocketAddr = match &opts.addr {
+        Some(addr) => addr.parse().map_err(|e| format!("--addr {addr}: {e}"))?,
+        None => {
+            let server = Server::start(ServeConfig::default()).map_err(|e| e.to_string())?;
+            let addr = server.addr();
+            hosted = Some(server);
+            addr
+        }
+    };
+    let probes = chaos_probes(addr, &opts.model)?;
+    println!(
+        "chaos OK: {probes} adversarial probes answered correctly, \
+         well-formed requests served throughout"
+    );
+    if let Some(server) = hosted {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+/// The CI gate: one decision, one metrics scrape, chaos probes, clean
+/// shutdown.
 fn smoke(opts: &Options) -> Result<(), String> {
     let server = Server::start(ServeConfig::default()).map_err(|e| e.to_string())?;
     let addr = server.addr();
@@ -318,14 +487,21 @@ fn smoke(opts: &Options) -> Result<(), String> {
     }
     Json::parse(&String::from_utf8_lossy(&metrics.body))
         .map_err(|e| format!("metrics response is not JSON: {e}"))?;
+    let probes = chaos_probes(addr, &opts.model)?;
     server.shutdown();
-    println!("serve smoke OK: decision in {iteration_ms:.2} ms iteration time, metrics scraped, clean shutdown");
+    println!(
+        "serve smoke OK: decision in {iteration_ms:.2} ms iteration time, metrics scraped, \
+         {probes} chaos probes survived, clean shutdown"
+    );
     Ok(())
 }
 
 fn run(opts: &Options) -> Result<(), String> {
     if opts.smoke {
         return smoke(opts);
+    }
+    if opts.chaos {
+        return chaos(opts);
     }
     // Either target an external server or host one in-process.
     let mut hosted: Option<Server> = None;

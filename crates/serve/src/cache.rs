@@ -13,15 +13,10 @@ use std::sync::{Arc, Mutex};
 
 /// 64-bit FNV-1a: a stable, dependency-free hash for cache keys. Unlike
 /// `DefaultHasher` it is identical across processes and releases, so keys
-/// can be logged, compared, and tested deterministically.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// can be logged, compared, and tested deterministically. The
+/// implementation lives in `espresso-json` (the checkpoint layer shares
+/// it); re-exported here so existing users keep their import path.
+pub use espresso_json::fnv1a64;
 
 /// Aggregated counters across all shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,0 +1,599 @@
+//! Checkpoint/restore of the full trainer state.
+//!
+//! A checkpoint captures everything the fault-tolerant runtime needs to
+//! resume *bit-identically*: model weights, optimizer state, the
+//! per-worker error-feedback grid, the telemetry log, cluster membership,
+//! and the degradation-monitor / fallback bookkeeping. The document is
+//! canonical `espresso-json`; because `f32 -> f64` widening is exact, the
+//! renderer prints shortest-round-trip decimals, and the parser rounds
+//! correctly, every finite float survives encode -> decode with its exact
+//! bit pattern — JSON is a valid bitwise checkpoint medium here.
+//!
+//! # File format
+//!
+//! ```text
+//! ESPRESSO-CKPT v1 len=<N> fnv1a64=<16 hex digits>\n
+//! <exactly N bytes of compact JSON payload>
+//! ```
+//!
+//! The checksum is FNV-1a 64 over the *raw payload bytes*. Every
+//! single-byte substitution at equal length changes an FNV-1a hash (each
+//! round is a bijection in the accumulator), length changes trip the
+//! `len` field, and header corruption fails the header parse — so any
+//! flipped byte anywhere in the file is detected.
+//!
+//! # Atomicity and rotation
+//!
+//! [`CheckpointStore::save`] writes to a temp file, rotates the current
+//! checkpoint to `checkpoint.prev.json`, then renames the temp file into
+//! place — a crash at any point leaves at least one intact generation on
+//! disk, and [`CheckpointStore::load`] falls back to the previous
+//! generation when the current file is torn or corrupt.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use espresso_cluster::Membership;
+use espresso_gc::{ErrorFeedback, GcAlgorithm};
+use espresso_json::{enums, DecodeError, FromJson, Json, ToJson};
+
+use crate::{distributed::SyncMode, distributed::TrainLog, mlp::Mlp, optimizer::Optimizer};
+
+/// Checkpointed [`espresso::DegradationMonitor`] state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorState {
+    /// Predicted iteration time the monitor is armed with.
+    pub predicted: f64,
+    /// Smoothed relative divergence accumulated so far.
+    pub divergence: f64,
+    /// Observations consumed since the last rebase.
+    pub samples: usize,
+}
+
+/// The complete state of an interrupted training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// Next step to execute (steps `0..step` are already applied).
+    pub step: usize,
+    /// Model input dimensionality.
+    pub dims: usize,
+    /// Model hidden width.
+    pub hidden: usize,
+    /// Model output classes.
+    pub classes: usize,
+    /// Model parameter tensors `[w1, b1, w2, b2]`.
+    pub params: Vec<Vec<f32>>,
+    /// Optimizer, including velocity buffers.
+    pub optimizer: Optimizer,
+    /// Per-worker (outer), per-tensor (inner) error-feedback residuals,
+    /// one row per *surviving* worker.
+    pub ef: Vec<Vec<ErrorFeedback>>,
+    /// The configured synchronization mode (the mode compressed training
+    /// returns to after a fallback recovery).
+    pub mode: SyncMode,
+    /// Telemetry accumulated so far.
+    pub log: TrainLog,
+    /// Cluster membership (lost workers + observed fabric health).
+    pub membership: Membership,
+    /// Degradation-monitor state, when the runtime is monitoring.
+    pub monitor: Option<MonitorState>,
+    /// Whether the FP32 fallback is currently engaged.
+    pub fallback_active: bool,
+    /// Consecutive healthy observations while in fallback (recovery
+    /// hysteresis progress).
+    pub healthy_streak: usize,
+    /// Whether a `Redecide` verdict already triggered a re-plan since the
+    /// last monitor rebase (one re-decision attempt per regime).
+    pub redecide_attempted: bool,
+    /// Total fallback engagements so far.
+    pub fallback_trips: usize,
+    /// Total online re-plans so far.
+    pub replans: usize,
+}
+
+impl TrainerState {
+    /// Reconstructs the model this state describes.
+    pub fn model(&self) -> Mlp {
+        Mlp::from_params(self.dims, self.hidden, self.classes, self.params.clone())
+    }
+
+    /// FNV-1a 64 fingerprint of the canonical JSON document — two states
+    /// are bit-identical iff their fingerprints match (the comparator of
+    /// the bitwise-resume guarantee).
+    pub fn fingerprint(&self) -> u64 {
+        espresso_json::fnv1a64(Json::encode(self).as_bytes())
+    }
+
+    /// FNV-1a 64 fingerprint of the weight tensors alone (stable across
+    /// runtime-bookkeeping differences such as event counters).
+    pub fn weights_fingerprint(&self) -> u64 {
+        weights_fingerprint(&self.params)
+    }
+}
+
+/// FNV-1a 64 over the exact little-endian bit patterns of `params`.
+pub fn weights_fingerprint(params: &[Vec<f32>]) -> u64 {
+    let mut bytes = Vec::new();
+    for tensor in params {
+        for v in tensor {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    espresso_json::fnv1a64(&bytes)
+}
+
+impl ToJson for Optimizer {
+    fn to_json(&self) -> Json {
+        match self {
+            Optimizer::Sgd { lr } => enums::tagged(
+                "Sgd",
+                Json::obj(vec![("lr", Json::Num(f64::from(*lr)))]),
+            ),
+            Optimizer::Momentum {
+                lr,
+                momentum,
+                velocity,
+            } => enums::tagged(
+                "Momentum",
+                Json::obj(vec![
+                    ("lr", Json::Num(f64::from(*lr))),
+                    ("momentum", Json::Num(f64::from(*momentum))),
+                    ("velocity", velocity.to_json()),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for Optimizer {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        let (name, payload) = enums::variant(v)?;
+        match name {
+            "Sgd" => Ok(Optimizer::Sgd {
+                lr: payload.req("lr").map_err(|e| e.at("Sgd"))?,
+            }),
+            "Momentum" => Ok(Optimizer::Momentum {
+                lr: payload.req("lr").map_err(|e| e.at("Momentum"))?,
+                momentum: payload.req("momentum").map_err(|e| e.at("Momentum"))?,
+                velocity: payload.req("velocity").map_err(|e| e.at("Momentum"))?,
+            }),
+            other => Err(enums::unknown(other, &["Sgd", "Momentum"])),
+        }
+    }
+}
+
+impl ToJson for SyncMode {
+    fn to_json(&self) -> Json {
+        match self {
+            SyncMode::Fp32 => Json::Str("Fp32".into()),
+            SyncMode::Compressed(algo) => enums::tagged("Compressed", algo.to_json()),
+        }
+    }
+}
+
+impl FromJson for SyncMode {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        let (name, payload) = enums::variant(v)?;
+        match name {
+            "Fp32" => Ok(SyncMode::Fp32),
+            "Compressed" => Ok(SyncMode::Compressed(
+                GcAlgorithm::from_json(payload).map_err(|e| e.at("Compressed"))?,
+            )),
+            other => Err(enums::unknown(other, &["Fp32", "Compressed"])),
+        }
+    }
+}
+
+impl ToJson for TrainLog {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("loss", self.loss.to_json()),
+            ("accuracy", self.accuracy.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TrainLog {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        Ok(Self {
+            loss: v.req("loss")?,
+            accuracy: v.req("accuracy")?,
+        })
+    }
+}
+
+impl ToJson for MonitorState {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("predicted", Json::Num(self.predicted)),
+            ("divergence", Json::Num(self.divergence)),
+            ("samples", Json::Num(self.samples as f64)),
+        ])
+    }
+}
+
+impl FromJson for MonitorState {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        Ok(Self {
+            predicted: v.req("predicted")?,
+            divergence: v.req("divergence")?,
+            samples: v.req("samples")?,
+        })
+    }
+}
+
+impl ToJson for TrainerState {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("version", Json::Num(1.0)),
+            ("step", Json::Num(self.step as f64)),
+            ("dims", Json::Num(self.dims as f64)),
+            ("hidden", Json::Num(self.hidden as f64)),
+            ("classes", Json::Num(self.classes as f64)),
+            ("params", self.params.to_json()),
+            ("optimizer", self.optimizer.to_json()),
+            ("ef", self.ef.to_json()),
+            ("mode", self.mode.to_json()),
+            ("log", self.log.to_json()),
+            ("membership", self.membership.to_json()),
+            ("monitor", self.monitor.to_json()),
+            ("fallback_active", Json::Bool(self.fallback_active)),
+            ("healthy_streak", Json::Num(self.healthy_streak as f64)),
+            (
+                "redecide_attempted",
+                Json::Bool(self.redecide_attempted),
+            ),
+            ("fallback_trips", Json::Num(self.fallback_trips as f64)),
+            ("replans", Json::Num(self.replans as f64)),
+        ])
+    }
+}
+
+impl FromJson for TrainerState {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        let version: u32 = v.req("version")?;
+        if version != 1 {
+            return Err(DecodeError::new(format!(
+                "unsupported checkpoint version {version} (this build reads v1)"
+            )));
+        }
+        Ok(Self {
+            step: v.req("step")?,
+            dims: v.req("dims")?,
+            hidden: v.req("hidden")?,
+            classes: v.req("classes")?,
+            params: v.req("params")?,
+            optimizer: v.req("optimizer")?,
+            ef: v.req("ef")?,
+            mode: v.req("mode")?,
+            log: v.req("log")?,
+            membership: v.req("membership")?,
+            monitor: v.opt("monitor")?,
+            fallback_active: v.req("fallback_active")?,
+            healthy_streak: v.req("healthy_streak")?,
+            redecide_attempted: v.req("redecide_attempted")?,
+            fallback_trips: v.req("fallback_trips")?,
+            replans: v.req("replans")?,
+        })
+    }
+}
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (create, write, rename, read).
+    Io(std::io::Error),
+    /// The file exists but is torn or corrupt (bad header, length
+    /// mismatch, checksum mismatch, or undecodable payload) — and no
+    /// previous good generation could be loaded either.
+    Corrupt {
+        /// Which file, and what was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt { message } => {
+                write!(f, "corrupt checkpoint: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+const MAGIC: &str = "ESPRESSO-CKPT v1";
+
+/// Renders `state` in the on-disk checkpoint format (header + payload).
+pub fn encode_file(state: &TrainerState) -> Vec<u8> {
+    let payload = Json::encode(state).into_bytes();
+    let header = format!(
+        "{MAGIC} len={} fnv1a64={:016x}\n",
+        payload.len(),
+        espresso_json::fnv1a64(&payload)
+    );
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+/// Parses the on-disk checkpoint format, verifying length and checksum.
+///
+/// # Errors
+///
+/// [`CheckpointError::Corrupt`] naming the first integrity violation
+/// found: bad header, payload length mismatch, checksum mismatch, or an
+/// undecodable payload.
+pub fn decode_file(bytes: &[u8]) -> Result<TrainerState, CheckpointError> {
+    let corrupt = |message: String| CheckpointError::Corrupt { message };
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("missing header line".into()))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| corrupt("header is not UTF-8".into()))?;
+    let rest = header
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| corrupt(format!("bad magic in header `{header}`")))?;
+    let mut len: Option<usize> = None;
+    let mut hash: Option<u64> = None;
+    for field in rest.split_whitespace() {
+        if let Some(v) = field.strip_prefix("len=") {
+            len = Some(
+                v.parse()
+                    .map_err(|_| corrupt(format!("bad len field `{v}`")))?,
+            );
+        } else if let Some(v) = field.strip_prefix("fnv1a64=") {
+            hash = Some(
+                u64::from_str_radix(v, 16)
+                    .map_err(|_| corrupt(format!("bad fnv1a64 field `{v}`")))?,
+            );
+        } else {
+            return Err(corrupt(format!("unknown header field `{field}`")));
+        }
+    }
+    let len = len.ok_or_else(|| corrupt("header missing len field".into()))?;
+    let hash = hash.ok_or_else(|| corrupt("header missing fnv1a64 field".into()))?;
+    let payload = &bytes[newline + 1..];
+    if payload.len() != len {
+        return Err(corrupt(format!(
+            "payload is {} bytes, header says {len} (torn write?)",
+            payload.len()
+        )));
+    }
+    let actual = espresso_json::fnv1a64(payload);
+    if actual != hash {
+        return Err(corrupt(format!(
+            "checksum mismatch: payload hashes to {actual:016x}, header says {hash:016x}"
+        )));
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| corrupt("payload is not UTF-8".into()))?;
+    Json::decode(text).map_err(|e| corrupt(format!("payload does not decode: {e}")))
+}
+
+/// A two-generation checkpoint directory: `checkpoint.json` (current) and
+/// `checkpoint.prev.json` (previous good generation).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// Path of the current checkpoint file.
+    pub fn current_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.json")
+    }
+
+    /// Path of the previous-generation checkpoint file.
+    pub fn prev_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.prev.json")
+    }
+
+    /// Atomically persists `state`: write temp, rotate current to
+    /// previous, rename temp into place. A crash between any two of these
+    /// operations leaves at least one loadable generation.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on any filesystem failure.
+    pub fn save(&self, state: &TrainerState) -> Result<(), CheckpointError> {
+        let tmp = self.dir.join("checkpoint.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&encode_file(state))?;
+        }
+        let current = self.current_path();
+        if current.exists() {
+            fs::rename(&current, self.prev_path())?;
+        }
+        fs::rename(&tmp, &current)?;
+        Ok(())
+    }
+
+    /// Loads the newest intact checkpoint: the current generation if it
+    /// verifies, else the previous generation. Returns `Ok(None)` when no
+    /// checkpoint exists at all (a fresh start, not an error).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] when files exist but none verifies;
+    /// [`CheckpointError::Io`] for filesystem failures other than
+    /// not-found.
+    pub fn load(&self) -> Result<Option<TrainerState>, CheckpointError> {
+        let mut first_corruption: Option<String> = None;
+        for path in [self.current_path(), self.prev_path()] {
+            match read_if_exists(&path)? {
+                None => continue,
+                Some(bytes) => match decode_file(&bytes) {
+                    Ok(state) => return Ok(Some(state)),
+                    Err(e) => {
+                        first_corruption
+                            .get_or_insert_with(|| format!("{}: {e}", path.display()));
+                    }
+                },
+            }
+        }
+        match first_corruption {
+            None => Ok(None),
+            Some(message) => Err(CheckpointError::Corrupt { message }),
+        }
+    }
+}
+
+fn read_if_exists(path: &Path) -> Result<Option<Vec<u8>>, CheckpointError> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_cluster::ClusterHealth;
+
+    fn sample_state() -> TrainerState {
+        TrainerState {
+            step: 17,
+            dims: 3,
+            hidden: 4,
+            classes: 2,
+            params: Mlp::new(3, 4, 2, 9).params().to_vec(),
+            optimizer: Optimizer::momentum(0.05, 0.9),
+            ef: vec![
+                vec![ErrorFeedback::from_residual(vec![0.25, -1.5e-7])],
+                vec![ErrorFeedback::from_residual(vec![0.0, 3.75])],
+            ],
+            mode: SyncMode::Compressed(GcAlgorithm::Dgc { density: 0.05 }),
+            log: TrainLog {
+                loss: vec![1.25, 0.5],
+                accuracy: vec![0.625, 0.875],
+            },
+            membership: {
+                let mut m = Membership::new(3);
+                m.lose_worker(1).unwrap();
+                m.set_health(ClusterHealth::inter_degraded(2.0));
+                m
+            },
+            monitor: Some(MonitorState {
+                predicted: 0.125,
+                divergence: 0.0625,
+                samples: 9,
+            }),
+            fallback_active: false,
+            healthy_streak: 2,
+            redecide_attempted: true,
+            fallback_trips: 1,
+            replans: 3,
+        }
+    }
+
+    #[test]
+    fn state_round_trips_bit_identically() {
+        let state = sample_state();
+        let back: TrainerState = Json::decode(&Json::encode(&state)).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(back.fingerprint(), state.fingerprint());
+        assert_eq!(back.weights_fingerprint(), state.weights_fingerprint());
+    }
+
+    #[test]
+    fn file_format_round_trips() {
+        let state = sample_state();
+        let bytes = encode_file(&state);
+        let back = decode_file(&bytes).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn any_single_byte_substitution_is_detected() {
+        let state = sample_state();
+        let bytes = encode_file(&state);
+        // Sample positions across header and payload (full sweep lives in
+        // the proptest suite).
+        for pos in [0, 5, 17, 30, bytes.len() / 2, bytes.len() - 1] {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x20;
+            assert!(
+                matches!(decode_file(&flipped), Err(CheckpointError::Corrupt { .. })),
+                "substitution at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_file(&sample_state());
+        for cut in [bytes.len() - 1, bytes.len() / 2, 10] {
+            assert!(
+                matches!(
+                    decode_file(&bytes[..cut]),
+                    Err(CheckpointError::Corrupt { .. })
+                ),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn store_rotates_and_falls_back_on_corruption() {
+        let dir = std::env::temp_dir().join(format!("espresso-ckpt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert!(store.load().unwrap().is_none(), "fresh dir has no state");
+
+        let mut first = sample_state();
+        first.step = 10;
+        store.save(&first).unwrap();
+        let mut second = sample_state();
+        second.step = 20;
+        store.save(&second).unwrap();
+        assert_eq!(store.load().unwrap().unwrap().step, 20);
+        assert!(store.prev_path().exists(), "rotation kept the previous gen");
+
+        // Corrupt the current file: load falls back to the previous one.
+        let mut bytes = fs::read(store.current_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(store.current_path(), &bytes).unwrap();
+        assert_eq!(store.load().unwrap().unwrap().step, 10);
+
+        // Corrupt both: a Corrupt error, not a panic.
+        fs::write(store.prev_path(), b"garbage").unwrap();
+        assert!(matches!(
+            store.load(),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_gate_rejects_future_documents() {
+        let state = sample_state();
+        let text = Json::encode(&state).replace("\"version\":1", "\"version\":2");
+        assert!(Json::decode::<TrainerState>(&text).is_err());
+    }
+}

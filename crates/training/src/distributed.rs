@@ -7,7 +7,7 @@
 //! the identical averaged result — synchronous data-parallel DDL's
 //! invariant, executed for real.
 
-use espresso_gc::{aggregate::synchronize, Compressor, ErrorFeedback, GcAlgorithm};
+use espresso_gc::{aggregate::synchronize_masked, Compressor, ErrorFeedback, GcAlgorithm};
 
 use crate::{data::Dataset, mlp::Mlp, optimizer::Optimizer};
 
@@ -31,7 +31,7 @@ impl SyncMode {
 }
 
 /// Per-epoch training telemetry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainLog {
     /// Mean training loss at each evaluation point.
     pub loss: Vec<f32>,
@@ -98,6 +98,162 @@ impl DistributedTrainer {
         self.mode
     }
 
+    /// Current number of (surviving) workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Swaps the synchronization mode mid-run (the fallback path of the
+    /// fault-tolerant runtime). Error-feedback state is kept as-is: it is
+    /// untouched while running FP32 and resumes accumulating when a
+    /// compressed mode returns.
+    pub fn set_mode(&mut self, mode: SyncMode) {
+        self.mode = mode;
+        self.compressor = match mode {
+            SyncMode::Fp32 => None,
+            SyncMode::Compressed(a) => Some(a.build()),
+        };
+    }
+
+    /// Resets optimizer state and sizes the per-worker error-feedback
+    /// grid for `model` — call once before a sequence of [`Self::step`]s.
+    pub fn begin(&mut self, model: &Mlp) {
+        self.optimizer.reset();
+        self.ef = (0..self.workers)
+            .map(|_| {
+                (0..model.num_tensors())
+                    .map(|t| ErrorFeedback::new(model.tensor_len(t)))
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// The per-worker (outer) per-tensor (inner) error-feedback grid —
+    /// the export half of checkpointing. Empty before [`Self::begin`].
+    pub fn ef_states(&self) -> &[Vec<ErrorFeedback>] {
+        &self.ef
+    }
+
+    /// Replaces the error-feedback grid — the restore half of
+    /// checkpointing. Use *instead of* [`Self::begin`] (which would zero
+    /// it); the optimizer is restored separately via
+    /// [`Self::set_optimizer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the grid has one row per worker.
+    pub fn restore_ef(&mut self, ef: Vec<Vec<ErrorFeedback>>) {
+        assert_eq!(ef.len(), self.workers, "one EF row per worker");
+        self.ef = ef;
+    }
+
+    /// The optimizer (checkpoint export).
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// Replaces the optimizer, including its state (checkpoint restore).
+    pub fn set_optimizer(&mut self, optimizer: Optimizer) {
+        self.optimizer = optimizer;
+    }
+
+    /// Removes worker `w` (a local index into the current worker list),
+    /// folding its untransmitted error-feedback residual into the
+    /// survivors: each of the `n-1` remaining workers absorbs `1/(n-1)` of
+    /// the lost residual, so the total gradient mass still owed to the
+    /// model is preserved across the membership change (see
+    /// `ErrorFeedback::merge_scaled`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range or if it is the last worker.
+    pub fn remove_worker(&mut self, w: usize) {
+        assert!(w < self.workers, "worker {w} out of range");
+        assert!(self.workers > 1, "cannot remove the last worker");
+        if !self.ef.is_empty() {
+            let lost = self.ef.remove(w);
+            let scale = 1.0 / (self.workers - 1) as f32;
+            for row in &mut self.ef {
+                for (survivor, lost_t) in row.iter_mut().zip(&lost) {
+                    survivor.merge_scaled(lost_t, scale);
+                }
+            }
+        }
+        self.workers -= 1;
+    }
+
+    /// Runs one synchronous data-parallel step: every worker computes
+    /// gradients on its shard's mini-batch, tensors are synchronized
+    /// (compressed or FP32), and the averaged update is applied to
+    /// `model`. Returns the mean training loss of the step.
+    ///
+    /// `delivered`, when given, marks which workers' gradient pushes
+    /// arrived this step (a dropped push still updates the sender's
+    /// error-feedback state — see `synchronize_masked`). FP32 mode
+    /// averages over the delivered contributions only.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards` has one entry per worker (re-shard after
+    /// [`Self::remove_worker`]) and [`Self::begin`] (or a restore) ran.
+    pub fn step(
+        &mut self,
+        model: &mut Mlp,
+        shards: &[Dataset],
+        step: usize,
+        delivered: Option<&[bool]>,
+    ) -> f32 {
+        assert_eq!(shards.len(), self.workers, "one shard per worker");
+        assert_eq!(self.ef.len(), self.workers, "call begin() before step()");
+        // Each worker's gradients on its own mini-batch.
+        let mut worker_grads: Vec<Vec<Vec<f32>>> = Vec::with_capacity(self.workers);
+        let mut mean_loss = 0.0f32;
+        for (w, shard) in shards.iter().enumerate() {
+            let batch: Vec<usize> = (0..self.batch_per_worker)
+                .map(|b| (step * self.batch_per_worker + b + w * 13) % shard.len())
+                .collect();
+            let (loss, grads) = model.loss_and_grads(shard, &batch);
+            mean_loss += loss / self.workers as f32;
+            worker_grads.push(grads);
+        }
+        // Synchronize each tensor across workers.
+        let synced: Vec<Vec<f32>> = (0..model.num_tensors())
+            .map(|t| {
+                let per_worker: Vec<Vec<f32>> =
+                    worker_grads.iter().map(|g| g[t].clone()).collect();
+                match &self.compressor {
+                    None => average_masked(&per_worker, delivered),
+                    Some(c) => {
+                        // Move tensor t's per-worker EF states out,
+                        // synchronize, and put them back (the states
+                        // live in a worker-major grid, `synchronize`
+                        // wants them tensor-major).
+                        let mut taken: Vec<ErrorFeedback> = self
+                            .ef
+                            .iter_mut()
+                            .map(|w| std::mem::take(&mut w[t]))
+                            .collect();
+                        let out = synchronize_masked(
+                            c.as_ref(),
+                            &per_worker,
+                            &mut taken,
+                            step as u64,
+                            t as u64,
+                            delivered,
+                        );
+                        for (w, state) in taken.into_iter().enumerate() {
+                            self.ef[w][t] = state;
+                        }
+                        out
+                    }
+                }
+            })
+            .collect();
+        let deltas = self.optimizer.step(&synced);
+        model.apply(&deltas, 1.0);
+        mean_loss
+    }
+
     /// Trains `model` on `data` for `steps` steps, evaluating on `eval`
     /// every `eval_every` steps.
     ///
@@ -111,73 +267,33 @@ impl DistributedTrainer {
         eval_every: usize,
     ) -> TrainLog {
         let shards = data.shards(self.workers);
-        self.optimizer.reset();
-        // Per-worker, per-tensor error-feedback state.
-        self.ef = (0..self.workers)
-            .map(|_| {
-                (0..model.num_tensors())
-                    .map(|t| ErrorFeedback::new(model.tensor_len(t)))
-                    .collect()
-            })
-            .collect();
-        let mut log = TrainLog {
-            loss: Vec::new(),
-            accuracy: Vec::new(),
-        };
+        self.begin(model);
+        let mut log = TrainLog::default();
         for step in 0..steps {
-            // Each worker's gradients on its own mini-batch.
-            let mut worker_grads: Vec<Vec<Vec<f32>>> = Vec::with_capacity(self.workers);
-            let mut mean_loss = 0.0f32;
-            for (w, shard) in shards.iter().enumerate() {
-                let batch: Vec<usize> = (0..self.batch_per_worker)
-                    .map(|b| (step * self.batch_per_worker + b + w * 13) % shard.len())
-                    .collect();
-                let (loss, grads) = model.loss_and_grads(shard, &batch);
-                mean_loss += loss / self.workers as f32;
-                worker_grads.push(grads);
-            }
-            // Synchronize each tensor across workers.
-            let synced: Vec<Vec<f32>> = (0..model.num_tensors())
-                .map(|t| {
-                    let per_worker: Vec<Vec<f32>> = worker_grads
-                        .iter()
-                        .map(|g| g[t].clone())
-                        .collect();
-                    match &self.compressor {
-                        None => average(&per_worker),
-                        Some(c) => {
-                            // Move tensor t's per-worker EF states out,
-                            // synchronize, and put them back (the states
-                            // live in a worker-major grid, `synchronize`
-                            // wants them tensor-major).
-                            let mut taken: Vec<ErrorFeedback> = self
-                                .ef
-                                .iter_mut()
-                                .map(|w| std::mem::take(&mut w[t]))
-                                .collect();
-                            let out = synchronize(
-                                c.as_ref(),
-                                &per_worker,
-                                &mut taken,
-                                step as u64,
-                                t as u64,
-                            );
-                            for (w, state) in taken.into_iter().enumerate() {
-                                self.ef[w][t] = state;
-                            }
-                            out
-                        }
-                    }
-                })
-                .collect();
-            let deltas = self.optimizer.step(&synced);
-            model.apply(&deltas, 1.0);
+            let mean_loss = self.step(model, &shards, step, None);
             if (step + 1) % eval_every == 0 || step + 1 == steps {
                 log.loss.push(mean_loss);
                 log.accuracy.push(model.accuracy(eval));
             }
         }
         log
+    }
+}
+
+fn average_masked(grads: &[Vec<f32>], delivered: Option<&[bool]>) -> Vec<f32> {
+    match delivered {
+        None => average(grads),
+        Some(mask) => {
+            assert_eq!(mask.len(), grads.len(), "one delivery flag per worker");
+            let arrived: Vec<Vec<f32>> = grads
+                .iter()
+                .zip(mask)
+                .filter(|(_, &d)| d)
+                .map(|(g, _)| g.clone())
+                .collect();
+            assert!(!arrived.is_empty(), "every push in the round was lost");
+            average(&arrived)
+        }
     }
 }
 

@@ -51,6 +51,33 @@ impl Mlp {
         }
     }
 
+    /// Reconstructs a model from exported parameter tensors — the restore
+    /// half of checkpointing.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `params` is the `[w1, b1, w2, b2]` tensor list with
+    /// the shapes implied by `dims`/`hidden`/`classes`.
+    pub fn from_params(dims: usize, hidden: usize, classes: usize, params: Vec<Vec<f32>>) -> Self {
+        assert_eq!(params.len(), NUM_TENSORS, "expected [w1, b1, w2, b2]");
+        let expected = [dims * hidden, hidden, hidden * classes, classes];
+        for (i, (p, e)) in params.iter().zip(expected).enumerate() {
+            assert_eq!(p.len(), e, "tensor {i} has {} elements, expected {e}", p.len());
+        }
+        Self {
+            dims,
+            hidden,
+            classes,
+            params,
+        }
+    }
+
+    /// The parameter tensors `[w1, b1, w2, b2]` — the export half of
+    /// checkpointing (and the input to weight fingerprints).
+    pub fn params(&self) -> &[Vec<f32>] {
+        &self.params
+    }
+
     /// Number of parameter tensors (gradient tensors to synchronize).
     pub fn num_tensors(&self) -> usize {
         NUM_TENSORS

@@ -11,7 +11,7 @@
 //!   as a per-worker velocity pass over local gradients.
 
 /// A stateful parameter-update rule over the model's tensor list.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Optimizer {
     /// Plain SGD: `p -= lr * g`.
     Sgd {

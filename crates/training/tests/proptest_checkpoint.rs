@@ -1,0 +1,182 @@
+//! Property-based tests of the checkpoint file format.
+//!
+//! Two properties back the fault-tolerance headline guarantee:
+//!
+//! 1. **Bitwise round-trip** — for arbitrary finite trainer states,
+//!    `encode_file -> decode_file` reproduces every field exactly,
+//!    including the bit patterns of all `f32` weights and residuals.
+//! 2. **Total corruption detection** — flipping any single byte anywhere
+//!    in an encoded checkpoint makes `decode_file` return
+//!    `CheckpointError::Corrupt` (never a panic, never a silently wrong
+//!    state). Payload substitutions are caught by the FNV-1a checksum
+//!    (every round is a bijection in the accumulator), and header bytes
+//!    by the header parse or length/checksum mismatch.
+
+use espresso_cluster::{ClusterHealth, LinkState, Membership};
+use espresso_gc::{ErrorFeedback, GcAlgorithm};
+use espresso_training::checkpoint::{decode_file, encode_file, CheckpointError, MonitorState, TrainerState};
+use espresso_training::distributed::{SyncMode, TrainLog};
+use espresso_training::optimizer::Optimizer;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A finite, non-NaN f32 derived from a seeded RNG: mixes magnitudes from
+/// subnormal-ish to large so shortest-round-trip rendering is stressed.
+fn finite_f32(rng: &mut StdRng) -> f32 {
+    let exponent = rng.random_range(0u32..60) as i32 - 30;
+    let mantissa: f32 = rng.random_range(-1.0..1.0);
+    mantissa * (exponent as f32).exp2()
+}
+
+fn tensor(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| finite_f32(rng)).collect()
+}
+
+/// Builds an arbitrary-but-consistent trainer state from a seed: random
+/// shapes, random optimizer (with velocity for momentum), a random subset
+/// of lost workers, random health, random monitor/fallback bookkeeping.
+fn arbitrary_state(seed: u64) -> TrainerState {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dims = rng.random_range(2usize..6);
+    let hidden = rng.random_range(2usize..8);
+    let classes = rng.random_range(2usize..5);
+    let shapes = [dims * hidden, hidden, hidden * classes, classes];
+    let params: Vec<Vec<f32>> = shapes.iter().map(|&n| tensor(&mut rng, n)).collect();
+    let optimizer = if rng.random_bool(0.5) {
+        Optimizer::sgd(rng.random_range(0.01f32..1.0))
+    } else {
+        let mut momentum =
+            Optimizer::momentum(rng.random_range(0.01f32..1.0), rng.random_range(0.1f32..0.99));
+        // Exercise non-empty velocity buffers.
+        if let Optimizer::Momentum { velocity, .. } = &mut momentum {
+            *velocity = shapes.iter().map(|&n| tensor(&mut rng, n)).collect();
+        }
+        momentum
+    };
+    let total = rng.random_range(1usize..5);
+    let mut membership = Membership::new(total);
+    for worker in 0..total {
+        if membership.alive_count() > 1 && rng.random_bool(0.3) {
+            membership.lose_worker(worker).unwrap();
+        }
+    }
+    if rng.random_bool(0.4) {
+        membership.set_health(ClusterHealth {
+            inter: LinkState::Degraded {
+                factor: rng.random_range(1.0f64..4.0),
+            },
+            intra: LinkState::Nominal,
+        });
+    }
+    let ef: Vec<Vec<ErrorFeedback>> = (0..membership.alive_count())
+        .map(|_| {
+            shapes
+                .iter()
+                .map(|&n| ErrorFeedback::from_residual(tensor(&mut rng, n)))
+                .collect()
+        })
+        .collect();
+    let mode = match rng.random_range(0u32..4) {
+        0 => SyncMode::Fp32,
+        1 => SyncMode::Compressed(GcAlgorithm::RandomK {
+            density: rng.random_range(0.001..0.5),
+        }),
+        2 => SyncMode::Compressed(GcAlgorithm::EfSignSgd),
+        _ => SyncMode::Compressed(GcAlgorithm::Qsgd {
+            levels: rng.random_range(3..255),
+        }),
+    };
+    let evals = rng.random_range(0usize..4);
+    let log = TrainLog {
+        loss: (0..evals).map(|_| finite_f32(&mut rng).abs()).collect(),
+        accuracy: (0..evals).map(|_| rng.random_range(0.0f64..1.0)).collect(),
+    };
+    let monitor = rng.random_bool(0.7).then(|| MonitorState {
+        predicted: rng.random_range(1e-4f64..1.0),
+        divergence: rng.random_range(0.0f64..2.0),
+        samples: rng.random_range(0usize..100),
+    });
+    TrainerState {
+        step: rng.random_range(0usize..10_000),
+        dims,
+        hidden,
+        classes,
+        params,
+        optimizer,
+        ef,
+        mode,
+        log,
+        membership,
+        monitor,
+        fallback_active: rng.random_bool(0.3),
+        healthy_streak: rng.random_range(0usize..10),
+        redecide_attempted: rng.random_bool(0.5),
+        fallback_trips: rng.random_range(0usize..5),
+        replans: rng.random_range(0usize..20),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_is_bit_identical(seed in 0u64..100_000) {
+        let state = arbitrary_state(seed);
+        let decoded = decode_file(&encode_file(&state)).expect("intact file decodes");
+        // Structural equality first (clear failure messages)...
+        prop_assert_eq!(&decoded, &state);
+        // ...then the exact f32 bit patterns, which PartialEq alone would
+        // conflate for -0.0 vs 0.0.
+        for (a, b) in state.params.iter().flatten().zip(decoded.params.iter().flatten()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (wa, wb) in state.ef.iter().zip(decoded.ef.iter()) {
+            for (ta, tb) in wa.iter().zip(wb.iter()) {
+                for (a, b) in ta.residual().iter().zip(tb.residual().iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+        prop_assert_eq!(decoded.fingerprint(), state.fingerprint());
+    }
+
+    #[test]
+    fn any_single_flipped_byte_is_detected(seed in 0u64..10_000, flip_seed in 0u64..10_000) {
+        let state = arbitrary_state(seed);
+        let good = encode_file(&state);
+        let mut rng = StdRng::seed_from_u64(flip_seed);
+        // A handful of random positions per case; the dedicated unit test
+        // in `checkpoint.rs` sweeps every position of a small file.
+        for _ in 0..16 {
+            let pos = rng.random_range(0..good.len());
+            let mut bad = good.clone();
+            // Substitute with a *different* byte (equal-length corruption,
+            // the case only the checksum can catch).
+            bad[pos] = bad[pos].wrapping_add(rng.random_range(1u8..=255));
+            match decode_file(&bad) {
+                Err(CheckpointError::Corrupt { .. }) => {}
+                Err(other) => prop_assert!(false, "wrong error kind at byte {pos}: {other}"),
+                Ok(decoded) => prop_assert!(
+                    false,
+                    "corruption at byte {} of {} went undetected (decoded step {})",
+                    pos,
+                    good.len(),
+                    decoded.step
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_detected(seed in 0u64..10_000, cut_ppm in 0u32..1_000_000) {
+        let state = arbitrary_state(seed);
+        let good = encode_file(&state);
+        let cut = (good.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        let result = decode_file(&good[..cut]);
+        prop_assert!(
+            matches!(result, Err(CheckpointError::Corrupt { .. })),
+            "truncation to {cut} of {} bytes went undetected",
+            good.len()
+        );
+    }
+}

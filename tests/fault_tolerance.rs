@@ -1,0 +1,266 @@
+//! Cross-crate integration tests of the fault-tolerant training runtime:
+//! the bitwise-resume guarantee, corrupt-checkpoint fallback, elastic
+//! recovery with online re-planning, and the degradation-monitor FP32
+//! fallback — each scenario driven end-to-end through the public
+//! `TrainingRuntime` API with seeded, bit-reproducible fault plans.
+
+use std::fs;
+use std::path::PathBuf;
+
+use espresso_repro::cluster::Cluster;
+use espresso_repro::gc::GcAlgorithm;
+use espresso_repro::models::Model;
+use espresso_repro::sim::Job;
+use espresso_repro::training::checkpoint::CheckpointStore;
+use espresso_repro::training::faults::TrainFaultPlan;
+use espresso_repro::training::runtime::{RuntimeConfig, RuntimeEvent, TrainingRuntime};
+use espresso_repro::training::{Dataset, SyncMode};
+
+fn config() -> RuntimeConfig {
+    let job = Job::new(
+        Model::Lstm.profile(),
+        Cluster::pcie_25g(2, 2),
+        GcAlgorithm::RandomK { density: 0.05 },
+    );
+    let mut cfg = RuntimeConfig::for_job(job, 8, 3);
+    cfg.steps = 90;
+    cfg.eval_every = 30;
+    cfg
+}
+
+fn data() -> (Dataset, Dataset) {
+    Dataset::blobs(280, 8, 3, 0.2, 17).split(0.25)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("espresso-ft-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The headline guarantee: crash at step k, resume from the newest
+/// checkpoint, and the final state — every weight bit, optimizer buffer,
+/// error-feedback residual, and bookkeeping counter — is identical to a
+/// run that was never interrupted. Run under an active fault plan so the
+/// equality also covers re-plans and monitor state.
+#[test]
+fn crash_and_resume_is_bitwise_identical_to_uninterrupted() {
+    let (train, eval) = data();
+    let faults = |cfg: &RuntimeConfig| {
+        TrainFaultPlan::parse("crash=20:2,slow=40-70:4.0", cfg.workers, cfg.steps).unwrap()
+    };
+
+    let mut reference = config();
+    reference.faults = faults(&reference);
+    let uninterrupted = TrainingRuntime::new(reference).run(&train, &eval).unwrap();
+    assert!(uninterrupted.completed);
+
+    let dir = scratch("bitwise");
+    let mut first = config();
+    first.faults = faults(&first);
+    first.checkpoint_every = Some(15);
+    first.halt_at = Some(50);
+    let halted = TrainingRuntime::new(first)
+        .with_store(CheckpointStore::new(&dir).unwrap())
+        .run(&train, &eval)
+        .unwrap();
+    assert!(!halted.completed, "halt_at must interrupt the run");
+
+    let mut second = config();
+    second.faults = faults(&second);
+    second.resume = true;
+    let resumed = TrainingRuntime::new(second)
+        .with_store(CheckpointStore::new(&dir).unwrap())
+        .run(&train, &eval)
+        .unwrap();
+    assert!(resumed.completed);
+    assert!(
+        matches!(resumed.events[0], RuntimeEvent::Resumed { step: 45 }),
+        "resume starts from the newest checkpoint: {:?}",
+        resumed.events
+    );
+    assert_eq!(
+        resumed.weights_fingerprint(),
+        uninterrupted.weights_fingerprint(),
+        "weights diverged across crash + resume"
+    );
+    assert_eq!(
+        resumed.state_fingerprint(),
+        uninterrupted.state_fingerprint(),
+        "full trainer state diverged across crash + resume"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Corrupting the newest checkpoint must not panic and must not lose the
+/// run: load falls back to the previous intact generation and resumes
+/// from there.
+#[test]
+fn corrupt_current_checkpoint_falls_back_to_previous_generation() {
+    let (train, eval) = data();
+    let dir = scratch("corrupt");
+
+    let mut first = config();
+    first.checkpoint_every = Some(15);
+    first.halt_at = Some(50);
+    TrainingRuntime::new(first)
+        .with_store(CheckpointStore::new(&dir).unwrap())
+        .run(&train, &eval)
+        .unwrap();
+
+    // Tear the newest checkpoint (45); the 30-step generation survives.
+    let store = CheckpointStore::new(&dir).unwrap();
+    let current = store.current_path();
+    let mut bytes = fs::read(&current).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x41;
+    fs::write(&current, &bytes).unwrap();
+
+    let mut second = config();
+    second.resume = true;
+    let resumed = TrainingRuntime::new(second)
+        .with_store(CheckpointStore::new(&dir).unwrap())
+        .run(&train, &eval)
+        .unwrap();
+    assert!(
+        matches!(resumed.events[0], RuntimeEvent::Resumed { step: 30 }),
+        "resume falls back to the previous generation: {:?}",
+        resumed.events
+    );
+    assert!(resumed.completed);
+
+    // And the result still matches the uninterrupted run bit-for-bit.
+    let uninterrupted = TrainingRuntime::new(config()).run(&train, &eval).unwrap();
+    assert_eq!(resumed.state_fingerprint(), uninterrupted.state_fingerprint());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A worker crash combined with fabric degradation forces elastic
+/// recovery: the shard is redistributed, the strategy is re-planned
+/// online against the shrunken degraded cluster, and the re-plan actually
+/// changes the strategy.
+#[test]
+fn worker_crash_under_degradation_replans_online() {
+    let (train, eval) = data();
+    let mut cfg = config();
+    cfg.faults =
+        TrainFaultPlan::parse("crash=25:1,degrade=25:3.0", cfg.workers, cfg.steps).unwrap();
+    let report = TrainingRuntime::new(cfg).run(&train, &eval).unwrap();
+    assert!(report.completed);
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::WorkerLost { step: 25, worker: 1 })),
+        "events: {:?}",
+        report.events
+    );
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::HealthChanged { step: 25 })),
+        "events: {:?}",
+        report.events
+    );
+    let replanned = report
+        .events
+        .iter()
+        .find_map(|e| match e {
+            RuntimeEvent::Replanned { step: 25, changed, .. } => Some(*changed),
+            _ => None,
+        })
+        .expect("crash + degradation triggers an online re-plan");
+    assert!(replanned, "re-plan against a 3-worker degraded cluster must change the strategy");
+    assert!(report.replans >= 1);
+    assert_eq!(report.final_state.membership.alive_count(), 3);
+    // Training kept converging through the recovery.
+    assert!(
+        report.final_accuracy() > 0.9,
+        "accuracy {}",
+        report.final_accuracy()
+    );
+}
+
+/// A sustained slow window drives observed iteration times far past the
+/// prediction: the degradation monitor trips, the runtime swaps to the
+/// BytePS-FP32 fallback (compression off), and once the window passes a
+/// sustained healthy streak restores the configured compressed mode.
+#[test]
+fn degradation_monitor_trips_to_fp32_fallback_and_recovers() {
+    let (train, eval) = data();
+    let mut cfg = config();
+    cfg.recovery_patience = 4;
+    cfg.faults = TrainFaultPlan::parse("slow=15-55:5.0", cfg.workers, cfg.steps).unwrap();
+    assert!(matches!(cfg.mode, SyncMode::Compressed(_)));
+    let report = TrainingRuntime::new(cfg).run(&train, &eval).unwrap();
+    assert!(report.completed);
+    assert_eq!(report.fallback_trips, 1, "events: {:?}", report.events);
+    let engaged = report
+        .events
+        .iter()
+        .find_map(|e| match e {
+            RuntimeEvent::FallbackEngaged { step } => Some(*step),
+            _ => None,
+        })
+        .expect("monitor trips inside the slow window");
+    assert!(
+        (15..55).contains(&engaged),
+        "fallback engaged at {engaged}, outside the slow window"
+    );
+    let recovered = report
+        .events
+        .iter()
+        .find_map(|e| match e {
+            RuntimeEvent::FallbackRecovered { step } => Some(*step),
+            _ => None,
+        })
+        .expect("healthy streak after the window restores compression");
+    assert!(
+        recovered >= 55 + 3,
+        "recovery at {recovered} cannot precede the hysteresis patience"
+    );
+    assert!(!report.final_state.fallback_active);
+}
+
+/// Dropped gradient pushes are absorbed without derailing training: the
+/// delivered subset is averaged, the dropped sender's error feedback
+/// still advances, and the run completes deterministically.
+#[test]
+fn dropped_pushes_are_deterministic_and_convergent() {
+    let (train, eval) = data();
+    let run = || {
+        let mut cfg = config();
+        cfg.faults = TrainFaultPlan::parse("drop=10:0,drop=11:3,drop=40:2", cfg.workers, cfg.steps)
+            .unwrap();
+        TrainingRuntime::new(cfg).run(&train, &eval).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.events
+            .iter()
+            .filter(|e| matches!(e, RuntimeEvent::DroppedPush { .. }))
+            .count(),
+        3
+    );
+    assert_eq!(
+        a.state_fingerprint(),
+        b.state_fingerprint(),
+        "identical fault plans must reproduce bit-identical runs"
+    );
+    assert!(a.final_accuracy() > 0.9, "accuracy {}", a.final_accuracy());
+}
+
+/// Seeded fault plans are pure functions of the seed: the same seed gives
+/// the same plan (and the same run), different seeds differ.
+#[test]
+fn seeded_fault_plans_are_reproducible() {
+    let cfg = config();
+    let a = TrainFaultPlan::from_seed(9, cfg.workers, cfg.steps);
+    let b = TrainFaultPlan::from_seed(9, cfg.workers, cfg.steps);
+    assert_eq!(a, b);
+    let differs = (0..16u64)
+        .any(|s| TrainFaultPlan::from_seed(s, cfg.workers, cfg.steps) != a);
+    assert!(differs, "16 consecutive seeds all produced the same plan");
+}

@@ -33,6 +33,19 @@ step "serve smoke" ./target/release/espresso-loadgen --smoke
 step "serve bench" ./target/release/espresso-loadgen --clients 4 --requests 2000 \
     --uncached-requests 200 --out BENCH_serve.json
 
+# Fleet crash-equivalence gate: spawn a real server, register jobs and
+# stream epoch-stamped health deltas, kill -9 it at the midpoint, restart
+# on the same state directory, and require (a) the recovered job table to
+# equal the pre-crash table byte-for-byte and (b) the final table after
+# the remaining deltas to equal an uninterrupted control run's.
+step "fleet gate" ./target/release/espresso-loadgen --fleet-gate
+
+# Fleet bench: ~1200 jobs with a kill -9 + restart in the middle of the
+# delta stream; regenerates BENCH_fleet.json (registration throughput,
+# recovery time, delta-to-decision latency, stale serving under load).
+step "fleet bench" ./target/release/espresso-loadgen --fleet --jobs 1200 --deltas 200 \
+    --out BENCH_fleet.json
+
 # Crash/recovery gate: train with a checkpoint cadence, halt mid-run (a
 # simulated process crash), resume from the checkpoint, and require the
 # resumed run's weight and state fingerprints to equal an uninterrupted

@@ -26,15 +26,25 @@ use crate::topology::Cluster;
 
 /// Live/lost status of every rank in a data-parallel job, plus the
 /// observed fabric health of what remains.
+///
+/// Every observed change — a worker loss or a health report — advances a
+/// monotone **cluster epoch**. Consumers that cache decisions against a
+/// membership (the fleet control plane in `espresso-serve`) invalidate by
+/// comparing epochs instead of comparing full cluster state, and a
+/// lossy/reordered delivery of health deltas stays safe:
+/// [`Membership::apply_health_delta`] only ever moves the epoch forward,
+/// so duplicates and stale reorders are ignored idempotently.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Membership {
     total: usize,
     lost: Vec<usize>,
     health: ClusterHealth,
+    epoch: u64,
 }
 
 impl Membership {
-    /// A fresh membership: `total` ranks, all alive, fabrics nominal.
+    /// A fresh membership: `total` ranks, all alive, fabrics nominal,
+    /// epoch 0.
     ///
     /// # Panics
     ///
@@ -45,7 +55,14 @@ impl Membership {
             total,
             lost: Vec::new(),
             health: ClusterHealth::nominal(),
+            epoch: 0,
         }
+    }
+
+    /// The cluster epoch: a counter that advances on every observed
+    /// change (worker loss or health report) and never moves backward.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of ranks the job was configured with.
@@ -97,6 +114,7 @@ impl Membership {
             });
         }
         self.lost.push(worker);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -105,9 +123,29 @@ impl Membership {
         &self.health
     }
 
-    /// Replaces the observed fabric health.
+    /// Replaces the observed fabric health, advancing the epoch.
     pub fn set_health(&mut self, health: ClusterHealth) {
         self.health = health;
+        self.epoch += 1;
+    }
+
+    /// Applies a *stamped* health delta: the delta takes effect only when
+    /// its epoch is strictly newer than the current one, in which case the
+    /// membership adopts both the health and the stamp. Returns whether
+    /// the delta was applied.
+    ///
+    /// This is the streaming-ingestion form of [`Membership::set_health`]:
+    /// a producer stamps each delta once, and however the network reorders,
+    /// duplicates, or retries them, the membership converges to the
+    /// highest-stamped delta — the epoch never rolls backward, and
+    /// re-applying an already-seen delta is a no-op.
+    pub fn apply_health_delta(&mut self, epoch: u64, health: ClusterHealth) -> bool {
+        if epoch <= self.epoch {
+            return false;
+        }
+        self.epoch = epoch;
+        self.health = health;
+        true
     }
 
     /// Maps the surviving ranks onto `template` (the configured topology)
@@ -159,6 +197,7 @@ impl espresso_json::ToJson for Membership {
                 Json::Arr(self.lost.iter().map(|&w| Json::Num(w as f64)).collect()),
             ),
             ("health", self.health.to_json()),
+            ("epoch", Json::Num(self.epoch as f64)),
         ])
     }
 }
@@ -190,6 +229,8 @@ impl espresso_json::FromJson for Membership {
             total,
             lost,
             health,
+            // Documents written before epochs existed read as epoch 0.
+            epoch: v.opt("epoch")?.unwrap_or(0),
         })
     }
 }
@@ -269,6 +310,38 @@ mod tests {
             m.effective_cluster(&template),
             Err(ClusterError::InvalidTopology { .. })
         ));
+    }
+
+    #[test]
+    fn every_observed_change_advances_the_epoch() {
+        let mut m = Membership::new(4);
+        assert_eq!(m.epoch(), 0);
+        m.lose_worker(2).unwrap();
+        assert_eq!(m.epoch(), 1);
+        m.set_health(ClusterHealth::inter_degraded(2.0));
+        assert_eq!(m.epoch(), 2);
+        // A failed mutation must not advance the epoch.
+        assert!(m.lose_worker(2).is_err());
+        assert!(m.lose_worker(9).is_err());
+        assert_eq!(m.epoch(), 2);
+    }
+
+    #[test]
+    fn health_deltas_apply_monotonically_and_idempotently() {
+        let mut m = Membership::new(4);
+        assert!(m.apply_health_delta(3, ClusterHealth::inter_degraded(2.0)));
+        assert_eq!(m.epoch(), 3);
+        assert_eq!(m.health(), &ClusterHealth::inter_degraded(2.0));
+        // Duplicate: ignored, nothing changes.
+        assert!(!m.apply_health_delta(3, ClusterHealth::inter_degraded(9.0)));
+        assert_eq!(m.health(), &ClusterHealth::inter_degraded(2.0));
+        // Out-of-order older delta: ignored.
+        assert!(!m.apply_health_delta(1, ClusterHealth::intra_degraded(5.0)));
+        assert_eq!((m.epoch(), *m.health()), (3, ClusterHealth::inter_degraded(2.0)));
+        // Newer delta wins, even with an epoch gap.
+        assert!(m.apply_health_delta(7, ClusterHealth::nominal()));
+        assert_eq!(m.epoch(), 7);
+        assert!(m.health().is_nominal());
     }
 
     #[test]

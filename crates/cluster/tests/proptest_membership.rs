@@ -1,0 +1,117 @@
+//! Property-based tests of the [`Membership`] cluster epoch.
+//!
+//! The fleet control plane ingests health deltas over a lossy transport:
+//! duplicates, reorderings, and retries are all routine. Its safety rests
+//! on two properties of [`Membership::apply_health_delta`]:
+//!
+//! 1. **Monotonicity** — however deltas are shuffled and duplicated, the
+//!    epoch never moves backward, and the membership converges to the
+//!    health carried by the highest-stamped delta.
+//! 2. **Idempotence** — re-applying any already-seen delta (or the whole
+//!    stream again) changes nothing.
+
+use espresso_cluster::{ClusterHealth, LinkState, Membership};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, distinguishable health value for delta `epoch`: the
+/// factor encodes the epoch, so converging to the wrong delta is caught
+/// by comparing healths, not just epochs.
+fn health_for(epoch: u64) -> ClusterHealth {
+    ClusterHealth {
+        intra: LinkState::Nominal,
+        inter: LinkState::Degraded {
+            factor: 1.0 + epoch as f64 / 8.0,
+        },
+    }
+}
+
+/// A shuffled multiset of stamped deltas: distinct epochs 1..=n, each
+/// duplicated 1..=3 times, in seeded-random order.
+fn delta_stream(seed: u64) -> (Vec<(u64, ClusterHealth)>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(1u64..20);
+    let mut deltas = Vec::new();
+    for epoch in 1..=n {
+        for _ in 0..rng.random_range(1usize..4) {
+            deltas.push((epoch, health_for(epoch)));
+        }
+    }
+    // Fisher-Yates shuffle with the seeded RNG.
+    for i in (1..deltas.len()).rev() {
+        deltas.swap(i, rng.random_range(0..=i));
+    }
+    (deltas, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shuffled_duplicated_deltas_never_roll_the_epoch_back(seed in 0u64..1024) {
+        let (deltas, max_epoch) = delta_stream(seed);
+        let mut m = Membership::new(4);
+        let mut last_epoch = m.epoch();
+        for &(epoch, health) in &deltas {
+            let applied = m.apply_health_delta(epoch, health);
+            // Monotone: the epoch never decreases, and a delta is applied
+            // exactly when it is strictly newer than what we had.
+            prop_assert!(m.epoch() >= last_epoch, "epoch rolled back");
+            prop_assert_eq!(applied, epoch > last_epoch);
+            if applied {
+                prop_assert_eq!(m.epoch(), epoch);
+                prop_assert_eq!(m.health(), &health_for(epoch));
+            }
+            last_epoch = m.epoch();
+        }
+        // Convergence: whatever the order, the stream settles on its
+        // highest stamp and that stamp's health.
+        prop_assert_eq!(m.epoch(), max_epoch);
+        prop_assert_eq!(m.health(), &health_for(max_epoch));
+    }
+
+    #[test]
+    fn replaying_the_whole_stream_is_idempotent(seed in 0u64..1024) {
+        let (deltas, _) = delta_stream(seed);
+        let mut m = Membership::new(4);
+        for &(epoch, health) in &deltas {
+            m.apply_health_delta(epoch, health);
+        }
+        let settled = m.clone();
+        // The second (and third) delivery of the identical stream must be
+        // a pure no-op: every delta reports unapplied, state is untouched.
+        for _ in 0..2 {
+            for &(epoch, health) in &deltas {
+                prop_assert!(!m.apply_health_delta(epoch, health));
+            }
+            prop_assert_eq!(&m, &settled);
+        }
+    }
+
+    #[test]
+    fn mixed_mutations_keep_epochs_strictly_increasing(seed in 0u64..512) {
+        // Interleave worker losses (which self-stamp) with stamped health
+        // deltas; the epoch must be non-decreasing throughout and strictly
+        // increase on every successful mutation.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Membership::new(8);
+        let mut last = m.epoch();
+        for _ in 0..32 {
+            let before = m.epoch();
+            let mutated = if rng.random_bool(0.3) {
+                m.lose_worker(rng.random_range(0..8)).is_ok()
+            } else {
+                let stamp = rng.random_range(0..24);
+                m.apply_health_delta(stamp, health_for(stamp))
+            };
+            if mutated {
+                prop_assert!(m.epoch() > before, "successful mutation must advance the epoch");
+            } else {
+                prop_assert_eq!(m.epoch(), before, "failed mutation must not move the epoch");
+            }
+            prop_assert!(m.epoch() >= last);
+            last = m.epoch();
+        }
+    }
+}

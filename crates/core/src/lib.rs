@@ -40,7 +40,10 @@ pub use config::{FileConfig, GcConfig, ModelConfig, SystemConfig};
 pub use error::EspressoError;
 pub use espresso::{Espresso, Report};
 pub use espresso_strategy::Strategy;
-pub use robust::{replan, DegradationMonitor, NoiseEnvelope, Replan, RobustSelection, RobustSelector};
+pub use robust::{
+    replan, replan_priority, DegradationMonitor, NoiseEnvelope, Replan, RobustSelection,
+    RobustSelector,
+};
 pub use service::{decide, Decision, DecisionRequest, DecisionResponse};
 pub use upper_bound::upper_bound_time;
 
@@ -54,7 +57,10 @@ pub mod prelude {
         error::EspressoError,
         espresso::{Espresso, Report},
         oracle,
-        robust::{replan, DegradationMonitor, NoiseEnvelope, Replan, RobustSelection, RobustSelector},
+        robust::{
+            replan, replan_priority, DegradationMonitor, NoiseEnvelope, Replan, RobustSelection,
+            RobustSelector,
+        },
         service::{decide, Decision, DecisionRequest, DecisionResponse},
         upper_bound::upper_bound_time,
     };

@@ -520,6 +520,20 @@ pub fn replan(
     })
 }
 
+/// Default urgency of re-planning `job` after a cluster event, for
+/// schedulers that must pick which re-plans to run (and which to shed)
+/// when events arrive faster than the planner can keep up.
+///
+/// A stale strategy costs roughly in proportion to the gradient traffic
+/// it mis-places: the job's gradient bytes per iteration times the number
+/// of GPUs moving them. That product is the priority — a 64-GPU BERT run
+/// outranks a single-machine LSTM, which is exactly the order in which
+/// stale decisions hurt. Larger is more urgent; ties are broken by the
+/// scheduler (the fleet controller uses arrival order).
+pub fn replan_priority(job: &Job) -> u64 {
+    (job.model.total_bytes() as u64).saturating_mul(job.cluster.total_gpus() as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -77,6 +77,19 @@ impl DecisionRequest {
     pub fn canonical_key(&self) -> String {
         self.to_json().canonical().render()
     }
+
+    /// The default re-plan priority of the job this request describes
+    /// (see [`crate::robust::replan_priority`]): what a fleet scheduler
+    /// uses when the job's owner did not pin an explicit priority.
+    ///
+    /// # Errors
+    ///
+    /// Any config-resolution [`EspressoError`] — the same errors
+    /// [`decide`] would report for this request.
+    pub fn replan_priority(&self) -> Result<u64, EspressoError> {
+        let job = build_job(&self.model, &self.gc, &self.system, None)?;
+        Ok(crate::robust::replan_priority(&job))
+    }
 }
 
 impl From<FileConfig> for DecisionRequest {
@@ -436,6 +449,28 @@ mod tests {
 
         let err = DecisionRequest::parse("{ not json").unwrap_err();
         assert!(matches!(err, EspressoError::Json { .. }), "{err}");
+    }
+
+    #[test]
+    fn replan_priority_orders_by_gradient_traffic() {
+        let small = lstm_request();
+        let mut big = lstm_request();
+        big.model = ModelConfig::Named {
+            model: "BERT-base".into(),
+        };
+        big.system.machines = 8;
+        let (ps, pb) = (
+            small.replan_priority().unwrap(),
+            big.replan_priority().unwrap(),
+        );
+        assert!(ps > 0);
+        assert!(pb > ps, "8-machine BERT must outrank 2-machine LSTM: {pb} vs {ps}");
+        // Errors surface instead of panicking.
+        let mut bad = lstm_request();
+        bad.model = ModelConfig::Named {
+            model: "NoSuchNet".into(),
+        };
+        assert!(bad.replan_priority().is_err());
     }
 
     #[test]

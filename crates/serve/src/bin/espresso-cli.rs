@@ -63,7 +63,7 @@ use espresso::{Espresso, EspressoError};
 use espresso_cluster::{Cluster, ClusterHealth, IntraFabric, LinkState};
 use espresso_gc::GcAlgorithm;
 use espresso_models::Model;
-use espresso_serve::{signal, ServeConfig, Server};
+use espresso_serve::{signal, FleetConfig, FleetController, ServeConfig, Server};
 use espresso_sim::Job;
 use espresso_training::checkpoint::CheckpointStore;
 use espresso_training::faults::TrainFaultPlan;
@@ -79,7 +79,9 @@ fn usage() -> ! {
          [--faults SPEC] [--inter-degraded F] [--intra-degraded F] [--robust]\n\
          \n\
          or:    espresso-cli serve [--addr HOST:PORT] [--workers N] \
-         [--queue N] [--cache N] [--shards N] [--deadline-ms N]\n\
+         [--queue N] [--cache N] [--shards N] [--deadline-ms N] \
+         [--fleet-dir DIR] [--fleet-workers N] [--fleet-watermark N] \
+         [--fleet-snapshot-every N]\n\
          \n\
          or:    espresso-cli train [--machines N] [--gpus K] [--steps N] \
          [--batch N] [--algo NAME] [--density F] [--eval-every N] \
@@ -408,6 +410,7 @@ fn run_serve(args: &[String]) -> Result<(), EspressoError> {
         addr: "127.0.0.1:8080".into(),
         ..ServeConfig::default()
     };
+    let mut fleet_config: Option<FleetConfig> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
@@ -415,6 +418,9 @@ fn run_serve(args: &[String]) -> Result<(), EspressoError> {
             raw.parse::<usize>()
                 .map_err(|_| EspressoError::config(flag, format!("not a number: {raw}")))
         };
+        fn fleet(fc: &mut Option<FleetConfig>) -> &mut FleetConfig {
+            fc.get_or_insert_with(FleetConfig::default)
+        }
         match flag.as_str() {
             "--addr" => config.addr = value(),
             "--workers" => config.workers = parse_num("--workers", value())?.max(1),
@@ -425,6 +431,18 @@ fn run_serve(args: &[String]) -> Result<(), EspressoError> {
                 config.deadline =
                     Duration::from_millis(parse_num("--deadline-ms", value())?.max(1) as u64)
             }
+            "--fleet-dir" => fleet(&mut fleet_config).dir = value().into(),
+            "--fleet-workers" => {
+                fleet(&mut fleet_config).replan_workers = parse_num("--fleet-workers", value())?
+            }
+            "--fleet-watermark" => {
+                fleet(&mut fleet_config).queue_watermark =
+                    parse_num("--fleet-watermark", value())?.max(1)
+            }
+            "--fleet-snapshot-every" => {
+                fleet(&mut fleet_config).snapshot_every =
+                    parse_num("--fleet-snapshot-every", value())?.max(1) as u64
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -432,16 +450,23 @@ fn run_serve(args: &[String]) -> Result<(), EspressoError> {
             }
         }
     }
+    let fleet_enabled = fleet_config.is_some();
+    if let Some(fc) = fleet_config {
+        let controller = FleetController::open(fc)
+            .map_err(|e| EspressoError::config("--fleet-dir", e.to_string()))?;
+        config.fleet = Some(std::sync::Arc::new(controller));
+    }
     let workers = config.workers;
     let cache_entries = config.cache_entries;
     let server = Server::start(config)?;
     println!(
-        "espresso-serve listening on {} ({} workers, cache {} entries)",
+        "espresso-serve listening on {} ({} workers, cache {} entries{})",
         server.addr(),
         workers,
         cache_entries,
+        if fleet_enabled { ", fleet enabled" } else { "" },
     );
-    println!("routes: POST /decide | GET /metrics | GET /healthz  (ctrl-c to stop)");
+    println!("routes: POST /decide | POST /fleet/* | GET /metrics | GET /healthz  (ctrl-c to stop)");
     signal::install();
     while !signal::signaled() {
         std::thread::sleep(Duration::from_millis(100));

@@ -24,13 +24,31 @@
 //! `--chaos` runs only the adversarial-client phase: malformed JSON
 //! (expect 400), an oversized `Content-Length` (expect 413 without
 //! reading the body), a mid-request disconnect, a byte-at-a-time slow
-//! writer (expect 200 within the server deadline), and raw non-HTTP
-//! garbage. After every probe the server must still answer a well-formed
-//! request with 200 — the point is that an abusive client costs the
-//! server nothing but the connection.
+//! writer (expect 200 within the server deadline), a too-slow writer
+//! against a short-deadline server (expect the 408 to arrive *early*,
+//! proving the deadline actually fires), and raw non-HTTP garbage. After
+//! every probe the server must still answer a well-formed request with
+//! 200 — the point is that an abusive client costs the server nothing
+//! but the connection.
+//!
+//! `--fleet` runs the fleet control-plane bench: spawn `espresso-cli
+//! serve --fleet-dir` as a child process, register `--jobs` jobs over
+//! `--clients` connections, stream Poisson-paced health deltas, `kill -9`
+//! the child mid-run, restart it against the same directory, verify the
+//! job table recovered, stream the remaining deltas, and write
+//! `BENCH_fleet.json` with registration throughput, recovery time, and
+//! the server's `fleet_*` metrics (including the health-delta → decision
+//! latency histogram).
+//!
+//! `--fleet-gate` is the CI variant: two identical runs, one interrupted
+//! by `kill -9` at the midpoint and one not, must converge to
+//! byte-identical `/fleet/jobs` documents — the crash may cost time but
+//! never state and never a different decision.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -45,7 +63,16 @@ fn usage() -> ! {
     eprintln!(
         "usage: espresso-loadgen [--smoke] [--chaos] [--addr HOST:PORT] \
          [--clients N] [--requests N] [--uncached-requests N] \
-         [--repeat-ratio R] [--model NAME] [--out FILE] [--seed N]"
+         [--repeat-ratio R] [--model NAME] [--out FILE] [--seed N]\n\
+         \n\
+         or:    espresso-loadgen --fleet [--jobs N] [--deltas N] [--clusters N] \
+         [--clients N] [--out FILE] [--seed N]   (fleet bench: registers jobs, \
+         streams Poisson health deltas, kill -9s and restarts the server mid-run, \
+         writes BENCH_fleet.json)\n\
+         \n\
+         or:    espresso-loadgen --fleet-gate [--jobs N] [--deltas N] [--clusters N] \
+         [--seed N]   (CI gate: kill -9 + restart must recover the job table \
+         byte-for-byte and converge to the same decisions as an uninterrupted run)"
     );
     std::process::exit(2)
 }
@@ -54,13 +81,18 @@ fn usage() -> ! {
 struct Options {
     smoke: bool,
     chaos: bool,
+    fleet: bool,
+    fleet_gate: bool,
     addr: Option<String>,
     clients: usize,
     requests: usize,
     uncached_requests: usize,
     repeat_ratio: Option<f64>,
+    jobs: Option<usize>,
+    deltas: Option<usize>,
+    clusters: usize,
     model: String,
-    out: String,
+    out: Option<String>,
     seed: u64,
 }
 
@@ -69,13 +101,18 @@ impl Default for Options {
         Self {
             smoke: false,
             chaos: false,
+            fleet: false,
+            fleet_gate: false,
             addr: None,
             clients: 4,
             requests: 2000,
             uncached_requests: 200,
             repeat_ratio: None,
+            jobs: None,
+            deltas: None,
+            clusters: 8,
             model: "LSTM".into(),
-            out: "BENCH_serve.json".into(),
+            out: None,
             seed: 42,
         }
     }
@@ -89,6 +126,8 @@ fn parse_options(args: &[String]) -> Options {
         match flag.as_str() {
             "--smoke" => opts.smoke = true,
             "--chaos" => opts.chaos = true,
+            "--fleet" => opts.fleet = true,
+            "--fleet-gate" => opts.fleet_gate = true,
             "--addr" => opts.addr = Some(value()),
             "--clients" => opts.clients = value().parse().unwrap_or_else(|_| usage()),
             "--requests" => opts.requests = value().parse().unwrap_or_else(|_| usage()),
@@ -98,8 +137,11 @@ fn parse_options(args: &[String]) -> Options {
             "--repeat-ratio" => {
                 opts.repeat_ratio = Some(value().parse().unwrap_or_else(|_| usage()))
             }
+            "--jobs" => opts.jobs = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--deltas" => opts.deltas = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--clusters" => opts.clusters = value().parse().unwrap_or_else(|_| usage()),
             "--model" => opts.model = value(),
-            "--out" => opts.out = value(),
+            "--out" => opts.out = Some(value()),
             "--seed" => opts.seed = value().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
@@ -109,6 +151,7 @@ fn parse_options(args: &[String]) -> Options {
         }
     }
     opts.clients = opts.clients.max(1);
+    opts.clusters = opts.clusters.max(1);
     opts
 }
 
@@ -437,6 +480,519 @@ fn chaos_probes(addr: SocketAddr, model: &str) -> Result<usize, String> {
     Ok(5)
 }
 
+/// The slow-writer probe above proves a *polite* slow writer inside the
+/// deadline still gets its 200; this one proves the deadline itself is
+/// live. It hosts a dedicated server with a 300 ms deadline and trickles
+/// a valid request far too slowly to ever finish. The server must answer
+/// 408 — and the 408 must arrive well before the trickle would have
+/// completed, i.e. the deadline cut the request short rather than the
+/// server waiting out the full body and answering late.
+fn deadline_probe(model: &str) -> Result<(), String> {
+    let deadline = Duration::from_millis(300);
+    let server = Server::start(ServeConfig {
+        deadline,
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = server.addr();
+    let payload = http_request("/decide", &body(model, 2, 0.02));
+    let chunk = 8usize;
+    let pause = Duration::from_millis(60);
+    let full_trickle = pause * payload.len().div_ceil(chunk) as u32;
+    let started = Instant::now();
+    let status = raw_probe(addr, &payload, chunk, pause);
+    let elapsed = started.elapsed();
+    let still_alive = assert_alive(addr, model, "deadline probe");
+    server.shutdown();
+    if status != Some(408) {
+        return Err(format!(
+            "deadline probe: expected 408 from a {deadline:?} deadline, got {status:?}"
+        ));
+    }
+    if elapsed >= full_trickle / 2 {
+        return Err(format!(
+            "deadline probe: the 408 took {elapsed:?}, but the full trickle is only \
+             {full_trickle:?} — the deadline waited the request out instead of firing"
+        ));
+    }
+    still_alive
+}
+
+// ---------------------------------------------------------------------------
+// Fleet control-plane bench and CI gate
+// ---------------------------------------------------------------------------
+
+/// A child `espresso-cli serve --fleet-dir` process. Unlike the
+/// in-process `Server`, this can be `kill -9`ed — which is the whole
+/// point: the journal must survive a crash that skips every destructor.
+struct FleetServer {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl FleetServer {
+    /// SIGKILL, then reap. No shutdown hooks run, nothing is flushed by
+    /// the process on the way down; whatever reached the page cache via
+    /// the journal's write+flush is all the restart gets.
+    fn kill9(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `espresso-cli serve` (a sibling of this binary) with the fleet
+/// control plane on `dir`, and parses the announced ephemeral address
+/// from its stdout.
+fn spawn_fleet_server(dir: &Path) -> Result<FleetServer, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let cli: PathBuf = exe
+        .parent()
+        .ok_or("current_exe has no parent directory")?
+        .join("espresso-cli");
+    if !cli.exists() {
+        return Err(format!(
+            "{} not found — build the full package first (cargo build --release)",
+            cli.display()
+        ));
+    }
+    let mut child = Command::new(&cli)
+        .arg("serve")
+        .args(["--addr", "127.0.0.1:0", "--workers", "8", "--deadline-ms", "30000"])
+        .arg("--fleet-dir")
+        .arg(dir)
+        .args(["--fleet-workers", "4", "--fleet-snapshot-every", "64"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", cli.display()))?;
+    let Some(stdout) = child.stdout.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("child stdout was not piped".into());
+    };
+    let mut reader = BufReader::new(stdout);
+    let mut addr = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                if let Some(rest) = line.split(" listening on ").nth(1) {
+                    addr = rest.split_whitespace().next().and_then(|t| t.parse().ok());
+                    break;
+                }
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("child server never announced a listening address".into());
+    };
+    // Keep draining the child's stdout so it can never block on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    Ok(FleetServer { child, addr })
+}
+
+/// A registration body for job `i`: eight request variants (so planning
+/// stays cache-friendly at fleet scale) spread round-robin over the
+/// clusters, with an explicit priority so shedding order is deterministic.
+fn fleet_register_body(job: usize, clusters: usize, model: &str) -> Vec<u8> {
+    let density = [0.01, 0.02, 0.05, 0.1][job % 4];
+    let machines = 1 + (job / 4) % 2;
+    let request = body(model, machines, density);
+    format!(
+        r#"{{"id":"job-{job:05}","cluster":"c{}","priority":{},"request":{}}}"#,
+        job % clusters,
+        1 + job % 7,
+        String::from_utf8_lossy(&request),
+    )
+    .into_bytes()
+}
+
+/// A health-delta body: one cluster's inter-machine link degrades to the
+/// given factor at the given epoch.
+fn fleet_delta_body(cluster: usize, epoch: u64, factor: f64) -> Vec<u8> {
+    format!(
+        r#"{{"cluster":"c{cluster}","epoch":{epoch},"workers":8,"health":{{"inter":{{"Degraded":{{"factor":{factor}}}}}}}}}"#
+    )
+    .into_bytes()
+}
+
+/// The deterministic delta stream: each event picks a cluster, bumps that
+/// cluster's epoch (strictly monotone per cluster — exactly what
+/// `Membership::apply_health_delta` demands), and degrades its inter link
+/// by one of four quantised factors. Quantised factors keep the plan
+/// cache effective; determinism lets the gate replay the identical stream
+/// into two servers.
+fn delta_sequence(seed: u64, count: usize, clusters: usize) -> Vec<(usize, u64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut epochs = vec![0u64; clusters];
+    (0..count)
+        .map(|_| {
+            let c = rng.random_range(0..clusters);
+            epochs[c] += 1;
+            let factor = [1.25, 1.5, 2.0, 3.0][rng.random_range(0..4usize)];
+            (c, epochs[c], factor)
+        })
+        .collect()
+}
+
+/// GETs a path and returns the body, requiring a 200.
+fn fetch(addr: SocketAddr, path: &str) -> Result<String, String> {
+    let resp = espresso_serve::client::request(addr, "GET", path, b"")
+        .map_err(|e| format!("GET {path}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "GET {path}: status {} body {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    Ok(String::from_utf8_lossy(&resp.body).into_owned())
+}
+
+/// Registers `jobs` jobs over `threads` keep-alive connections; returns
+/// the wall-clock seconds the registrations took.
+fn register_jobs(
+    addr: SocketAddr,
+    jobs: usize,
+    clusters: usize,
+    model: &str,
+    threads: usize,
+) -> Result<f64, String> {
+    let started = Instant::now();
+    let threads = threads.clamp(1, jobs.max(1));
+    let per = jobs.div_ceil(threads);
+    let model = Arc::new(model.to_string());
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let model = Arc::clone(&model);
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut conn = Connection::open(addr, Duration::from_secs(30))
+                    .map_err(|e| format!("connect {addr}: {e}"))?;
+                for job in (t * per)..((t + 1) * per).min(jobs) {
+                    let body = fleet_register_body(job, clusters, &model);
+                    let resp = conn
+                        .request("POST", "/fleet/register", &body)
+                        .map_err(|e| format!("register job-{job:05}: {e}"))?;
+                    if resp.status != 200 {
+                        return Err(format!(
+                            "register job-{job:05}: status {} body {}",
+                            resp.status,
+                            String::from_utf8_lossy(&resp.body)
+                        ));
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().map_err(|_| "register thread panicked")??;
+    }
+    Ok(started.elapsed().as_secs_f64())
+}
+
+/// Streams a slice of the delta sequence, optionally Poisson-paced
+/// (exponential inter-arrival gaps around `mean_gap`). Returns wall-clock
+/// seconds.
+fn apply_deltas(
+    addr: SocketAddr,
+    sequence: &[(usize, u64, f64)],
+    mean_gap: Option<Duration>,
+    seed: u64,
+) -> Result<f64, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut conn = Connection::open(addr, Duration::from_secs(30))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let started = Instant::now();
+    for &(cluster, epoch, factor) in sequence {
+        let resp = conn
+            .request("POST", "/fleet/health", &fleet_delta_body(cluster, epoch, factor))
+            .map_err(|e| format!("health c{cluster}@{epoch}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "health c{cluster}@{epoch}: status {} body {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            ));
+        }
+        if let Some(mean) = mean_gap {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            std::thread::sleep(mean.mul_f64(-u.ln()).min(mean * 10));
+        }
+    }
+    Ok(started.elapsed().as_secs_f64())
+}
+
+/// POSTs `/fleet/drain` until the replan queue reports empty.
+fn fleet_drain(addr: SocketAddr) -> Result<(), String> {
+    let give_up = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = espresso_serve::client::request(addr, "POST", "/fleet/drain", b"")
+            .map_err(|e| format!("drain: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("drain: status {}", resp.status));
+        }
+        let doc = Json::parse(&String::from_utf8_lossy(&resp.body))
+            .map_err(|e| format!("drain response: {e}"))?;
+        if doc.req::<bool>("drained").unwrap_or(false) {
+            return Ok(());
+        }
+        if Instant::now() > give_up {
+            return Err("drain: replan queue did not empty within 120 s".into());
+        }
+    }
+}
+
+/// Parses `/fleet/jobs` (a JSON array) and returns how many jobs it holds.
+fn count_jobs(jobs_doc: &str) -> Result<usize, String> {
+    match Json::parse(jobs_doc) {
+        Ok(Json::Arr(items)) => Ok(items.len()),
+        Ok(_) => Err("/fleet/jobs did not return an array".into()),
+        Err(e) => Err(format!("/fleet/jobs is not JSON: {e}")),
+    }
+}
+
+/// All `fleet_*` entries from `/metrics`, as flat key → number pairs.
+fn scrape_fleet_metrics(addr: SocketAddr) -> Result<Vec<(String, f64)>, String> {
+    let doc = Json::parse(&fetch(addr, "/metrics")?).map_err(|e| format!("metrics: {e}"))?;
+    let Json::Obj(pairs) = doc else {
+        return Err("/metrics did not return an object".into());
+    };
+    Ok(pairs
+        .into_iter()
+        .filter_map(|(k, v)| match v {
+            Json::Num(n) if k.starts_with("fleet_") => Some((k, n)),
+            _ => None,
+        })
+        .collect())
+}
+
+/// A scratch directory under the system temp dir, recreated empty.
+fn scratch_dir(label: &str) -> Result<PathBuf, String> {
+    let dir = std::env::temp_dir().join(format!("espresso-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+/// `--fleet`: the control-plane bench. Registers the fleet, streams the
+/// first half of the deltas Poisson-paced, `kill -9`s the server with the
+/// replan queue still busy, restarts it, checks the whole fleet came
+/// back, streams the rest, drains, and writes `BENCH_fleet.json`.
+fn fleet_bench(opts: &Options) -> Result<(), String> {
+    let jobs = opts.jobs.unwrap_or(1200);
+    let deltas = opts.deltas.unwrap_or(200);
+    let out = opts.out.clone().unwrap_or_else(|| "BENCH_fleet.json".into());
+    let dir = scratch_dir("fleet-bench")?;
+    let sequence = delta_sequence(opts.seed, deltas, opts.clusters);
+    let half = deltas / 2;
+    let mean_gap = Duration::from_millis(4);
+
+    let server = spawn_fleet_server(&dir)?;
+    let register_seconds = register_jobs(server.addr, jobs, opts.clusters, &opts.model, opts.clients)?;
+    println!(
+        "fleet: registered {jobs} jobs over {} clients in {register_seconds:.2} s ({:.0} jobs/s)",
+        opts.clients,
+        jobs as f64 / register_seconds.max(1e-9),
+    );
+    let first_half_seconds = apply_deltas(server.addr, &sequence[..half], Some(mean_gap), opts.seed ^ 1)?;
+    // Crash mid-run, queue still busy: no drain, no flush, no mercy.
+    server.kill9();
+    println!("fleet: killed -9 mid-run after {half} deltas, restarting against the same journal");
+    let restart = Instant::now();
+    let server = spawn_fleet_server(&dir)?;
+    let recovery_seconds = restart.elapsed().as_secs_f64();
+    let recovered = count_jobs(&fetch(server.addr, "/fleet/jobs")?)?;
+    if recovered != jobs {
+        server.kill9();
+        return Err(format!(
+            "recovery lost jobs: registered {jobs}, recovered {recovered}"
+        ));
+    }
+    println!("fleet: recovered all {recovered} jobs in {recovery_seconds:.2} s");
+    // Let the recovery re-plan backlog drain before resuming the stream,
+    // so delta→decision latency measures steady-state re-planning rather
+    // than the one-off post-crash queue.
+    fleet_drain(server.addr)?;
+    // While the second half streams and drains, a reader polls decision
+    // documents: jobs whose re-plan is still queued behind the backlog
+    // serve their previous decision marked `"stale": true` — never a 503.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader = {
+        let stop = Arc::clone(&stop);
+        let addr = server.addr;
+        std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let mut conn = Connection::open(addr, Duration::from_secs(30))
+                .map_err(|e| format!("reader connect: {e}"))?;
+            let (mut read, mut stale) = (0u64, 0u64);
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let path = format!("/fleet/job/job-{:05}", i % jobs);
+                i = i.wrapping_add(17);
+                let resp = conn
+                    .request("GET", &path, b"")
+                    .map_err(|e| format!("reader {path}: {e}"))?;
+                if resp.status != 200 {
+                    return Err(format!("reader {path}: status {}", resp.status));
+                }
+                read += 1;
+                if String::from_utf8_lossy(&resp.body).contains("\"stale\":true") {
+                    stale += 1;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok((read, stale))
+        })
+    };
+    let second_half_seconds =
+        apply_deltas(server.addr, &sequence[half..], Some(mean_gap), opts.seed ^ 2)?;
+    fleet_drain(server.addr)?;
+    stop.store(true, Ordering::Relaxed);
+    let (decisions_read, stale_seen) = reader.join().map_err(|_| "reader thread panicked")??;
+    let metrics = scrape_fleet_metrics(server.addr)?;
+    server.kill9();
+
+    let metric = |key: &str| {
+        metrics
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    println!(
+        "fleet: {} replans committed | delta→decision p50 {:.2} ms p99 {:.2} ms | \
+         {decisions_read} decisions read under load, {stale_seen} served stale",
+        metric("fleet_replans_committed"),
+        metric("fleet_delta_to_decision_p50_ms"),
+        metric("fleet_delta_to_decision_p99_ms"),
+    );
+
+    let doc = Json::obj(vec![
+        (
+            "config",
+            Json::obj(vec![
+                ("jobs", Json::Num(jobs as f64)),
+                ("deltas", Json::Num(deltas as f64)),
+                ("clusters", Json::Num(opts.clusters as f64)),
+                ("clients", Json::Num(opts.clients as f64)),
+                ("model", Json::Str(opts.model.clone())),
+                ("seed", Json::Num(opts.seed as f64)),
+            ]),
+        ),
+        (
+            "register",
+            Json::obj(vec![
+                ("seconds", Json::Num(register_seconds)),
+                (
+                    "jobs_per_sec",
+                    Json::Num(jobs as f64 / register_seconds.max(1e-9)),
+                ),
+            ]),
+        ),
+        (
+            "deltas",
+            Json::obj(vec![
+                ("first_half_seconds", Json::Num(first_half_seconds)),
+                ("second_half_seconds", Json::Num(second_half_seconds)),
+                ("mean_gap_ms", Json::Num(mean_gap.as_secs_f64() * 1e3)),
+            ]),
+        ),
+        (
+            "recovery",
+            Json::obj(vec![
+                ("seconds", Json::Num(recovery_seconds)),
+                ("jobs_recovered", Json::Num(recovered as f64)),
+            ]),
+        ),
+        (
+            "reads_under_load",
+            Json::obj(vec![
+                ("decisions_read", Json::Num(decisions_read as f64)),
+                ("served_stale", Json::Num(stale_seen as f64)),
+            ]),
+        ),
+        (
+            "fleet_metrics",
+            Json::Obj(metrics.into_iter().map(|(k, v)| (k, Json::Num(v))).collect()),
+        ),
+    ]);
+    std::fs::write(&out, doc.pretty() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// `--fleet-gate`: the crash-equivalence gate. Run A is interrupted by
+/// `kill -9` at the midpoint; run B sees the identical input stream
+/// uninterrupted. The restart must recover run A's job table
+/// byte-for-byte, and both runs must end with byte-identical
+/// `/fleet/jobs` documents.
+fn fleet_gate(opts: &Options) -> Result<(), String> {
+    let jobs = opts.jobs.unwrap_or(200);
+    let deltas = opts.deltas.unwrap_or(50);
+    let base = scratch_dir("fleet-gate")?;
+    let dir_a = base.join("crash");
+    let dir_b = base.join("control");
+    let sequence = delta_sequence(opts.seed, deltas, opts.clusters);
+    let half = deltas / 2;
+
+    // Run A, first act: register, half the stream, settle, crash.
+    let server = spawn_fleet_server(&dir_a)?;
+    register_jobs(server.addr, jobs, opts.clusters, &opts.model, 4)?;
+    apply_deltas(server.addr, &sequence[..half], None, opts.seed)?;
+    fleet_drain(server.addr)?;
+    let before_crash = fetch(server.addr, "/fleet/jobs")?;
+    server.kill9();
+
+    // Run A, second act: restart from the journal and keep going.
+    let server = spawn_fleet_server(&dir_a)?;
+    fleet_drain(server.addr)?;
+    let after_restart = fetch(server.addr, "/fleet/jobs")?;
+    if after_restart != before_crash {
+        server.kill9();
+        return Err(format!(
+            "job table changed across kill -9: {} bytes before, {} bytes after restart",
+            before_crash.len(),
+            after_restart.len()
+        ));
+    }
+    apply_deltas(server.addr, &sequence[half..], None, opts.seed)?;
+    fleet_drain(server.addr)?;
+    let final_crashed = fetch(server.addr, "/fleet/jobs")?;
+    server.kill9();
+
+    // Run B: the identical stream, never interrupted.
+    let server = spawn_fleet_server(&dir_b)?;
+    register_jobs(server.addr, jobs, opts.clusters, &opts.model, 4)?;
+    apply_deltas(server.addr, &sequence, None, opts.seed)?;
+    fleet_drain(server.addr)?;
+    let final_control = fetch(server.addr, "/fleet/jobs")?;
+    server.kill9();
+
+    if final_crashed != final_control {
+        return Err(format!(
+            "crashed and uninterrupted runs diverged: {} vs {} bytes of /fleet/jobs",
+            final_crashed.len(),
+            final_control.len()
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    println!(
+        "fleet gate OK: {jobs} jobs + {deltas} deltas, kill -9 at the midpoint — \
+         table recovered byte-for-byte and converged identically to the uninterrupted run"
+    );
+    Ok(())
+}
+
 /// The standalone `--chaos` phase: host (or target) a server, run the
 /// probes, confirm the server is still healthy.
 fn chaos(opts: &Options) -> Result<(), String> {
@@ -450,7 +1006,15 @@ fn chaos(opts: &Options) -> Result<(), String> {
             addr
         }
     };
-    let probes = chaos_probes(addr, &opts.model)?;
+    let mut probes = chaos_probes(addr, &opts.model)?;
+    // The deadline probe needs its own short-deadline server, so it only
+    // runs when this harness controls the server configuration.
+    if opts.addr.is_none() {
+        deadline_probe(&opts.model)?;
+        probes += 1;
+    } else {
+        println!("note: skipping the deadline probe (an external --addr controls its own deadline)");
+    }
     println!(
         "chaos OK: {probes} adversarial probes answered correctly, \
          well-formed requests served throughout"
@@ -489,9 +1053,11 @@ fn smoke(opts: &Options) -> Result<(), String> {
         .map_err(|e| format!("metrics response is not JSON: {e}"))?;
     let probes = chaos_probes(addr, &opts.model)?;
     server.shutdown();
+    deadline_probe(&opts.model)?;
     println!(
         "serve smoke OK: decision in {iteration_ms:.2} ms iteration time, metrics scraped, \
-         {probes} chaos probes survived, clean shutdown"
+         {} chaos probes survived, clean shutdown",
+        probes + 1,
     );
     Ok(())
 }
@@ -502,6 +1068,12 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if opts.chaos {
         return chaos(opts);
+    }
+    if opts.fleet_gate {
+        return fleet_gate(opts);
+    }
+    if opts.fleet {
+        return fleet_bench(opts);
     }
     // Either target an external server or host one in-process.
     let mut hosted: Option<Server> = None;
@@ -565,9 +1137,9 @@ fn run(opts: &Options) -> Result<(), String> {
             ),
         ),
     ]);
-    std::fs::write(&opts.out, doc.pretty() + "\n")
-        .map_err(|e| format!("write {}: {e}", opts.out))?;
-    println!("wrote {}", opts.out);
+    let out = opts.out.clone().unwrap_or_else(|| "BENCH_serve.json".into());
+    std::fs::write(&out, doc.pretty() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
 
     if let Some(server) = hosted {
         server.shutdown();

@@ -24,15 +24,26 @@
 //! `serve` subcommand that runs this server) and `espresso-loadgen` (the
 //! loopback load harness that writes `BENCH_serve.json`).
 
+// Request paths must not panic: a poisoned worker takes its whole thread
+// (and under a mutex, the server) with it. `warn` here is promoted to
+// `deny` by CI's `clippy -- -D warnings`; tests keep their unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod client;
+pub mod fleet;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod pool;
+pub mod retry;
 pub mod server;
 pub mod signal;
 
 pub use cache::{fnv1a64, CacheStats, ShardedLru};
+pub use fleet::{FleetConfig, FleetController, FleetStats};
 pub use http::{parse_request, HttpError, Limits, Parsed, Request};
+pub use journal::{Journal, SnapshotStore};
 pub use metrics::{Histogram, Metrics};
+pub use retry::{retry_with_backoff, DeadLetter, RetryPolicy};
 pub use server::{ServeConfig, Server};

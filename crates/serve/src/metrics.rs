@@ -182,6 +182,13 @@ impl Metrics {
 
     /// Renders the flat `/metrics` JSON document.
     pub fn render(&self, cache: &CacheStats) -> String {
+        self.render_with(cache, &[])
+    }
+
+    /// Renders `/metrics` with extra flat entries appended — the fleet
+    /// controller's `fleet_*` counters ride along this way. The document
+    /// stays flat: every value, extras included, is a plain number.
+    pub fn render_with(&self, cache: &CacheStats, extra: &[(String, f64)]) -> String {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let ms = 1e3;
         let (dec_p50, dec_p95, dec_p99, dec_mean, dec_count) = {
@@ -204,7 +211,7 @@ impl Metrics {
                 h.count(),
             )
         };
-        Json::obj(vec![
+        let mut doc = Json::obj(vec![
             ("uptime_seconds", self.started.elapsed().as_secs_f64().to_json()),
             ("requests_total", load(&self.requests_total).to_json()),
             ("decide_requests", load(&self.decide_requests).to_json()),
@@ -229,8 +236,11 @@ impl Metrics {
             ("request_latency_p50_ms", req_p50.to_json()),
             ("request_latency_p95_ms", req_p95.to_json()),
             ("request_latency_p99_ms", req_p99.to_json()),
-        ])
-        .render()
+        ]);
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.extend(extra.iter().map(|(k, v)| (k.clone(), Json::Num(*v))));
+        }
+        doc.render()
     }
 }
 
@@ -328,6 +338,31 @@ mod tests {
         assert!(doc.req::<f64>("cache_hit_rate").unwrap() > 0.6);
         assert!(doc.req::<f64>("decision_latency_p99_ms").unwrap() >= 5.0 * 0.8);
         // Flat: every value is a number (no nested objects).
+        if let Json::Obj(pairs) = &doc {
+            assert!(pairs.iter().all(|(_, v)| matches!(v, Json::Num(_))));
+        } else {
+            panic!("metrics document must be an object");
+        }
+    }
+
+    #[test]
+    fn render_with_appends_extra_entries_flat() {
+        let metrics = Metrics::new();
+        let stats = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            entries: 0,
+        };
+        let extra = vec![
+            ("fleet_jobs".to_string(), 12.0),
+            ("fleet_stale_served".to_string(), 3.0),
+        ];
+        let doc = Json::parse(&metrics.render_with(&stats, &extra)).unwrap();
+        assert_eq!(doc.req::<u64>("fleet_jobs").unwrap(), 12);
+        assert_eq!(doc.req::<u64>("fleet_stale_served").unwrap(), 3);
+        // Extras keep the document flat and do not disturb base keys.
+        assert_eq!(doc.req::<u64>("requests_total").unwrap(), 0);
         if let Json::Obj(pairs) = &doc {
             assert!(pairs.iter().all(|(_, v)| matches!(v, Json::Num(_))));
         } else {

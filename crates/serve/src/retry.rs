@@ -1,0 +1,157 @@
+//! Bounded retry with exponential backoff and dead-letter parking.
+//!
+//! The fleet controller pushes freshly committed decisions to per-job
+//! subscribers (in this repo: loopback HTTP endpoints run by the load
+//! harness; in a real deployment: the jobs' parameter-server agents).
+//! Subscribers fail — they restart, they hang, their links drop — and the
+//! controller must neither spin on a dead endpoint nor silently drop a
+//! decision. The policy here is the standard robust middle ground:
+//!
+//! * each attempt gets its own timeout (a hung subscriber cannot wedge
+//!   the push worker),
+//! * failed attempts back off exponentially (with a ceiling) so a
+//!   briefly-restarting subscriber sees a retry soon and a dead one does
+//!   not get hammered,
+//! * after a bounded number of attempts the payload is **parked in a
+//!   dead-letter queue** with the terminal error, where operators (and
+//!   the `/metrics` endpoint) can see it — delivery gives up, the record
+//!   of the failure does not.
+
+use std::time::Duration;
+
+/// Retry schedule for one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Zero behaves as one.
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Ceiling on the backoff sleep.
+    pub max_backoff: Duration,
+    /// Budget for each individual attempt.
+    pub attempt_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+            attempt_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before attempt `attempt` (1-based; attempt 1 has no
+    /// sleep). Doubles per retry, clamped to `max_backoff`.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let doublings = (attempt - 2).min(31);
+        let raw = self
+            .initial_backoff
+            .saturating_mul(1u32.checked_shl(doublings).unwrap_or(u32::MAX));
+        raw.min(self.max_backoff)
+    }
+}
+
+/// A delivery that exhausted its retries, parked for inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// The job whose decision could not be delivered.
+    pub job: String,
+    /// Cluster epoch the undelivered decision was computed against.
+    pub epoch: u64,
+    /// Attempts actually made.
+    pub attempts: u32,
+    /// The final attempt's error.
+    pub error: String,
+}
+
+/// Runs `attempt` (which receives the 1-based attempt number and its
+/// timeout) under `policy`, sleeping the backoff between tries.
+///
+/// Returns `Ok` with the first success and the attempt number that
+/// produced it, or `Err` with the last error and the total attempts made.
+///
+/// # Errors
+///
+/// The final attempt's error, after `policy.max_attempts` failures.
+pub fn retry_with_backoff<T, E>(
+    policy: &RetryPolicy,
+    mut attempt: impl FnMut(u32, Duration) -> Result<T, E>,
+) -> Result<(T, u32), (E, u32)> {
+    let attempts = policy.max_attempts.max(1);
+    let mut n = 1;
+    loop {
+        let backoff = policy.backoff_before(n);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        match attempt(n, policy.attempt_timeout) {
+            Ok(value) => return Ok((value, n)),
+            Err(e) if n >= attempts => return Err((e, n)),
+            Err(_) => n += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            initial_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+            attempt_timeout: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates_at_the_ceiling() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(70),
+            attempt_timeout: Duration::from_secs(1),
+        };
+        let sleeps: Vec<u64> = (1..=6)
+            .map(|n| policy.backoff_before(n).as_millis() as u64)
+            .collect();
+        assert_eq!(sleeps, vec![0, 10, 20, 40, 70, 70]);
+        // Huge attempt numbers must not overflow the shift.
+        assert_eq!(policy.backoff_before(u32::MAX), Duration::from_millis(70));
+    }
+
+    #[test]
+    fn first_success_short_circuits() {
+        let mut calls = 0;
+        let out = retry_with_backoff(&fast_policy(5), |n, timeout| {
+            calls += 1;
+            assert_eq!(timeout, Duration::from_millis(10));
+            if n < 3 { Err("flaky") } else { Ok(n * 100) }
+        });
+        assert_eq!(out, Ok((300, 3)));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn exhaustion_reports_the_last_error_and_attempt_count() {
+        let out: Result<((), u32), _> =
+            retry_with_backoff(&fast_policy(3), |n, _| Err(format!("attempt {n} down")));
+        assert_eq!(out, Err(("attempt 3 down".to_string(), 3)));
+        // max_attempts = 0 still makes one try.
+        let mut calls = 0;
+        let out: Result<((), u32), _> = retry_with_backoff(&fast_policy(0), |_, _| {
+            calls += 1;
+            Err("no")
+        });
+        assert_eq!(out, Err(("no", 1)));
+        assert_eq!(calls, 1);
+    }
+}

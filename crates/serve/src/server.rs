@@ -33,9 +33,12 @@ use espresso::EspressoError;
 use espresso_json::{Json, ToJson};
 
 use crate::cache::{fnv1a64, ShardedLru};
+use crate::fleet::{FleetController, FleetError, HealthDelta, JobSpec};
 use crate::http::{parse_request, status_text, write_response, HttpError, Limits, Parsed, Request};
 use crate::metrics::Metrics;
 use crate::pool::BoundedQueue;
+
+use espresso_json::FromJson;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -56,6 +59,9 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// Request resource caps.
     pub limits: Limits,
+    /// The fleet control plane, when enabled: `/fleet/*` routes answer
+    /// 404 without it.
+    pub fleet: Option<Arc<FleetController>>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +77,7 @@ impl Default for ServeConfig {
             cache_shards: 8,
             deadline: Duration::from_secs(5),
             limits: Limits::default(),
+            fleet: None,
         }
     }
 }
@@ -82,6 +89,7 @@ struct Shared {
     metrics: Metrics,
     deadline: Duration,
     limits: Limits,
+    fleet: Option<Arc<FleetController>>,
 }
 
 struct Conn {
@@ -122,6 +130,7 @@ impl Server {
             metrics: Metrics::new(),
             deadline: config.deadline,
             limits: config.limits,
+            fleet: config.fleet,
         });
 
         let accept = {
@@ -154,7 +163,7 @@ impl Server {
 
     /// The current `/metrics` document (for embedders and tests).
     pub fn metrics_json(&self) -> String {
-        self.shared.metrics.render(&self.shared.cache.stats())
+        render_metrics(&self.shared)
     }
 
     /// Signals shutdown without waiting: the accept loop stops, queued
@@ -350,7 +359,7 @@ fn route(shared: &Shared, request: &Request, deadline: Instant) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/decide") => decide_route(shared, request, deadline),
         ("GET", "/metrics") => {
-            let doc = shared.metrics.render(&shared.cache.stats());
+            let doc = render_metrics(shared);
             (200, "application/json", doc.into_bytes())
         }
         ("GET", "/healthz") => (
@@ -358,6 +367,9 @@ fn route(shared: &Shared, request: &Request, deadline: Instant) -> Response {
             "application/json",
             br#"{"status":"ok"}"#.to_vec(),
         ),
+        (method, path) if path == "/fleet" || path.starts_with("/fleet/") => {
+            fleet_route(shared, method, path, request, deadline)
+        }
         (_, "/decide" | "/metrics" | "/healthz") => {
             let body = error_body(405, &format!("method {} not allowed here", request.method));
             (405, "application/json", body.into_bytes())
@@ -365,10 +377,165 @@ fn route(shared: &Shared, request: &Request, deadline: Instant) -> Response {
         (_, path) => {
             let body = error_body(
                 404,
-                &format!("no such endpoint {path:?}; try /decide, /metrics, or /healthz"),
+                &format!("no such endpoint {path:?}; try /decide, /fleet/*, /metrics, or /healthz"),
             );
             (404, "application/json", body.into_bytes())
         }
+    }
+}
+
+fn render_metrics(shared: &Shared) -> String {
+    match &shared.fleet {
+        Some(fleet) => shared
+            .metrics
+            .render_with(&shared.cache.stats(), &fleet.metric_entries()),
+        None => shared.metrics.render(&shared.cache.stats()),
+    }
+}
+
+fn json_response(status: u16, body: String) -> Response {
+    (status, "application/json", body.into_bytes())
+}
+
+fn fleet_error_response(e: &FleetError) -> Response {
+    match e {
+        // A spec the requester can fix is their problem; durability
+        // failures are ours.
+        FleetError::Request(e) => espresso_error_response(e),
+        FleetError::Io(_) | FleetError::Corrupt { .. } => {
+            json_response(500, error_body(500, &e.to_string()))
+        }
+    }
+}
+
+/// The `/fleet/*` routes. All of them answer from the job table — a job
+/// whose re-plan is queued, shed, or failing serves its previous decision
+/// marked stale rather than erroring.
+fn fleet_route(
+    shared: &Shared,
+    method: &str,
+    path: &str,
+    request: &Request,
+    deadline: Instant,
+) -> Response {
+    let Some(fleet) = &shared.fleet else {
+        let body = error_body(
+            404,
+            "the fleet control plane is not enabled on this server; start with --fleet-dir",
+        );
+        return json_response(404, body);
+    };
+    let body_text = |request: &Request| -> Result<String, Response> {
+        std::str::from_utf8(&request.body)
+            .map(str::to_string)
+            .map_err(|_| json_response(400, error_body(400, "request body is not valid UTF-8")))
+    };
+    match (method, path) {
+        ("POST", "/fleet/register") => {
+            let text = match body_text(request) {
+                Ok(text) => text,
+                Err(resp) => return resp,
+            };
+            let spec = match Json::parse(&text)
+                .map_err(|e| e.to_string())
+                .and_then(|v| JobSpec::from_json(&v).map_err(|e| e.to_string()))
+            {
+                Ok(spec) => spec,
+                Err(e) => return json_response(400, error_body(400, &format!("bad job spec: {e}"))),
+            };
+            let id = spec.id.clone();
+            match fleet.register(spec) {
+                Ok(outcome) => json_response(
+                    200,
+                    Json::obj(vec![
+                        ("job", id.to_json()),
+                        ("priority", outcome.priority.to_json()),
+                        ("already_registered", outcome.already_registered.to_json()),
+                    ])
+                    .render(),
+                ),
+                Err(e) => fleet_error_response(&e),
+            }
+        }
+        ("POST", "/fleet/health") => {
+            let text = match body_text(request) {
+                Ok(text) => text,
+                Err(resp) => return resp,
+            };
+            let delta = match Json::parse(&text)
+                .map_err(|e| e.to_string())
+                .and_then(|v| HealthDelta::from_json(&v).map_err(|e| e.to_string()))
+            {
+                Ok(delta) => delta,
+                Err(e) => {
+                    return json_response(400, error_body(400, &format!("bad health delta: {e}")))
+                }
+            };
+            let cluster = delta.cluster.clone();
+            match fleet.apply_health(&delta) {
+                Ok(outcome) => json_response(
+                    200,
+                    Json::obj(vec![
+                        ("cluster", cluster.to_json()),
+                        ("applied", outcome.applied.to_json()),
+                        ("epoch", outcome.epoch.to_json()),
+                        ("jobs_invalidated", outcome.jobs_invalidated.to_json()),
+                    ])
+                    .render(),
+                ),
+                Err(e) => fleet_error_response(&e),
+            }
+        }
+        ("POST", "/fleet/drain") => {
+            // Bounded by the request deadline so a busy queue cannot
+            // wedge a worker past it.
+            let budget = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_secs(60));
+            let drained = fleet.drain(budget);
+            json_response(
+                200,
+                Json::obj(vec![
+                    ("drained", drained.to_json()),
+                    ("pending", fleet.pending_replans().to_json()),
+                ])
+                .render(),
+            )
+        }
+        ("POST", "/fleet/snapshot") => match fleet.snapshot_now() {
+            Ok(()) => json_response(200, r#"{"snapshot":true}"#.to_string()),
+            Err(e) => fleet_error_response(&e),
+        },
+        ("GET", "/fleet/jobs") => json_response(200, fleet.jobs_doc()),
+        ("GET", "/fleet/dead-letters") => json_response(200, fleet.dead_letters_doc()),
+        ("GET", _) if path.starts_with("/fleet/job/") => {
+            let id = &path["/fleet/job/".len()..];
+            match fleet.decision_doc(id) {
+                Some(doc) => json_response(200, doc),
+                None => json_response(
+                    404,
+                    error_body(404, &format!("no job {id:?} is registered")),
+                ),
+            }
+        }
+        (
+            _,
+            "/fleet/register" | "/fleet/health" | "/fleet/drain" | "/fleet/snapshot"
+            | "/fleet/jobs" | "/fleet/dead-letters",
+        ) => json_response(
+            405,
+            error_body(405, &format!("method {method} not allowed here")),
+        ),
+        _ => json_response(
+            404,
+            error_body(
+                404,
+                &format!(
+                    "no such fleet endpoint {path:?}; try /fleet/register, /fleet/health, \
+                     /fleet/job/<id>, /fleet/jobs, /fleet/drain, or /fleet/dead-letters"
+                ),
+            ),
+        ),
     }
 }
 

@@ -1,0 +1,179 @@
+//! HTTP round-trip tests for the `/fleet/*` routes: the wire contract a
+//! fleet client (espresso-loadgen, external controllers) programs
+//! against. Controller semantics are covered by the lib unit tests and
+//! the recovery sweep; this file pins the HTTP layer — status codes,
+//! body shapes, metric exposure, and the 404 behavior when the fleet
+//! plane is disabled.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use espresso_json::Json;
+use espresso_serve::client::request;
+use espresso_serve::{FleetConfig, FleetController, RetryPolicy, ServeConfig, Server};
+
+fn fleet_server(tag: &str) -> (Server, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "espresso-fleet-http-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fleet = FleetController::open(FleetConfig {
+        dir: dir.clone(),
+        shards: 4,
+        replan_workers: 1, // /fleet/drain needs a worker to make progress.
+        queue_watermark: 256,
+        snapshot_every: 32,
+        plan_cache_entries: 64,
+        retry: RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(100),
+            attempt_timeout: Duration::from_millis(10),
+        },
+    })
+    .expect("open fleet");
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        fleet: Some(Arc::new(fleet)),
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    (server, dir)
+}
+
+fn register_body(id: &str, cluster: &str) -> String {
+    format!(
+        concat!(
+            r#"{{"id":"{id}","cluster":"{cluster}","priority":3,"request":"#,
+            r#"{{"model":{{"model":"LSTM"}},"gc":{{"algorithm":{{"RandomK":{{"density":0.01}}}}}},"#,
+            r#""system":{{"machines":1,"gpus_per_machine":4,"intra":"Pcie","inter_gbps":25.0}}}}}}"#
+        ),
+        id = id,
+        cluster = cluster
+    )
+}
+
+fn parse(body: &[u8]) -> Json {
+    Json::parse(&String::from_utf8_lossy(body))
+        .unwrap_or_else(|e| panic!("unparseable body {:?}: {e}", String::from_utf8_lossy(body)))
+}
+
+fn drain(addr: std::net::SocketAddr) {
+    for _ in 0..200 {
+        let resp = request(addr, "POST", "/fleet/drain", b"").expect("drain");
+        assert_eq!(resp.status, 200);
+        if parse(&resp.body).req::<bool>("drained").unwrap_or(false) {
+            return;
+        }
+    }
+    panic!("fleet queue never drained");
+}
+
+#[test]
+fn fleet_routes_round_trip() {
+    let (server, dir) = fleet_server("routes");
+    let addr = server.addr();
+
+    // Register: 200 with the accepted priority echoed back.
+    let resp = request(addr, "POST", "/fleet/register", register_body("job-a", "c0").as_bytes())
+        .expect("register");
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let doc = parse(&resp.body);
+    assert_eq!(doc.req::<String>("job").unwrap(), "job-a");
+    assert!(!doc.req::<bool>("already_registered").unwrap());
+
+    // Re-registering the identical spec is idempotent.
+    let resp = request(addr, "POST", "/fleet/register", register_body("job-a", "c0").as_bytes())
+        .expect("re-register");
+    assert_eq!(resp.status, 200);
+    assert!(parse(&resp.body).req::<bool>("already_registered").unwrap());
+
+    // Malformed register body: 400, not a hang or a 500.
+    let resp = request(addr, "POST", "/fleet/register", b"{\"id\":42}").expect("bad register");
+    assert_eq!(resp.status, 400);
+
+    drain(addr);
+
+    // The planned decision is served, epoch-stamped and fresh.
+    let resp = request(addr, "GET", "/fleet/job/job-a", b"").expect("get job");
+    assert_eq!(resp.status, 200);
+    let doc = parse(&resp.body);
+    assert!(!doc.req::<bool>("stale").unwrap());
+    assert!(doc.get("decision").is_some(), "decision body missing");
+
+    // A health delta for the bound cluster invalidates and re-plans.
+    let delta =
+        br#"{"cluster":"c0","epoch":1,"workers":8,"health":{"inter":{"Degraded":{"factor":2.0}}}}"#;
+    let resp = request(addr, "POST", "/fleet/health", delta).expect("health");
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let doc = parse(&resp.body);
+    assert!(doc.req::<bool>("applied").unwrap());
+    assert_eq!(doc.req::<u64>("jobs_invalidated").unwrap(), 1);
+
+    // A stale epoch is acknowledged but ignored.
+    let resp = request(addr, "POST", "/fleet/health", delta).expect("stale health");
+    assert_eq!(resp.status, 200);
+    assert!(!parse(&resp.body).req::<bool>("applied").unwrap());
+
+    drain(addr);
+
+    // Table and decision listings.
+    let resp = request(addr, "GET", "/fleet/jobs", b"").expect("jobs");
+    assert_eq!(resp.status, 200);
+    match parse(&resp.body) {
+        Json::Arr(items) => assert_eq!(items.len(), 1, "one registered job"),
+        other => panic!("jobs doc is not an array: {other:?}"),
+    }
+
+    let resp = request(addr, "GET", "/fleet/job/nope", b"").expect("missing job");
+    assert_eq!(resp.status, 404);
+
+    let resp = request(addr, "GET", "/fleet/dead-letters", b"").expect("dead letters");
+    assert_eq!(resp.status, 200);
+
+    // Snapshot on demand.
+    let resp = request(addr, "POST", "/fleet/snapshot", b"").expect("snapshot");
+    assert_eq!(resp.status, 200);
+    assert!(dir.join("snapshot.json").exists());
+
+    // Wrong method on a fleet route: 405.
+    let resp = request(addr, "GET", "/fleet/register", b"").expect("405");
+    assert_eq!(resp.status, 405);
+
+    // Fleet gauges and latency histograms show up in /metrics.
+    let resp = request(addr, "GET", "/metrics", b"").expect("metrics");
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8_lossy(&resp.body).into_owned();
+    for key in [
+        "fleet_jobs",
+        "fleet_seq",
+        "fleet_replans_committed",
+        "fleet_delta_to_decision_count",
+    ] {
+        assert!(text.contains(key), "missing {key} in metrics: {text}");
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_routes_answer_404_when_disabled() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+    for (method, path) in [
+        ("POST", "/fleet/register"),
+        ("POST", "/fleet/health"),
+        ("GET", "/fleet/jobs"),
+        ("GET", "/fleet/job/x"),
+    ] {
+        let resp = request(addr, method, path, b"{}").expect("request");
+        assert_eq!(resp.status, 404, "{method} {path} without a fleet plane");
+    }
+    server.shutdown();
+}

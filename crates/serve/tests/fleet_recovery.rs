@@ -1,0 +1,260 @@
+//! Crash-recovery integration tests for the fleet control plane.
+//!
+//! The contract under test is the headline guarantee: kill the process at
+//! ANY journal byte offset, restart, and the recovered job table — and
+//! every decision computed after recovery — is byte-identical to a run
+//! that never crashed. A crash costs time, never state, and never a
+//! different answer.
+//!
+//! Truncating `journal.log` at an arbitrary offset is exactly what
+//! `kill -9` mid-append leaves behind, so the sweep emulates the crash
+//! without process machinery: copy the fleet directory, cut the journal
+//! at an offset, reopen, re-drive the same workload (registrations are
+//! idempotent, health deltas are epoch-gated), and compare the final
+//! table against the uninterrupted run.
+
+use std::path::{Path, PathBuf};
+
+use espresso::config::{GcConfig, ModelConfig, SystemConfig};
+use espresso::DecisionRequest;
+use espresso_cluster::{ClusterHealth, IntraFabric};
+use espresso_gc::GcAlgorithm;
+use espresso_serve::fleet::{HealthDelta, JobSpec};
+use espresso_serve::journal::{decode_records, encode_record};
+use espresso_serve::{FleetConfig, FleetController, RetryPolicy};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "espresso-fleet-recovery-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &Path, snapshot_every: u64) -> FleetConfig {
+    FleetConfig {
+        dir: dir.to_path_buf(),
+        shards: 4,
+        replan_workers: 0, // Synchronous planning keeps the sweep deterministic.
+        queue_watermark: 1024,
+        snapshot_every,
+        plan_cache_entries: 64,
+        retry: RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: std::time::Duration::from_micros(100),
+            max_backoff: std::time::Duration::from_micros(100),
+            attempt_timeout: std::time::Duration::from_millis(10),
+        },
+    }
+}
+
+fn request(density: f64) -> DecisionRequest {
+    DecisionRequest::new(
+        ModelConfig::Named {
+            model: "LSTM".into(),
+        },
+        GcConfig {
+            algorithm: GcAlgorithm::RandomK { density },
+        },
+        SystemConfig {
+            // One machine keeps each decision cheap; the sweep reopens the
+            // controller many times with a cold plan cache.
+            machines: 1,
+            gpus_per_machine: 4,
+            intra: IntraFabric::Pcie,
+            inter_gbps: 25.0,
+        },
+    )
+}
+
+fn spec(i: usize) -> JobSpec {
+    JobSpec {
+        id: format!("job-{i}"),
+        cluster: format!("c{}", i % 2),
+        priority: (i as u64) + 1,
+        notify: None,
+        request: request([0.01, 0.02][i % 2]),
+    }
+}
+
+fn deltas() -> Vec<HealthDelta> {
+    [("c0", 1, 1.5), ("c1", 1, 2.0), ("c0", 2, 3.0)]
+        .into_iter()
+        .map(|(cluster, epoch, factor)| HealthDelta {
+            cluster: cluster.into(),
+            epoch,
+            workers: Some(8),
+            health: ClusterHealth::inter_degraded(factor),
+        })
+        .collect()
+}
+
+/// Drives the scripted workload against an open controller. Every step
+/// is idempotent (specs are identical, deltas are epoch-gated), so
+/// driving it a second time after recovery converges without double
+/// effects.
+fn drive(fleet: &FleetController) {
+    for i in 0..6 {
+        fleet.register(spec(i)).expect("register");
+        fleet.run_pending();
+    }
+    for delta in deltas() {
+        fleet.apply_health(&delta).expect("health");
+        fleet.run_pending();
+    }
+}
+
+/// The uninterrupted run: drive the workload once, return its final
+/// table and keep the directory for byte surgery.
+fn gold(tag: &str, snapshot_every: u64) -> (PathBuf, String) {
+    let dir = temp_dir(tag);
+    let fleet = FleetController::open(config(&dir, snapshot_every)).expect("open gold");
+    drive(&fleet);
+    let doc = fleet.jobs_doc();
+    drop(fleet);
+    (dir, doc)
+}
+
+/// Copies the fleet directory, truncating the journal to `len` bytes.
+fn copy_with_truncated_journal(src: &Path, dst: &Path, len: usize) {
+    std::fs::create_dir_all(dst).expect("mkdir");
+    for name in ["snapshot.json", "snapshot.prev.json"] {
+        if let Ok(bytes) = std::fs::read(src.join(name)) {
+            std::fs::write(dst.join(name), bytes).expect("copy snapshot");
+        }
+    }
+    let journal = std::fs::read(src.join("journal.log")).expect("read journal");
+    std::fs::write(dst.join("journal.log"), &journal[..len.min(journal.len())])
+        .expect("write truncated journal");
+}
+
+#[test]
+fn reopen_without_a_crash_is_bit_for_bit() {
+    let (dir, expected) = gold("clean", 4);
+    let fleet = FleetController::open(config(&dir, 1_000_000)).expect("reopen");
+    assert_eq!(fleet.jobs_doc(), expected, "recovery must be bit-for-bit");
+    // Recovery found nothing stale: every decision was journaled.
+    assert_eq!(fleet.pending_replans(), 0);
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The sweep: cut the journal at every record boundary and at torn
+/// offsets inside every frame (header bytes, payload middle, last byte).
+/// Each cut is a place `kill -9` could have landed. After reopening and
+/// re-driving the workload, the table must match the uninterrupted run
+/// byte-for-byte.
+#[test]
+fn truncation_at_any_journal_offset_recovers_and_converges() {
+    let (dir, expected) = gold("sweep", 4);
+    let journal = std::fs::read(dir.join("journal.log")).expect("read journal");
+    let (records, clean_len) = decode_records(&journal);
+    assert!(
+        !records.is_empty(),
+        "the workload must leave a journal suffix to sweep"
+    );
+    assert_eq!(clean_len, journal.len(), "gold journal must be clean");
+    let frame_overhead = encode_record(1, b"x").len() - 1;
+
+    // Offsets: every boundary, plus torn positions within each frame.
+    let mut offsets = vec![0usize];
+    let mut boundary = 0usize;
+    for record in &records {
+        let frame = frame_overhead + record.payload.len();
+        for torn in [1, frame_overhead / 2, frame_overhead, frame_overhead + record.payload.len() / 2, frame - 1] {
+            offsets.push(boundary + torn.min(frame - 1));
+        }
+        boundary += frame;
+        offsets.push(boundary);
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+
+    for len in offsets {
+        let scratch = temp_dir(&format!("sweep-cut-{len}"));
+        copy_with_truncated_journal(&dir, &scratch, len);
+        let fleet = FleetController::open(config(&scratch, 1_000_000))
+            .unwrap_or_else(|e| panic!("reopen after cut at {len}: {e}"));
+        fleet.run_pending(); // Recompute whatever the crash lost.
+        drive(&fleet); // Re-deliver the workload; every step is idempotent.
+        assert_eq!(
+            fleet.jobs_doc(),
+            expected,
+            "cut at byte {len}: recovered run diverged from the uninterrupted run"
+        );
+        drop(fleet);
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt current snapshot falls back to the previous generation plus
+/// the journal suffix kept alive for exactly this case. Single flipped
+/// bytes across the whole file: every flip either leaves the snapshot
+/// semantically intact (it is detected-equivalent) or triggers the
+/// fallback — never a wrong table.
+#[test]
+fn corrupt_current_snapshot_falls_back_to_previous_generation() {
+    let (dir, expected) = gold("fallback", 4);
+    let current = std::fs::read(dir.join("snapshot.json")).expect("gold run must snapshot");
+    assert!(
+        dir.join("snapshot.prev.json").exists(),
+        "gold run must rotate at least twice"
+    );
+
+    // Sample offsets across the file: every byte of the header region
+    // (checksum + length live there) and a spread through the payload.
+    let mut offsets: Vec<usize> = (0..current.len().min(64)).collect();
+    offsets.extend((64..current.len()).step_by(37));
+    offsets.push(current.len() - 1);
+    offsets.dedup();
+
+    for off in offsets {
+        for mask in [0x01u8, 0x80] {
+            let mut bent = current.clone();
+            bent[off] ^= mask;
+            if bent == current {
+                continue;
+            }
+            let scratch = temp_dir(&format!("fallback-{off}-{mask}"));
+            copy_with_truncated_journal(&dir, &scratch, usize::MAX);
+            std::fs::write(scratch.join("snapshot.json"), &bent).expect("write bent snapshot");
+            let fleet = FleetController::open(config(&scratch, 1_000_000)).unwrap_or_else(|e| {
+                panic!("open with snapshot byte {off} ^ {mask:#04x} failed: {e}")
+            });
+            fleet.run_pending();
+            drive(&fleet);
+            assert_eq!(
+                fleet.jobs_doc(),
+                expected,
+                "snapshot byte {off} ^ {mask:#04x}: wrong table served"
+            );
+            drop(fleet);
+            let _ = std::fs::remove_dir_all(&scratch);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Both generations corrupt: opening must refuse (`Corrupt`), never
+/// fabricate a table from unverifiable bytes.
+#[test]
+fn both_snapshot_generations_corrupt_is_an_error() {
+    let (dir, _) = gold("both-bad", 4);
+    let scratch = temp_dir("both-bad-cut");
+    copy_with_truncated_journal(&dir, &scratch, usize::MAX);
+    for name in ["snapshot.json", "snapshot.prev.json"] {
+        let mut bytes = std::fs::read(scratch.join(name)).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(scratch.join(name), bytes).expect("write");
+    }
+    let result = FleetController::open(config(&scratch, 1_000_000));
+    assert!(
+        result.is_err(),
+        "two corrupt generations must refuse to open"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+    let _ = std::fs::remove_dir_all(&dir);
+}

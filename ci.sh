@@ -46,6 +46,17 @@ step "fleet gate" ./target/release/espresso-loadgen --fleet-gate
 step "fleet bench" ./target/release/espresso-loadgen --fleet --jobs 1200 --deltas 200 \
     --out BENCH_fleet.json
 
+# Adaptive-ratio gate: the ratio-aware oracle sweep (layerwise allocator
+# within 10% of exhaustive grid enumeration at equal error budget), then
+# the fixed-vs-adaptive bench over the paper models; regenerates
+# BENCH_adapt.json and fails unless the adaptive plan beats the best
+# fixed ratio within budget on at least two models.
+adapt_gate() {
+    ./target/release/espresso-audit adapt
+    ./target/release/adapt --out BENCH_adapt.json
+}
+step "adapt" adapt_gate
+
 # Crash/recovery gate: train with a checkpoint cadence, halt mid-run (a
 # simulated process crash), resume from the checkpoint, and require the
 # resumed run's weight and state fingerprints to equal an uninterrupted

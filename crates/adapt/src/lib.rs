@@ -1,0 +1,40 @@
+//! Layerwise-adaptive compression ratios.
+//!
+//! Espresso's decision dimensions are *where* to compress (which tensors)
+//! and *how* (device, communication pattern); the compression **ratio** of
+//! each tensor is a fixed input. This crate promotes the ratio to a third,
+//! first-class decision dimension, following two lines of follow-up work:
+//!
+//! * **L-GreCo** (Alimohammadi et al.): per-layer ratios chosen by dynamic
+//!   programming under a global error constraint. [`allocator`] implements
+//!   the discrete DP over empirical per-tensor `(ratio → error, ratio →
+//!   wire size)` curves from [`curves`], then scores a nested family of
+//!   candidate plans against the *real* simulator objective `F(S)`
+//!   ([`espresso_sim::Simulator::iteration_time_with_algos`]) rather than
+//!   a proxy, so the chosen vector minimizes simulated iteration time
+//!   subject to the error budget.
+//! * **GraVAC** (Tyagi & Sharma): online ratio adaptation driven by the
+//!   measured compression gain. [`controller`] is the runtime half — a
+//!   hysteresis state machine that tightens or relaxes per-tensor ratios
+//!   from observed error-feedback residual norms. The training runtime
+//!   feeds it each sync round and routes accepted changes through the
+//!   existing re-planning path.
+//!
+//! [`oracle`] is the correctness yardstick: a constrained exhaustive
+//! search over the full ratio grid, feasible only for small jobs, against
+//! which the audit suite holds the allocator to a 10% optimality bound.
+//!
+//! Everything here is deterministic: curves are measured on seeded
+//! synthetic gradients, the allocator contains no randomness, and the
+//! controller's state round-trips through canonical JSON so crash + resume
+//! replays bit-identically.
+
+pub mod allocator;
+pub mod controller;
+pub mod curves;
+pub mod oracle;
+
+pub use allocator::{Allocator, RatioPlan};
+pub use controller::{ControllerConfig, RatioController};
+pub use curves::{measure_curves, plan_error, TensorCurve};
+pub use oracle::{exhaustive_best, OracleResult};

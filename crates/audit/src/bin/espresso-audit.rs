@@ -6,6 +6,7 @@
 //! espresso-audit invariants
 //! espresso-audit goldens [--dir tests/goldens] [--update]
 //! espresso-audit serve
+//! espresso-audit adapt   [--jobs 60] [--bound 0.10]
 //! ```
 //!
 //! Each step prints its wall-clock time; any failure exits 1 after
@@ -15,7 +16,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use espresso_audit::{corpus, goldens, serve_check, sweep, StepTimer};
+use espresso_audit::{adapt, corpus, goldens, serve_check, sweep, StepTimer};
 
 struct Args {
     command: String,
@@ -37,7 +38,9 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     match it.next() {
-        Some(c) if ["oracle", "invariants", "goldens", "serve", "all"].contains(&c.as_str()) => {
+        Some(c) if ["oracle", "invariants", "goldens", "serve", "adapt", "all"]
+            .contains(&c.as_str()) =>
+        {
             args.command = c;
         }
         Some(c) => return Err(format!("unknown command {c:?}")),
@@ -138,6 +141,37 @@ fn goldens_step(args: &Args) -> bool {
     timer.finish(ok)
 }
 
+fn adapt_step(args: &Args) -> bool {
+    let timer = StepTimer::start("ratio-aware oracle");
+    let mut config = adapt::AdaptConfig::default();
+    if let Some(jobs) = args.jobs {
+        config.jobs = jobs;
+    }
+    if let Some(bound) = args.bound {
+        config.bound = bound;
+    }
+    let report = adapt::run(&config);
+    if let Some((gap, case)) = report.worst() {
+        println!(
+            "   {} cases, {} oracle evaluations, worst gap {:.2}% ({case})",
+            report.results.len(),
+            report.evaluated(),
+            gap * 100.0
+        );
+    }
+    for failure in &report.failures {
+        println!(
+            "   FAILED {}: allocator {:.4}s vs oracle {:.4}s ({:+.2}% > {:.0}% bound)",
+            failure.case,
+            failure.allocator_time,
+            failure.oracle_time,
+            failure.gap() * 100.0,
+            report.bound * 100.0,
+        );
+    }
+    timer.finish(report.ok())
+}
+
 fn serve_step() -> bool {
     let timer = StepTimer::start("serve equivalence");
     match serve_check::run() {
@@ -160,7 +194,7 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(e) => {
             eprintln!("espresso-audit: {e}");
-            eprintln!("usage: espresso-audit <oracle|invariants|goldens|serve|all> [--jobs N] [--bound X] [--faulted-bound X] [--dir PATH] [--update]");
+            eprintln!("usage: espresso-audit <oracle|invariants|goldens|serve|adapt|all> [--jobs N] [--bound X] [--faulted-bound X] [--dir PATH] [--update]");
             return ExitCode::from(2);
         }
     };
@@ -170,11 +204,13 @@ fn main() -> ExitCode {
         "invariants" => invariants_step(),
         "goldens" => goldens_step(&args),
         "serve" => serve_step(),
+        "adapt" => adapt_step(&args),
         _ => {
             let mut ok = oracle_step(&args);
             ok &= invariants_step();
             ok &= goldens_step(&args);
             ok &= serve_step();
+            ok &= adapt_step(&args);
             ok
         }
     };

@@ -37,10 +37,17 @@ pub struct GoldenCase {
     pub model: Model,
     /// GC algorithm (the paper's evaluation trio).
     pub algo: GcAlgorithm,
+    /// Ratio-bearing variant: when set, the front (output-side) half of
+    /// the tensors runs this looser setting of the same family — a
+    /// deterministic stand-in for an allocator-produced layerwise plan,
+    /// so the per-tensor ratio machinery is pinned by snapshots too.
+    pub variant: Option<GcAlgorithm>,
 }
 
 impl GoldenCase {
-    /// Snapshot file name, e.g. `vgg16_dgc.json`.
+    /// Snapshot file name, e.g. `vgg16_dgc.json` (uniform) or
+    /// `vgg16_dgc_adapt_d0p05.json` (ratio variant, named by the looser
+    /// setting's slug).
     pub fn file_name(&self) -> String {
         let model = self
             .model
@@ -48,23 +55,60 @@ impl GoldenCase {
             .to_ascii_lowercase()
             .replace('-', "_");
         let algo = self.algo.name().to_ascii_lowercase();
-        format!("{model}_{algo}.json")
+        match &self.variant {
+            None => format!("{model}_{algo}.json"),
+            Some(v) => format!("{model}_{algo}_adapt_{}.json", v.setting_slug()),
+        }
     }
 
-    /// Human-readable label ("VGG16/DGC").
+    /// Human-readable label ("VGG16/DGC", "VGG16/DGC[adapt d=0.05]").
     pub fn label(&self) -> String {
-        format!("{}/{}", self.model.name(), self.algo.name())
+        match &self.variant {
+            None => format!("{}/{}", self.model.name(), self.algo.name()),
+            Some(v) => format!(
+                "{}/{}[adapt {}]",
+                self.model.name(),
+                self.algo.name(),
+                v.setting_label()
+            ),
+        }
+    }
+
+    /// The per-tensor plan this case runs under (`None` for uniform).
+    pub fn plan(&self, num_tensors: usize) -> Option<Vec<GcAlgorithm>> {
+        let v = self.variant?;
+        Some(
+            (0..num_tensors)
+                .map(|i| if i < num_tensors / 2 { v } else { self.algo })
+                .collect(),
+        )
     }
 }
 
-/// The full 6 × 3 snapshot matrix, in paper-table order.
+/// The full 6 × 3 snapshot matrix in paper-table order, plus the
+/// ratio-bearing variants (one sparsifier per family, on the two models
+/// whose selection is cheapest to regenerate).
 pub fn cases() -> Vec<GoldenCase> {
     let mut all = Vec::new();
     for model in Model::ALL {
         for algo in GcAlgorithm::paper_suite() {
-            all.push(GoldenCase { model, algo });
+            all.push(GoldenCase {
+                model,
+                algo,
+                variant: None,
+            });
         }
     }
+    all.push(GoldenCase {
+        model: Model::Vgg16,
+        algo: GcAlgorithm::dgc_1pct(),
+        variant: Some(GcAlgorithm::Dgc { density: 0.05 }),
+    });
+    all.push(GoldenCase {
+        model: Model::Lstm,
+        algo: GcAlgorithm::randomk_1pct(),
+        variant: Some(GcAlgorithm::RandomK { density: 0.05 }),
+    });
     all
 }
 
@@ -76,18 +120,20 @@ pub fn reference_cluster() -> Cluster {
 }
 
 fn job_for(case: &GoldenCase) -> Job {
-    Job::new(
+    let mut job = Job::new(
         case.model.profile(),
         reference_cluster(),
         case.algo,
-    )
+    );
+    job.set_tensor_algos(case.plan(job.num_tensors()));
+    job
 }
 
 /// Renders the snapshot document for `strategy` on this case's job.
 fn document(case: &GoldenCase, job: &Job, strategy: &Strategy) -> String {
     let options: Vec<Json> = strategy.iter().map(|(_, o)| o.to_json()).collect();
     let result = simulate(job, strategy, &SimConfig::default());
-    Json::obj(vec![
+    let mut fields = vec![
         ("model", case.model.name().to_json()),
         ("algorithm", case.algo.name().to_json()),
         (
@@ -100,9 +146,16 @@ fn document(case: &GoldenCase, job: &Job, strategy: &Strategy) -> String {
         ),
         ("strategy", Json::Arr(options)),
         ("trace", gantt::export_json(&result)),
-    ])
-    .canonical()
-    .render()
+    ];
+    // Only variant cases carry a plan key, so the 18 uniform snapshots
+    // stay byte-identical to their pre-variant form.
+    if let Some(plan) = &job.tensor_algos {
+        fields.push((
+            "ratio_plan",
+            Json::Arr(plan.iter().map(|a| a.setting_label().to_json()).collect()),
+        ));
+    }
+    Json::obj(fields).canonical().render()
 }
 
 /// Regenerates one snapshot: full Espresso selection plus simulation.
@@ -231,13 +284,32 @@ mod tests {
     #[test]
     fn file_names_are_stable_and_unique() {
         let names: Vec<String> = cases().iter().map(GoldenCase::file_name).collect();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 20);
         let mut unique = names.clone();
         unique.sort();
         unique.dedup();
-        assert_eq!(unique.len(), 18, "duplicate golden file names");
+        assert_eq!(unique.len(), 20, "duplicate golden file names");
         assert!(names.contains(&"vgg16_dgc.json".to_string()));
         assert!(names.contains(&"bert_base_efsignsgd.json".to_string()));
+        assert!(names.contains(&"vgg16_dgc_adapt_d0p05.json".to_string()));
+        assert!(names.contains(&"lstm_randomk_adapt_d0p05.json".to_string()));
+    }
+
+    #[test]
+    fn variant_cases_carry_a_front_half_plan() {
+        let case = cases()
+            .into_iter()
+            .find(|c| c.variant.is_some())
+            .expect("ratio variants exist");
+        let job = job_for(&case);
+        let plan = job.tensor_algos.as_ref().expect("variant job has a plan");
+        let n = plan.len();
+        assert_eq!(n, job.num_tensors());
+        assert_eq!(plan[0], case.variant.unwrap());
+        assert_eq!(plan[n - 1], case.algo);
+        // Uniform cases stay plan-free (their snapshots must not change).
+        let uniform = cases().into_iter().find(|c| c.variant.is_none()).unwrap();
+        assert!(job_for(&uniform).tensor_algos.is_none());
     }
 
     #[test]
@@ -249,6 +321,7 @@ mod tests {
         let case = GoldenCase {
             model: Model::Vgg16,
             algo: GcAlgorithm::dgc_1pct(),
+            variant: None,
         };
         let path = update(&case, &dir).unwrap();
         check(&case, &dir).unwrap();

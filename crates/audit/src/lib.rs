@@ -18,10 +18,15 @@
 //! * [`serve_check`] — **serve-path determinism**: cache hits and forced
 //!   recomputations of the same decision request must be byte-identical,
 //!   across a perturb-then-restore health excursion.
+//! * [`adapt`] — the **ratio-aware oracle**: the layerwise-ratio
+//!   allocator of `espresso-adapt` versus exhaustive enumeration of the
+//!   per-tensor ratio grid under the same error budget, on the same
+//!   seeded small jobs the differential oracle uses.
 //!
 //! The `espresso-audit` binary drives all four with per-step timing and
 //! is wired into `ci.sh` as the `audit` step.
 
+pub mod adapt;
 pub mod corpus;
 pub mod goldens;
 pub mod jobs;

@@ -1,0 +1,166 @@
+//! Adaptive-ratio benchmark: layerwise allocation versus the best fixed
+//! ratio, at equal compression-error budget.
+//!
+//! For every paper model on the PCIe + 25 Gbps testbed (4 machines × 8
+//! GPUs), this bench measures per-tensor error curves, sets the error
+//! budget to the uniform default plan's error (DGC at 5% density — an
+//! operating point with grid headroom on both sides), and compares two
+//! plans the simulator prices through the same per-tensor path:
+//!
+//! * **best fixed** — the fastest *uniform* grid setting whose error fits
+//!   the budget ([`Allocator::best_uniform`]);
+//! * **adaptive** — the L-GreCo-style layerwise allocation
+//!   ([`Allocator::allocate`]).
+//!
+//! Writes `BENCH_adapt.json` and exits non-zero unless the adaptive plan
+//! beats the best fixed plan on at least two models while staying within
+//! budget on all of them — the gate `ci.sh` runs as the `adapt bench`
+//! step.
+
+use std::process::ExitCode;
+
+use espresso::Espresso;
+use espresso_adapt::{measure_curves, Allocator};
+use espresso_bench::{Table, Testbed};
+use espresso_gc::GcAlgorithm;
+use espresso_json::Json;
+use espresso_models::Model;
+use espresso_sim::{SimConfig, Simulator};
+
+/// Curve-measurement seed; any fixed value keeps the bench reproducible.
+const SEED: u64 = 17;
+
+struct Row {
+    model: Model,
+    tensors: usize,
+    budget: f64,
+    fixed_label: String,
+    fixed_time: f64,
+    adaptive_time: f64,
+    adaptive_error: f64,
+    within_budget: bool,
+    distinct_settings: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.fixed_time / self.adaptive_time
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("model", Json::Str(self.model.name().to_string())),
+            ("tensors", Json::Num(self.tensors as f64)),
+            ("error_budget", Json::Num(self.budget)),
+            ("best_fixed_setting", Json::Str(self.fixed_label.clone())),
+            ("best_fixed_time_s", Json::Num(self.fixed_time)),
+            ("adaptive_time_s", Json::Num(self.adaptive_time)),
+            ("adaptive_error", Json::Num(self.adaptive_error)),
+            ("within_budget", Json::Bool(self.within_budget)),
+            ("distinct_settings", Json::Num(self.distinct_settings as f64)),
+            ("speedup", Json::Num(self.speedup())),
+        ])
+    }
+}
+
+fn evaluate(model: Model) -> Row {
+    let algo = GcAlgorithm::Dgc { density: 0.05 };
+    let job = espresso_bench::runner::job(model, Testbed::Pcie25G, 4, algo);
+    let (strategy, _) = Espresso::new(job.clone()).select_strategy();
+    let sim = Simulator::new(job.clone(), SimConfig::default());
+    let curves = measure_curves(&job.model, algo, SEED);
+    let alloc = Allocator::new(&sim, &strategy, &curves);
+    let budget = alloc.default_error();
+    let adaptive = alloc.allocate(budget);
+    let fixed = alloc
+        .best_uniform(budget)
+        .expect("the default setting always fits its own error budget");
+    let mut settings = adaptive.settings.clone();
+    settings.sort_by_key(|a| a.setting_slug());
+    settings.dedup();
+    Row {
+        model,
+        tensors: job.num_tensors(),
+        budget,
+        fixed_label: fixed.settings[0].setting_label(),
+        fixed_time: fixed.predicted_time,
+        adaptive_time: adaptive.predicted_time,
+        adaptive_error: adaptive.total_error,
+        within_budget: adaptive.within_budget,
+        distinct_settings: settings.len(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_adapt.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => match it.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("adapt: --out needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("adapt: unknown flag {other:?}");
+                eprintln!("usage: adapt [--out BENCH_adapt.json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let rows: Vec<Row> = Model::ALL.iter().map(|&m| evaluate(m)).collect();
+
+    let mut table = Table::new(&[
+        "Model",
+        "Best fixed",
+        "Fixed ms",
+        "Adaptive ms",
+        "Speedup",
+        "Settings used",
+        "In budget",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.model.name().to_string(),
+            r.fixed_label.clone(),
+            format!("{:.2}", r.fixed_time * 1e3),
+            format!("{:.2}", r.adaptive_time * 1e3),
+            format!("{:.3}x", r.speedup()),
+            format!("{}", r.distinct_settings),
+            if r.within_budget { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!(
+        "Adaptive layerwise ratios vs best fixed ratio (DGC grid, {}, equal error budget)\n",
+        Testbed::Pcie25G.name()
+    );
+    print!("{}", table.render());
+
+    let improved = rows.iter().filter(|r| r.speedup() > 1.0).count();
+    let all_within = rows.iter().all(|r| r.within_budget);
+    let doc = Json::obj(vec![
+        ("testbed", Json::Str(Testbed::Pcie25G.name().to_string())),
+        ("algorithm_family", Json::Str("Dgc".to_string())),
+        ("seed", Json::Num(SEED as f64)),
+        ("models_improved", Json::Num(improved as f64)),
+        ("all_within_budget", Json::Bool(all_within)),
+        ("results", Json::Arr(rows.iter().map(Row::to_json).collect())),
+    ]);
+    if let Err(e) = std::fs::write(&out, doc.pretty() + "\n") {
+        eprintln!("adapt: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out} ({improved}/{} models improved)", rows.len());
+
+    if improved < 2 || !all_within {
+        eprintln!(
+            "adapt: gate FAILED — need >=2 models improved within budget \
+             (improved {improved}, all within budget: {all_within})"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

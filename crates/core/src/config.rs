@@ -81,24 +81,146 @@ impl FromJson for ModelConfig {
     }
 }
 
-/// GC information: the algorithm and its ratio (the enum carries both).
+/// GC information: the algorithm and its ratio (the enum carries both),
+/// plus the adaptive-ratio knobs.
+///
+/// Two optional uniform overrides — `ratio` (sparsifier density) and
+/// `bits` (QSGD/TernGrad code width) — are folded into `algorithm` at
+/// decode time, so `{"algorithm": {"Dgc": {"density": 0.01}}, "ratio":
+/// 0.05}` and `{"algorithm": {"Dgc": {"density": 0.05}}}` are the same
+/// configuration (and produce the same canonical cache key). An optional
+/// per-tensor `ratios` plan carries layerwise-adaptive densities; a plan
+/// equal to the uniform default everywhere canonicalizes to omitted.
 #[derive(Debug, Clone)]
 pub struct GcConfig {
-    /// The compression algorithm.
+    /// The compression algorithm (uniform overrides already applied).
     pub algorithm: GcAlgorithm,
+    /// Optional per-tensor sparsifier densities, entry `i` for tensor `i`.
+    pub ratios: Option<Vec<f64>>,
+}
+
+impl GcConfig {
+    /// A uniform configuration with no per-tensor plan.
+    pub fn uniform(algorithm: GcAlgorithm) -> Self {
+        Self {
+            algorithm,
+            ratios: None,
+        }
+    }
+
+    /// The per-tensor plan in canonical form: `None` when absent *or*
+    /// when every entry equals the uniform algorithm's own density (an
+    /// explicit-default plan is the same configuration as no plan).
+    pub fn canonical_ratios(&self) -> Option<&[f64]> {
+        let ratios = self.ratios.as_deref()?;
+        match self.algorithm.density() {
+            Some(d) if ratios.iter().all(|&r| r == d) => None,
+            _ => Some(ratios),
+        }
+    }
+
+    /// Resolves the per-tensor plan into concrete algorithm settings for
+    /// a `num_tensors`-tensor model.
+    ///
+    /// # Errors
+    ///
+    /// [`EspressoError::Config`] at `gc.ratios` if the plan length does
+    /// not match the model or the algorithm has no ratio knob (decode
+    /// already validates ranges; this also covers programmatic
+    /// construction).
+    pub fn ratio_plan(&self, num_tensors: usize) -> Result<Option<Vec<GcAlgorithm>>, EspressoError> {
+        let Some(ratios) = self.canonical_ratios() else {
+            return Ok(None);
+        };
+        if ratios.len() != num_tensors {
+            return Err(EspressoError::config(
+                "gc.ratios",
+                format!(
+                    "plan has {} entries, model has {num_tensors} tensors",
+                    ratios.len()
+                ),
+            ));
+        }
+        ratios
+            .iter()
+            .map(|&r| {
+                self.algorithm.with_ratio(r).ok_or_else(|| {
+                    EspressoError::config(
+                        "gc.ratios",
+                        format!(
+                            "{} has no ratio knob or {r} is outside (0, 1]",
+                            self.algorithm.name()
+                        ),
+                    )
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some)
+    }
 }
 
 impl ToJson for GcConfig {
     fn to_json(&self) -> Json {
-        Json::obj(vec![("algorithm", self.algorithm.to_json())])
+        let mut fields = vec![("algorithm", self.algorithm.to_json())];
+        if let Some(ratios) = self.canonical_ratios() {
+            fields.push(("ratios", ratios.to_vec().to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
 impl FromJson for GcConfig {
     fn from_json(v: &Json) -> Result<Self, DecodeError> {
-        Ok(Self {
-            algorithm: v.req("algorithm")?,
-        })
+        let mut algorithm: GcAlgorithm = v.req("algorithm")?;
+        if let Some(rj) = v.get("ratio") {
+            let ratio: f64 = FromJson::from_json(rj).map_err(|e| e.at("ratio"))?;
+            algorithm = algorithm.with_ratio(ratio).ok_or_else(|| {
+                let msg = if algorithm.density().is_none() {
+                    format!("{} has no ratio knob", algorithm.name())
+                } else {
+                    format!("ratio must be in (0, 1], got {ratio}")
+                };
+                DecodeError::new(msg).at("ratio")
+            })?;
+        }
+        if let Some(bj) = v.get("bits") {
+            let bits: u8 = FromJson::from_json(bj).map_err(|e| e.at("bits"))?;
+            algorithm = algorithm.with_bits(bits).ok_or_else(|| {
+                let msg = match algorithm {
+                    GcAlgorithm::Qsgd { .. } => {
+                        format!("QSGD bits must be in 2..=8, got {bits}")
+                    }
+                    GcAlgorithm::TernGrad => {
+                        format!("TernGrad codes are fixed at 2 bits, got {bits}")
+                    }
+                    _ => format!("{} has no bit-width knob", algorithm.name()),
+                };
+                DecodeError::new(msg).at("bits")
+            })?;
+        }
+        let ratios = match v.get("ratios") {
+            None => None,
+            Some(rj) => {
+                let ratios: Vec<f64> = FromJson::from_json(rj).map_err(|e| e.at("ratios"))?;
+                if algorithm.density().is_none() {
+                    return Err(DecodeError::new(format!(
+                        "per-tensor ratios require a sparsifier algorithm, got {}",
+                        algorithm.name()
+                    ))
+                    .at("ratios"));
+                }
+                for (i, &r) in ratios.iter().enumerate() {
+                    if !(r > 0.0 && r <= 1.0) {
+                        return Err(DecodeError::new(format!(
+                            "must be in (0, 1], got {r}"
+                        ))
+                        .at(&format!("ratios[{i}]")));
+                    }
+                }
+                Some(ratios)
+            }
+        };
+        Ok(Self { algorithm, ratios })
     }
 }
 
@@ -249,7 +371,10 @@ pub fn build_job(
     if let Some(collector) = trace {
         profile = collector.measured_profile(&profile);
     }
-    Ok(Job::new(profile, system.resolve()?, gc.algorithm))
+    let mut job = Job::new(profile, system.resolve()?, gc.algorithm);
+    let plan = gc.ratio_plan(job.num_tensors())?;
+    job.set_tensor_algos(plan);
+    Ok(job)
 }
 
 #[cfg(test)]
@@ -285,12 +410,100 @@ mod tests {
         let json = Json::encode(&system);
         let back: SystemConfig = Json::decode(&json).unwrap();
         assert_eq!(back.machines, 8);
-        let gc = GcConfig {
-            algorithm: GcAlgorithm::dgc_1pct(),
-        };
+        let gc = GcConfig::uniform(GcAlgorithm::dgc_1pct());
         let json = Json::encode(&gc);
         let back: GcConfig = Json::decode(&json).unwrap();
         assert_eq!(back.algorithm, GcAlgorithm::dgc_1pct());
+        assert!(back.ratios.is_none());
+    }
+
+    #[test]
+    fn uniform_ratio_override_folds_into_the_algorithm() {
+        let text = r#"{ "algorithm": { "Dgc": { "density": 0.01 } }, "ratio": 0.05 }"#;
+        let gc: GcConfig = Json::decode(text).unwrap();
+        assert_eq!(gc.algorithm, GcAlgorithm::Dgc { density: 0.05 });
+        // The canonical encoding carries the resolved density, no `ratio`
+        // field — an explicit default and an omitted one are identical.
+        assert!(!Json::encode(&gc).contains("ratio"), "{}", Json::encode(&gc));
+    }
+
+    #[test]
+    fn ratio_bounds_are_validated_with_field_context() {
+        // Upper bound: 1.0 is legal, above is not.
+        let ok = r#"{ "algorithm": { "RandomK": { "density": 0.01 } }, "ratio": 1.0 }"#;
+        let gc: GcConfig = Json::decode(ok).unwrap();
+        assert_eq!(gc.algorithm, GcAlgorithm::RandomK { density: 1.0 });
+        let high = r#"{ "algorithm": { "RandomK": { "density": 0.01 } }, "ratio": 1.5 }"#;
+        let err = Json::decode::<GcConfig>(high).unwrap_err();
+        assert!(err.path == "ratio" && err.message.contains("(0, 1]"), "{err}");
+        // Lower bound: 0 is out.
+        let zero = r#"{ "algorithm": { "RandomK": { "density": 0.01 } }, "ratio": 0.0 }"#;
+        let err = Json::decode::<GcConfig>(zero).unwrap_err();
+        assert!(err.path == "ratio" && err.message.contains("(0, 1]"), "{err}");
+        // Knobless algorithm rejects the field outright.
+        let knobless = r#"{ "algorithm": "EfSignSgd", "ratio": 0.5 }"#;
+        let err = Json::decode::<GcConfig>(knobless).unwrap_err();
+        assert!(err.path == "ratio" && err.message.contains("no ratio knob"), "{err}");
+    }
+
+    #[test]
+    fn bits_override_is_validated_per_algorithm() {
+        let ok = r#"{ "algorithm": { "Qsgd": { "levels": 127 } }, "bits": 4 }"#;
+        let gc: GcConfig = Json::decode(ok).unwrap();
+        assert_eq!(gc.algorithm, GcAlgorithm::Qsgd { levels: 7 });
+        let bad = r#"{ "algorithm": { "Qsgd": { "levels": 127 } }, "bits": 9 }"#;
+        let err = Json::decode::<GcConfig>(bad).unwrap_err();
+        assert!(err.path == "bits" && err.message.contains("2..=8"), "{err}");
+        let tern = r#"{ "algorithm": "TernGrad", "bits": 3 }"#;
+        let err = Json::decode::<GcConfig>(tern).unwrap_err();
+        assert!(err.path == "bits" && err.message.contains("fixed at 2"), "{err}");
+        let fp16 = r#"{ "algorithm": "Fp16", "bits": 8 }"#;
+        let err = Json::decode::<GcConfig>(fp16).unwrap_err();
+        assert!(err.path == "bits" && err.message.contains("no bit-width"), "{err}");
+    }
+
+    #[test]
+    fn per_tensor_ratios_validate_and_canonicalize() {
+        let plan = r#"{ "algorithm": { "Dgc": { "density": 0.01 } }, "ratios": [0.05, 0.01] }"#;
+        let gc: GcConfig = Json::decode(plan).unwrap();
+        assert_eq!(gc.canonical_ratios(), Some(&[0.05, 0.01][..]));
+        assert!(Json::encode(&gc).contains("ratios"));
+        // A plan equal to the default everywhere canonicalizes away.
+        let noop = r#"{ "algorithm": { "Dgc": { "density": 0.01 } }, "ratios": [0.01, 0.01] }"#;
+        let gc: GcConfig = Json::decode(noop).unwrap();
+        assert_eq!(gc.canonical_ratios(), None);
+        assert!(!Json::encode(&gc).contains("ratios"));
+        // Out-of-range entries name their index.
+        let bad = r#"{ "algorithm": { "Dgc": { "density": 0.01 } }, "ratios": [0.05, 2.0] }"#;
+        let err = Json::decode::<GcConfig>(bad).unwrap_err();
+        assert!(err.path == "ratios[1]", "{err}");
+        // Quantizers have no per-tensor density plan.
+        let quant = r#"{ "algorithm": "EfSignSgd", "ratios": [0.05] }"#;
+        let err = Json::decode::<GcConfig>(quant).unwrap_err();
+        assert!(err.path == "ratios" && err.message.contains("sparsifier"), "{err}");
+    }
+
+    #[test]
+    fn build_job_installs_the_ratio_plan() {
+        let model = ModelConfig::Named {
+            model: "LSTM".into(),
+        };
+        let system = SystemConfig {
+            machines: 2,
+            gpus_per_machine: 2,
+            intra: IntraFabric::Pcie,
+            inter_gbps: 25.0,
+        };
+        let n = model.resolve().unwrap().num_tensors();
+        let mut gc = GcConfig::uniform(GcAlgorithm::dgc_1pct());
+        gc.ratios = Some((0..n).map(|i| if i == 0 { 0.05 } else { 0.01 }).collect());
+        let job = build_job(&model, &gc, &system, None).unwrap();
+        assert_eq!(job.algo_for(0), GcAlgorithm::Dgc { density: 0.05 });
+        assert_eq!(job.algo_for(1), GcAlgorithm::dgc_1pct());
+        // Wrong plan length is a config error naming the field.
+        gc.ratios = Some(vec![0.05]);
+        let err = build_job(&model, &gc, &system, None).unwrap_err();
+        assert!(err.to_string().contains("gc.ratios"), "{err}");
     }
 
     #[test]
@@ -337,9 +550,7 @@ mod tests {
         let model = ModelConfig::Named {
             model: "LSTM".into(),
         };
-        let gc = GcConfig {
-            algorithm: GcAlgorithm::EfSignSgd,
-        };
+        let gc = GcConfig::uniform(GcAlgorithm::EfSignSgd);
         let system = SystemConfig {
             machines: 4,
             gpus_per_machine: 8,

@@ -257,8 +257,12 @@ pub struct DecisionResponse {
     pub backfilled_tensors: usize,
     /// Tensors ruled out by bubble analysis.
     pub ruled_out_tensors: usize,
-    /// Per-tensor option descriptions, in tensor order.
+    /// Per-tensor option descriptions, in tensor order (ratio-bearing
+    /// when a per-tensor plan is active, e.g. `hier[...] d=0.05`).
     pub strategy: Vec<String>,
+    /// The per-tensor ratio plan the decision was made under (sparsifier
+    /// densities in tensor order), when one is active.
+    pub ratios: Option<Vec<f64>>,
     /// Iteration time under the requested fault plan, milliseconds.
     pub faulted_iteration_ms: Option<f64>,
     /// The robust selection summary, when one ran.
@@ -280,7 +284,20 @@ impl Decision {
             offloaded_tensors: self.report.offloaded_tensors,
             backfilled_tensors: self.report.backfilled_tensors,
             ruled_out_tensors: self.report.ruled_out_tensors,
-            strategy: self.strategy.iter().map(|(_, o)| o.describe()).collect(),
+            strategy: self
+                .strategy
+                .iter()
+                .map(|(i, o)| match &self.job.tensor_algos {
+                    Some(algos) => o.describe_with(algos[i]),
+                    None => o.describe(),
+                })
+                .collect(),
+            ratios: self.job.tensor_algos.as_ref().map(|algos| {
+                algos
+                    .iter()
+                    .map(|a| a.density().unwrap_or_else(|| a.ratio(1_000_000)))
+                    .collect()
+            }),
             faulted_iteration_ms: self.faulted_iteration_time.map(|t| t * 1e3),
             robust: self.robust.as_ref().map(|r| RobustSummary {
                 chosen: r.chosen.clone(),
@@ -310,6 +327,7 @@ impl ToJson for DecisionResponse {
             ("backfilled_tensors", self.backfilled_tensors.to_json()),
             ("ruled_out_tensors", self.ruled_out_tensors.to_json()),
             ("strategy", self.strategy.to_json()),
+            ("ratios", self.ratios.to_json()),
             ("faulted_iteration_ms", self.faulted_iteration_ms.to_json()),
             (
                 "robust",
@@ -337,6 +355,7 @@ impl FromJson for DecisionResponse {
             backfilled_tensors: v.req("backfilled_tensors")?,
             ruled_out_tensors: v.req("ruled_out_tensors")?,
             strategy: v.req("strategy")?,
+            ratios: v.opt("ratios")?,
             faulted_iteration_ms: v.opt("faulted_iteration_ms")?,
             robust: v.opt("robust")?,
         })
@@ -354,9 +373,7 @@ mod tests {
             ModelConfig::Named {
                 model: "LSTM".into(),
             },
-            GcConfig {
-                algorithm: GcAlgorithm::EfSignSgd,
-            },
+            GcConfig::uniform(GcAlgorithm::EfSignSgd),
             SystemConfig {
                 machines: 2,
                 gpus_per_machine: 4,
@@ -449,6 +466,32 @@ mod tests {
 
         let err = DecisionRequest::parse("{ not json").unwrap_err();
         assert!(matches!(err, EspressoError::Json { .. }), "{err}");
+    }
+
+    #[test]
+    fn ratio_plans_split_the_cache_key_and_surface_in_the_response() {
+        let base = r#"{
+            "model": { "model": "LSTM" },
+            "gc": { "algorithm": { "Dgc": { "density": 0.01 } } },
+            "system": { "machines": 2, "gpus_per_machine": 4,
+                        "intra": "Pcie", "inter_gbps": 25.0 }
+        }"#;
+        let plain = DecisionRequest::parse(base).unwrap();
+        let n = plain.model.resolve().unwrap().num_tensors();
+        let mut planned = plain.clone();
+        planned.gc.ratios = Some((0..n).map(|i| if i == 0 { 0.05 } else { 0.01 }).collect());
+        assert_ne!(planned.canonical_key(), plain.canonical_key());
+        // An explicit-default plan is the same key as no plan.
+        let mut noop = plain.clone();
+        noop.gc.ratios = Some(vec![0.01; n]);
+        assert_eq!(noop.canonical_key(), plain.canonical_key());
+
+        let resp = decide(&planned).unwrap().response();
+        let ratios = resp.ratios.as_ref().unwrap();
+        assert_eq!(ratios.len(), n);
+        assert_eq!(ratios[0], 0.05);
+        assert!(resp.strategy.iter().any(|s| s.contains("d=")), "{:?}", resp.strategy);
+        assert!(decide(&plain).unwrap().response().ratios.is_none());
     }
 
     #[test]

@@ -97,7 +97,7 @@ impl Compressor for Qsgd {
     }
 
     fn compressed_bytes(&self, elems: usize) -> usize {
-        4 + 4 + 1 + elems
+        crate::tensor::quantized_wire_bytes(self.levels, elems)
     }
 
     fn is_biased(&self) -> bool {
@@ -179,12 +179,22 @@ mod tests {
 
     #[test]
     fn wire_bytes_match_compressed_bytes() {
-        let c = Qsgd::new(127);
-        for n in [0usize, 1, 100] {
-            let grad = vec![1.0f32; n];
-            let out = c.compress(&grad, ctx(0));
-            assert_eq!(out.wire_bytes(), c.compressed_bytes(n));
+        for levels in [1u8, 3, 7, 15, 127] {
+            let c = Qsgd::new(levels);
+            for n in [0usize, 1, 100] {
+                let grad = vec![1.0f32; n];
+                let out = c.compress(&grad, ctx(0));
+                assert_eq!(out.wire_bytes(), c.compressed_bytes(n), "levels={levels} n={n}");
+            }
         }
+    }
+
+    #[test]
+    fn coarser_levels_shrink_the_wire_size() {
+        // 3-bit codes (7 levels) pack ~2.6 elements/byte vs 1 at 127.
+        let fine = Qsgd::new(127).compressed_bytes(1000);
+        let coarse = Qsgd::new(7).compressed_bytes(1000);
+        assert!(coarse < fine, "coarse={coarse} fine={fine}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::{
     algorithms::{Dgc, EfSignSgd, Fp16, Natural, Qsgd, RandomK, TernGrad},
-    tensor::CompressedTensor,
+    tensor::{quantized_wire_bytes, CompressedTensor},
 };
 
 /// Identifies *where in the run* a compression happens, so randomized
@@ -173,7 +173,7 @@ impl GcAlgorithm {
                 4 + kept * 8
             }
             GcAlgorithm::EfSignSgd => 4 + 4 + elems.div_ceil(64) * 8,
-            GcAlgorithm::Qsgd { .. } => 4 + 4 + 1 + elems,
+            GcAlgorithm::Qsgd { levels } => quantized_wire_bytes(levels, elems),
             GcAlgorithm::TernGrad => 4 + 4 + elems.div_ceil(4),
             GcAlgorithm::Fp16 => 4 + elems * 2,
             GcAlgorithm::Natural => 4 + elems.div_ceil(64) * 8 + elems,
@@ -200,6 +200,100 @@ impl GcAlgorithm {
         match *self {
             GcAlgorithm::RandomK { density } | GcAlgorithm::Dgc { density } => Some(density),
             _ => None,
+        }
+    }
+
+    /// The QSGD level count, if this is QSGD.
+    pub fn levels(&self) -> Option<u8> {
+        match *self {
+            GcAlgorithm::Qsgd { levels } => Some(levels),
+            _ => None,
+        }
+    }
+
+    /// Whether `other` is the same algorithm *family* (variant), possibly
+    /// with a different knob setting — the invariant the per-tensor ratio
+    /// plan preserves: the adaptive layer varies the ratio, never the
+    /// algorithm, of a tensor.
+    pub fn same_family(&self, other: &Self) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+    }
+
+    /// This algorithm with its continuous ratio knob set to `ratio`.
+    ///
+    /// For sparsifiers the knob is the kept-element density. Returns
+    /// `None` if the variant has no ratio knob (quantizers' aggressiveness
+    /// is the discrete bit width — see [`GcAlgorithm::with_bits`]) or if
+    /// `ratio` is outside `(0, 1]` / not finite.
+    pub fn with_ratio(&self, ratio: f64) -> Option<Self> {
+        if !(ratio > 0.0 && ratio <= 1.0) {
+            return None; // also rejects NaN/∞ — comparisons are false
+        }
+        match *self {
+            GcAlgorithm::RandomK { .. } => Some(GcAlgorithm::RandomK { density: ratio }),
+            GcAlgorithm::Dgc { .. } => Some(GcAlgorithm::Dgc { density: ratio }),
+            _ => None,
+        }
+    }
+
+    /// This algorithm with its code width set to `bits`.
+    ///
+    /// For QSGD, `bits ∈ 2..=8` selects the level count `2^(bits−1) − 1`
+    /// (the largest that packs into `bits`-bit signed codes); TernGrad's
+    /// codes are fixed at 2 bits, so only `bits == 2` is accepted. Returns
+    /// `None` for other variants or out-of-range widths.
+    pub fn with_bits(&self, bits: u8) -> Option<Self> {
+        match *self {
+            GcAlgorithm::Qsgd { .. } if (2..=8).contains(&bits) => Some(GcAlgorithm::Qsgd {
+                levels: ((1u16 << (bits - 1)) - 1) as u8,
+            }),
+            GcAlgorithm::TernGrad if bits == 2 => Some(GcAlgorithm::TernGrad),
+            _ => None,
+        }
+    }
+
+    /// The discrete settings grid of this algorithm's knob, ordered most
+    /// aggressive (smallest wire size, largest error) to least. Knobless
+    /// variants return a single-entry grid of themselves, so callers can
+    /// treat every algorithm uniformly.
+    pub fn ratio_settings(&self) -> Vec<Self> {
+        match *self {
+            GcAlgorithm::RandomK { .. } | GcAlgorithm::Dgc { .. } => {
+                [0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1]
+                    .iter()
+                    .map(|&d| self.with_ratio(d).expect("grid densities are in (0, 1]"))
+                    .collect()
+            }
+            GcAlgorithm::Qsgd { .. } => (2..=8)
+                .map(|b| self.with_bits(b).expect("grid widths are in 2..=8"))
+                .collect(),
+            _ => vec![*self],
+        }
+    }
+
+    /// Compact human-readable label of the knob setting ("d=0.01" for a
+    /// sparsifier density, "s=127" for QSGD levels, "-" for knobless
+    /// variants) — used by strategy descriptions and bench reports.
+    pub fn setting_label(&self) -> String {
+        match *self {
+            GcAlgorithm::RandomK { density } | GcAlgorithm::Dgc { density } => {
+                format!("d={density}")
+            }
+            GcAlgorithm::Qsgd { levels } => format!("s={levels}"),
+            _ => "-".into(),
+        }
+    }
+
+    /// Filesystem-safe slug of the knob setting ("d0p01", "s127", "" for
+    /// knobless variants) — used to disambiguate golden-trace file names
+    /// across ratio variants of the same algorithm.
+    pub fn setting_slug(&self) -> String {
+        match *self {
+            GcAlgorithm::RandomK { density } | GcAlgorithm::Dgc { density } => {
+                format!("d{}", format!("{density}").replace('.', "p"))
+            }
+            GcAlgorithm::Qsgd { levels } => format!("s{levels}"),
+            _ => String::new(),
         }
     }
 
@@ -355,7 +449,7 @@ mod tests {
 
     #[test]
     fn enum_and_instance_sizes_agree() {
-        for algo in [
+        let base = [
             GcAlgorithm::randomk_1pct(),
             GcAlgorithm::dgc_1pct(),
             GcAlgorithm::EfSignSgd,
@@ -363,7 +457,9 @@ mod tests {
             GcAlgorithm::TernGrad,
             GcAlgorithm::Fp16,
             GcAlgorithm::Natural,
-        ] {
+        ];
+        // Check every point of every knob grid, not just the defaults.
+        for algo in base.iter().flat_map(|a| a.ratio_settings()) {
             let built = algo.build();
             for elems in [0usize, 1, 63, 64, 1000, 1_000_000] {
                 assert_eq!(
@@ -373,6 +469,84 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn with_ratio_sets_sparsifier_density_and_rejects_bad_values() {
+        let algo = GcAlgorithm::dgc_1pct();
+        assert_eq!(
+            algo.with_ratio(0.05),
+            Some(GcAlgorithm::Dgc { density: 0.05 })
+        );
+        assert_eq!(algo.with_ratio(1.0), Some(GcAlgorithm::Dgc { density: 1.0 }));
+        assert_eq!(algo.with_ratio(0.0), None);
+        assert_eq!(algo.with_ratio(1.5), None);
+        assert_eq!(algo.with_ratio(f64::NAN), None);
+        assert_eq!(GcAlgorithm::EfSignSgd.with_ratio(0.5), None);
+        assert_eq!(GcAlgorithm::Qsgd { levels: 127 }.with_ratio(0.5), None);
+    }
+
+    #[test]
+    fn with_bits_maps_widths_to_level_counts() {
+        let q = GcAlgorithm::Qsgd { levels: 127 };
+        assert_eq!(q.with_bits(8), Some(GcAlgorithm::Qsgd { levels: 127 }));
+        assert_eq!(q.with_bits(4), Some(GcAlgorithm::Qsgd { levels: 7 }));
+        assert_eq!(q.with_bits(2), Some(GcAlgorithm::Qsgd { levels: 1 }));
+        assert_eq!(q.with_bits(1), None);
+        assert_eq!(q.with_bits(9), None);
+        assert_eq!(GcAlgorithm::TernGrad.with_bits(2), Some(GcAlgorithm::TernGrad));
+        assert_eq!(GcAlgorithm::TernGrad.with_bits(3), None);
+        assert_eq!(GcAlgorithm::Fp16.with_bits(8), None);
+    }
+
+    #[test]
+    fn ratio_settings_are_ordered_most_to_least_aggressive() {
+        let elems = 1_000_000;
+        for base in [
+            GcAlgorithm::randomk_1pct(),
+            GcAlgorithm::dgc_1pct(),
+            GcAlgorithm::Qsgd { levels: 127 },
+        ] {
+            let grid = base.ratio_settings();
+            assert!(grid.len() >= 2, "{base:?}");
+            for pair in grid.windows(2) {
+                assert!(
+                    pair[0].compressed_bytes(elems) < pair[1].compressed_bytes(elems),
+                    "{base:?}: {pair:?}"
+                );
+            }
+            assert!(grid.iter().all(|s| s.same_family(&base)));
+            // The paper's default settings sit on their own grids.
+            assert!(grid.contains(&base), "{base:?} not on its grid");
+        }
+        // Knobless variants degenerate to a one-point grid.
+        assert_eq!(GcAlgorithm::EfSignSgd.ratio_settings(), vec![
+            GcAlgorithm::EfSignSgd
+        ]);
+    }
+
+    #[test]
+    fn setting_labels_and_slugs_disambiguate_knobs() {
+        assert_eq!(GcAlgorithm::dgc_1pct().setting_label(), "d=0.01");
+        assert_eq!(GcAlgorithm::dgc_1pct().setting_slug(), "d0p01");
+        assert_eq!(GcAlgorithm::Qsgd { levels: 127 }.setting_label(), "s=127");
+        assert_eq!(GcAlgorithm::Qsgd { levels: 127 }.setting_slug(), "s127");
+        assert_eq!(GcAlgorithm::EfSignSgd.setting_label(), "-");
+        assert_eq!(GcAlgorithm::EfSignSgd.setting_slug(), "");
+        // Distinct grid points get distinct slugs.
+        let grid = GcAlgorithm::dgc_1pct().ratio_settings();
+        let slugs: std::collections::BTreeSet<String> =
+            grid.iter().map(|s| s.setting_slug()).collect();
+        assert_eq!(slugs.len(), grid.len());
+    }
+
+    #[test]
+    fn same_family_ignores_the_knob() {
+        let a = GcAlgorithm::Dgc { density: 0.01 };
+        let b = GcAlgorithm::Dgc { density: 0.05 };
+        assert!(a.same_family(&b));
+        assert!(!a.same_family(&GcAlgorithm::randomk_1pct()));
+        assert!(!a.same_family(&GcAlgorithm::EfSignSgd));
     }
 
     #[test]

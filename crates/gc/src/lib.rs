@@ -36,7 +36,7 @@ pub mod timing;
 
 pub use compressor::{CompressCtx, Compressor, GcAlgorithm};
 pub use error_feedback::ErrorFeedback;
-pub use tensor::CompressedTensor;
+pub use tensor::{quantized_code_bits, quantized_wire_bytes, CompressedTensor};
 pub use timing::{Device, DeviceProfile, TimingModel};
 
 /// Convenient re-exports of the crate's primary types.

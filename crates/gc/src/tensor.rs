@@ -1,5 +1,20 @@
 //! Compressed tensor representations and their exact wire sizes.
 
+/// Bits per QSGD level code on the wire: `ceil(log2(2·levels + 1))`,
+/// enough to address every signed level plus zero. The default 127 levels
+/// need 8 bits (one byte per element); coarser settings pack tighter —
+/// e.g. 1 level (ternary codes) needs 2 bits.
+pub fn quantized_code_bits(levels: u8) -> usize {
+    let values = 2 * levels as u32 + 1;
+    (32 - (values - 1).leading_zeros()) as usize
+}
+
+/// Exact wire size of a QSGD tensor: length + norm + level byte, then the
+/// bit-packed codes.
+pub fn quantized_wire_bytes(levels: u8, elems: usize) -> usize {
+    4 + 4 + 1 + (elems * quantized_code_bits(levels)).div_ceil(8)
+}
+
 /// A compressed gradient tensor as it would travel on the wire.
 ///
 /// Each variant records everything needed to reconstruct a dense `f32`
@@ -96,7 +111,9 @@ impl CompressedTensor {
                 indices, values, ..
             } => 4 + indices.len() * 4 + values.len() * 4,
             CompressedTensor::Signs { bits, .. } => 4 + 4 + bits.len() * 8,
-            CompressedTensor::Quantized { codes, .. } => 4 + 4 + 1 + codes.len(),
+            CompressedTensor::Quantized { levels, codes, .. } => {
+                quantized_wire_bytes(*levels, codes.len())
+            }
             CompressedTensor::Ternary { packed, .. } => 4 + 4 + packed.len(),
             CompressedTensor::Half { bits, .. } => 4 + bits.len() * 2,
             CompressedTensor::Exponents {
@@ -139,6 +156,41 @@ mod tests {
             bits: vec![0; 10],
         };
         assert_eq!(t.wire_bytes(), 4 + 20);
+    }
+
+    #[test]
+    fn quantized_code_bits_cover_the_level_range() {
+        assert_eq!(quantized_code_bits(1), 2); // {-1, 0, +1}
+        assert_eq!(quantized_code_bits(3), 3);
+        assert_eq!(quantized_code_bits(7), 4);
+        assert_eq!(quantized_code_bits(15), 5);
+        assert_eq!(quantized_code_bits(127), 8);
+        // Every level count fits its claimed width.
+        for levels in 1..=u8::MAX {
+            let values = 2 * levels as u32 + 1;
+            let bits = quantized_code_bits(levels);
+            assert!(1u32 << bits >= values, "levels={levels}");
+        }
+    }
+
+    #[test]
+    fn quantized_wire_bytes_pack_below_one_byte_per_code() {
+        // 127 levels: exactly one byte per element (the historical size).
+        let t = CompressedTensor::Quantized {
+            len: 100,
+            levels: 127,
+            norm: 1.0,
+            codes: vec![0; 100],
+        };
+        assert_eq!(t.wire_bytes(), 4 + 4 + 1 + 100);
+        // 1 level: 2-bit codes, four per byte.
+        let t = CompressedTensor::Quantized {
+            len: 100,
+            levels: 1,
+            norm: 1.0,
+            codes: vec![0; 100],
+        };
+        assert_eq!(t.wire_bytes(), 4 + 4 + 1 + 25);
     }
 
     #[test]

@@ -76,7 +76,9 @@ fn usage() -> ! {
          [--model NAME --algo randomk|dgc|efsignsgd|qsgd|terngrad|fp16 \
          [--density F] [--machines N] [--gpus K] [--intra nvlink|pcie] \
          [--inter-gbps G]] \
-         [--faults SPEC] [--inter-degraded F] [--intra-degraded F] [--robust]\n\
+         [--faults SPEC] [--inter-degraded F] [--intra-degraded F] [--robust] \
+         [--ratio-budget SCALE]  (layerwise-adaptive ratios under \
+         SCALE x the uniform plan's compression error)\n\
          \n\
          or:    espresso-cli serve [--addr HOST:PORT] [--workers N] \
          [--queue N] [--cache N] [--shards N] [--deadline-ms N] \
@@ -86,13 +88,14 @@ fn usage() -> ! {
          or:    espresso-cli train [--machines N] [--gpus K] [--steps N] \
          [--batch N] [--algo NAME] [--density F] [--eval-every N] \
          [--checkpoint-every N] [--checkpoint-dir DIR] [--resume] \
-         [--halt-at N] [--faults SPEC]  (SPEC: seed, or \
-         crash=STEP:WORKER,drop=STEP:WORKER,slow=FROM-UNTIL:F,degrade=STEP:F)"
+         [--halt-at N] [--faults SPEC] [--adapt]  (SPEC: seed, or \
+         crash=STEP:WORKER,drop=STEP:WORKER,slow=FROM-UNTIL:F,degrade=STEP:F; \
+         --adapt walks per-tensor ratios online from residual errors)"
     );
     std::process::exit(2)
 }
 
-fn parse_args(args: &[String]) -> Result<DecisionRequest, EspressoError> {
+fn parse_args(args: &[String]) -> Result<(DecisionRequest, Option<f64>), EspressoError> {
     let mut it = args.iter();
     let mut config_path: Option<String> = None;
     let mut model = "BERT-base".to_string();
@@ -105,6 +108,7 @@ fn parse_args(args: &[String]) -> Result<DecisionRequest, EspressoError> {
     let mut faults: Option<String> = None;
     let mut health = ClusterHealth::nominal();
     let mut robust = false;
+    let mut ratio_budget: Option<f64> = None;
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
         let degraded = |flag: &str, raw: String| -> Result<f64, EspressoError> {
@@ -138,6 +142,19 @@ fn parse_args(args: &[String]) -> Result<DecisionRequest, EspressoError> {
                 }
             }
             "--robust" => robust = true,
+            "--ratio-budget" => {
+                let raw = value();
+                let scale: f64 = raw
+                    .parse()
+                    .map_err(|_| EspressoError::config("--ratio-budget", format!("not a number: {raw}")))?;
+                if !scale.is_finite() || scale <= 0.0 {
+                    return Err(EspressoError::config(
+                        "--ratio-budget",
+                        format!("must be positive, got {raw}"),
+                    ));
+                }
+                ratio_budget = Some(scale);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -162,7 +179,7 @@ fn parse_args(args: &[String]) -> Result<DecisionRequest, EspressoError> {
             };
             (
                 ModelConfig::Named { model },
-                GcConfig { algorithm },
+                GcConfig::uniform(algorithm),
                 SystemConfig {
                     machines,
                     gpus_per_machine: gpus,
@@ -172,18 +189,78 @@ fn parse_args(args: &[String]) -> Result<DecisionRequest, EspressoError> {
             )
         }
     };
-    Ok(DecisionRequest {
-        model,
-        gc,
-        system,
-        health,
-        faults,
-        robust,
-    })
+    Ok((
+        DecisionRequest {
+            model,
+            gc,
+            system,
+            health,
+            faults,
+            robust,
+        },
+        ratio_budget,
+    ))
+}
+
+/// Runs the L-GreCo-style allocator against the uniform decision and
+/// folds the chosen per-tensor densities back into the request, so the
+/// final decision (and everything printed after) is priced under the
+/// adaptive plan.
+fn apply_ratio_budget(
+    request: &mut DecisionRequest,
+    scale: f64,
+) -> Result<(), EspressoError> {
+    let uniform = decide(request)?;
+    if uniform.job.algo.density().is_none() {
+        return Err(EspressoError::config(
+            "--ratio-budget",
+            format!(
+                "layerwise ratios need a sparsifier algorithm (randomk|dgc), got {}",
+                uniform.job.algo.name()
+            ),
+        ));
+    }
+    let curves = espresso_adapt::measure_curves(&uniform.job.model, uniform.job.algo, 17);
+    let sim = espresso_sim::Simulator::new(uniform.job.clone(), espresso_sim::SimConfig::default());
+    let alloc = espresso_adapt::Allocator::new(&sim, &uniform.strategy, &curves);
+    let budget = scale * alloc.default_error();
+    let plan = alloc.allocate(budget);
+    println!(
+        "adaptive ratios: budget {scale:.2}x uniform error ({:.4}); \
+         plan error {:.4}{}; predicted {:.2} ms (uniform {:.2} ms)",
+        budget,
+        plan.total_error,
+        if plan.within_budget { "" } else { " [over budget: least-error plan]" },
+        plan.predicted_time * 1e3,
+        uniform.report.iteration_time * 1e3,
+    );
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for s in &plan.settings {
+        let label = s.setting_label();
+        match counts.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((label, 1)),
+        }
+    }
+    let summary: Vec<String> = counts
+        .iter()
+        .map(|(label, n)| format!("{label} x{n}"))
+        .collect();
+    println!("  per-tensor settings: {}", summary.join(", "));
+    request.gc.ratios = Some(
+        plan.settings
+            .iter()
+            .map(|s| s.density().expect("sparsifier settings carry densities"))
+            .collect(),
+    );
+    Ok(())
 }
 
 fn run(args: &[String]) -> Result<(), EspressoError> {
-    let request = parse_args(args)?;
+    let (mut request, ratio_budget) = parse_args(args)?;
+    if let Some(scale) = ratio_budget {
+        apply_ratio_budget(&mut request, scale)?;
+    }
     let decision = decide(&request)?;
     let job = &decision.job;
     let report = &decision.report;
@@ -275,6 +352,7 @@ fn run_train(args: &[String]) -> Result<(), EspressoError> {
     let mut resume = false;
     let mut halt_at: Option<usize> = None;
     let mut faults: Option<String> = None;
+    let mut adapt = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
@@ -304,6 +382,7 @@ fn run_train(args: &[String]) -> Result<(), EspressoError> {
             "--resume" => resume = true,
             "--halt-at" => halt_at = Some(parse_num("--halt-at", value())?.max(1)),
             "--faults" => faults = Some(value()),
+            "--adapt" => adapt = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -332,6 +411,9 @@ fn run_train(args: &[String]) -> Result<(), EspressoError> {
     config.checkpoint_every = checkpoint_every;
     config.halt_at = halt_at;
     config.resume = resume;
+    if adapt {
+        config.adapt = Some(espresso_adapt::ControllerConfig::default());
+    }
     if let Some(spec) = &faults {
         config.faults = TrainFaultPlan::parse(spec, config.workers, steps)
             .map_err(|e| EspressoError::config("--faults", e.to_string()))?;
@@ -386,6 +468,9 @@ fn run_train(args: &[String]) -> Result<(), EspressoError> {
             RuntimeEvent::Checkpointed { step } => {
                 println!("  [{step:>4}] checkpoint persisted")
             }
+            RuntimeEvent::RatioAdjusted { step, adjustments } => {
+                println!("  [{step:>4}] ratio plan adjusted ({adjustments} moves total)")
+            }
         }
     }
     println!(
@@ -399,6 +484,17 @@ fn run_train(args: &[String]) -> Result<(), EspressoError> {
         report.replans,
         report.fallback_trips,
     );
+    if let Some(ctl) = &report.final_state.controller {
+        println!(
+            "ratio controller: {} grid moves, final plan {}",
+            ctl.adjustments(),
+            ctl.plan()
+                .iter()
+                .map(|a| a.setting_label())
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
     println!("final accuracy: {:.4}", report.final_accuracy());
     println!("weights fingerprint: {:016x}", report.weights_fingerprint());
     println!("state fingerprint: {:016x}", report.state_fingerprint());

@@ -254,7 +254,7 @@ struct JobEntry {
 enum FleetEvent {
     /// A job (re-)registration, with its priority already resolved so
     /// replay never re-derives it.
-    Register { spec: JobSpec, priority: u64 },
+    Register { spec: Box<JobSpec>, priority: u64 },
     /// An applied health delta.
     Health {
         cluster: String,
@@ -311,7 +311,7 @@ impl FromJson for FleetEvent {
         let (name, payload) = enums::variant(v)?;
         match name {
             "Register" => Ok(FleetEvent::Register {
-                spec: payload.req("spec")?,
+                spec: Box::new(payload.req("spec")?),
                 priority: payload.req("priority")?,
             }),
             "Health" => Ok(FleetEvent::Health {
@@ -558,7 +558,7 @@ impl FleetController {
                     }
                 }
                 let event = FleetEvent::Register {
-                    spec: spec.clone(),
+                    spec: Box::new(spec.clone()),
                     priority,
                 };
                 append_event(&mut control, &event)?;
@@ -1196,7 +1196,7 @@ fn apply_event(
             shards[idx].insert(
                 spec.id.clone(),
                 JobEntry {
-                    spec,
+                    spec: *spec,
                     priority,
                     decision: None,
                 },
@@ -1350,9 +1350,7 @@ mod tests {
             ModelConfig::Named {
                 model: "LSTM".into(),
             },
-            GcConfig {
-                algorithm: GcAlgorithm::EfSignSgd,
-            },
+            GcConfig::uniform(GcAlgorithm::EfSignSgd),
             SystemConfig {
                 machines: 2,
                 gpus_per_machine: 4,

@@ -8,10 +8,30 @@
 
 use espresso::service::DecisionRequest;
 use espresso_serve::fnv1a64;
+use proptest::prelude::*;
 
 fn key(text: &str) -> u64 {
     let request = DecisionRequest::parse(text).expect("request should parse");
     fnv1a64(request.canonical_key().as_bytes())
+}
+
+/// A request whose `gc` section carries an explicit per-tensor ratio
+/// plan (LSTM: 10 tensors).
+fn with_ratios(ratios: &[f64]) -> String {
+    let list = ratios
+        .iter()
+        .map(|r| format!("{r}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        r#"{{
+            "model": {{ "model": "LSTM" }},
+            "gc": {{ "algorithm": {{ "RandomK": {{ "density": 0.01 }} }},
+                    "ratios": [{list}] }},
+            "system": {{ "machines": 2, "gpus_per_machine": 4,
+                        "intra": "Pcie", "inter_gbps": 25.0 }}
+        }}"#
+    )
 }
 
 const BASE: &str = r#"{
@@ -78,4 +98,59 @@ fn every_semantic_field_participates_in_the_key() {
     // job is identical.
     let robust = BASE.trim_end().trim_end_matches('}').to_string() + ", \"robust\": true }";
     assert_ne!(base_key, key(&robust));
+}
+
+#[test]
+fn an_explicit_default_ratio_plan_shares_the_uniform_key() {
+    // Every entry equal to the uniform density is the *same*
+    // configuration as no plan at all: the canonical key must not split.
+    assert_eq!(key(BASE), key(&with_ratios(&[0.01; 10])));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Changing any single tensor's ratio away from the rest must split
+    /// the cache line — a layerwise plan is a different decision.
+    #[test]
+    fn a_single_tensor_ratio_change_splits_the_cache_line(
+        tensor in 0usize..10,
+        bump in 1u32..90,
+    ) {
+        let mut ratios = [0.01f64; 10];
+        ratios[tensor] = 0.01 + f64::from(bump) * 0.001;
+        prop_assert_ne!(key(BASE), key(&with_ratios(&ratios)));
+    }
+
+    /// Two plans differing in exactly one entry never share a key.
+    #[test]
+    fn distinct_plans_never_share_a_key(
+        tensor in 0usize..10,
+        a in 1u32..90,
+        delta in 1u32..89,
+    ) {
+        // A nonzero shift mod 89 guarantees `b != a` without rejection.
+        let b = (a - 1 + delta) % 89 + 1;
+        let mut left = [0.02f64; 10];
+        let mut right = [0.02f64; 10];
+        left[tensor] = f64::from(a) * 0.001;
+        right[tensor] = f64::from(b) * 0.001;
+        prop_assert_ne!(key(&with_ratios(&left)), key(&with_ratios(&right)));
+    }
+
+    /// Canonicalization is sound under permutation-with-defaults: an
+    /// all-default plan keys identically to the omitted field for any
+    /// uniform density.
+    #[test]
+    fn omitted_and_explicit_default_plans_canonicalize_together(
+        density_milli in 1u32..100,
+    ) {
+        let d = f64::from(density_milli) * 0.001;
+        let uniform = BASE.replace("0.01", &format!("{d}"));
+        let explicit = with_ratios(&[d; 10]).replace(
+            "\"density\": 0.01",
+            &format!("\"density\": {d}"),
+        );
+        prop_assert_eq!(key(&uniform), key(&explicit));
+    }
 }

@@ -54,9 +54,7 @@ fn request(density: f64) -> DecisionRequest {
         ModelConfig::Named {
             model: "LSTM".into(),
         },
-        GcConfig {
-            algorithm: GcAlgorithm::RandomK { density },
-        },
+        GcConfig::uniform(GcAlgorithm::RandomK { density }),
         SystemConfig {
             // One machine keeps each decision cheap; the sweep reopens the
             // controller many times with a cold plan cache.

@@ -116,18 +116,38 @@ fn finish(
 }
 
 /// A reusable simulator for one job: caches the compiled stage lists per
-/// `(compression option, tensor size)` so that strategy-search loops
-/// (Algorithms 1 and 2, brute force) skip re-annotating options and
-/// re-evaluating timing models on every candidate.
+/// `(compression option, tensor size, algorithm setting)` so that
+/// strategy-search loops (Algorithms 1 and 2, brute force, the ratio
+/// allocator) skip re-annotating options and re-evaluating timing models
+/// on every candidate.
 pub struct Simulator {
     job: Job,
     config: SimConfig,
     cache: std::cell::RefCell<StageCache>,
 }
 
-/// Memoized stage lists keyed by `(compression option, tensor size)`.
+/// Hashable identity of a `GcAlgorithm` setting (variant tag + knob bits)
+/// — `GcAlgorithm` itself carries an `f64` and has no `Eq`/`Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AlgoKey(u8, u64);
+
+fn algo_key(algo: espresso_gc::GcAlgorithm) -> AlgoKey {
+    use espresso_gc::GcAlgorithm as A;
+    match algo {
+        A::RandomK { density } => AlgoKey(0, density.to_bits()),
+        A::Dgc { density } => AlgoKey(1, density.to_bits()),
+        A::EfSignSgd => AlgoKey(2, 0),
+        A::Qsgd { levels } => AlgoKey(3, levels as u64),
+        A::TernGrad => AlgoKey(4, 0),
+        A::Fp16 => AlgoKey(5, 0),
+        A::Natural => AlgoKey(6, 0),
+    }
+}
+
+/// Memoized stage lists keyed by `(compression option, tensor size,
+/// algorithm setting)`.
 type StageCache = std::collections::HashMap<
-    (espresso_strategy::CompressionOption, usize),
+    (espresso_strategy::CompressionOption, usize, AlgoKey),
     std::rc::Rc<Vec<crate::task::Stage>>,
 >;
 
@@ -152,6 +172,14 @@ impl Simulator {
     }
 
     fn tasks(&self, strategy: &Strategy) -> Vec<crate::task::Task> {
+        self.tasks_with(strategy, None)
+    }
+
+    fn tasks_with(
+        &self,
+        strategy: &Strategy,
+        algos: Option<&[espresso_gc::GcAlgorithm]>,
+    ) -> Vec<crate::task::Task> {
         assert_eq!(
             strategy.len(),
             self.job.num_tensors(),
@@ -159,19 +187,33 @@ impl Simulator {
             strategy.len(),
             self.job.num_tensors()
         );
+        if let Some(algos) = algos {
+            assert_eq!(
+                algos.len(),
+                self.job.num_tensors(),
+                "ratio plan covers {} tensors, model has {}",
+                algos.len(),
+                self.job.num_tensors()
+            );
+        }
         let mut tasks = Vec::with_capacity(self.job.num_tensors() * 8);
         let mut prev_compute: Option<usize> = None;
         let mut cache = self.cache.borrow_mut();
         for (i, tensor) in self.job.model.tensors.iter().enumerate() {
             let option = strategy.option(i);
-            let key = ((**option).clone(), tensor.elems);
+            let algo = match algos {
+                Some(algos) => algos[i],
+                None => self.job.algo_for(i),
+            };
+            let key = ((**option).clone(), tensor.elems, algo_key(algo));
             let stages = cache
                 .entry(key)
                 .or_insert_with(|| {
-                    std::rc::Rc::new(crate::task::build_stages(
+                    std::rc::Rc::new(crate::task::build_stages_for_algo(
                         &self.job,
                         option,
                         tensor.elems,
+                        algo,
                         &self.config,
                     ))
                 })
@@ -201,6 +243,21 @@ impl Simulator {
     /// Fast path returning only `F(S)` — skips timeline record assembly.
     pub fn iteration_time(&self, strategy: &Strategy) -> f64 {
         let tasks = self.tasks(strategy);
+        let spans = run(&tasks, &self.config, None);
+        let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+        self.job.model.forward_time + makespan
+    }
+
+    /// Fast path returning `F(S)` with a per-call per-tensor ratio plan
+    /// overriding the job's (and its default) — the ratio allocator and
+    /// the ratio-aware oracle evaluate thousands of plans against one
+    /// simulator, sharing the stage cache across all of them.
+    pub fn iteration_time_with_algos(
+        &self,
+        strategy: &Strategy,
+        algos: &[espresso_gc::GcAlgorithm],
+    ) -> f64 {
+        let tasks = self.tasks_with(strategy, Some(algos));
         let spans = run(&tasks, &self.config, None);
         let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
         self.job.model.forward_time + makespan
@@ -489,6 +546,40 @@ mod tests {
                 .fold(0.0f64, f64::max)
         };
         assert!(compute_end(&r_comp) > compute_end(&r_plain));
+    }
+
+    #[test]
+    fn per_tensor_ratio_plan_changes_iteration_time() {
+        let j = job();
+        let n = j.num_tensors();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let s = Strategy::uniform(n, space.gpu_compressed()[0].clone());
+        let sim = Simulator::new(j, SimConfig::default());
+        let default_t = sim.iteration_time(&s);
+        // Aggressive everywhere: smaller wire size, faster sync.
+        let tight = vec![GcAlgorithm::Dgc { density: 0.001 }; n];
+        let tight_t = sim.iteration_time_with_algos(&s, &tight);
+        assert!(tight_t < default_t, "tight={tight_t} default={default_t}");
+        // The default plan matches the no-plan path exactly.
+        let explicit = vec![GcAlgorithm::dgc_1pct(); n];
+        assert_eq!(sim.iteration_time_with_algos(&s, &explicit), default_t);
+    }
+
+    #[test]
+    fn installed_ratio_plan_matches_per_call_override() {
+        let base = job();
+        let n = base.num_tensors();
+        let space = OptionSpace::enumerate(&base.cluster);
+        let s = Strategy::uniform(n, space.gpu_compressed()[0].clone());
+        let plan: Vec<GcAlgorithm> = (0..n)
+            .map(|i| GcAlgorithm::Dgc {
+                density: if i % 2 == 0 { 0.005 } else { 0.05 },
+            })
+            .collect();
+        let sim = Simulator::new(base.clone(), SimConfig::default());
+        let by_call = sim.iteration_time_with_algos(&s, &plan);
+        let sim2 = Simulator::new(base.with_tensor_algos(plan), SimConfig::default());
+        assert_eq!(sim2.iteration_time(&s), by_call);
     }
 
     #[test]

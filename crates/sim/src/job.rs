@@ -15,6 +15,12 @@ pub struct Job {
     pub cluster: Cluster,
     /// The GC information: algorithm and ratio.
     pub algo: GcAlgorithm,
+    /// Optional per-tensor ratio plan: tensor `i` compresses with
+    /// `tensor_algos[i]` instead of `algo`. Every entry is the same
+    /// algorithm *family* as `algo` with a possibly different knob
+    /// (density / level count) — the adaptive-ratio decision dimension.
+    /// `None` means the uniform default everywhere.
+    pub tensor_algos: Option<Vec<GcAlgorithm>>,
 }
 
 impl Job {
@@ -24,6 +30,45 @@ impl Job {
             model,
             cluster,
             algo,
+            tensor_algos: None,
+        }
+    }
+
+    /// Installs a per-tensor ratio plan, replacing any existing one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's length differs from the tensor count or any
+    /// entry is a different algorithm family than `self.algo` — a ratio
+    /// plan tunes knobs, it never changes the algorithm.
+    pub fn with_tensor_algos(mut self, algos: Vec<GcAlgorithm>) -> Self {
+        self.set_tensor_algos(Some(algos));
+        self
+    }
+
+    /// Sets or clears the per-tensor ratio plan (same contract as
+    /// [`Job::with_tensor_algos`]).
+    pub fn set_tensor_algos(&mut self, algos: Option<Vec<GcAlgorithm>>) {
+        if let Some(algos) = &algos {
+            assert_eq!(
+                algos.len(),
+                self.num_tensors(),
+                "ratio plan length must match the tensor count"
+            );
+            assert!(
+                algos.iter().all(|a| a.same_family(&self.algo)),
+                "ratio plan entries must stay in the job's algorithm family"
+            );
+        }
+        self.tensor_algos = algos;
+    }
+
+    /// The algorithm compressing tensor `index`: the per-tensor plan's
+    /// entry if one is installed, else the uniform default.
+    pub fn algo_for(&self, index: usize) -> GcAlgorithm {
+        match &self.tensor_algos {
+            Some(algos) => algos[index],
+            None => self.algo,
         }
     }
 
@@ -69,6 +114,39 @@ mod tests {
         assert!((job.scaling_factor(t) - 1.0).abs() < 1e-9);
         // Twice the iteration time halves the scaling factor.
         assert!((job.scaling_factor(2.0 * t) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn algo_for_prefers_the_per_tensor_plan() {
+        let mut job = Job::new(
+            Model::Lstm.profile(),
+            Cluster::pcie_25g(2, 2),
+            GcAlgorithm::dgc_1pct(),
+        );
+        assert_eq!(job.algo_for(0), GcAlgorithm::dgc_1pct());
+        let plan: Vec<GcAlgorithm> = (0..job.num_tensors())
+            .map(|i| {
+                let d = if i == 0 { 0.05 } else { 0.01 };
+                GcAlgorithm::Dgc { density: d }
+            })
+            .collect();
+        job.set_tensor_algos(Some(plan));
+        assert_eq!(job.algo_for(0), GcAlgorithm::Dgc { density: 0.05 });
+        assert_eq!(job.algo_for(1), GcAlgorithm::dgc_1pct());
+        job.set_tensor_algos(None);
+        assert_eq!(job.algo_for(0), GcAlgorithm::dgc_1pct());
+    }
+
+    #[test]
+    #[should_panic(expected = "algorithm family")]
+    fn cross_family_plan_is_rejected() {
+        let job = Job::new(
+            Model::Lstm.profile(),
+            Cluster::pcie_25g(2, 2),
+            GcAlgorithm::dgc_1pct(),
+        );
+        let n = job.num_tensors();
+        let _ = job.with_tensor_algos(vec![GcAlgorithm::EfSignSgd; n]);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! annotations and timing models thousands of times.
 
 use espresso_cluster::{CollectiveCost, CommScope, Routine};
-use espresso_gc::Device;
+use espresso_gc::{Device, GcAlgorithm, TimingModel};
 use espresso_strategy::{option::ComputeKind, CompressionOption, Strategy, Work};
 
 use crate::{config::SimConfig, job::Job};
@@ -132,7 +132,8 @@ fn scope_resource(scope: CommScope) -> Resource {
     }
 }
 
-/// Compiles one tensor's synchronization chain into stages.
+/// Compiles one tensor's synchronization chain into stages with the job's
+/// uniform algorithm.
 ///
 /// Depends only on `(option, elems, job, config)` — cacheable.
 pub fn build_stages(
@@ -141,12 +142,26 @@ pub fn build_stages(
     elems: usize,
     config: &SimConfig,
 ) -> Vec<Stage> {
-    let timing = job.timing();
+    build_stages_for_algo(job, option, elems, job.algo, config)
+}
+
+/// Compiles one tensor's synchronization chain into stages, compressing
+/// with `algo` (a per-tensor ratio-plan entry) instead of `job.algo`.
+///
+/// Depends only on `(option, elems, algo, cluster, config)` — cacheable.
+pub fn build_stages_for_algo(
+    job: &Job,
+    option: &CompressionOption,
+    elems: usize,
+    algo: GcAlgorithm,
+    config: &SimConfig,
+) -> Vec<Stage> {
+    let timing = TimingModel::for_algorithm(algo);
     let dense_bytes = (elems * 4) as f64;
     let parts = ((dense_bytes / config.partition_bytes).ceil() as usize).max(1);
     let mut stages = Vec::with_capacity(option.ops.len() + 2);
 
-    for aop in option.annotate(elems, job.algo, &job.cluster) {
+    for aop in option.annotate(elems, algo, &job.cluster) {
         match aop.work {
             Work::Compute {
                 device,
@@ -345,7 +360,8 @@ pub fn build_tasks(job: &Job, strategy: &Strategy, config: &SimConfig) -> Vec<Ta
     let mut tasks: Vec<Task> = Vec::with_capacity(job.num_tensors() * 8);
     let mut prev_compute: Option<usize> = None;
     for (i, tensor) in job.model.tensors.iter().enumerate() {
-        let stages = build_stages(job, strategy.option(i), tensor.elems, config);
+        let stages =
+            build_stages_for_algo(job, strategy.option(i), tensor.elems, job.algo_for(i), config);
         let compute_idx =
             push_tensor_tasks(&mut tasks, i, tensor.compute_time, &stages, prev_compute);
         prev_compute = Some(compute_idx);

@@ -301,6 +301,22 @@ impl CompressionOption {
         };
         format!("{prefix}[{}]", parts.join(" "))
     }
+
+    /// [`CompressionOption::describe`] plus the knob setting of the
+    /// algorithm compressing this tensor — used when a per-tensor ratio
+    /// plan is active, so strategy listings show which ratio each tensor
+    /// landed on (e.g. `hier[...] d=0.05`). Knobless algorithms and
+    /// uncompressed options fall back to the plain description.
+    pub fn describe_with(&self, algo: espresso_gc::GcAlgorithm) -> String {
+        let base = self.describe();
+        if !self.compresses() {
+            return base;
+        }
+        match algo.setting_label().as_str() {
+            "-" => base,
+            label => format!("{base} {label}"),
+        }
+    }
 }
 
 use espresso_json::{DecodeError, FromJson, Json, ToJson};
@@ -329,6 +345,27 @@ mod tests {
 
     fn cluster() -> Cluster {
         Cluster::nvlink_100g(8, 8)
+    }
+
+    #[test]
+    fn describe_with_appends_the_knob_setting() {
+        use espresso_gc::GcAlgorithm;
+        let c = cluster();
+        let space = crate::OptionSpace::enumerate(&c);
+        let compressed = space.gpu_compressed()[0].clone();
+        let with_knob = compressed.describe_with(GcAlgorithm::Dgc { density: 0.05 });
+        assert!(with_knob.ends_with(" d=0.05"), "{with_knob}");
+        assert!(with_knob.starts_with(&compressed.describe()), "{with_knob}");
+        // Knobless algorithms and uncompressed options stay unchanged.
+        assert_eq!(
+            compressed.describe_with(GcAlgorithm::EfSignSgd),
+            compressed.describe()
+        );
+        let plain = CompressionOption::uncompressed(CommPattern::Hierarchical, &c);
+        assert_eq!(
+            plain.describe_with(GcAlgorithm::Dgc { density: 0.05 }),
+            plain.describe()
+        );
     }
 
     #[test]

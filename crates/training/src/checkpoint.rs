@@ -91,6 +91,9 @@ pub struct TrainerState {
     pub fallback_trips: usize,
     /// Total online re-plans so far.
     pub replans: usize,
+    /// Layerwise ratio-adaptation controller, when the runtime runs with
+    /// adaptive compression enabled.
+    pub controller: Option<espresso_adapt::RatioController>,
 }
 
 impl TrainerState {
@@ -247,6 +250,7 @@ impl ToJson for TrainerState {
             ),
             ("fallback_trips", Json::Num(self.fallback_trips as f64)),
             ("replans", Json::Num(self.replans as f64)),
+            ("controller", self.controller.to_json()),
         ])
     }
 }
@@ -276,6 +280,7 @@ impl FromJson for TrainerState {
             redecide_attempted: v.req("redecide_attempted")?,
             fallback_trips: v.req("fallback_trips")?,
             replans: v.req("replans")?,
+            controller: v.opt("controller")?,
         })
     }
 }
@@ -508,6 +513,15 @@ mod tests {
             redecide_attempted: true,
             fallback_trips: 1,
             replans: 3,
+            controller: Some({
+                let mut c = espresso_adapt::RatioController::new(
+                    GcAlgorithm::Dgc { density: 0.05 },
+                    4,
+                    espresso_adapt::ControllerConfig::default(),
+                );
+                c.observe(&[0.95, 0.1, 0.7, 0.95]);
+                c
+            }),
         }
     }
 

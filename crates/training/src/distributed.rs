@@ -54,6 +54,17 @@ pub struct DistributedTrainer {
     mode: SyncMode,
     compressor: Option<Box<dyn Compressor>>,
     ef: Vec<Vec<ErrorFeedback>>, // ef[worker][tensor]
+    /// Per-tensor ratio plan: tensor `t` compresses with
+    /// `tensor_algos[t]` instead of the uniform mode algorithm. Entries
+    /// stay in the mode's algorithm family; the plan is inert (kept but
+    /// unused) while the mode is FP32.
+    tensor_algos: Option<Vec<GcAlgorithm>>,
+    /// Built instances of `tensor_algos` (empty when no plan or FP32).
+    tensor_compressors: Vec<Box<dyn Compressor>>,
+    /// Mean (over workers) squared gradient L2 norm per tensor, from the
+    /// most recent step — the denominator of the relative compression
+    /// error the ratio controller observes.
+    grad_norm_sq: Vec<f64>,
 }
 
 impl DistributedTrainer {
@@ -90,6 +101,9 @@ impl DistributedTrainer {
                 SyncMode::Compressed(a) => Some(a.build()),
             },
             ef: Vec::new(),
+            tensor_algos: None,
+            tensor_compressors: Vec::new(),
+            grad_norm_sq: Vec::new(),
         }
     }
 
@@ -113,6 +127,72 @@ impl DistributedTrainer {
             SyncMode::Fp32 => None,
             SyncMode::Compressed(a) => Some(a.build()),
         };
+        // Re-arm (or retire) the per-tensor ratio plan under the new
+        // mode: kept dormant through FP32, rebuilt when a compressed mode
+        // of the same family returns, dropped on a family change.
+        self.tensor_compressors = match (&self.tensor_algos, mode) {
+            (Some(algos), SyncMode::Compressed(base))
+                if algos.iter().all(|a| a.same_family(&base)) =>
+            {
+                algos.iter().map(|a| a.build()).collect()
+            }
+            (Some(_), SyncMode::Compressed(_)) => {
+                self.tensor_algos = None;
+                Vec::new()
+            }
+            _ => Vec::new(),
+        };
+    }
+
+    /// Installs (or clears) a per-tensor ratio plan: tensor `t` is
+    /// compressed with `algos[t]` instead of the uniform mode algorithm.
+    /// The plan survives FP32 fallback windows and re-arms when the
+    /// compressed mode returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode is compressed and any entry is a different
+    /// algorithm family — a ratio plan tunes knobs, never the algorithm.
+    pub fn set_tensor_algos(&mut self, algos: Option<Vec<GcAlgorithm>>) {
+        if let (Some(algos), SyncMode::Compressed(base)) = (&algos, self.mode) {
+            assert!(
+                algos.iter().all(|a| a.same_family(&base)),
+                "ratio plan entries must stay in the trainer's algorithm family"
+            );
+        }
+        self.tensor_compressors = match (&algos, self.mode) {
+            (Some(a), SyncMode::Compressed(_)) => a.iter().map(|x| x.build()).collect(),
+            _ => Vec::new(),
+        };
+        self.tensor_algos = algos;
+    }
+
+    /// The installed per-tensor ratio plan, if any.
+    pub fn tensor_algos(&self) -> Option<&[GcAlgorithm]> {
+        self.tensor_algos.as_deref()
+    }
+
+    /// Per-tensor relative compression error from the most recent step:
+    /// `sqrt(mean_w ‖residual_w‖² / mean_w ‖grad_w‖²)` — the
+    /// error-feedback residual norm over the gradient norm, the signal a
+    /// GraVAC-style ratio controller adapts on. Empty before the first
+    /// step; zeros for tensors with zero gradient norm.
+    pub fn relative_residuals(&self) -> Vec<f64> {
+        if self.ef.is_empty() {
+            return vec![0.0; self.grad_norm_sq.len()];
+        }
+        self.grad_norm_sq
+            .iter()
+            .enumerate()
+            .map(|(t, &g)| {
+                if g <= 0.0 {
+                    return 0.0;
+                }
+                let res: f64 = self.ef.iter().map(|w| w[t].residual_norm_sq()).sum::<f64>()
+                    / self.ef.len() as f64;
+                (res / g).sqrt()
+            })
+            .collect()
     }
 
     /// Resets optimizer state and sizes the per-worker error-feedback
@@ -205,6 +285,14 @@ impl DistributedTrainer {
     ) -> f32 {
         assert_eq!(shards.len(), self.workers, "one shard per worker");
         assert_eq!(self.ef.len(), self.workers, "call begin() before step()");
+        if let Some(algos) = &self.tensor_algos {
+            assert_eq!(
+                algos.len(),
+                model.num_tensors(),
+                "ratio plan length must match the model's tensor count"
+            );
+        }
+        self.grad_norm_sq = vec![0.0; model.num_tensors()];
         // Each worker's gradients on its own mini-batch.
         let mut worker_grads: Vec<Vec<Vec<f32>>> = Vec::with_capacity(self.workers);
         let mut mean_loss = 0.0f32;
@@ -221,9 +309,17 @@ impl DistributedTrainer {
             .map(|t| {
                 let per_worker: Vec<Vec<f32>> =
                     worker_grads.iter().map(|g| g[t].clone()).collect();
+                self.grad_norm_sq[t] = per_worker
+                    .iter()
+                    .map(|g| g.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>())
+                    .sum::<f64>()
+                    / per_worker.len() as f64;
                 match &self.compressor {
                     None => average_masked(&per_worker, delivered),
                     Some(c) => {
+                        // The per-tensor ratio plan overrides the uniform
+                        // compressor where installed.
+                        let c = self.tensor_compressors.get(t).unwrap_or(c);
                         // Move tensor t's per-worker EF states out,
                         // synchronize, and put them back (the states
                         // live in a worker-major grid, `synchronize`
@@ -350,6 +446,88 @@ mod tests {
             600,
         );
         assert!(rk > fp32 - 0.08, "RandomK {rk} vs FP32 {fp32}");
+    }
+
+    #[test]
+    fn tensor_plan_overrides_the_uniform_compressor() {
+        let (data, eval) = Dataset::blobs(400, 6, 3, 0.3, 5).split(0.25);
+        let base = GcAlgorithm::Dgc { density: 0.01 };
+        let run = |plan: Option<fn(usize) -> GcAlgorithm>| -> Vec<Vec<f32>> {
+            let mut model = Mlp::new(6, 12, 3, 7);
+            let mut trainer = DistributedTrainer::new(2, 8, 0.2, SyncMode::Compressed(base));
+            trainer.begin(&model);
+            if let Some(f) = plan {
+                trainer.set_tensor_algos(Some((0..model.num_tensors()).map(f).collect()));
+            }
+            let shards = data.shards(2);
+            for step in 0..5 {
+                trainer.step(&mut model, &shards, step, None);
+            }
+            let _ = eval;
+            model.params().to_vec()
+        };
+        let uniform = run(None);
+        // An explicit all-default plan is the identity.
+        let explicit = run(Some(|_| GcAlgorithm::Dgc { density: 0.01 }));
+        assert_eq!(uniform, explicit, "explicit default plan must be inert");
+        // A genuinely different per-tensor plan changes the trajectory.
+        let adaptive = run(Some(|t| GcAlgorithm::Dgc {
+            density: if t == 0 { 0.1 } else { 0.01 },
+        }));
+        assert_ne!(uniform, adaptive, "looser tensor 0 must change training");
+    }
+
+    #[test]
+    #[should_panic(expected = "algorithm family")]
+    fn cross_family_tensor_plan_is_rejected() {
+        let mut trainer = DistributedTrainer::new(
+            2,
+            8,
+            0.2,
+            SyncMode::Compressed(GcAlgorithm::dgc_1pct()),
+        );
+        trainer.set_tensor_algos(Some(vec![GcAlgorithm::EfSignSgd; 4]));
+    }
+
+    #[test]
+    fn tensor_plan_survives_an_fp32_window() {
+        let base = GcAlgorithm::Dgc { density: 0.01 };
+        let plan = vec![GcAlgorithm::Dgc { density: 0.05 }; 4];
+        let mut trainer = DistributedTrainer::new(2, 8, 0.2, SyncMode::Compressed(base));
+        trainer.set_tensor_algos(Some(plan.clone()));
+        trainer.set_mode(SyncMode::Fp32);
+        assert_eq!(trainer.tensor_algos(), Some(plan.as_slice()));
+        trainer.set_mode(SyncMode::Compressed(base));
+        assert_eq!(trainer.tensor_algos(), Some(plan.as_slice()));
+        // A family change retires the plan.
+        trainer.set_mode(SyncMode::Compressed(GcAlgorithm::EfSignSgd));
+        assert_eq!(trainer.tensor_algos(), None);
+    }
+
+    #[test]
+    fn relative_residuals_reflect_sparsification_error() {
+        let (data, _) = Dataset::blobs(400, 6, 3, 0.3, 5).split(0.25);
+        let mut model = Mlp::new(6, 12, 3, 7);
+        let mut trainer = DistributedTrainer::new(
+            2,
+            8,
+            0.2,
+            SyncMode::Compressed(GcAlgorithm::Dgc { density: 0.01 }),
+        );
+        trainer.begin(&model);
+        assert!(trainer.relative_residuals().is_empty(), "no step yet");
+        let shards = data.shards(2);
+        for step in 0..3 {
+            trainer.step(&mut model, &shards, step, None);
+        }
+        let rel = trainer.relative_residuals();
+        assert_eq!(rel.len(), model.num_tensors());
+        // 1% top-k on a small MLP leaves most of the gradient behind.
+        assert!(
+            rel.iter().any(|&r| r > 0.5),
+            "expected visible residuals, got {rel:?}"
+        );
+        assert!(rel.iter().all(|&r| r.is_finite()));
     }
 
     #[test]

@@ -29,7 +29,9 @@
 
 use espresso::robust::MonitorVerdict;
 use espresso::{replan, DegradationMonitor, Espresso, EspressoError, Strategy};
+use espresso_adapt::RatioController;
 use espresso_cluster::{ClusterError, ClusterHealth, Membership};
+use espresso_gc::GcAlgorithm;
 use espresso_sim::{Job, SimConfig, Simulator};
 
 use crate::checkpoint::{CheckpointError, CheckpointStore, MonitorState, TrainerState};
@@ -91,6 +93,13 @@ pub enum RuntimeEvent {
     Checkpointed {
         /// Next step after the checkpoint.
         step: usize,
+    },
+    /// The ratio controller moved at least one tensor along its grid.
+    RatioAdjusted {
+        /// Step at which the plan changed.
+        step: usize,
+        /// Lifetime total of grid moves after this adjustment.
+        adjustments: u64,
     },
 }
 
@@ -189,6 +198,11 @@ pub struct RuntimeConfig {
     /// Consecutive healthy observations required to leave the FP32
     /// fallback.
     pub recovery_patience: usize,
+    /// Layerwise ratio adaptation: when set (and the configured mode is
+    /// compressed with a tunable algorithm), a [`RatioController`] walks
+    /// per-tensor ratios from the observed error-feedback residuals and
+    /// routes every plan change through the re-planning path.
+    pub adapt: Option<espresso_adapt::ControllerConfig>,
 }
 
 impl RuntimeConfig {
@@ -215,6 +229,7 @@ impl RuntimeConfig {
             resume: false,
             faults: TrainFaultPlan::nominal(),
             recovery_patience: 5,
+            adapt: None,
         }
     }
 
@@ -363,6 +378,22 @@ impl TrainingRuntime {
         let mut fallback_trips = restored.as_ref().map_or(0, |s| s.fallback_trips);
         let mut replans = restored.as_ref().map_or(0, |s| s.replans);
 
+        // ---- Ratio adaptation. ----
+        // The controller is sized to the substrate model (whose residuals
+        // it actually observes); the modeled job mirrors its plan through
+        // `mapped_plan`. A resumed run restores the checkpointed
+        // controller so the move history replays bit-identically.
+        let mut controller: Option<RatioController> = match &restored {
+            Some(state) => state.controller.clone(),
+            None => match (&cfg.adapt, cfg.mode) {
+                (Some(c), SyncMode::Compressed(algo)) => {
+                    let ctl = RatioController::new(algo, model.num_tensors(), *c);
+                    ctl.can_adapt().then_some(ctl)
+                }
+                _ => None,
+            },
+        };
+
         let active_mode = |fallback: bool| if fallback { SyncMode::Fp32 } else { cfg.mode };
         let mut trainer = DistributedTrainer::with_optimizer(
             membership.alive_count(),
@@ -376,39 +407,52 @@ impl TrainingRuntime {
             Some(state) => trainer.restore_ef(state.ef.clone()),
             None => trainer.begin(&model),
         }
+        if let Some(ctl) = &controller {
+            trainer.set_tensor_algos(Some(ctl.plan()));
+        }
         let mut shards = data.shards(trainer.workers());
 
         // ---- Planning state. ----
         // The strategy in force is always a pure function of (membership,
-        // health, fallback_active): either the re-plan for the current
-        // conditions or the FP32 fallback. That makes it re-derivable on
-        // resume instead of serialized.
-        let plan_job = |membership: &Membership| -> Result<Job, RuntimeError> {
-            let mut nominal = membership.clone();
-            nominal.set_health(ClusterHealth::nominal());
-            let shrunk = nominal.effective_cluster(&cfg.job.cluster)?;
-            Ok(Job::new(cfg.job.model.clone(), shrunk, cfg.job.algo))
-        };
+        // health, fallback_active, controller plan): either the re-plan
+        // for the current conditions or the FP32 fallback. That makes it
+        // re-derivable on resume instead of serialized.
+        let plan_job =
+            |membership: &Membership, ctl: Option<&RatioController>| -> Result<Job, RuntimeError> {
+                let mut nominal = membership.clone();
+                nominal.set_health(ClusterHealth::nominal());
+                let shrunk = nominal.effective_cluster(&cfg.job.cluster)?;
+                Ok(with_plan(
+                    Job::new(cfg.job.model.clone(), shrunk, cfg.job.algo),
+                    ctl,
+                ))
+            };
         let pristine = membership.lost().is_empty() && membership.health().is_nominal();
         let mut current: Strategy = if fallback_active {
             DegradationMonitor::fallback_strategy(&cfg.job)
         } else if pristine {
-            Espresso::new(cfg.job.clone()).select_strategy().0
+            Espresso::new(with_plan(cfg.job.clone(), controller.as_ref()))
+                .select_strategy()
+                .0
         } else {
-            let job = plan_job(&membership)?;
+            let job = plan_job(&membership, controller.as_ref())?;
             replan(&job, membership.health(), &DegradationMonitor::fallback_strategy(&cfg.job))?
                 .strategy
         };
         // Predicted iteration time of `current` on the current effective
         // cluster — the deterministic "wall clock" of the modeled run.
         let sim_time = |membership: &Membership,
-                        strategy: &Strategy|
+                        strategy: &Strategy,
+                        ctl: Option<&RatioController>|
          -> Result<f64, RuntimeError> {
             let effective = membership.effective_cluster(&cfg.job.cluster)?;
-            let job = Job::new(cfg.job.model.clone(), effective, cfg.job.algo);
+            let job = with_plan(
+                Job::new(cfg.job.model.clone(), effective, cfg.job.algo),
+                ctl,
+            );
             Ok(Simulator::new(job, SimConfig::default()).iteration_time(strategy))
         };
-        let mut predicted = sim_time(&membership, &current)?;
+        let mut predicted = sim_time(&membership, &current, controller.as_ref())?;
         let mut monitor = match &monitor_state {
             Some(m) => DegradationMonitor::restore(m.predicted, m.divergence, m.samples),
             None => DegradationMonitor::new(predicted),
@@ -447,10 +491,10 @@ impl TrainingRuntime {
                     // Stay in fallback, but track it under the new
                     // conditions so recovery hysteresis stays meaningful.
                     current = DegradationMonitor::fallback_strategy(&cfg.job);
-                    predicted = sim_time(&membership, &current)?;
+                    predicted = sim_time(&membership, &current, controller.as_ref())?;
                     monitor.rebase(predicted);
                 } else {
-                    let job = plan_job(&membership)?;
+                    let job = plan_job(&membership, controller.as_ref())?;
                     let r = replan(&job, membership.health(), &current)?;
                     events.push(RuntimeEvent::Replanned {
                         step,
@@ -461,7 +505,7 @@ impl TrainingRuntime {
                         current = r.strategy;
                         replans += 1;
                     }
-                    predicted = sim_time(&membership, &current)?;
+                    predicted = sim_time(&membership, &current, controller.as_ref())?;
                     monitor.rebase(predicted);
                 }
                 redecide_attempted = false;
@@ -502,14 +546,14 @@ impl TrainingRuntime {
                         if healthy_streak >= cfg.recovery_patience {
                             fallback_active = false;
                             trainer.set_mode(cfg.mode);
-                            let job = plan_job(&membership)?;
+                            let job = plan_job(&membership, controller.as_ref())?;
                             let r = replan(&job, membership.health(), &current)?;
                             events.push(RuntimeEvent::FallbackRecovered { step });
                             if r.changed {
                                 current = r.strategy;
                                 replans += 1;
                             }
-                            predicted = sim_time(&membership, &current)?;
+                            predicted = sim_time(&membership, &current, controller.as_ref())?;
                             monitor.rebase(predicted);
                             redecide_attempted = false;
                             healthy_streak = 0;
@@ -524,7 +568,7 @@ impl TrainingRuntime {
                         // strategy, and sustained divergence escalates to
                         // the fallback instead of thrashing.
                         redecide_attempted = true;
-                        let job = plan_job(&membership)?;
+                        let job = plan_job(&membership, controller.as_ref())?;
                         let r = replan(&job, membership.health(), &current)?;
                         events.push(RuntimeEvent::Replanned {
                             step,
@@ -534,7 +578,7 @@ impl TrainingRuntime {
                         if r.changed {
                             current = r.strategy;
                             replans += 1;
-                            predicted = sim_time(&membership, &current)?;
+                            predicted = sim_time(&membership, &current, controller.as_ref())?;
                             monitor.rebase(predicted);
                         }
                     }
@@ -546,12 +590,49 @@ impl TrainingRuntime {
                         fallback_trips += 1;
                         current = DegradationMonitor::fallback_strategy(&cfg.job);
                         trainer.set_mode(SyncMode::Fp32);
-                        predicted = sim_time(&membership, &current)?;
+                        predicted = sim_time(&membership, &current, controller.as_ref())?;
                         monitor.rebase(predicted);
                         redecide_attempted = false;
                         events.push(RuntimeEvent::FallbackEngaged { step });
                     }
                 }
+            }
+
+            // Ratio adaptation: observe this round's relative residuals,
+            // walk the grid, and route any plan change through the same
+            // re-planning path the fault events use — the strategy stays a
+            // pure function of observable state.
+            let adapted = match controller.as_mut() {
+                Some(ctl) if !fallback_active => {
+                    let residuals = trainer.relative_residuals();
+                    if ctl.observe(&residuals) {
+                        trainer.set_tensor_algos(Some(ctl.plan()));
+                        events.push(RuntimeEvent::RatioAdjusted {
+                            step,
+                            adjustments: ctl.adjustments(),
+                        });
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            };
+            if adapted {
+                let job = plan_job(&membership, controller.as_ref())?;
+                let r = replan(&job, membership.health(), &current)?;
+                events.push(RuntimeEvent::Replanned {
+                    step,
+                    chosen: r.chosen.clone(),
+                    changed: r.changed,
+                });
+                if r.changed {
+                    current = r.strategy;
+                    replans += 1;
+                }
+                predicted = sim_time(&membership, &current, controller.as_ref())?;
+                monitor.rebase(predicted);
+                redecide_attempted = false;
             }
 
             // Persist and/or halt.
@@ -576,6 +657,7 @@ impl TrainingRuntime {
                 redecide_attempted,
                 fallback_trips,
                 replans,
+                controller: controller.clone(),
             };
             if let (Some(every), Some(store)) = (cfg.checkpoint_every, &self.store) {
                 if (step + 1) % every == 0 {
@@ -617,6 +699,7 @@ impl TrainingRuntime {
             redecide_attempted,
             fallback_trips,
             replans,
+            controller,
         };
         Ok(RuntimeReport {
             completed,
@@ -634,6 +717,31 @@ impl TrainingRuntime {
 /// named place.
 fn predicted_to_observed(predicted: f64, slow_factor: f64) -> f64 {
     predicted * slow_factor
+}
+
+/// Mirrors the controller's substrate-sized plan onto the modeled job's
+/// tensors by proportional index — tensor `i` of the modeled job takes
+/// the setting of substrate tensor `i * sub / n` (a reproduction
+/// simplification: the substrate MLP stands in for the modeled model, so
+/// its per-layer ratios are stretched across the modeled layer list).
+/// Returns `None` when the plan's family differs from the job's algorithm
+/// (e.g. the job was re-targeted), leaving the job uniform.
+fn mapped_plan(ctl: &RatioController, job: &Job) -> Option<Vec<GcAlgorithm>> {
+    let sub = ctl.plan();
+    let n = job.num_tensors();
+    if sub.is_empty() || n == 0 || !sub[0].same_family(&job.algo) {
+        return None;
+    }
+    Some((0..n).map(|i| sub[i * sub.len() / n]).collect())
+}
+
+/// `job` carrying the controller's current plan (identity when no
+/// controller is active or the plan does not apply).
+fn with_plan(mut job: Job, ctl: Option<&RatioController>) -> Job {
+    if let Some(plan) = ctl.and_then(|c| mapped_plan(c, &job)) {
+        job.set_tensor_algos(Some(plan));
+    }
+    job
 }
 
 #[cfg(test)]
@@ -801,6 +909,124 @@ mod tests {
             .filter(|e| matches!(e, RuntimeEvent::DroppedPush { .. }))
             .collect();
         assert_eq!(drops.len(), 2);
+    }
+
+    fn adaptive_config() -> RuntimeConfig {
+        let mut cfg = small_config();
+        // RandomK at 5% leaves most of the gradient in the residual, so
+        // relative errors sit far above the high watermark and force
+        // relaxation moves within a few steps.
+        cfg.adapt = Some(espresso_adapt::ControllerConfig {
+            low: 0.2,
+            high: 0.6,
+            patience: 1,
+            cooldown: 0,
+        });
+        cfg
+    }
+
+    #[test]
+    fn adaptive_run_adjusts_ratios_through_the_replan_path() {
+        let (data, eval) = small_data();
+        let report = TrainingRuntime::new(adaptive_config())
+            .run(&data, &eval)
+            .unwrap();
+        assert!(report.completed);
+        let ctl = report
+            .final_state
+            .controller
+            .as_ref()
+            .expect("controller state persists in the final state");
+        assert!(ctl.adjustments() >= 1, "events: {:?}", report.events);
+        let adjusted = report
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                RuntimeEvent::RatioAdjusted { step, .. } => Some(*step),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert!(!adjusted.is_empty());
+        // Every adjustment is routed through the re-planning path.
+        for step in &adjusted {
+            assert!(
+                report
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, RuntimeEvent::Replanned { step: s, .. } if s == step)),
+                "adjustment at step {step} has no matching re-plan: {:?}",
+                report.events
+            );
+        }
+        // The plan actually moved off the uniform default.
+        assert!(
+            ctl.plan()
+                .iter()
+                .any(|a| *a != GcAlgorithm::RandomK { density: 0.05 }),
+            "plan: {:?}",
+            ctl.plan()
+        );
+    }
+
+    #[test]
+    fn adaptive_runs_are_bit_reproducible() {
+        let (data, eval) = small_data();
+        let a = TrainingRuntime::new(adaptive_config()).run(&data, &eval).unwrap();
+        let b = TrainingRuntime::new(adaptive_config()).run(&data, &eval).unwrap();
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+    }
+
+    #[test]
+    fn adaptive_resume_matches_the_uninterrupted_run_bitwise() {
+        let (data, eval) = small_data();
+        let uninterrupted = TrainingRuntime::new(adaptive_config())
+            .run(&data, &eval)
+            .unwrap();
+        assert!(
+            uninterrupted
+                .events
+                .iter()
+                .any(|e| matches!(e, RuntimeEvent::RatioAdjusted { .. })),
+            "the controller must be active for this test to mean anything"
+        );
+
+        let dir = scratch("adapt-resume");
+        let mut first = adaptive_config();
+        first.checkpoint_every = Some(10);
+        first.halt_at = Some(25);
+        TrainingRuntime::new(first)
+            .with_store(CheckpointStore::new(&dir).unwrap())
+            .run(&data, &eval)
+            .unwrap();
+
+        let mut second = adaptive_config();
+        second.resume = true;
+        let resumed = TrainingRuntime::new(second)
+            .with_store(CheckpointStore::new(&dir).unwrap())
+            .run(&data, &eval)
+            .unwrap();
+        assert!(resumed.completed);
+        assert_eq!(
+            resumed.state_fingerprint(),
+            uninterrupted.state_fingerprint(),
+            "crash + resume with an active controller must stay bit-identical"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn knobless_algorithms_disable_adaptation() {
+        let (data, eval) = small_data();
+        let mut cfg = adaptive_config();
+        cfg.job.algo = GcAlgorithm::EfSignSgd;
+        cfg.mode = SyncMode::Compressed(GcAlgorithm::EfSignSgd);
+        let report = TrainingRuntime::new(cfg).run(&data, &eval).unwrap();
+        assert!(report.completed);
+        assert!(report.final_state.controller.is_none());
+        assert!(!report
+            .events
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::RatioAdjusted { .. })));
     }
 
     #[test]

@@ -96,6 +96,28 @@ fn arbitrary_state(seed: u64) -> TrainerState {
         divergence: rng.random_range(0.0f64..2.0),
         samples: rng.random_range(0usize..100),
     });
+    let controller = rng.random_bool(0.5).then(|| {
+        let mut c = espresso_adapt::RatioController::new(
+            GcAlgorithm::Dgc {
+                density: rng.random_range(0.001..0.2),
+            },
+            shapes.len(),
+            espresso_adapt::ControllerConfig {
+                low: rng.random_range(0.1..0.5),
+                high: rng.random_range(0.6..0.95),
+                patience: rng.random_range(1u32..4),
+                cooldown: rng.random_range(0u32..4),
+            },
+        );
+        // Accumulate some non-trivial streak/cooldown/level state.
+        for _ in 0..rng.random_range(0usize..6) {
+            let errs: Vec<f64> = (0..shapes.len())
+                .map(|_| rng.random_range(0.0f64..1.0))
+                .collect();
+            c.observe(&errs);
+        }
+        c
+    });
     TrainerState {
         step: rng.random_range(0usize..10_000),
         dims,
@@ -113,6 +135,7 @@ fn arbitrary_state(seed: u64) -> TrainerState {
         redecide_attempted: rng.random_bool(0.5),
         fallback_trips: rng.random_range(0usize..5),
         replans: rng.random_range(0usize..20),
+        controller,
     }
 }
 

@@ -13,7 +13,7 @@ fn small_job(model: &str, algo: GcAlgorithm, pcie: bool) -> Job {
     let model = ModelConfig::Named {
         model: model.into(),
     };
-    let gc = GcConfig { algorithm: algo };
+    let gc = GcConfig::uniform(algo);
     let system = SystemConfig {
         machines: 4,
         gpus_per_machine: 4,
@@ -101,9 +101,7 @@ fn trace_collection_barely_perturbs_the_decision() {
     let model = ModelConfig::Named {
         model: "LSTM".into(),
     };
-    let gc = GcConfig {
-        algorithm: GcAlgorithm::EfSignSgd,
-    };
+    let gc = GcConfig::uniform(GcAlgorithm::EfSignSgd);
     let system = SystemConfig {
         machines: 4,
         gpus_per_machine: 4,

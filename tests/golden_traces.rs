@@ -1,5 +1,6 @@
-//! Golden-trace regression suite: the 6 × 3 snapshot matrix under
-//! `tests/goldens/` must match the engine byte-for-byte.
+//! Golden-trace regression suite: the 6 × 3 snapshot matrix (plus two
+//! layerwise-ratio variants) under `tests/goldens/` must match the
+//! engine byte-for-byte.
 //!
 //! Each snapshot stores the Espresso-selected strategy and its full
 //! Gantt trace for one paper model × GC algorithm on the reference 2×2
@@ -55,9 +56,10 @@ fn golden_traces_match_byte_for_byte() {
 
 #[test]
 fn golden_matrix_is_complete() {
-    // Exactly the paper's 6 models × 3 GC algorithms, every file present.
+    // The paper's 6 models × 3 GC algorithms plus two adaptive-ratio
+    // variants, every file present.
     let cases = goldens::cases();
-    assert_eq!(cases.len(), 18);
+    assert_eq!(cases.len(), 20);
     for case in &cases {
         assert!(
             dir().join(case.file_name()).exists(),

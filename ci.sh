@@ -57,6 +57,18 @@ adapt_gate() {
 }
 step "adapt" adapt_gate
 
+# Planner fast-path gate: the differential sweep (200 seeded jobs, incl.
+# degraded / faulted / layerwise-ratio cases; fast vs reference planner
+# must agree on every strategy, report field, robust score, and timeline
+# span, bit for bit), then the cold-latency bench over the paper models;
+# regenerates BENCH_decide.json and fails if the LSTM fast-path decision
+# rate drops below the recorded baseline x 0.9.
+decide_gate() {
+    ./target/release/espresso-audit decide
+    ./target/release/decide --out BENCH_decide.json
+}
+step "decide" decide_gate
+
 # Crash/recovery gate: train with a checkpoint cadence, halt mid-run (a
 # simulated process crash), resume from the checkpoint, and require the
 # resumed run's weight and state fingerprints to equal an uninterrupted

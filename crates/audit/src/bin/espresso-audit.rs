@@ -7,6 +7,7 @@
 //! espresso-audit goldens [--dir tests/goldens] [--update]
 //! espresso-audit serve
 //! espresso-audit adapt   [--jobs 60] [--bound 0.10]
+//! espresso-audit decide  [--jobs 200]
 //! ```
 //!
 //! Each step prints its wall-clock time; any failure exits 1 after
@@ -16,7 +17,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use espresso_audit::{adapt, corpus, goldens, serve_check, sweep, StepTimer};
+use espresso_audit::{adapt, corpus, decide, goldens, serve_check, sweep, StepTimer};
 
 struct Args {
     command: String,
@@ -38,7 +39,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     match it.next() {
-        Some(c) if ["oracle", "invariants", "goldens", "serve", "adapt", "all"]
+        Some(c) if ["oracle", "invariants", "goldens", "serve", "adapt", "decide", "all"]
             .contains(&c.as_str()) =>
         {
             args.command = c;
@@ -134,9 +135,19 @@ fn goldens_step(args: &Args) -> bool {
             println!("   {} diverged: {}", diff.case.label(), diff.message);
             ok = false;
         }
+        // Also re-run the selection itself (fast path unless
+        // ESPRESSO_REFERENCE_PLANNER=1): the snapshot must pin the
+        // planner's decisions, not just the simulator's timing.
+        if let Err(diff) = goldens::check_selection(&case, &dir) {
+            println!("   {} selection diverged: {}", diff.case.label(), diff.message);
+            ok = false;
+        }
     }
     if ok {
-        println!("   {} snapshots match byte-for-byte", goldens::cases().len());
+        println!(
+            "   {} snapshots match byte-for-byte (simulation and re-selection)",
+            goldens::cases().len()
+        );
     }
     timer.finish(ok)
 }
@@ -172,6 +183,26 @@ fn adapt_step(args: &Args) -> bool {
     timer.finish(report.ok())
 }
 
+fn decide_step(args: &Args) -> bool {
+    let timer = StepTimer::start("planner fast-path differential");
+    let mut config = decide::DecideConfig::default();
+    if let Some(jobs) = args.jobs {
+        config.jobs = jobs;
+    }
+    let report = decide::run(&config);
+    let (nominal, degraded, faulted, ratio) = report.coverage();
+    println!(
+        "   {} cases ({nominal} nominal, {degraded} degraded, {faulted} faulted; {ratio} ratio-bearing), {} fast-path simulations, {} divergences",
+        report.results.len(),
+        report.fast_simulations(),
+        report.failures.len(),
+    );
+    for repro in &report.failures {
+        println!("   divergence reproduction:\n{}", repro.render());
+    }
+    timer.finish(report.ok())
+}
+
 fn serve_step() -> bool {
     let timer = StepTimer::start("serve equivalence");
     match serve_check::run() {
@@ -194,7 +225,7 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(e) => {
             eprintln!("espresso-audit: {e}");
-            eprintln!("usage: espresso-audit <oracle|invariants|goldens|serve|adapt|all> [--jobs N] [--bound X] [--faulted-bound X] [--dir PATH] [--update]");
+            eprintln!("usage: espresso-audit <oracle|invariants|goldens|serve|adapt|decide|all> [--jobs N] [--bound X] [--faulted-bound X] [--dir PATH] [--update]");
             return ExitCode::from(2);
         }
     };
@@ -205,12 +236,14 @@ fn main() -> ExitCode {
         "goldens" => goldens_step(&args),
         "serve" => serve_step(),
         "adapt" => adapt_step(&args),
+        "decide" => decide_step(&args),
         _ => {
             let mut ok = oracle_step(&args);
             ok &= invariants_step();
             ok &= goldens_step(&args);
             ok &= serve_step();
             ok &= adapt_step(&args);
+            ok &= decide_step(&args);
             ok
         }
     };

@@ -256,6 +256,33 @@ pub fn check(case: &GoldenCase, dir: &Path) -> Result<(), GoldenDiff> {
     Ok(())
 }
 
+/// Re-runs the full selection pipeline for `case` — on the planner mode
+/// configured in the environment, which is the fast path unless
+/// `ESPRESSO_REFERENCE_PLANNER=1` — and byte-compares the regenerated
+/// document against the snapshot. Where [`check`] pins the *simulator*
+/// (re-simulating the stored strategy), this pins the *planner*: any
+/// drift in the fast path's accept decisions changes the selected
+/// strategy and therefore the bytes.
+///
+/// # Errors
+///
+/// A [`GoldenDiff`] naming the first divergent byte (or the missing /
+/// unreadable file).
+pub fn check_selection(case: &GoldenCase, dir: &Path) -> Result<(), GoldenDiff> {
+    let fail = |message: String| GoldenDiff {
+        case: case.clone(),
+        message,
+    };
+    let path = dir.join(case.file_name());
+    let stored = std::fs::read(&path)
+        .map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?;
+    let fresh = generate(case);
+    if fresh.as_bytes() != stored.as_slice() {
+        return Err(fail(describe_byte_diff(&stored, fresh.as_bytes())));
+    }
+    Ok(())
+}
+
 /// Writes (or overwrites) one snapshot.
 ///
 /// # Errors

@@ -28,6 +28,7 @@
 
 pub mod adapt;
 pub mod corpus;
+pub mod decide;
 pub mod goldens;
 pub mod jobs;
 pub mod serve_check;

@@ -190,6 +190,110 @@ pub fn decide_with_simulator(
     }
 }
 
+/// Algorithm 1 on the planner fast path.
+///
+/// Byte-compatible with [`decide_with_simulator`]: identical trial
+/// enumeration (same pass order, dedup, rule-outs, and skip rules),
+/// identical accept tests, and identical `simulations` counting — the
+/// `espresso-audit decide` differential sweep asserts the outputs match
+/// bit for bit. The speed comes from *how* each trial is priced:
+/// suffix-only re-simulation against the evolving incumbent
+/// ([`espresso_sim::DeltaSim`], re-anchored after every accept),
+/// certified lower-bound pruning (a pruned trial provably cannot pass
+/// the accept test, so skipping its simulation changes nothing), and an
+/// exact memo over repeated candidate timelines. Pools wider than one
+/// worker fan each position's candidate batch out in parallel with the
+/// results folded in canonical order.
+pub fn decide_fast(
+    sim: &Simulator,
+    candidates: &[Arc<CompressionOption>],
+    pool: &crate::parallel::EvalPool,
+) -> GpuDecision {
+    let job = sim.job();
+    let n = job.num_tensors();
+    let mut strategy = Strategy::uncompressed(n, default_pattern(job), &job.cluster);
+    let mut simulations = 0usize;
+
+    let order_for_pass = |pass: usize| -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (job.model.tensors[a].elems, job.model.tensors[b].elems);
+            let tie = if pass.is_multiple_of(2) { a.cmp(&b) } else { b.cmp(&a) };
+            sb.cmp(&sa).then(tie)
+        });
+        order
+    };
+
+    let mut dedup_cache: std::collections::HashMap<usize, Vec<Arc<CompressionOption>>> =
+        std::collections::HashMap::new();
+
+    let remove = |delta: &espresso_sim::DeltaSim<'_>,
+                  strategy: &Strategy,
+                  ruled_out: &mut HashSet<usize>,
+                  simulations: &mut usize| {
+        let result = delta.simulate(strategy);
+        *simulations += 1;
+        for t in result.tensors_before_bubbles() {
+            if !strategy.option(t).compresses() {
+                ruled_out.insert(t);
+            }
+        }
+    };
+
+    let mut best_time = sim.iteration_time(&strategy);
+    simulations += 1;
+    let mut delta = sim.delta(&strategy);
+    let mut all_ruled: HashSet<usize> = HashSet::new();
+
+    const MAX_PASSES: usize = 4;
+    for pass in 0..MAX_PASSES {
+        let pass_start_time = best_time;
+        let order = order_for_pass(pass);
+        let mut ruled_out: HashSet<usize> = HashSet::new();
+        remove(&delta, &strategy, &mut ruled_out, &mut simulations);
+
+        for &idx in &order {
+            if ruled_out.contains(&idx) {
+                continue;
+            }
+            let elems = job.model.tensors[idx].elems;
+            let deduped = dedup_cache
+                .entry(elems)
+                .or_insert_with(|| dedup_for_size(candidates, elems, job))
+                .clone();
+
+            let best_option = crate::decision::best_swap(
+                &delta,
+                &strategy,
+                idx,
+                &deduped,
+                true,
+                pool,
+                &mut best_time,
+                &mut simulations,
+            );
+            if let Some(opt) = best_option {
+                strategy.set_option(idx, opt);
+                remove(&delta, &strategy, &mut ruled_out, &mut simulations);
+                delta.rebase(&strategy, best_time);
+            }
+        }
+        all_ruled.extend(ruled_out.iter().copied());
+        if pass >= 1 && best_time >= pass_start_time - 1e-12 {
+            break;
+        }
+    }
+
+    let mut ruled: Vec<usize> = all_ruled.into_iter().collect();
+    ruled.sort_unstable();
+    GpuDecision {
+        iteration_time: best_time,
+        strategy,
+        ruled_out: ruled,
+        simulations,
+    }
+}
+
 /// A forced-compression variant of Algorithm 1: every tensor starts from
 /// `init` (compressed) and may only move between compressed candidates --
 /// the "All compression" mechanism of Figure 15(a), which cripples

@@ -147,6 +147,121 @@ pub fn decide_with_simulator(
     }
 }
 
+/// Algorithm 2 on the planner fast path — byte-compatible with
+/// [`decide_with_simulator`] (same traversal, accept tests, and
+/// combination counts; the differential sweep enforces it), priced
+/// through [`espresso_sim::DeltaSim`] with certified lower-bound
+/// pruning.
+pub fn decide_fast(sim: &Simulator, base: &Strategy, max_combinations: usize) -> OffloadDecision {
+    let job = sim.job();
+    let groups = lemma1_groups(job, base);
+    if groups.is_empty() {
+        return OffloadDecision {
+            strategy: base.clone(),
+            iteration_time: sim.iteration_time(base),
+            offloaded: Vec::new(),
+            combinations: 1,
+        };
+    }
+    let total: usize = groups
+        .iter()
+        .map(|g| 2 * g.tensors.len() + 1)
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX);
+
+    let mut delta = sim.delta(base);
+    if total <= max_combinations {
+        exhaustive_fast(&delta, base, &groups)
+    } else {
+        greedy_fast(&mut delta, base, &groups)
+    }
+}
+
+/// [`exhaustive`] through the delta engine. The reference accepts on
+/// `t < best_time` with **no** epsilon, so the prune threshold is
+/// exactly `best_time` — pruning against `best_time - 1e-12` would
+/// wrongly rule out candidates the reference accepts.
+fn exhaustive_fast(
+    delta: &espresso_sim::DeltaSim<'_>,
+    base: &Strategy,
+    groups: &[OffloadGroup],
+) -> OffloadDecision {
+    let cpu = cpu_variants(groups);
+    let mut u = vec![0usize; groups.len()];
+    let mut best_u = u.clone();
+    let mut best_time = f64::INFINITY;
+    let mut combinations = 0usize;
+    loop {
+        let (s, _) = apply(base, groups, &cpu, &u);
+        combinations += 1;
+        if let Some(t) = delta.eval_bounded(&s, best_time) {
+            if t < best_time {
+                best_time = t;
+                best_u = u.clone();
+            }
+        }
+        let mut i = 0;
+        loop {
+            if i == groups.len() {
+                let (strategy, offloaded) = apply(base, groups, &cpu, &best_u);
+                return OffloadDecision {
+                    strategy,
+                    iteration_time: best_time,
+                    offloaded,
+                    combinations,
+                };
+            }
+            u[i] += 1;
+            if u[i] <= 2 * groups[i].tensors.len() {
+                break;
+            }
+            u[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// [`greedy`] through the delta engine, re-anchored after each group's
+/// choice so later groups re-simulate only their own suffix.
+fn greedy_fast(
+    delta: &mut espresso_sim::DeltaSim<'_>,
+    base: &Strategy,
+    groups: &[OffloadGroup],
+) -> OffloadDecision {
+    let cpu = cpu_variants(groups);
+    let mut u = vec![0usize; groups.len()];
+    let mut combinations = 1usize;
+    // The reference's first combination is `apply(u = 0)` — the base
+    // strategy itself, whose time the delta handle already knows.
+    let mut best_time = delta.base_time();
+    for (gi, group) in groups.iter().enumerate() {
+        let mut best_digit = 0usize;
+        for digit in 1..=2 * group.tensors.len() {
+            u[gi] = digit;
+            let (s, _) = apply(base, groups, &cpu, &u);
+            combinations += 1;
+            if let Some(t) = delta.eval_bounded(&s, best_time - 1e-12) {
+                if t < best_time - 1e-12 {
+                    best_time = t;
+                    best_digit = digit;
+                }
+            }
+        }
+        u[gi] = best_digit;
+        if best_digit != 0 {
+            let (s, _) = apply(base, groups, &cpu, &u);
+            delta.rebase(&s, best_time);
+        }
+    }
+    let (strategy, offloaded) = apply(base, groups, &cpu, &u);
+    OffloadDecision {
+        strategy,
+        iteration_time: best_time,
+        offloaded,
+        combinations,
+    }
+}
+
 /// Applies an offload digit vector `u` to the base strategy.
 ///
 /// The CPU variant of each group's option is materialized once (`cpu` is

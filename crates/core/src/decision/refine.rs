@@ -91,6 +91,68 @@ pub fn cpu_backfill(
     }
 }
 
+/// The backfill pass on the planner fast path — byte-compatible with
+/// [`cpu_backfill`] (the differential sweep enforces it), with the same
+/// delta-pricing, pruning, and optional pool fan-out as the fast
+/// Algorithm 1. The reference loop never skips a candidate equal to the
+/// incumbent option (an uncompressed incumbent is never in the
+/// CPU-compressed candidate set), so `best_swap` runs with
+/// `skip_current` off to keep the simulation counts aligned.
+pub fn cpu_backfill_fast(
+    sim: &Simulator,
+    base: &Strategy,
+    compressed_options: &[Arc<CompressionOption>],
+    pool: &crate::parallel::EvalPool,
+) -> RefineDecision {
+    let job = sim.job();
+    let n = job.num_tensors();
+    let mut cpu: Vec<Arc<CompressionOption>> = compressed_options
+        .iter()
+        .map(|o| o.with_device(Device::Cpu))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    cpu.retain(|o| o.compresses());
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let (sa, sb) = (job.model.tensors[a].elems, job.model.tensors[b].elems);
+        sb.cmp(&sa).then(b.cmp(&a))
+    });
+
+    let mut strategy = base.clone();
+    let mut best_time = sim.iteration_time(&strategy);
+    let mut delta = sim.delta(&strategy);
+    let mut simulations = 1usize;
+    let mut backfilled = Vec::new();
+    for &idx in &order {
+        if strategy.option(idx).compresses() {
+            continue;
+        }
+        let best_option = crate::decision::best_swap(
+            &delta,
+            &strategy,
+            idx,
+            &cpu,
+            false,
+            pool,
+            &mut best_time,
+            &mut simulations,
+        );
+        if let Some(opt) = best_option {
+            strategy.set_option(idx, opt);
+            backfilled.push(idx);
+            delta.rebase(&strategy, best_time);
+        }
+    }
+    RefineDecision {
+        strategy,
+        iteration_time: best_time,
+        backfilled,
+        simulations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

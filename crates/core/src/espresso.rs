@@ -7,6 +7,37 @@ use espresso_sim::{Job, SimConfig, Simulator};
 use espresso_strategy::{Constraints, OptionSpace, Strategy};
 
 use crate::decision::{gpu, offload, refine};
+use crate::parallel::EvalPool;
+
+/// Which planner implementation answers a selection request.
+///
+/// Both modes run the same algorithms over the same trial enumeration
+/// and produce byte-identical strategies and reports (modulo wall-clock
+/// telemetry); `Fast` prices candidates through the incremental
+/// simulation engine with certified pruning, `Reference` replays every
+/// trial from scratch. The reference path exists as the differential
+/// oracle for the fast one (`espresso-audit decide`) and as an escape
+/// hatch (`ESPRESSO_REFERENCE_PLANNER=1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// Incremental delta re-simulation with lower-bound pruning (the
+    /// default).
+    Fast,
+    /// The from-scratch reference decision loops.
+    Reference,
+}
+
+impl PlannerMode {
+    /// `Reference` when `ESPRESSO_REFERENCE_PLANNER=1` is set, `Fast`
+    /// otherwise.
+    pub fn from_env() -> Self {
+        if std::env::var_os("ESPRESSO_REFERENCE_PLANNER").is_some_and(|v| v == "1") {
+            PlannerMode::Reference
+        } else {
+            PlannerMode::Fast
+        }
+    }
+}
 
 /// Telemetry of one strategy selection (the quantities behind the paper's
 /// Tables 5 and 6).
@@ -111,23 +142,49 @@ impl Espresso {
     }
 
     /// Selects a near-optimal strategy: Algorithm 1 (GPU compression
-    /// decisions) then Algorithm 2 (optimal CPU offloading).
+    /// decisions) then Algorithm 2 (optimal CPU offloading), on the
+    /// planner mode and pool configured in the environment
+    /// (`ESPRESSO_REFERENCE_PLANNER`, `ESPRESSO_PLANNER_THREADS`).
     pub fn select_strategy(&self) -> (Strategy, Report) {
+        self.select_strategy_with(PlannerMode::from_env(), &EvalPool::from_env())
+    }
+
+    /// As [`Espresso::select_strategy`] with an explicit planner mode
+    /// and evaluation pool — the entry point the differential harness
+    /// drives from both sides.
+    pub fn select_strategy_with(&self, mode: PlannerMode, pool: &EvalPool) -> (Strategy, Report) {
         let sim = Simulator::new(self.job.clone(), self.config);
         let t0 = Instant::now();
-        let gpu_decision = gpu::decide_with_simulator(&sim, &self.space.gpu_compressed());
+        let gpu_decision = match mode {
+            PlannerMode::Reference => {
+                gpu::decide_with_simulator(&sim, &self.space.gpu_compressed())
+            }
+            PlannerMode::Fast => gpu::decide_fast(&sim, &self.space.gpu_compressed(), pool),
+        };
         let gpu_decision_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let off = offload::decide_with_simulator(
-            &sim,
-            &gpu_decision.strategy,
-            self.max_offload_combinations,
-        );
+        let off = match mode {
+            PlannerMode::Reference => offload::decide_with_simulator(
+                &sim,
+                &gpu_decision.strategy,
+                self.max_offload_combinations,
+            ),
+            PlannerMode::Fast => {
+                offload::decide_fast(&sim, &gpu_decision.strategy, self.max_offload_combinations)
+            }
+        };
         let offload_seconds = t1.elapsed().as_secs_f64();
 
         let t2 = Instant::now();
-        let refined = refine::cpu_backfill(&sim, &off.strategy, &self.space.compressed());
+        let refined = match mode {
+            PlannerMode::Reference => {
+                refine::cpu_backfill(&sim, &off.strategy, &self.space.compressed())
+            }
+            PlannerMode::Fast => {
+                refine::cpu_backfill_fast(&sim, &off.strategy, &self.space.compressed(), pool)
+            }
+        };
         let backfill_seconds = t2.elapsed().as_secs_f64();
 
         let report = Report {

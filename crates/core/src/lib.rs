@@ -30,6 +30,7 @@ pub mod decision;
 pub mod error;
 pub mod espresso;
 pub mod oracle;
+pub mod parallel;
 pub mod robust;
 pub mod service;
 pub mod upper_bound;
@@ -38,10 +39,12 @@ pub use baselines::Baseline;
 pub use census::Census;
 pub use config::{FileConfig, GcConfig, ModelConfig, SystemConfig};
 pub use error::EspressoError;
-pub use espresso::{Espresso, Report};
+pub use espresso::{Espresso, PlannerMode, Report};
+pub use parallel::{BoundedQueue, EvalPool};
 pub use espresso_strategy::Strategy;
 pub use robust::{
-    replan, replan_priority, DegradationMonitor, NoiseEnvelope, Replan, RobustSelection,
+    replan, replan_priority, replan_with_context, DegradationMonitor, NoiseEnvelope, Replan,
+    ReplanContext, RobustSelection,
     RobustSelector,
 };
 pub use service::{decide, Decision, DecisionRequest, DecisionResponse};
@@ -55,7 +58,8 @@ pub mod prelude {
         config::{FileConfig, GcConfig, ModelConfig, SystemConfig},
         decision::{gpu, offload},
         error::EspressoError,
-        espresso::{Espresso, Report},
+        espresso::{Espresso, PlannerMode, Report},
+        parallel::{BoundedQueue, EvalPool},
         oracle,
         robust::{
             replan, replan_priority, DegradationMonitor, NoiseEnvelope, Replan, RobustSelection,

@@ -28,7 +28,8 @@ use espresso_strategy::Strategy;
 
 use crate::baselines::{self, Baseline};
 use crate::error::EspressoError;
-use crate::espresso::Espresso;
+use crate::espresso::{Espresso, PlannerMode};
+use crate::parallel::EvalPool;
 
 /// How far the empirical model may be off, and how many perturbed
 /// scenarios to draw from that envelope.
@@ -219,6 +220,20 @@ impl RobustSelector {
     /// [`EspressoError::Config`] for an invalid envelope, and
     /// [`EspressoError::Fault`] for an invalid fault plan.
     pub fn select(&self) -> Result<RobustSelection, EspressoError> {
+        self.select_with(PlannerMode::from_env(), &EvalPool::from_env())
+    }
+
+    /// As [`RobustSelector::select`] with an explicit planner mode and
+    /// evaluation pool. The candidate-generation selects run on the
+    /// chosen planner path, and the candidate-times-ensemble pricing
+    /// matrix fans out across the pool as self-contained evaluation
+    /// units merged back in canonical (candidate-major) order — the
+    /// selection is bit-identical for any worker count.
+    pub fn select_with(
+        &self,
+        mode: PlannerMode,
+        pool: &EvalPool,
+    ) -> Result<RobustSelection, EspressoError> {
         self.envelope.validate()?;
         if let Some(plan) = &self.faults {
             plan.validate()
@@ -240,37 +255,44 @@ impl RobustSelector {
         let mut candidates: Vec<(String, Strategy)> = Vec::new();
         let (stale, _) = Espresso::new(self.job.clone())
             .with_config(self.config)
-            .select_strategy();
+            .select_strategy_with(mode, pool);
         candidates.push(("nominal-espresso".into(), stale));
         let (mean_degraded, _) = Espresso::new(degraded_job)
             .with_config(self.config)
-            .select_strategy();
+            .select_strategy_with(mode, pool);
         candidates.push(("degraded-espresso".into(), mean_degraded));
         for (s, job) in ensemble.iter().enumerate() {
             let (strategy, _) = Espresso::new(job.clone())
                 .with_config(self.config)
-                .select_strategy();
+                .select_strategy_with(mode, pool);
             candidates.push((format!("scenario-{s}-espresso"), strategy));
         }
         for b in Baseline::ALL {
             candidates.push((b.name().to_string(), b.strategy(&self.job)));
         }
 
-        // Price every candidate on every ensemble member.
+        // Price every candidate on every ensemble member: one prepared
+        // unit per (candidate, scenario) cell, fanned out across the
+        // pool and read back by index — candidate-major order, so the
+        // scores are byte-stable for any worker count.
         let sims: Vec<Simulator> = ensemble
             .iter()
             .map(|job| Simulator::new(job.clone(), self.config))
             .collect();
+        let units: Vec<espresso_sim::PreparedEval> = candidates
+            .iter()
+            .flat_map(|(_, strategy)| {
+                sims.iter().map(|sim| match &self.faults {
+                    None => sim.prepare(strategy),
+                    Some(plan) => sim.prepare_with_faults(strategy, Some(plan)),
+                })
+            })
+            .collect();
+        let times = pool.run(units);
         let mut scored: Vec<(CandidateScore, Strategy)> = candidates
             .into_iter()
-            .map(|(name, strategy)| {
-                let times: Vec<f64> = sims
-                    .iter()
-                    .map(|sim| match &self.faults {
-                        None => sim.iteration_time(&strategy),
-                        Some(plan) => sim.iteration_time_with_faults(&strategy, plan),
-                    })
-                    .collect();
+            .zip(times.chunks(sims.len()))
+            .map(|((name, strategy), times)| {
                 let mean = times.iter().sum::<f64>() / times.len() as f64;
                 let worst = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 (
@@ -518,6 +540,69 @@ pub fn replan(
         chosen,
         changed,
     })
+}
+
+/// Warm state carried between online re-plans of the same training run.
+///
+/// The planner is a pure function of `(job, health)`: every simulated
+/// duration, every candidate enumeration, and every accept/reject in the
+/// decision loops derives from those two values. The context therefore
+/// keys completed decisions by them and replays the stored decision
+/// whenever a re-plan arrives with inputs it has already planned —
+/// byte-identical to a cold plan by construction, at lookup cost. Fleet
+/// health commonly flaps between a small set of states (nominal ↔ one
+/// link degraded), so the table stays tiny; it is bounded anyway,
+/// evicting the oldest entry first.
+///
+/// Only `strategy`/`predicted_time`/`chosen` are replayed; `changed` is
+/// recomputed against the *current* strategy of the caller, which moves
+/// between re-plans.
+#[derive(Debug, Default)]
+pub struct ReplanContext {
+    /// Completed decisions in insertion order, oldest first.
+    entries: Vec<(String, Replan)>,
+}
+
+impl ReplanContext {
+    /// Most distinct `(job, health)` decisions retained.
+    const CAPACITY: usize = 32;
+
+    /// An empty context (first plan will be cold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(job: &Job, health: &ClusterHealth) -> String {
+        format!("{job:?}|{health:?}")
+    }
+}
+
+/// As [`replan`], seeded by `ctx`: a re-plan whose `(job, health)` inputs
+/// match a previously completed decision returns that decision (with
+/// `changed` recomputed against `current`) without re-running the
+/// planner. Cold results are stored back into `ctx`.
+///
+/// # Errors
+///
+/// As [`RobustSelector::select`].
+pub fn replan_with_context(
+    ctx: &mut ReplanContext,
+    job: &Job,
+    health: &ClusterHealth,
+    current: &Strategy,
+) -> Result<Replan, EspressoError> {
+    let key = ReplanContext::key(job, health);
+    if let Some((_, warm)) = ctx.entries.iter().find(|(k, _)| *k == key) {
+        let mut r = warm.clone();
+        r.changed = r.strategy != *current;
+        return Ok(r);
+    }
+    let r = replan(job, health, current)?;
+    if ctx.entries.len() >= ReplanContext::CAPACITY {
+        ctx.entries.remove(0);
+    }
+    ctx.entries.push((key, r.clone()));
+    Ok(r)
 }
 
 /// Default urgency of re-planning `job` after a cluster event, for

@@ -1,4 +1,8 @@
-//! A bounded MPMC work queue for the worker thread pool.
+//! The bounded MPMC work queue under the worker thread pool.
+//!
+//! The implementation lives in [`espresso::parallel`] so the serve
+//! worker pool and the planner's parallel candidate evaluation share one
+//! queue; this module re-exports it under the historical path.
 //!
 //! The accept loop pushes connections with [`BoundedQueue::try_push`] —
 //! which *fails* rather than blocks when the queue is full, so overload
@@ -7,91 +11,7 @@
 //! queue wakes every worker; they drain what was already queued and then
 //! exit, which is exactly the graceful-shutdown order the server wants.
 
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
-
-struct State<T> {
-    items: VecDeque<T>,
-    closed: bool,
-}
-
-/// A fixed-capacity multi-producer multi-consumer queue.
-pub struct BoundedQueue<T> {
-    state: Mutex<State<T>>,
-    available: Condvar,
-    capacity: usize,
-}
-
-impl<T> BoundedQueue<T> {
-    /// A queue holding at most `capacity` items (clamped to ≥ 1).
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            state: Mutex::new(State {
-                items: VecDeque::new(),
-                closed: false,
-            }),
-            available: Condvar::new(),
-            capacity: capacity.max(1),
-        }
-    }
-
-    fn lock(&self) -> MutexGuard<'_, State<T>> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Enqueues `item`, or hands it back if the queue is full or closed.
-    /// Never blocks.
-    ///
-    /// # Errors
-    ///
-    /// Returns `Err(item)` when the item was not enqueued, so the caller
-    /// can shed it (e.g. answer 503).
-    pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut state = self.lock();
-        if state.closed || state.items.len() >= self.capacity {
-            return Err(item);
-        }
-        state.items.push_back(item);
-        drop(state);
-        self.available.notify_one();
-        Ok(())
-    }
-
-    /// Dequeues the next item, blocking while the queue is open and
-    /// empty. Returns `None` once the queue is closed *and* drained.
-    pub fn pop(&self) -> Option<T> {
-        let mut state = self.lock();
-        loop {
-            if let Some(item) = state.items.pop_front() {
-                return Some(item);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self
-                .available
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-    }
-
-    /// Closes the queue: no further pushes succeed; blocked and future
-    /// `pop`s drain the backlog and then return `None`.
-    pub fn close(&self) {
-        self.lock().closed = true;
-        self.available.notify_all();
-    }
-
-    /// Items currently queued.
-    pub fn len(&self) -> usize {
-        self.lock().items.len()
-    }
-
-    /// Whether the queue is currently empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
+pub use espresso::parallel::BoundedQueue;
 
 #[cfg(test)]
 mod tests {

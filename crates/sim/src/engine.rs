@@ -5,9 +5,40 @@
 //! start in arrival order (ties broken by task construction order, which
 //! places a tensor's compression ahead of the next tensor's computation —
 //! the stream behaviour of Figure 2(b)/(c)).
+//!
+//! ## The compiled-plan fast path
+//!
+//! Strategy-search loops evaluate thousands of candidates against one
+//! job, and the evaluation cost is dominated by per-candidate allocation
+//! (per-task predecessor vectors, successor lists, option-keyed cache
+//! lookups), not by event processing. The [`Simulator`] therefore
+//! compiles each distinct `(compression option, tensor size, algorithm)`
+//! into an interned [`Block`] — the tensor's task sub-graph with local
+//! predecessor indices — and assembles candidate timelines by
+//! concatenating block ids into a flat CSR [`Plan`] evaluated in reusable
+//! scratch buffers. Event ordering, tie-breaking, and floating-point
+//! arithmetic are identical to the historical per-`Task` path, so
+//! timelines are byte-for-byte unchanged (the golden-trace suite pins
+//! this).
+//!
+//! On top of the plan representation sit two further exact accelerations:
+//!
+//! * [`DeltaSim`] — incremental re-simulation. For a fixed base strategy,
+//!   the engine checkpoints the event loop at the moment tensor `k`'s
+//!   backward compute finishes. Every task that exists anywhere in the
+//!   engine state at that moment has an index at or before that compute
+//!   task (stage tasks of tensor `k` depend on it; later computes are
+//!   chained behind it), so a candidate differing from the base only at
+//!   tensors `>= k` replays bitwise-identically up to the checkpoint and
+//!   only the suffix is re-derived. The dirty-tensor watermark is
+//!   detected automatically from the block ids.
+//! * `F(S)` memoization ([`Simulator::iteration_time_memo`]) — exact
+//!   keying by the candidate's block-id sequence, so re-encounters of a
+//!   strategy (multi-pass sweeps, odometer overlap) cost a hash lookup.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use espresso_strategy::Strategy;
 
@@ -16,33 +47,15 @@ use crate::{
     fault::FaultPlan,
     job::Job,
     result::{SimResult, Span, TaskRecord},
-    task::{build_tasks, Resource, Task},
+    task::{build_tasks, Resource, Task, TaskKind},
 };
-
-/// Total-ordered f64 for the event heap.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
-
-impl Eq for Time {}
-
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// Simulates one training iteration of `job` under `strategy`.
 ///
 /// Returns the full timeline; `result.iteration_time` is the `F(S)` the
 /// decision algorithm minimizes. For search loops that evaluate thousands
 /// of strategies against one job, use [`Simulator`], which caches compiled
-/// stages per (option, tensor size).
+/// task blocks per (option, tensor size, algorithm).
 ///
 /// # Examples
 ///
@@ -86,16 +99,29 @@ pub fn simulate_with_faults(
 
 fn finish(
     job: &Job,
-    tasks: Vec<crate::task::Task>,
+    tasks: Vec<Task>,
     config: &SimConfig,
     faults: Option<&FaultPlan>,
 ) -> SimResult {
-    let spans = run(&tasks, config, faults);
-    let records = tasks
+    let plan = Plan::from_tasks(&tasks);
+    let mut scratch = EvalScratch::default();
+    run_plan(&plan, config, faults, &mut scratch, None, None, None, None);
+    finish_plan(job, &plan, &scratch.spans, config, faults)
+}
+
+fn finish_plan(
+    job: &Job,
+    plan: &Plan,
+    spans: &[Span],
+    config: &SimConfig,
+    _faults: Option<&FaultPlan>,
+) -> SimResult {
+    let records = plan
+        .meta
         .iter()
-        .zip(&spans)
+        .zip(spans)
         .map(|(t, s)| TaskRecord {
-            tensor: t.tensor,
+            tensor: t.tensor as usize,
             kind: t.kind,
             resource: t.resource,
             span: *s,
@@ -106,6 +132,7 @@ fn finish(
     // search loops skip the pass (the audit CLI re-checks explicitly).
     #[cfg(debug_assertions)]
     {
+        let tasks = plan.to_tasks();
         let violations = crate::audit::audit_tasks(&tasks, &result, config);
         debug_assert!(
             violations.is_empty(),
@@ -115,15 +142,259 @@ fn finish(
     result
 }
 
-/// A reusable simulator for one job: caches the compiled stage lists per
-/// `(compression option, tensor size, algorithm setting)` so that
-/// strategy-search loops (Algorithms 1 and 2, brute force, the ratio
-/// allocator) skip re-annotating options and re-evaluating timing models
-/// on every candidate.
-pub struct Simulator {
-    job: Job,
-    config: SimConfig,
-    cache: std::cell::RefCell<StageCache>,
+/// Compact, copyable metadata of one scheduled task. Predecessors live in
+/// the owning [`Plan`]'s CSR arrays.
+#[derive(Debug, Clone, Copy)]
+struct TaskMeta {
+    tensor: u32,
+    kind: TaskKind,
+    resource: Resource,
+    duration: f64,
+    alpha_secs: f64,
+}
+
+/// A compiled task graph: task metadata plus CSR predecessor lists, in
+/// exactly the order `build_tasks` would have produced. The successor
+/// CSR is carried alongside (same edge set, forward direction) so
+/// `run_plan` never rebuilds it per evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    meta: Vec<TaskMeta>,
+    pred_off: Vec<u32>,
+    pred_idx: Vec<u32>,
+    /// Successor CSR: each task's successor list ascends by task index,
+    /// exactly the order the historical per-run rebuild produced.
+    succ_off: Vec<u32>,
+    succ_idx: Vec<u32>,
+    /// Per tensor: the index of its backward-compute task.
+    compute_idx: Vec<u32>,
+}
+
+impl Plan {
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Only the debug-build timeline audits walk predecessor lists.
+    #[cfg(debug_assertions)]
+    fn preds(&self, i: usize) -> &[u32] {
+        &self.pred_idx[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+    }
+
+    fn pred_count(&self, i: usize) -> u32 {
+        self.pred_off[i + 1] - self.pred_off[i]
+    }
+
+    fn succs(&self, i: usize) -> &[u32] {
+        &self.succ_idx[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    fn clear(&mut self) {
+        self.meta.clear();
+        self.pred_off.clear();
+        self.pred_idx.clear();
+        self.succ_off.clear();
+        self.succ_idx.clear();
+        self.compute_idx.clear();
+        self.pred_off.push(0);
+    }
+
+    fn push(&mut self, meta: TaskMeta, preds: impl IntoIterator<Item = u32>) {
+        self.meta.push(meta);
+        self.pred_idx.extend(preds);
+        self.pred_off.push(self.pred_idx.len() as u32);
+    }
+
+    /// Derives the successor CSR from the predecessor lists — counting
+    /// pass, prefix sum, then a fill in ascending task order so each
+    /// successor list ascends (the invariant splicing relies on).
+    fn build_succ(&mut self) {
+        let n = self.len();
+        self.succ_off.clear();
+        self.succ_off.resize(n + 1, 0);
+        for &p in &self.pred_idx {
+            self.succ_off[p as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.succ_off[i + 1] += self.succ_off[i];
+        }
+        self.succ_idx.clear();
+        self.succ_idx.resize(self.pred_idx.len(), 0);
+        let mut cursor: Vec<u32> = self.succ_off[..n].to_vec();
+        for i in 0..n {
+            for &p in
+                &self.pred_idx[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+            {
+                let c = &mut cursor[p as usize];
+                self.succ_idx[*c as usize] = i as u32;
+                *c += 1;
+            }
+        }
+    }
+
+    /// Converts a historical `Task` list into a plan (same order).
+    fn from_tasks(tasks: &[Task]) -> Plan {
+        let mut plan = Plan::default();
+        plan.clear();
+        for t in tasks {
+            if t.kind == TaskKind::Compute {
+                plan.compute_idx.push(plan.meta.len() as u32);
+            }
+            plan.push(
+                TaskMeta {
+                    tensor: t.tensor as u32,
+                    kind: t.kind,
+                    resource: t.resource,
+                    duration: t.duration,
+                    alpha_secs: t.alpha_secs,
+                },
+                t.preds.iter().map(|&p| p as u32),
+            );
+        }
+        plan.build_succ();
+        plan
+    }
+
+    /// Reconstructs the `Task` list (debug audits and compatibility).
+    #[cfg(debug_assertions)]
+    fn to_tasks(&self) -> Vec<Task> {
+        (0..self.len())
+            .map(|i| Task {
+                tensor: self.meta[i].tensor as usize,
+                kind: self.meta[i].kind,
+                resource: self.meta[i].resource,
+                duration: self.meta[i].duration,
+                alpha_secs: self.meta[i].alpha_secs,
+                preds: self.preds(i).iter().map(|&p| p as usize).collect(),
+            })
+            .collect()
+    }
+}
+
+/// One interned tensor sub-graph: the stage tasks of a tensor compiled
+/// for a specific `(option, elems, algorithm)`. The compute task is not
+/// stored (its duration is per-tensor); local predecessor index 0 refers
+/// to it, index `j >= 1` to stage task `j - 1`.
+#[derive(Debug, Clone)]
+struct Block {
+    kind: Vec<TaskKind>,
+    resource: Vec<Resource>,
+    duration: Vec<f64>,
+    alpha_secs: Vec<f64>,
+    pred_off: Vec<u32>,
+    pred_idx: Vec<u32>,
+    /// Stage tasks (local indices, ascending) that list the compute task
+    /// as a predecessor — the compute's successor edges into this block.
+    compute_succ: Vec<u32>,
+    /// Local successor CSR over the stage-to-stage edges (pred local
+    /// `p >= 1` maps stage `p - 1 -> j`), lists ascending.
+    succ_off: Vec<u32>,
+    succ_idx: Vec<u32>,
+    /// Total task duration per resource (Gpu/Cpu/Intra/Inter order) —
+    /// the ingredient of [`Simulator::lower_bound`].
+    resource_sums: [f64; 4],
+    /// Longest dependency path through the block, rooted at the compute
+    /// task: a contention-free lower bound on how far past the compute's
+    /// finish the block's last task can end.
+    chain: f64,
+}
+
+impl Block {
+    /// Compiles a block by running the canonical task builder for a
+    /// lone tensor and re-basing the indices, so assembly reproduces
+    /// `push_tensor_tasks` ordering exactly.
+    fn compile(
+        job: &Job,
+        option: &espresso_strategy::CompressionOption,
+        elems: usize,
+        algo: espresso_gc::GcAlgorithm,
+        config: &SimConfig,
+    ) -> Block {
+        let stages = crate::task::build_stages_for_algo(job, option, elems, algo, config);
+        let mut tasks: Vec<Task> = Vec::with_capacity(stages.len() + 1);
+        crate::task::push_tensor_tasks(&mut tasks, 0, 0.0, &stages, None);
+        let mut block = Block {
+            kind: Vec::with_capacity(tasks.len() - 1),
+            resource: Vec::with_capacity(tasks.len() - 1),
+            duration: Vec::with_capacity(tasks.len() - 1),
+            alpha_secs: Vec::with_capacity(tasks.len() - 1),
+            pred_off: vec![0],
+            pred_idx: Vec::new(),
+            compute_succ: Vec::new(),
+            succ_off: Vec::new(),
+            succ_idx: Vec::new(),
+            resource_sums: [0.0; 4],
+            chain: 0.0,
+        };
+        for t in &tasks[1..] {
+            block.kind.push(t.kind);
+            block.resource.push(t.resource);
+            block.duration.push(t.duration);
+            block.alpha_secs.push(t.alpha_secs);
+            block.pred_idx.extend(t.preds.iter().map(|&p| p as u32));
+            block.pred_off.push(block.pred_idx.len() as u32);
+            block.resource_sums[resource_idx(t.resource)] += t.duration;
+        }
+        // Local successor structure, in the same ascending order the
+        // per-plan successor CSR uses: counting pass over stage-to-stage
+        // edges, then a fill in ascending stage order.
+        let stages = block.len();
+        block.succ_off.resize(stages + 1, 0);
+        for j in 0..stages {
+            for &p in &block.pred_idx
+                [block.pred_off[j] as usize..block.pred_off[j + 1] as usize]
+            {
+                if p == 0 {
+                    // Edge compute -> stage j; filled ascending below.
+                } else {
+                    block.succ_off[p as usize] += 1; // list of stage p-1
+                }
+            }
+        }
+        for j in 0..stages {
+            block.succ_off[j + 1] += block.succ_off[j];
+        }
+        block.succ_idx.resize(
+            block.succ_off[stages] as usize,
+            0,
+        );
+        let mut cursor: Vec<u32> = block.succ_off[..stages].to_vec();
+        for j in 0..stages {
+            for &p in &block.pred_idx
+                [block.pred_off[j] as usize..block.pred_off[j + 1] as usize]
+            {
+                if p == 0 {
+                    block.compute_succ.push(j as u32);
+                } else {
+                    let c = &mut cursor[p as usize - 1];
+                    block.succ_idx[*c as usize] = j as u32;
+                    *c += 1;
+                }
+            }
+        }
+        // Longest dependency path rooted at the compute. Stage tasks are
+        // in pipeline order, so every predecessor is resolved before its
+        // successor; a task not reachable from the compute (none exist
+        // today) is excluded rather than assumed to start at its finish.
+        let mut dist = vec![f64::NEG_INFINITY; stages];
+        for j in 0..stages {
+            let mut ready = f64::NEG_INFINITY;
+            for &p in &block.pred_idx
+                [block.pred_off[j] as usize..block.pred_off[j + 1] as usize]
+            {
+                ready = ready.max(if p == 0 { 0.0 } else { dist[p as usize - 1] });
+            }
+            if ready > f64::NEG_INFINITY {
+                dist[j] = ready + block.duration[j];
+                block.chain = block.chain.max(dist[j]);
+            }
+        }
+        block
+    }
+
+    fn len(&self) -> usize {
+        self.kind.len()
+    }
 }
 
 /// Hashable identity of a `GcAlgorithm` setting (variant tag + knob bits)
@@ -144,12 +415,410 @@ fn algo_key(algo: espresso_gc::GcAlgorithm) -> AlgoKey {
     }
 }
 
-/// Memoized stage lists keyed by `(compression option, tensor size,
-/// algorithm setting)`.
-type StageCache = std::collections::HashMap<
-    (espresso_strategy::CompressionOption, usize, AlgoKey),
-    std::rc::Rc<Vec<crate::task::Stage>>,
->;
+/// Interned blocks plus the per-simulator evaluation scratch.
+struct SimCache {
+    /// Fast identity lookup: `(Arc pointer, elems, algo) -> block id`.
+    /// Sound because `pinned` keeps every keyed `Arc` alive, so an
+    /// address is never reused for a different option while cached.
+    by_ptr: std::collections::HashMap<(usize, usize, AlgoKey), u32>,
+    /// Content lookup, consulted on pointer misses so re-materialized
+    /// options (e.g. `with_device` variants) dedup to one block.
+    by_content: std::collections::HashMap<
+        (espresso_strategy::CompressionOption, usize, AlgoKey),
+        u32,
+    >,
+    pinned: Vec<Arc<espresso_strategy::CompressionOption>>,
+    blocks: Vec<Block>,
+    /// Exact `F(S)` memo keyed by block-id sequence (fast path only).
+    memo: std::collections::HashMap<Vec<u32>, f64>,
+    ids: Vec<u32>,
+    plan: Plan,
+    scratch: EvalScratch,
+}
+
+impl SimCache {
+    fn new() -> Self {
+        Self {
+            by_ptr: std::collections::HashMap::new(),
+            by_content: std::collections::HashMap::new(),
+            pinned: Vec::new(),
+            blocks: Vec::new(),
+            memo: std::collections::HashMap::new(),
+            ids: Vec::new(),
+            plan: Plan::default(),
+            scratch: EvalScratch::default(),
+        }
+    }
+
+    /// Interns the block for one tensor's `(option, elems, algo)`.
+    fn block_id(
+        &mut self,
+        job: &Job,
+        config: &SimConfig,
+        option: &Arc<espresso_strategy::CompressionOption>,
+        elems: usize,
+        algo: espresso_gc::GcAlgorithm,
+    ) -> u32 {
+        let akey = algo_key(algo);
+        let pkey = (Arc::as_ptr(option) as usize, elems, akey);
+        if let Some(&id) = self.by_ptr.get(&pkey) {
+            return id;
+        }
+        let ckey = ((**option).clone(), elems, akey);
+        let id = match self.by_content.get(&ckey) {
+            Some(&id) => id,
+            None => {
+                let id = self.blocks.len() as u32;
+                self.blocks
+                    .push(Block::compile(job, option, elems, algo, config));
+                self.by_content.insert(ckey, id);
+                id
+            }
+        };
+        self.by_ptr.insert(pkey, id);
+        self.pinned.push(option.clone());
+        id
+    }
+
+    /// Fills `self.ids` with the strategy's per-tensor block ids.
+    fn block_ids(
+        &mut self,
+        job: &Job,
+        config: &SimConfig,
+        strategy: &Strategy,
+        algos: Option<&[espresso_gc::GcAlgorithm]>,
+    ) {
+        assert_eq!(
+            strategy.len(),
+            job.num_tensors(),
+            "strategy covers {} tensors, model has {}",
+            strategy.len(),
+            job.num_tensors()
+        );
+        if let Some(algos) = algos {
+            assert_eq!(
+                algos.len(),
+                job.num_tensors(),
+                "ratio plan covers {} tensors, model has {}",
+                algos.len(),
+                job.num_tensors()
+            );
+        }
+        let mut ids = std::mem::take(&mut self.ids);
+        ids.clear();
+        for (i, tensor) in job.model.tensors.iter().enumerate() {
+            let algo = match algos {
+                Some(algos) => algos[i],
+                None => job.algo_for(i),
+            };
+            ids.push(self.block_id(job, config, strategy.option(i), tensor.elems, algo));
+        }
+        self.ids = ids;
+    }
+
+    /// Assembles the plan for a block-id sequence into `out`, reproducing
+    /// `build_tasks` ordering exactly.
+    fn assemble(&self, job: &Job, ids: &[u32], out: &mut Plan) {
+        out.clear();
+        let mut prev_compute: Option<u32> = None;
+        for (i, (&id, tensor)) in ids.iter().zip(&job.model.tensors).enumerate() {
+            let block = &self.blocks[id as usize];
+            let base = out.meta.len() as u32;
+            out.compute_idx.push(base);
+            out.push(
+                TaskMeta {
+                    tensor: i as u32,
+                    kind: TaskKind::Compute,
+                    resource: Resource::Gpu,
+                    duration: tensor.compute_time,
+                    alpha_secs: 0.0,
+                },
+                prev_compute,
+            );
+            for j in 0..block.len() {
+                let preds = block.pred_idx
+                    [block.pred_off[j] as usize..block.pred_off[j + 1] as usize]
+                    .iter()
+                    .map(|&p| base + p);
+                out.push(
+                    TaskMeta {
+                        tensor: i as u32,
+                        kind: block.kind[j],
+                        resource: block.resource[j],
+                        duration: block.duration[j],
+                        alpha_secs: block.alpha_secs[j],
+                    },
+                    preds,
+                );
+            }
+            prev_compute = Some(base);
+        }
+        out.build_succ();
+    }
+}
+
+/// Splice-assembles the plan for "`base` with tensor `idx`'s block
+/// swapped from `old` to `new`" into `out` — the canonical single-swap
+/// trial of the planner fast path. Produces arrays byte-identical to a
+/// full [`SimCache::assemble`] of the trial's id sequence (debug builds
+/// assert it), but in O(copy) time: the prefix and suffix regions are
+/// `memcpy`d, with suffix task indices shifted by the block-length delta.
+///
+/// Sound because the task graph has no cross-tensor stage edges: tensor
+/// interactions flow only through the compute-compute chain and resource
+/// queues, so a suffix task's predecessors/successors all sit either in
+/// its own tensor's region (shifted) or at an unshifted compute boundary.
+fn splice_swap(base: &Plan, idx: usize, old: &Block, new: &Block, out: &mut Plan) {
+    let c = base.compute_idx[idx] as usize;
+    let s = c + 1;
+    let old_len = old.len();
+    let new_len = new.len();
+    let e = s + old_len;
+    let d = new_len as i64 - old_len as i64;
+    let num_tensors = base.compute_idx.len();
+
+    // --- meta ---
+    out.meta.clear();
+    out.meta.extend_from_slice(&base.meta[..s]);
+    for j in 0..new_len {
+        out.meta.push(TaskMeta {
+            tensor: idx as u32,
+            kind: new.kind[j],
+            resource: new.resource[j],
+            duration: new.duration[j],
+            alpha_secs: new.alpha_secs[j],
+        });
+    }
+    out.meta.extend_from_slice(&base.meta[e..]);
+
+    // --- compute_idx ---
+    out.compute_idx.clear();
+    out.compute_idx
+        .extend_from_slice(&base.compute_idx[..=idx]);
+    out.compute_idx.extend(
+        base.compute_idx[idx + 1..]
+            .iter()
+            .map(|&v| (v as i64 + d) as u32),
+    );
+
+    // --- predecessors ---
+    let es = base.pred_off[s] as usize;
+    let ee = base.pred_off[e] as usize;
+    out.pred_idx.clear();
+    out.pred_idx.extend_from_slice(&base.pred_idx[..es]);
+    for &p in &new.pred_idx {
+        out.pred_idx
+            .push(if p == 0 { c as u32 } else { s as u32 + p - 1 });
+    }
+    out.pred_idx.extend(base.pred_idx[ee..].iter().map(|&v| {
+        debug_assert!(
+            (v as usize) < s || (v as usize) >= e,
+            "suffix pred points into the swapped block"
+        );
+        if v as usize >= e {
+            (v as i64 + d) as u32
+        } else {
+            v
+        }
+    }));
+    out.pred_off.clear();
+    out.pred_off.extend_from_slice(&base.pred_off[..=s]);
+    for j in 0..new_len {
+        out.pred_off.push(es as u32 + new.pred_off[j + 1]);
+    }
+    let edge_d = new.pred_idx.len() as i64 - (ee - es) as i64;
+    out.pred_off.extend(
+        base.pred_off[e + 1..]
+            .iter()
+            .map(|&v| (v as i64 + edge_d) as u32),
+    );
+
+    // --- successors ---
+    // Prefix lists up to (excluding) the swapped tensor's compute are
+    // verbatim: their successors never cross the tensor boundary.
+    let sc = base.succ_off[c] as usize;
+    out.succ_idx.clear();
+    out.succ_idx.extend_from_slice(&base.succ_idx[..sc]);
+    out.succ_off.clear();
+    out.succ_off.extend_from_slice(&base.succ_off[..=c]);
+    // The compute's list: the new block's roots, then the next compute.
+    for &j in &new.compute_succ {
+        out.succ_idx.push(s as u32 + j);
+    }
+    if idx + 1 < num_tensors {
+        out.succ_idx.push((e as i64 + d) as u32);
+    }
+    out.succ_off.push(out.succ_idx.len() as u32);
+    // The new block's stage-to-stage lists.
+    for j in 0..new_len {
+        for &t in
+            &new.succ_idx[new.succ_off[j] as usize..new.succ_off[j + 1] as usize]
+        {
+            out.succ_idx.push(s as u32 + t);
+        }
+        out.succ_off.push(out.succ_idx.len() as u32);
+    }
+    // Suffix lists: all successor indices live at or past the boundary.
+    let se = base.succ_off[e] as usize;
+    let shift = out.succ_idx.len() as i64 - se as i64;
+    out.succ_idx.extend(
+        base.succ_idx[se..]
+            .iter()
+            .map(|&v| (v as i64 + d) as u32),
+    );
+    out.succ_off.extend(
+        base.succ_off[e + 1..]
+            .iter()
+            .map(|&v| (v as i64 + shift) as u32),
+    );
+}
+
+/// How a [`run_plan`] invocation ended.
+///
+/// Transient return value, never stored: the `Paused` checkpoint's size
+/// does not matter relative to the cost of producing it.
+#[allow(clippy::large_enum_variant)]
+enum RunOutcome {
+    /// The event loop drained; `scratch` holds the complete timeline.
+    Done,
+    /// `pause_at` was hit; the state snapshot is returned.
+    Paused(Checkpoint),
+    /// The resync detector proved the remaining evolution identical to
+    /// the base run's; the payload is the exact final makespan.
+    Resynced(f64),
+    /// The serial-occupancy lower bound certified mid-run that the final
+    /// makespan cannot beat the armed threshold.
+    Aborted,
+}
+
+impl RunOutcome {
+    fn into_checkpoint(self) -> Option<Checkpoint> {
+        match self {
+            RunOutcome::Paused(cp) => Some(cp),
+            _ => None,
+        }
+    }
+}
+
+/// Context for the resync early-exit of single-swap trial evaluations.
+///
+/// A trial differing from the base only in tensor `idx`'s block evolves
+/// identically to the base once its event-loop state becomes equal to the
+/// base's state at the same compute-finish boundary (same clock, busy
+/// counts, pending events, queues, and indegrees, with trial task indices
+/// mapped across the swapped block's length delta, and no task of the
+/// swapped block pending on either side — every later task then has
+/// identical metadata and edges, so the two futures are the same event
+/// sequence). At such a boundary the trial's makespan is exactly
+/// `max(makespan so far, max span end of the base tasks not yet started)`
+/// — no further simulation needed. Comparisons run only at compute-finish
+/// boundaries with a cached base checkpoint, and fail in O(1) on the
+/// clock in the common divergent case.
+struct ResyncState<'a> {
+    /// Cached base checkpoint (plus its future-completion max) by tensor.
+    lookup: &'a dyn Fn(u32) -> Option<(Arc<Checkpoint>, f64)>,
+    /// The swapped tensor.
+    idx: u32,
+    /// First stage-task index of the swapped block (same in both plans).
+    s: u32,
+    /// One past the swapped block in the *base* plan.
+    e: u32,
+    /// One past the swapped block in the *trial* plan.
+    e_t: u32,
+    /// Trial-minus-base index shift for tasks past the block.
+    d: i64,
+}
+
+impl ResyncState<'_> {
+    /// Maps a trial task index to its base counterpart (`None` for the
+    /// swapped block's own tasks, which have no counterpart).
+    #[inline]
+    fn map(&self, v: u32) -> Option<u32> {
+        if v < self.s {
+            Some(v)
+        } else if v < self.e_t {
+            None
+        } else {
+            Some((v as i64 - self.d) as u32)
+        }
+    }
+
+    /// Bitwise state equality of the trial scratch against a base
+    /// checkpoint at the same boundary (the cheap `now` test has already
+    /// passed). Conservative: any unmappable or reordered entry rejects.
+    fn states_match(&self, scratch: &EvalScratch, cp: &Checkpoint) -> bool {
+        if scratch.busy != cp.busy || scratch.heap.len() != cp.heap.len() {
+            return false;
+        }
+        let (s, e) = (self.s as usize, self.e as usize);
+        // Pending events: sort both by (time, seq) — each run's exact
+        // future pop order — and require the mapped sequences equal.
+        let mut th: Vec<EventKey> = scratch.heap.iter().map(|r| r.0).collect();
+        let mut bh: Vec<EventKey> = cp.heap.iter().map(|r| r.0).collect();
+        th.sort_unstable_by_key(|k| k.key);
+        bh.sort_unstable_by_key(|k| k.key);
+        for (x, y) in th.iter().zip(&bh) {
+            let bt = y.task() as usize;
+            if bt >= s && bt < e {
+                return false;
+            }
+            if self.map(x.task()) != Some(y.task())
+                || x.time().to_bits() != y.time().to_bits()
+                || x.is_finish() != y.is_finish()
+            {
+                return false;
+            }
+        }
+        for (tq, bq) in scratch.queues.iter().zip(&cp.queues) {
+            if tq.len() != bq.len() {
+                return false;
+            }
+            for (&x, &y) in tq.iter().zip(bq) {
+                let by = y as usize;
+                if (by >= s && by < e) || self.map(x) != Some(y) {
+                    return false;
+                }
+            }
+        }
+        // Indegrees: prefix verbatim, tail mapped across the shift. The
+        // swapped block's own entries are skipped — neither side can have
+        // one of its tasks unfinished here (it would be pending in the
+        // heap or a queue, rejected above).
+        scratch.indegree[..s] == cp.indegree[..s]
+            && scratch.indegree[self.e_t as usize..] == cp.indegree[e..]
+    }
+}
+
+/// Structural equality of two plans, float fields compared by bits —
+/// the debug-build oracle that splice-assembly reproduces full assembly.
+#[cfg(debug_assertions)]
+fn plans_identical(a: &Plan, b: &Plan) -> bool {
+    a.meta.len() == b.meta.len()
+        && a.meta.iter().zip(&b.meta).all(|(x, y)| {
+            x.tensor == y.tensor
+                && x.kind == y.kind
+                && resource_idx(x.resource) == resource_idx(y.resource)
+                && x.duration.to_bits() == y.duration.to_bits()
+                && x.alpha_secs.to_bits() == y.alpha_secs.to_bits()
+        })
+        && a.pred_off == b.pred_off
+        && a.pred_idx == b.pred_idx
+        && a.succ_off == b.succ_off
+        && a.succ_idx == b.succ_idx
+        && a.compute_idx == b.compute_idx
+}
+
+/// A reusable simulator for one job: interns compiled task blocks per
+/// `(compression option, tensor size, algorithm setting)` and evaluates
+/// candidate strategies in reusable scratch buffers, so strategy-search
+/// loops (Algorithms 1 and 2, brute force, the ratio allocator) skip
+/// re-annotating options, re-evaluating timing models, and re-allocating
+/// task graphs on every candidate.
+pub struct Simulator {
+    job: Job,
+    config: SimConfig,
+    cache: std::cell::RefCell<SimCache>,
+}
 
 impl Simulator {
     /// Builds a simulator for `job`.
@@ -157,7 +826,7 @@ impl Simulator {
         Self {
             job,
             config,
-            cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+            cache: std::cell::RefCell::new(SimCache::new()),
         }
     }
 
@@ -171,276 +840,1235 @@ impl Simulator {
         &self.config
     }
 
-    fn tasks(&self, strategy: &Strategy) -> Vec<crate::task::Task> {
-        self.tasks_with(strategy, None)
+    /// Runs the currently-assembled plan in the cache scratch and returns
+    /// `F(S)`. Split out so callers can borrow the cache once.
+    fn run_assembled(&self, cache: &mut SimCache, faults: Option<&FaultPlan>) -> f64 {
+        let SimCache { plan, scratch, .. } = cache;
+        run_plan(plan, &self.config, faults, scratch, None, None, None, None);
+        self.job.model.forward_time + scratch.max_end
     }
 
-    fn tasks_with(
+    fn eval(
         &self,
         strategy: &Strategy,
         algos: Option<&[espresso_gc::GcAlgorithm]>,
-    ) -> Vec<crate::task::Task> {
-        assert_eq!(
-            strategy.len(),
-            self.job.num_tensors(),
-            "strategy covers {} tensors, model has {}",
-            strategy.len(),
-            self.job.num_tensors()
-        );
-        if let Some(algos) = algos {
-            assert_eq!(
-                algos.len(),
-                self.job.num_tensors(),
-                "ratio plan covers {} tensors, model has {}",
-                algos.len(),
-                self.job.num_tensors()
-            );
-        }
-        let mut tasks = Vec::with_capacity(self.job.num_tensors() * 8);
-        let mut prev_compute: Option<usize> = None;
+        faults: Option<&FaultPlan>,
+    ) -> f64 {
         let mut cache = self.cache.borrow_mut();
-        for (i, tensor) in self.job.model.tensors.iter().enumerate() {
-            let option = strategy.option(i);
-            let algo = match algos {
-                Some(algos) => algos[i],
-                None => self.job.algo_for(i),
-            };
-            let key = ((**option).clone(), tensor.elems, algo_key(algo));
-            let stages = cache
-                .entry(key)
-                .or_insert_with(|| {
-                    std::rc::Rc::new(crate::task::build_stages_for_algo(
-                        &self.job,
-                        option,
-                        tensor.elems,
-                        algo,
-                        &self.config,
-                    ))
-                })
-                .clone();
-            let compute_idx = crate::task::push_tensor_tasks(
-                &mut tasks,
-                i,
-                tensor.compute_time,
-                &stages,
-                prev_compute,
-            );
-            prev_compute = Some(compute_idx);
-        }
-        tasks
+        cache.block_ids(&self.job, &self.config, strategy, algos);
+        let ids = std::mem::take(&mut cache.ids);
+        let mut plan = std::mem::take(&mut cache.plan);
+        cache.assemble(&self.job, &ids, &mut plan);
+        cache.plan = plan;
+        cache.ids = ids;
+        self.run_assembled(&mut cache, faults)
     }
 
-    /// Full-timeline simulation (cached stage compilation).
+    /// Full-timeline simulation (cached block compilation).
     pub fn simulate(&self, strategy: &Strategy) -> SimResult {
-        finish(&self.job, self.tasks(strategy), &self.config, None)
+        self.simulate_inner(strategy, None)
     }
 
-    /// Full-timeline simulation under a fault plan (cached stages).
+    /// Full-timeline simulation under a fault plan (cached blocks).
     pub fn simulate_with_faults(&self, strategy: &Strategy, faults: &FaultPlan) -> SimResult {
-        finish(&self.job, self.tasks(strategy), &self.config, Some(faults))
+        self.simulate_inner(strategy, Some(faults))
+    }
+
+    fn simulate_inner(&self, strategy: &Strategy, faults: Option<&FaultPlan>) -> SimResult {
+        let mut cache = self.cache.borrow_mut();
+        cache.block_ids(&self.job, &self.config, strategy, None);
+        let ids = std::mem::take(&mut cache.ids);
+        let mut plan = std::mem::take(&mut cache.plan);
+        cache.assemble(&self.job, &ids, &mut plan);
+        let SimCache { scratch, .. } = &mut *cache;
+        run_plan(&plan, &self.config, faults, scratch, None, None, None, None);
+        let result = finish_plan(&self.job, &plan, &scratch.spans, &self.config, faults);
+        cache.plan = plan;
+        cache.ids = ids;
+        result
     }
 
     /// Fast path returning only `F(S)` — skips timeline record assembly.
     pub fn iteration_time(&self, strategy: &Strategy) -> f64 {
-        let tasks = self.tasks(strategy);
-        let spans = run(&tasks, &self.config, None);
-        let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
-        self.job.model.forward_time + makespan
+        self.eval(strategy, None, None)
     }
 
     /// Fast path returning `F(S)` with a per-call per-tensor ratio plan
     /// overriding the job's (and its default) — the ratio allocator and
     /// the ratio-aware oracle evaluate thousands of plans against one
-    /// simulator, sharing the stage cache across all of them.
+    /// simulator, sharing the block cache across all of them.
     pub fn iteration_time_with_algos(
         &self,
         strategy: &Strategy,
         algos: &[espresso_gc::GcAlgorithm],
     ) -> f64 {
-        let tasks = self.tasks_with(strategy, Some(algos));
-        let spans = run(&tasks, &self.config, None);
-        let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
-        self.job.model.forward_time + makespan
+        self.eval(strategy, Some(algos), None)
     }
 
     /// Fast path returning only the perturbed `F(S)`.
     pub fn iteration_time_with_faults(&self, strategy: &Strategy, faults: &FaultPlan) -> f64 {
-        let tasks = self.tasks(strategy);
-        let spans = run(&tasks, &self.config, Some(faults));
-        let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
-        self.job.model.forward_time + makespan
+        self.eval(strategy, None, Some(faults))
+    }
+
+    /// `F(S)` with exact memoization keyed by the candidate's block-id
+    /// sequence. Bitwise-identical to [`Simulator::iteration_time`] (the
+    /// engine is deterministic, so re-running a sequence reproduces the
+    /// same float); used by the planner fast path, which re-encounters
+    /// strategies across sweep passes and odometer steps.
+    pub fn iteration_time_memo(&self, strategy: &Strategy) -> f64 {
+        let mut cache = self.cache.borrow_mut();
+        cache.block_ids(&self.job, &self.config, strategy, None);
+        if let Some(&t) = cache.memo.get(&cache.ids) {
+            return t;
+        }
+        let ids = std::mem::take(&mut cache.ids);
+        let mut plan = std::mem::take(&mut cache.plan);
+        cache.assemble(&self.job, &ids, &mut plan);
+        cache.plan = plan;
+        let t = self.run_assembled(&mut cache, None);
+        cache.memo.insert(ids.clone(), t);
+        cache.ids = ids;
+        t
+    }
+
+    /// A certified lower bound on [`Simulator::iteration_time`] for
+    /// `strategy`, computed in O(num_tensors) without simulating.
+    ///
+    /// Every resource serves non-preemptively, so the makespan is at
+    /// least each resource's total busy time (the CPU pool divides by its
+    /// slot count). The returned value additionally deflates the float
+    /// sum by a safety margin, so `lower_bound(S) <= iteration_time(S)`
+    /// holds despite accumulation rounding. Search loops use it to skip
+    /// simulating candidates that provably cannot beat an incumbent —
+    /// an *exact* pruning: a skipped candidate's `F(S)` is at least the
+    /// bound, so the acceptance comparison's outcome is unchanged.
+    pub fn lower_bound(&self, strategy: &Strategy) -> f64 {
+        let mut cache = self.cache.borrow_mut();
+        cache.block_ids(&self.job, &self.config, strategy, None);
+        let ids = std::mem::take(&mut cache.ids);
+        let mut sums = self.strategy_sums(&cache, &ids);
+        cache.ids = ids;
+        sums[1] /= self.config.cpu_slots.max(1) as f64;
+        let busy = sums.into_iter().fold(0.0f64, f64::max);
+        self.job.model.forward_time + busy - 1e-9
+    }
+
+    /// Builds an incremental re-simulation handle anchored at `base`.
+    ///
+    /// Trials that differ from `base` only at tensors `>= k` resume from
+    /// a checkpoint taken at tensor `k`'s compute finish instead of
+    /// replaying the whole timeline. Results are bitwise-identical to
+    /// from-scratch simulation (see the module docs for the argument; the
+    /// delta proptest and `espresso-audit decide` enforce it).
+    pub fn delta(&self, base: &Strategy) -> DeltaSim<'_> {
+        let mut cache = self.cache.borrow_mut();
+        cache.block_ids(&self.job, &self.config, base, None);
+        let base_ids = cache.ids.clone();
+        let base_sums = self.strategy_sums(&cache, &base_ids);
+        // Assemble the base plan once; it anchors every checkpoint and
+        // splice until a rebase replaces it.
+        let mut base_plan = Plan::default();
+        cache.assemble(&self.job, &base_ids, &mut base_plan);
+        let SimCache { scratch, .. } = &mut *cache;
+        run_plan(&base_plan, &self.config, None, scratch, None, None, None, None);
+        let base_time = self.job.model.forward_time + scratch.max_end;
+        let base_spans = scratch.spans.clone();
+        cache.memo.insert(base_ids.clone(), base_time);
+        drop(cache);
+        DeltaSim {
+            sim: self,
+            base_ids,
+            base_time,
+            base_sums,
+            base_plan: std::cell::RefCell::new(base_plan),
+            base_spans: std::cell::RefCell::new(base_spans),
+            trial_plan: std::cell::RefCell::new(Plan::default()),
+            checkpoints: std::cell::RefCell::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    /// Per-resource total duration of a block-id sequence, computes
+    /// included (GPU slot).
+    fn strategy_sums(&self, cache: &SimCache, ids: &[u32]) -> [f64; 4] {
+        let mut sums = [0.0f64; 4];
+        for &id in ids {
+            let bs = &cache.blocks[id as usize].resource_sums;
+            for (acc, s) in sums.iter_mut().zip(bs) {
+                *acc += s;
+            }
+        }
+        for t in &self.job.model.tensors {
+            sums[0] += t.compute_time;
+        }
+        sums
+    }
+
+    /// Compiles `strategy` into a self-contained evaluation unit that can
+    /// run on any thread (see [`PreparedEval`]).
+    pub fn prepare(&self, strategy: &Strategy) -> PreparedEval {
+        self.prepare_with_faults(strategy, None)
+    }
+
+    /// As [`Simulator::prepare`], with an optional fault plan priced in.
+    pub fn prepare_with_faults(
+        &self,
+        strategy: &Strategy,
+        faults: Option<&FaultPlan>,
+    ) -> PreparedEval {
+        let mut cache = self.cache.borrow_mut();
+        cache.block_ids(&self.job, &self.config, strategy, None);
+        let ids = std::mem::take(&mut cache.ids);
+        let mut plan = Plan::default();
+        cache.assemble(&self.job, &ids, &mut plan);
+        cache.ids = ids;
+        PreparedEval {
+            plan,
+            resume: None,
+            faults: faults.cloned(),
+            forward_time: self.job.model.forward_time,
+            config: self.config,
+        }
     }
 }
 
-/// Core event loop: assigns a start/end span to every task.
+/// Incremental re-simulation against a fixed base strategy: candidates
+/// sharing a prefix of per-tensor blocks with the base re-derive only the
+/// affected suffix of the timeline. Checkpoints are created lazily per
+/// dirty-tensor watermark and reused (a checkpoint at tensor `k` is built
+/// by resuming the nearest earlier one).
+pub struct DeltaSim<'a> {
+    sim: &'a Simulator,
+    base_ids: Vec<u32>,
+    base_time: f64,
+    /// Total task duration per resource for the base strategy (computes
+    /// folded into the GPU slot) — the O(1) ingredient of the per-trial
+    /// lower bound.
+    base_sums: [f64; 4],
+    /// The base strategy's assembled plan (successor CSR included) —
+    /// checkpoints replay it, and single-swap trials splice against it
+    /// instead of re-assembling from scratch.
+    base_plan: std::cell::RefCell<Plan>,
+    /// The base run's complete timeline spans — the resync early-exit
+    /// prices each checkpoint's future from them.
+    base_spans: std::cell::RefCell<Vec<Span>>,
+    /// Scratch plan the current trial is spliced into.
+    trial_plan: std::cell::RefCell<Plan>,
+    checkpoints: std::cell::RefCell<std::collections::BTreeMap<u32, CpEntry>>,
+}
+
+/// A cached checkpoint plus its *re-priced* remaining-work accounting.
 ///
-/// With a fault plan, each task's service time is resolved at its start
-/// time through [`FaultPlan::effective_duration`] — the single injection
-/// point, so queueing and dependency interactions downstream of a
-/// perturbed task stay mechanically correct.
-fn run(tasks: &[Task], config: &SimConfig, faults: Option<&FaultPlan>) -> Vec<Span> {
-    let service = |task: usize, start: f64| -> f64 {
-        match faults {
-            None => tasks[task].duration,
-            Some(plan) => plan.effective_duration(&tasks[task], task, start),
-        }
-    };
-    let n = tasks.len();
-    // Successor lists (chains, barriers, and the compute sequence are all
-    // `preds` edges).
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut indegree: Vec<usize> = vec![0; n];
-    for (i, t) in tasks.iter().enumerate() {
-        for &p in &t.preds {
-            succs[p].push(i);
-            indegree[i] += 1;
-        }
-    }
-    // Resource servers: GPU and channels are single-server; the CPU pool
-    // has `cpu_slots` servers.
-    let mut servers = ResourcePool::new(config.cpu_slots.max(1));
+/// The replay state (`cp`) references only task indices at or before the
+/// pause compute, so it survives a [`DeltaSim::rebase`] whose first
+/// changed tensor is at or after its position. The `remaining` sums do
+/// NOT: they price the not-yet-started suffix of the plan the checkpoint
+/// was built against, and a rebase swaps some of those suffix blocks.
+/// Every changed position is unstarted at every retained checkpoint, so
+/// the correction is the same for all of them — the componentwise change
+/// in the base's resource sums — which `rebase` folds in here while the
+/// `Arc<Checkpoint>` stays byte-stable for replay.
+/// Mid-run certified-abort context for bounded single-swap evaluation.
+///
+/// Tracks the total duration of tasks not yet started per resource and
+/// the busy horizon of each single-server resource. At any simulation
+/// point the unstarted tasks of a resource must still occupy it serially
+/// (or, for the CPU pool, spread over its slots), and none can begin
+/// before the current clock or the resource's busy horizon — so
+/// `max(now, busy_until) + remaining` lower-bounds the final makespan.
+/// The run aborts the moment that bound (minus the same safety margin the
+/// static screen uses) reaches the threshold, certifying `F(trial) >=
+/// threshold` without finishing the suffix.
+struct BoundState {
+    /// Makespan threshold net of forward time, margin included: abort
+    /// once the lower bound reaches it.
+    threshold: f64,
+    /// Total duration of tasks not yet started, per resource.
+    rem: [f64; 4],
+    /// End of the latest-started task per resource — the exact busy
+    /// horizon for the single-server resources (unused for the pool).
+    busy_until: [f64; 4],
+    /// `1 / cpu_slots` for the pooled resource's capacity scaling.
+    inv_cpu_slots: f64,
+}
 
-    let mut spans = vec![
-        Span {
-            start: f64::NAN,
-            end: f64::NAN,
+impl BoundState {
+    #[inline]
+    fn lower_bound(&self, now: f64) -> f64 {
+        let g = self.busy_until[0].max(now) + self.rem[0];
+        let c = now + self.rem[1] * self.inv_cpu_slots;
+        let a = self.busy_until[2].max(now) + self.rem[2];
+        let e = self.busy_until[3].max(now) + self.rem[3];
+        g.max(c).max(a).max(e)
+    }
+}
+
+struct CpEntry {
+    cp: Arc<Checkpoint>,
+    remaining: [f64; 4],
+    /// Max span end among tasks not yet started at the snapshot, in the
+    /// *base* run — the exact future contribution a resynced trial
+    /// inherits. Recomputed from the new base's spans on rebase.
+    future_max: f64,
+}
+
+impl DeltaSim<'_> {
+    /// `F(base)` — computed once at construction.
+    pub fn base_time(&self) -> f64 {
+        self.base_time
+    }
+
+    /// The checkpoint at tensor `k`'s compute finish, creating it (and
+    /// implicitly reusing the nearest earlier one) on first use.
+    fn checkpoint(&self, k: u32) -> Arc<Checkpoint> {
+        if let Some(entry) = self.checkpoints.borrow().get(&k) {
+            return entry.cp.clone();
+        }
+        let earlier = self
+            .checkpoints
+            .borrow()
+            .range(..k)
+            .next_back()
+            .map(|(_, entry)| entry.cp.clone());
+        let mut cache = self.sim.cache.borrow_mut();
+        let base_plan = self.base_plan.borrow();
+        let SimCache { scratch, .. } = &mut *cache;
+        let pause = base_plan.compute_idx[k as usize];
+        let cp = run_plan(
+            &base_plan,
+            &self.sim.config,
+            None,
+            scratch,
+            earlier.as_deref(),
+            Some(pause),
+            None,
+            None,
+        )
+        .into_checkpoint()
+        .expect("every compute task finishes exactly once");
+        drop(base_plan);
+        drop(cache);
+        // Completion max of the base's own future at this boundary: the
+        // resync early-exit returns it as the tail's exact contribution.
+        let future_max = {
+            let base_spans = self.base_spans.borrow();
+            cp.spans
+                .iter()
+                .zip(base_spans.iter())
+                .filter(|(s, _)| s.start.is_nan())
+                .map(|(_, full)| full.end)
+                .fold(0.0f64, f64::max)
         };
-        n
-    ];
-    // Event heap: (time, seq, event). Ready events enqueue tasks; finish
-    // events release servers. `seq` makes simultaneous events
-    // deterministic in creation order.
-    let mut heap: BinaryHeap<Reverse<(Time, u64, Event)>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let mut push = |heap: &mut BinaryHeap<Reverse<(Time, u64, Event)>>, t: f64, e: Event| {
-        heap.push(Reverse((Time(t), seq, e)));
-        seq += 1;
-    };
-
-    // Roots (tasks with no predecessor) are ready at t = 0. Push in index
-    // order so the first compute task heads the GPU queue.
-    for (i, t) in tasks.iter().enumerate() {
-        if t.preds.is_empty() {
-            debug_assert!(matches!(t.resource, Resource::Gpu));
-            push(&mut heap, 0.0, Event::Ready(i));
-        }
+        let cp = Arc::new(cp);
+        self.checkpoints.borrow_mut().insert(
+            k,
+            CpEntry {
+                cp: cp.clone(),
+                remaining: cp.remaining,
+                future_max,
+            },
+        );
+        cp
     }
 
-    while let Some(Reverse((Time(now), _, event))) = heap.pop() {
-        match event {
-            Event::Ready(i) => {
-                let res = tasks[i].resource;
-                servers.enqueue(res, i);
-                if let Some((task, start)) = servers.try_start(res, now) {
-                    let end = start + service(task, start);
-                    spans[task] = Span { start, end };
-                    push(&mut heap, end, Event::Finish(task));
+    /// The first tensor whose block differs from the base, or `None` when
+    /// the trial is behaviourally identical to it.
+    fn watermark(&self, trial_ids: &[u32]) -> Option<u32> {
+        trial_ids
+            .iter()
+            .zip(&self.base_ids)
+            .position(|(a, b)| a != b)
+            .map(|i| i as u32)
+    }
+
+    /// `F(trial)` via suffix re-simulation — bitwise-equal to
+    /// `Simulator::iteration_time(trial)`. Exact-memoized by block-id
+    /// sequence, like [`Simulator::iteration_time_memo`].
+    pub fn iteration_time(&self, trial: &Strategy) -> f64 {
+        self.eval_bounded(trial, f64::INFINITY)
+            .expect("an infinite threshold never prunes")
+    }
+
+    /// `F(trial)` if it can be below `threshold`, `None` if the certified
+    /// lower bound already rules that out (no simulation runs).
+    ///
+    /// The contract is exact: `None` guarantees `F(trial) >= threshold`,
+    /// so a search loop accepting on `t < threshold` treats `None` as a
+    /// rejection with the identical outcome — and identical selected
+    /// strategy — as if it had simulated. The bound combines the global
+    /// per-resource busy-time bound with a checkpoint refinement: every
+    /// task unstarted at the watermark checkpoint runs at or after its
+    /// clock, so `F >= now + remaining_work / capacity` there.
+    pub fn eval_bounded(&self, trial: &Strategy, threshold: f64) -> Option<f64> {
+        let mut cache = self.sim.cache.borrow_mut();
+        cache.block_ids(&self.sim.job, &self.sim.config, trial, None);
+        let Some(k) = self.watermark(&cache.ids) else {
+            return Some(self.base_time);
+        };
+        if let Some(&t) = cache.memo.get(&cache.ids) {
+            return Some(t);
+        }
+        if self.bound(&cache, k) >= threshold {
+            return None;
+        }
+        let ids = std::mem::take(&mut cache.ids);
+        drop(cache);
+        Some(self.eval_ids(ids, k))
+    }
+
+    /// As [`DeltaSim::eval_bounded`] for the canonical greedy-search move
+    /// — the base strategy with tensor `idx` swapped to `option` — with
+    /// O(1) screening: the swapped block resolves through the interner
+    /// and the lower bound derives from that single block's resource-sum
+    /// diff, so a pruned trial never materializes its id vector. May
+    /// return `None` where `eval_bounded` would return a memoized
+    /// `Some(t)` with `t >= threshold`; both mean "cannot beat
+    /// `threshold`", so accept loops behave identically.
+    pub fn eval_swap(
+        &self,
+        idx: usize,
+        option: &Arc<espresso_strategy::CompressionOption>,
+        threshold: f64,
+    ) -> Option<f64> {
+        let mut cache = self.sim.cache.borrow_mut();
+        let elems = self.sim.job.model.tensors[idx].elems;
+        let algo = self.sim.job.algo_for(idx);
+        let bid = cache.block_id(&self.sim.job, &self.sim.config, option, elems, algo);
+        let base_bid = self.base_ids[idx];
+        if bid == base_bid {
+            return Some(self.base_time);
+        }
+        let mut diff = [0.0f64; 4];
+        {
+            let ts = &cache.blocks[bid as usize].resource_sums;
+            let bs = &cache.blocks[base_bid as usize].resource_sums;
+            for (d, (x, y)) in diff.iter_mut().zip(ts.iter().zip(bs)) {
+                *d = x - y;
+            }
+        }
+        // Dependency-chain refinement: the trial shares the base's prefix
+        // through tensor `idx`'s compute, whose finish time it inherits
+        // bitwise; the new block's tasks then need at least its longest
+        // dependency path beyond that, contention aside.
+        let chain_lb = {
+            let c = self.base_plan.borrow().compute_idx[idx] as usize;
+            let compute_end = self.base_spans.borrow()[c].end;
+            self.sim.job.model.forward_time + compute_end + cache.blocks[bid as usize].chain
+                - 1e-9
+        };
+        if self.bound_from_diff(&diff, idx as u32).max(chain_lb) >= threshold {
+            return None;
+        }
+        let mut ids = std::mem::take(&mut cache.ids);
+        ids.clear();
+        ids.extend_from_slice(&self.base_ids);
+        ids[idx] = bid;
+        if let Some(&t) = cache.memo.get(&ids) {
+            cache.ids = ids;
+            return Some(t);
+        }
+        drop(cache);
+        self.eval_spliced(ids, idx, base_bid, bid, threshold)
+    }
+
+    /// Suffix re-simulation of the single-swap trial — the base with
+    /// tensor `idx`'s block swapped from `old_bid` to `new_bid` — using
+    /// splice-assembly against the cached base plan instead of a full
+    /// rebuild; memoizes and returns `F`.
+    /// Returns `None` when the mid-run abort bound certifies
+    /// `F(trial) >= threshold` before the suffix completes (same contract
+    /// as the static screen in [`DeltaSim::eval_swap`]).
+    fn eval_spliced(
+        &self,
+        ids: Vec<u32>,
+        idx: usize,
+        old_bid: u32,
+        new_bid: u32,
+        threshold: f64,
+    ) -> Option<f64> {
+        let cp = self.checkpoint(idx as u32);
+        let mut cache = self.sim.cache.borrow_mut();
+        let base_plan = self.base_plan.borrow();
+        let mut trial = self.trial_plan.borrow_mut();
+        splice_swap(
+            &base_plan,
+            idx,
+            &cache.blocks[old_bid as usize],
+            &cache.blocks[new_bid as usize],
+            &mut trial,
+        );
+        #[cfg(debug_assertions)]
+        {
+            let mut check = Plan::default();
+            cache.assemble(&self.sim.job, &ids, &mut check);
+            debug_assert!(
+                plans_identical(&check, &trial),
+                "splice-assembly diverged from full assembly"
+            );
+        }
+        let c = base_plan.compute_idx[idx] as usize;
+        let old_len = cache.blocks[old_bid as usize].len();
+        let new_len = cache.blocks[new_bid as usize].len();
+        let rs = ResyncState {
+            lookup: &|tensor: u32| {
+                self.checkpoints
+                    .borrow()
+                    .get(&tensor)
+                    .map(|e| (e.cp.clone(), e.future_max))
+            },
+            idx: idx as u32,
+            s: c as u32 + 1,
+            e: (c + 1 + old_len) as u32,
+            e_t: (c + 1 + new_len) as u32,
+            d: new_len as i64 - old_len as i64,
+        };
+        let mut bound = if threshold.is_finite() {
+            // The entry's remaining-work vector, not the checkpoint's
+            // own: rebase re-prices entries against the current base
+            // while the snapshot keeps its original (now stale) sums.
+            let mut rem = self
+                .checkpoints
+                .borrow()
+                .get(&(idx as u32))
+                .expect("checkpoint(idx) just inserted this entry")
+                .remaining;
+            let old_sums = &cache.blocks[old_bid as usize].resource_sums;
+            let new_sums = &cache.blocks[new_bid as usize].resource_sums;
+            for (r, (x, y)) in rem.iter_mut().zip(new_sums.iter().zip(old_sums)) {
+                *r += x - y;
+            }
+            Some(BoundState {
+                threshold: threshold - self.sim.job.model.forward_time + 1e-9,
+                rem,
+                busy_until: [0.0; 4],
+                inv_cpu_slots: 1.0 / self.sim.config.cpu_slots.max(1) as f64,
+            })
+        } else {
+            None
+        };
+        let SimCache { scratch, .. } = &mut *cache;
+        let outcome = run_plan(
+            &trial,
+            &self.sim.config,
+            None,
+            scratch,
+            Some(&cp),
+            None,
+            Some(&rs),
+            bound.as_mut(),
+        );
+        if matches!(outcome, RunOutcome::Aborted) {
+            #[cfg(debug_assertions)]
+            {
+                // Oracle: an aborted trial must truly be at or above the
+                // threshold it was certified against.
+                let mut check = EvalScratch::default();
+                run_plan(
+                    &trial,
+                    &self.sim.config,
+                    None,
+                    &mut check,
+                    None,
+                    None,
+                    None,
+                    None,
+                );
+                debug_assert!(
+                    self.sim.job.model.forward_time + check.max_end >= threshold,
+                    "abort bound overclaimed: F={} < threshold={}",
+                    self.sim.job.model.forward_time + check.max_end,
+                    threshold
+                );
+            }
+            drop(trial);
+            drop(base_plan);
+            cache.ids = ids;
+            return None;
+        }
+        let makespan = match outcome {
+            RunOutcome::Resynced(m) => m,
+            _ => scratch.max_end,
+        };
+        #[cfg(debug_assertions)]
+        {
+            // Oracle: a resynced result must equal the full re-run's.
+            let mut check = EvalScratch::default();
+            run_plan(
+                &trial,
+                &self.sim.config,
+                None,
+                &mut check,
+                None,
+                None,
+                None,
+                None,
+            );
+            debug_assert_eq!(
+                makespan.to_bits(),
+                check.max_end.to_bits(),
+                "resync early-exit diverged from full simulation"
+            );
+        }
+        let t = self.sim.job.model.forward_time + makespan;
+        drop(trial);
+        drop(base_plan);
+        cache.memo.insert(ids.clone(), t);
+        cache.ids = ids;
+        Some(t)
+    }
+
+    /// Suffix re-simulation of the trial whose id vector is `ids`, dirty
+    /// from tensor `k` on; memoizes and returns `F`. Returns `ids` to the
+    /// cache scratch slot.
+    fn eval_ids(&self, ids: Vec<u32>, k: u32) -> f64 {
+        let cp = self.checkpoint(k);
+        let mut cache = self.sim.cache.borrow_mut();
+        let mut plan = std::mem::take(&mut cache.plan);
+        cache.assemble(&self.sim.job, &ids, &mut plan);
+        let SimCache { scratch, .. } = &mut *cache;
+        run_plan(&plan, &self.sim.config, None, scratch, Some(&cp), None, None, None);
+        cache.plan = plan;
+        let t = self.sim.job.model.forward_time + cache.scratch.max_end;
+        cache.memo.insert(ids.clone(), t);
+        cache.ids = ids;
+        t
+    }
+
+    /// Screens a trial for batch dispatch: the exact value when it is
+    /// already known, [`Screened::Pruned`] when the lower bound rules it
+    /// out against `threshold` (same contract as
+    /// [`DeltaSim::eval_bounded`]), or a thread-safe evaluation unit
+    /// carrying its resume checkpoint.
+    pub fn screen(&self, trial: &Strategy, threshold: f64) -> Screened {
+        let mut cache = self.sim.cache.borrow_mut();
+        cache.block_ids(&self.sim.job, &self.sim.config, trial, None);
+        let Some(k) = self.watermark(&cache.ids) else {
+            return Screened::Known(self.base_time);
+        };
+        if let Some(&t) = cache.memo.get(&cache.ids) {
+            return Screened::Known(t);
+        }
+        if self.bound(&cache, k) >= threshold {
+            return Screened::Pruned;
+        }
+        let ids = std::mem::take(&mut cache.ids);
+        drop(cache);
+        let cp = self.checkpoint(k);
+        let mut cache = self.sim.cache.borrow_mut();
+        let mut plan = Plan::default();
+        cache.assemble(&self.sim.job, &ids, &mut plan);
+        cache.ids = ids;
+        Screened::Live(PreparedEval {
+            plan,
+            resume: Some(cp),
+            faults: None,
+            forward_time: self.sim.job.model.forward_time,
+            config: self.sim.config,
+        })
+    }
+
+    /// The certified lower bound for the trial whose ids are in
+    /// `cache.ids`, differing from the base at positions `>= watermark`.
+    fn bound(&self, cache: &SimCache, watermark: u32) -> f64 {
+        let mut diff = [0.0f64; 4];
+        let mut chain_lb = 0.0f64;
+        let base_plan = self.base_plan.borrow();
+        let base_spans = self.base_spans.borrow();
+        for (i, (&t, &b)) in cache.ids.iter().zip(&self.base_ids).enumerate() {
+            if t != b {
+                let ts = &cache.blocks[t as usize].resource_sums;
+                let bs = &cache.blocks[b as usize].resource_sums;
+                for (d, (x, y)) in diff.iter_mut().zip(ts.iter().zip(bs)) {
+                    *d += x - y;
+                }
+                // Chain refinement (see `eval_swap`): valid per changed
+                // tensor because the compute prefix up to the watermark
+                // tensor's compute is shared and computes never move
+                // earlier than the base's under added stage work.
+                if i == watermark as usize {
+                    let c = base_plan.compute_idx[i] as usize;
+                    chain_lb = chain_lb
+                        .max(base_spans[c].end + cache.blocks[t as usize].chain);
                 }
             }
-            Event::Finish(i) => {
-                let res = tasks[i].resource;
-                servers.release(res, now);
-                for &s in &succs[i] {
-                    indegree[s] -= 1;
-                    if indegree[s] == 0 {
-                        push(&mut heap, now, Event::Ready(s));
+        }
+        drop(base_spans);
+        drop(base_plan);
+        self.bound_from_diff(&diff, watermark)
+            .max(self.sim.job.model.forward_time + chain_lb - 1e-9)
+    }
+
+    /// The lower bound given the trial-vs-base resource-sum diff and the
+    /// dirty-tensor watermark.
+    fn bound_from_diff(&self, diff: &[f64; 4], watermark: u32) -> f64 {
+        let slots = self.sim.config.cpu_slots.max(1) as f64;
+        let caps = [1.0, slots, 1.0, 1.0];
+        let mut lb = (0..4)
+            .map(|r| (self.base_sums[r] + diff[r]) / caps[r])
+            .fold(0.0f64, f64::max);
+        // Checkpoint refinement: any snapshot at or before the watermark
+        // has all diff-position stage tasks still unstarted, so its
+        // remaining-work accounting transfers to the trial verbatim.
+        if let Some((_, entry)) = self.checkpoints.borrow().range(..=watermark).next_back() {
+            let refined = (0..4)
+                .map(|r| (entry.remaining[r] + diff[r]) / caps[r])
+                .fold(0.0f64, f64::max);
+            lb = lb.max(entry.cp.now + refined);
+        }
+        self.sim.job.model.forward_time + lb - 1e-9
+    }
+
+    /// Re-anchors the handle at `new_base` (whose `F` the caller already
+    /// knows — typically the just-accepted trial), keeping every
+    /// checkpoint at or before the first changed tensor. Greedy accept
+    /// loops call this instead of building a fresh [`Simulator::delta`],
+    /// which would re-simulate the base from scratch.
+    pub fn rebase(&mut self, new_base: &Strategy, new_time: f64) {
+        let mut cache = self.sim.cache.borrow_mut();
+        cache.block_ids(&self.sim.job, &self.sim.config, new_base, None);
+        let new_ids = cache.ids.clone();
+        let new_sums = self.sim.strategy_sums(&cache, &new_ids);
+        cache.memo.insert(new_ids.clone(), new_time);
+        drop(cache);
+        debug_assert_eq!(
+            new_time.to_bits(),
+            self.sim.iteration_time(new_base).to_bits(),
+            "rebase time must be the exact F(new_base)"
+        );
+        if let Some(d) = new_ids
+            .iter()
+            .zip(&self.base_ids)
+            .position(|(a, b)| a != b)
+        {
+            let mut checkpoints = self.checkpoints.borrow_mut();
+            checkpoints.retain(|&k, _| k <= d as u32);
+            // Every changed tensor sits at or after `d`, hence is
+            // unstarted at every retained checkpoint: re-price their
+            // remaining work by the base's resource-sum change (compute
+            // times cancel, so the strategy-sum delta is exactly the
+            // changed blocks' delta).
+            for entry in checkpoints.values_mut() {
+                for (rem, (new, old)) in entry
+                    .remaining
+                    .iter_mut()
+                    .zip(new_sums.iter().zip(&self.base_sums))
+                {
+                    *rem += new - old;
+                }
+            }
+            drop(checkpoints);
+            // Re-anchor the cached base plan. The common accept is a
+            // single-tensor swap — splice it; anything wider (offload
+            // group moves) re-assembles.
+            let changed: Vec<usize> = new_ids
+                .iter()
+                .zip(&self.base_ids)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(i, _)| i)
+                .collect();
+            let cache = self.sim.cache.borrow();
+            let mut base_plan = self.base_plan.borrow_mut();
+            if let [idx] = changed[..] {
+                let mut trial = self.trial_plan.borrow_mut();
+                splice_swap(
+                    &base_plan,
+                    idx,
+                    &cache.blocks[self.base_ids[idx] as usize],
+                    &cache.blocks[new_ids[idx] as usize],
+                    &mut trial,
+                );
+                std::mem::swap(&mut *base_plan, &mut *trial);
+            } else {
+                cache.assemble(&self.sim.job, &new_ids, &mut base_plan);
+            }
+            #[cfg(debug_assertions)]
+            {
+                let mut check = Plan::default();
+                cache.assemble(&self.sim.job, &new_ids, &mut check);
+                debug_assert!(
+                    plans_identical(&check, &base_plan),
+                    "rebased plan diverged from full assembly"
+                );
+            }
+            drop(cache);
+            // Refresh the base timeline for the resync early-exit:
+            // resume the new base from the deepest retained checkpoint
+            // (its prefix is unchanged) and replay only the suffix.
+            let mut checkpoints = self.checkpoints.borrow_mut();
+            let resume = checkpoints
+                .range(..=d as u32)
+                .next_back()
+                .map(|(_, entry)| entry.cp.clone());
+            let mut cache = self.sim.cache.borrow_mut();
+            let SimCache { scratch, .. } = &mut *cache;
+            run_plan(
+                &base_plan,
+                &self.sim.config,
+                None,
+                scratch,
+                resume.as_deref(),
+                None,
+                None,
+                None,
+            );
+            debug_assert_eq!(
+                (self.sim.job.model.forward_time + scratch.max_end).to_bits(),
+                new_time.to_bits(),
+                "rebase replay must reproduce the accepted trial's F"
+            );
+            let mut base_spans = self.base_spans.borrow_mut();
+            base_spans.clear();
+            base_spans.extend_from_slice(&scratch.spans);
+            for entry in checkpoints.values_mut() {
+                entry.future_max = entry
+                    .cp
+                    .spans
+                    .iter()
+                    .zip(base_spans.iter())
+                    .filter(|(s, _)| s.start.is_nan())
+                    .map(|(_, full)| full.end)
+                    .fold(0.0f64, f64::max);
+            }
+        }
+        self.base_ids = new_ids;
+        self.base_sums = new_sums;
+        self.base_time = new_time;
+    }
+
+    /// Full-timeline simulation via suffix re-simulation — bitwise-equal
+    /// to `Simulator::simulate(trial)` (the delta proptest asserts this,
+    /// records and all).
+    pub fn simulate(&self, trial: &Strategy) -> SimResult {
+        let mut cache = self.sim.cache.borrow_mut();
+        cache.block_ids(&self.sim.job, &self.sim.config, trial, None);
+        let watermark = self.watermark(&cache.ids);
+        let ids = std::mem::take(&mut cache.ids);
+        drop(cache);
+        let cp = watermark.map(|k| self.checkpoint(k));
+        let mut cache = self.sim.cache.borrow_mut();
+        let mut plan = std::mem::take(&mut cache.plan);
+        cache.assemble(&self.sim.job, &ids, &mut plan);
+        let SimCache { scratch, .. } = &mut *cache;
+        run_plan(
+            &plan,
+            &self.sim.config,
+            None,
+            scratch,
+            cp.as_deref(),
+            None,
+            None,
+            None,
+        );
+        let result = finish_plan(&self.sim.job, &plan, &scratch.spans, &self.sim.config, None);
+        cache.plan = plan;
+        cache.ids = ids;
+        result
+    }
+
+    /// Compiles a trial into a self-contained evaluation unit carrying
+    /// its resume checkpoint, for dispatch to a worker pool.
+    pub fn prepare(&self, trial: &Strategy) -> PreparedEval {
+        let mut cache = self.sim.cache.borrow_mut();
+        cache.block_ids(&self.sim.job, &self.sim.config, trial, None);
+        let watermark = self.watermark(&cache.ids);
+        let ids = std::mem::take(&mut cache.ids);
+        drop(cache);
+        let resume = watermark.map(|k| self.checkpoint(k));
+        let mut cache = self.sim.cache.borrow_mut();
+        let mut plan = Plan::default();
+        cache.assemble(&self.sim.job, &ids, &mut plan);
+        cache.ids = ids;
+        PreparedEval {
+            plan,
+            resume,
+            faults: None,
+            forward_time: self.sim.job.model.forward_time,
+            config: self.sim.config,
+        }
+    }
+}
+
+/// Outcome of [`DeltaSim::screen`].
+///
+/// Transient return value, consumed immediately by the caller; `Live`
+/// deliberately carries the whole prepared evaluation by value so it can
+/// cross a thread boundary.
+#[allow(clippy::large_enum_variant)]
+pub enum Screened {
+    /// The certified lower bound rules out `F(trial) < threshold`.
+    Pruned,
+    /// The exact `F(trial)`, known without running (base-identical trial
+    /// or memo hit).
+    Known(f64),
+    /// Simulation required: a thread-safe unit, resume checkpoint
+    /// included.
+    Live(PreparedEval),
+}
+
+/// A self-contained, thread-safe candidate evaluation: an assembled plan
+/// plus (optionally) the checkpoint to resume from and the fault plan to
+/// price. Running it requires only a per-worker [`EvalScratch`], so a
+/// batch of prepared evaluations can be fanned out across threads and
+/// merged by index with bit-deterministic results.
+pub struct PreparedEval {
+    plan: Plan,
+    resume: Option<Arc<Checkpoint>>,
+    faults: Option<FaultPlan>,
+    forward_time: f64,
+    config: SimConfig,
+}
+
+impl PreparedEval {
+    /// Evaluates `F(S)` — a pure function of the prepared state.
+    pub fn run(&self, scratch: &mut EvalScratch) -> f64 {
+        run_plan(
+            &self.plan,
+            &self.config,
+            self.faults.as_ref(),
+            scratch,
+            self.resume.as_deref(),
+            None,
+            None,
+            None,
+        );
+        self.forward_time + scratch.max_end
+    }
+}
+
+/// A snapshot of the event loop at the moment a designated compute task's
+/// finish event is about to be processed. Every task index referenced by
+/// the snapshot is at or before that compute task, so the snapshot is
+/// valid for any plan sharing that prefix (see the module docs).
+///
+/// State is stored as plain arrays (the heap as its backing array, the
+/// FIFO queues in pop order) so restoring into an [`EvalScratch`] is a
+/// handful of `memcpy`s — no allocation at steady capacity.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Index of the compute task whose finish is pending; state indices
+    /// `<= prefix_end` are valid, everything later is untouched.
+    prefix_end: u32,
+    /// The simulation clock at the snapshot (the pending finish's time).
+    now: f64,
+    /// Total duration per resource of tasks not yet started at the
+    /// snapshot — all of which must run at or after `now`, giving the
+    /// checkpoint-refined lower bound of [`DeltaSim`].
+    remaining: [f64; 4],
+    /// Max span end among tasks already started at the snapshot — seeds
+    /// the resumed run's online makespan tracking.
+    prefix_max: f64,
+    /// The event heap's backing array (a valid binary-heap layout;
+    /// re-heapifying it is a no-op that preserves the array).
+    heap: Vec<Reverse<EventKey>>,
+    seq: u64,
+    queues: [Vec<u32>; 4],
+    busy: [usize; 4],
+    spans: Vec<Span>,
+    indegree: Vec<u32>,
+}
+
+/// Reusable evaluation buffers: indegrees, spans, event heap, and FIFO
+/// queues. One per evaluating thread.
+#[derive(Default)]
+pub struct EvalScratch {
+    indegree: Vec<u32>,
+    /// Task spans of the last run (indexed like the plan's tasks).
+    spans: Vec<Span>,
+    /// Running max task end of the last run — the makespan on
+    /// completion, maintained online so callers skip the O(n) fold.
+    max_end: f64,
+    heap: BinaryHeap<Reverse<EventKey>>,
+    queues: [VecDeque<u32>; 4],
+    busy: [usize; 4],
+}
+
+/// One heap entry, packed for single-compare ordering: the high 64 bits
+/// are the event time's IEEE-754 bits (times are non-negative and finite,
+/// where `total_cmp` coincides with unsigned bit order), the low 64 bits
+/// the push sequence number — unique, so ties never fall through to the
+/// payload. The payload is `task_index << 1 | is_finish`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    key: u128,
+    code: u32,
+}
+
+impl EventKey {
+    #[inline]
+    fn new(time: f64, seq: u64, task: u32, finish: bool) -> Self {
+        debug_assert!(
+            time.is_finite() && !time.is_sign_negative(),
+            "event time {time} breaks the bit-order trick"
+        );
+        Self {
+            key: ((time.to_bits() as u128) << 64) | seq as u128,
+            code: (task << 1) | finish as u32,
+        }
+    }
+
+    #[inline]
+    fn time(self) -> f64 {
+        f64::from_bits((self.key >> 64) as u64)
+    }
+
+    #[inline]
+    fn task(self) -> u32 {
+        self.code >> 1
+    }
+
+    #[inline]
+    fn is_finish(self) -> bool {
+        self.code & 1 == 1
+    }
+}
+
+fn resource_idx(res: Resource) -> usize {
+    match res {
+        Resource::Gpu => 0,
+        Resource::Cpu => 1,
+        Resource::IntraChannel => 2,
+        Resource::InterChannel => 3,
+    }
+}
+
+/// Core event loop over a compiled plan: assigns a start/end span to
+/// every task, writing into `scratch.spans`.
+///
+/// With a fault plan, each task's service time is resolved at its start
+/// time through [`FaultPlan::effective_duration_parts`] — the single
+/// injection point, so queueing and dependency interactions downstream of
+/// a perturbed task stay mechanically correct.
+///
+/// `resume` restores a [`Checkpoint`] instead of starting from `t = 0`;
+/// `pause_at` stops the loop the moment the finish event of the given
+/// task index reaches the head of the heap and returns the state as a
+/// [`RunOutcome::Paused`] checkpoint; `resync` arms the single-swap
+/// early-exit (see [`ResyncState`]), which may end the run with
+/// [`RunOutcome::Resynced`] and the exact final makespan; `bound` arms
+/// the mid-run certified abort (see [`BoundState`]), which may end it
+/// with [`RunOutcome::Aborted`].
+///
+/// The argument list is the event loop's full mode matrix; bundling the
+/// four optional controls into a struct would only move the noise to the
+/// call sites.
+#[allow(clippy::too_many_arguments)]
+fn run_plan(
+    plan: &Plan,
+    config: &SimConfig,
+    faults: Option<&FaultPlan>,
+    scratch: &mut EvalScratch,
+    resume: Option<&Checkpoint>,
+    pause_at: Option<u32>,
+    resync: Option<&ResyncState<'_>>,
+    mut bound: Option<&mut BoundState>,
+) -> RunOutcome {
+    let n = plan.len();
+    let cpu_slots = config.cpu_slots.max(1);
+    let service = |task: usize, start: f64| -> f64 {
+        let m = &plan.meta[task];
+        match faults {
+            None => m.duration,
+            Some(fp) => fp.effective_duration_parts(
+                m.kind,
+                m.resource,
+                m.duration,
+                m.alpha_secs,
+                task,
+                start,
+            ),
+        }
+    };
+
+    debug_assert_eq!(
+        plan.succ_off.len(),
+        n + 1,
+        "plan is missing its successor CSR (assemble/splice builds it)"
+    );
+    scratch.spans.clear();
+    scratch.indegree.clear();
+    // The heap's backing storage is recycled through the BinaryHeap <->
+    // Vec round trip (both directions are allocation-free at capacity;
+    // heapifying an already-valid heap array leaves it untouched).
+    let mut heap_vec = std::mem::take(&mut scratch.heap).into_vec();
+    heap_vec.clear();
+    for q in &mut scratch.queues {
+        q.clear();
+    }
+    let mut seq;
+    match resume {
+        None => {
+            scratch.spans.resize(
+                n,
+                Span {
+                    start: f64::NAN,
+                    end: f64::NAN,
+                },
+            );
+            scratch
+                .indegree
+                .extend((0..n).map(|i| plan.pred_count(i)));
+            scratch.busy = [0; 4];
+            scratch.max_end = 0.0;
+            seq = 0u64;
+            scratch.heap = BinaryHeap::from(heap_vec);
+            // Roots (tasks with no predecessor) are ready at t = 0. Push
+            // in index order so the first compute task heads the GPU
+            // queue.
+            for i in 0..n {
+                if plan.pred_count(i) == 0 {
+                    debug_assert!(matches!(plan.meta[i].resource, Resource::Gpu));
+                    scratch
+                        .heap
+                        .push(Reverse(EventKey::new(0.0, seq, i as u32, false)));
+                    seq += 1;
+                }
+            }
+        }
+        Some(cp) => {
+            // The checkpoint's prefix state is valid verbatim: every task
+            // it references shares its index, metadata, and predecessors
+            // with this plan (the delta-watermark contract).
+            let prefix = cp.prefix_end as usize;
+            debug_assert!(prefix < n);
+            scratch.spans.extend_from_slice(&cp.spans[..=prefix]);
+            scratch.spans.resize(
+                n,
+                Span {
+                    start: f64::NAN,
+                    end: f64::NAN,
+                },
+            );
+            scratch
+                .indegree
+                .extend_from_slice(&cp.indegree[..=prefix]);
+            scratch
+                .indegree
+                .extend((prefix + 1..n).map(|i| plan.pred_count(i)));
+            heap_vec.extend_from_slice(&cp.heap);
+            scratch.heap = BinaryHeap::from(heap_vec);
+            for (q, saved) in scratch.queues.iter_mut().zip(&cp.queues) {
+                q.extend(saved.iter().copied());
+            }
+            scratch.busy = cp.busy;
+            scratch.max_end = cp.prefix_max;
+            seq = cp.seq;
+        }
+    }
+
+    debug_assert!(
+        pause_at.is_none() || resync.is_none(),
+        "pause and resync are mutually exclusive run modes"
+    );
+    debug_assert!(
+        bound.is_none() || faults.is_none(),
+        "the abort bound prices remaining work at nominal durations"
+    );
+    loop {
+        if let Some(pause) = pause_at {
+            if let Some(Reverse(ev)) = scratch.heap.peek() {
+                if ev.is_finish() && ev.task() == pause {
+                    debug_assert!(
+                        faults.is_none(),
+                        "checkpoints price remaining work at nominal durations"
+                    );
+                    let mut remaining = [0.0f64; 4];
+                    let mut prefix_max = 0.0f64;
+                    for (m, s) in plan.meta.iter().zip(&scratch.spans) {
+                        if s.start.is_nan() {
+                            remaining[resource_idx(m.resource)] += m.duration;
+                        } else {
+                            prefix_max = prefix_max.max(s.end);
+                        }
+                    }
+                    return RunOutcome::Paused(Checkpoint {
+                        prefix_end: pause,
+                        now: ev.time(),
+                        remaining,
+                        prefix_max,
+                        heap: scratch.heap.clone().into_vec(),
+                        seq,
+                        queues: std::array::from_fn(|ri| {
+                            scratch.queues[ri].iter().copied().collect()
+                        }),
+                        busy: scratch.busy,
+                        spans: scratch.spans.clone(),
+                        indegree: scratch.indegree.clone(),
+                    });
+                }
+            }
+        } else if let Some(rs) = resync {
+            if let Some(&Reverse(ev)) = scratch.heap.peek() {
+                if ev.is_finish() {
+                    let m = &plan.meta[ev.task() as usize];
+                    if m.kind == TaskKind::Compute && m.tensor > rs.idx {
+                        if let Some((cp, future_max)) = (rs.lookup)(m.tensor) {
+                            if cp.now.to_bits() == ev.time().to_bits()
+                                && rs.states_match(scratch, &cp)
+                            {
+                                return RunOutcome::Resynced(
+                                    scratch.max_end.max(future_max),
+                                );
+                            }
+                        }
                     }
                 }
-                if let Some((task, start)) = servers.try_start(res, now) {
-                    let end = start + service(task, start);
-                    spans[task] = Span { start, end };
-                    push(&mut heap, end, Event::Finish(task));
+            }
+        }
+        let Some(Reverse(ev)) = scratch.heap.pop() else {
+            break;
+        };
+        let now = ev.time();
+        let i = ev.task();
+        let ri = resource_idx(plan.meta[i as usize].resource);
+        if ev.is_finish() {
+            debug_assert!(scratch.busy[ri] > 0, "releasing an idle resource");
+            scratch.busy[ri] -= 1;
+            for &su in plan.succs(i as usize) {
+                let s = su as usize;
+                scratch.indegree[s] -= 1;
+                if scratch.indegree[s] == 0 {
+                    scratch
+                        .heap
+                        .push(Reverse(EventKey::new(now, seq, s as u32, false)));
+                    seq += 1;
                 }
+            }
+        } else {
+            scratch.queues[ri].push_back(i);
+        }
+        let cap = if ri == 1 { cpu_slots } else { 1 };
+        if scratch.busy[ri] < cap {
+            if let Some(task) = scratch.queues[ri].pop_front() {
+                scratch.busy[ri] += 1;
+                let start = now;
+                let end = start + service(task as usize, start);
+                scratch.spans[task as usize] = Span { start, end };
+                scratch.max_end = scratch.max_end.max(end);
+                scratch
+                    .heap
+                    .push(Reverse(EventKey::new(end, seq, task, true)));
+                seq += 1;
+                if let Some(b) = bound.as_deref_mut() {
+                    b.rem[ri] -= plan.meta[task as usize].duration;
+                    if end > b.busy_until[ri] {
+                        b.busy_until[ri] = end;
+                    }
+                }
+            }
+        }
+        if let Some(b) = bound.as_deref() {
+            if b.lower_bound(now) >= b.threshold {
+                return RunOutcome::Aborted;
             }
         }
     }
     debug_assert!(
-        spans.iter().all(|s| s.start.is_finite()),
+        scratch.spans.iter().all(|s| s.start.is_finite()),
         "unscheduled tasks remain (dependency cycle?)"
     );
-    spans
+    RunOutcome::Done
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Event {
-    Ready(usize),
-    Finish(usize),
-}
-
-/// FIFO multi-server resources.
-struct ResourcePool {
-    gpu_busy: usize,
-    cpu_busy: usize,
-    cpu_slots: usize,
-    intra_busy: usize,
-    inter_busy: usize,
-    queues: [VecDeque<usize>; 4],
-}
-
-impl ResourcePool {
-    fn new(cpu_slots: usize) -> Self {
-        Self {
-            gpu_busy: 0,
-            cpu_busy: 0,
-            cpu_slots,
-            intra_busy: 0,
-            inter_busy: 0,
-            queues: [
-                VecDeque::new(),
-                VecDeque::new(),
-                VecDeque::new(),
-                VecDeque::new(),
-            ],
-        }
-    }
-
-    fn idx(res: Resource) -> usize {
-        match res {
-            Resource::Gpu => 0,
-            Resource::Cpu => 1,
-            Resource::IntraChannel => 2,
-            Resource::InterChannel => 3,
-        }
-    }
-
-    fn capacity(&self, res: Resource) -> usize {
-        match res {
-            Resource::Cpu => self.cpu_slots,
-            _ => 1,
-        }
-    }
-
-    fn busy(&mut self, res: Resource) -> &mut usize {
-        match res {
-            Resource::Gpu => &mut self.gpu_busy,
-            Resource::Cpu => &mut self.cpu_busy,
-            Resource::IntraChannel => &mut self.intra_busy,
-            Resource::InterChannel => &mut self.inter_busy,
-        }
-    }
-
-    fn enqueue(&mut self, res: Resource, task: usize) {
-        self.queues[Self::idx(res)].push_back(task);
-    }
-
-    /// Starts the next queued task if a server is free; returns it with
-    /// its start time.
-    fn try_start(&mut self, res: Resource, now: f64) -> Option<(usize, f64)> {
-        let cap = self.capacity(res);
-        if *self.busy(res) >= cap {
-            return None;
-        }
-        let task = self.queues[Self::idx(res)].pop_front()?;
-        *self.busy(res) += 1;
-        Some((task, now))
-    }
-
-    fn release(&mut self, res: Resource, _now: f64) {
-        let busy = self.busy(res);
-        debug_assert!(*busy > 0, "releasing an idle resource");
-        *busy -= 1;
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -604,5 +2232,96 @@ mod tests {
         let r_plain = simulate(&j, &plain, &SimConfig::default());
         let r_comp = simulate(&j, &compressed, &SimConfig::default());
         assert!((compute_end(&r_comp) - compute_end(&r_plain)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_simulator_matches_free_function() {
+        let j = job();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let sim = Simulator::new(j.clone(), SimConfig::default());
+        for opt in space.all().iter().take(12) {
+            let s = Strategy::uniform(j.num_tensors(), opt.clone());
+            let free = simulate(&j, &s, &SimConfig::default());
+            assert_eq!(sim.iteration_time(&s), free.iteration_time);
+            assert_eq!(sim.iteration_time_memo(&s), free.iteration_time);
+            let cached = sim.simulate(&s);
+            assert_eq!(cached.makespan, free.makespan);
+            assert_eq!(cached.tasks.len(), free.tasks.len());
+            for (a, b) in cached.tasks.iter().zip(&free.tasks) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_single_tensor_swap_matches_from_scratch() {
+        let j = job();
+        let n = j.num_tensors();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let sim = Simulator::new(j.clone(), SimConfig::default());
+        let base = Strategy::uncompressed(n, CommPattern::Hierarchical, &j.cluster);
+        let delta = sim.delta(&base);
+        assert_eq!(delta.base_time(), sim.iteration_time(&base));
+        for idx in [0, n / 2, n - 1] {
+            for opt in space.gpu_compressed().iter().take(4) {
+                let mut trial = base.clone();
+                trial.set_option(idx, opt.clone());
+                let fast = delta.iteration_time(&trial);
+                let slow = sim.iteration_time(&trial);
+                assert_eq!(fast.to_bits(), slow.to_bits(), "tensor {idx}");
+                // The full delta-simulated timeline is record-for-record
+                // identical too.
+                let fr = delta.simulate(&trial);
+                let sr = sim.simulate(&trial);
+                assert_eq!(fr.tasks.len(), sr.tasks.len());
+                for (a, b) in fr.tasks.iter().zip(&sr.tasks) {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_identical_trial_returns_base_time() {
+        let j = job();
+        let base = Strategy::uncompressed(
+            j.num_tensors(),
+            CommPattern::Hierarchical,
+            &j.cluster,
+        );
+        let sim = Simulator::new(j, SimConfig::default());
+        let delta = sim.delta(&base);
+        assert_eq!(
+            delta.iteration_time(&base.clone()).to_bits(),
+            delta.base_time().to_bits()
+        );
+    }
+
+    #[test]
+    fn prepared_eval_matches_direct_evaluation() {
+        let j = job();
+        let space = OptionSpace::enumerate(&j.cluster);
+        let sim = Simulator::new(j.clone(), SimConfig::default());
+        let s = Strategy::uniform(j.num_tensors(), space.gpu_compressed()[0].clone());
+        let prepared = sim.prepare(&s);
+        let mut scratch = EvalScratch::default();
+        assert_eq!(
+            prepared.run(&mut scratch).to_bits(),
+            sim.iteration_time(&s).to_bits()
+        );
+        // Delta-prepared units carry their checkpoint with them.
+        let base = Strategy::uncompressed(
+            j.num_tensors(),
+            CommPattern::Hierarchical,
+            &j.cluster,
+        );
+        let delta = sim.delta(&base);
+        let mut trial = base.clone();
+        trial.set_option(3, space.gpu_compressed()[1].clone());
+        let unit = delta.prepare(&trial);
+        assert_eq!(
+            unit.run(&mut scratch).to_bits(),
+            sim.iteration_time(&trial).to_bits()
+        );
     }
 }

@@ -377,16 +377,38 @@ impl FaultPlan {
     /// dependency interactions downstream of a perturbed task remain
     /// mechanically correct.
     pub fn effective_duration(&self, task: &Task, index: usize, start: f64) -> f64 {
-        let d = task.duration;
-        match task.resource {
-            Resource::Gpu => match task.kind {
+        self.effective_duration_parts(
+            task.kind,
+            task.resource,
+            task.duration,
+            task.alpha_secs,
+            index,
+            start,
+        )
+    }
+
+    /// Field-wise form of [`FaultPlan::effective_duration`], for callers
+    /// holding compact task metadata rather than a full [`Task`] (the
+    /// engine's compiled-plan path).
+    pub fn effective_duration_parts(
+        &self,
+        kind: TaskKind,
+        resource: Resource,
+        duration: f64,
+        alpha_secs: f64,
+        index: usize,
+        start: f64,
+    ) -> f64 {
+        let d = duration;
+        match resource {
+            Resource::Gpu => match kind {
                 TaskKind::Compute => d * self.straggler_factor(),
                 // GPU kernels ride the straggler's GPU too, plus jitter.
                 _ => d * self.straggler_factor() * self.jitter_factor(index),
             },
             Resource::Cpu => {
                 let contention = self.cpu_factor_at(start);
-                match task.kind {
+                match kind {
                     TaskKind::Compress(_) | TaskKind::Decompress(_) => {
                         d * contention * self.jitter_factor(index)
                     }
@@ -394,7 +416,7 @@ impl FaultPlan {
                 }
             }
             Resource::IntraChannel | Resource::InterChannel => {
-                let fault = match task.resource {
+                let fault = match resource {
                     Resource::IntraChannel => &self.intra,
                     _ => &self.inter,
                 };
@@ -403,7 +425,7 @@ impl FaultPlan {
                 }
                 // Split the nominal duration into its alpha and beta
                 // components (recorded at build time) and scale each.
-                let alpha = task.alpha_secs.min(d);
+                let alpha = alpha_secs.min(d);
                 let beta = d - alpha;
                 alpha * fault.alpha_mult + beta * fault.beta_factor_at(start)
             }

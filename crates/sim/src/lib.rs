@@ -41,7 +41,10 @@ pub mod task;
 
 pub use audit::{audit, audit_tasks, Violation};
 pub use config::SimConfig;
-pub use engine::{simulate, simulate_with_faults, Simulator};
+pub use engine::{
+    simulate, simulate_with_faults, Checkpoint, DeltaSim, EvalScratch, PreparedEval, Screened,
+    Simulator,
+};
 pub use fault::{Burst, FaultError, FaultPlan, LinkFault};
 pub use job::Job;
 pub use result::{Bubble, SimResult, Span, TaskRecord};

@@ -28,7 +28,7 @@
 //!   checkpoint, bit-identically to an uninterrupted run.
 
 use espresso::robust::MonitorVerdict;
-use espresso::{replan, DegradationMonitor, Espresso, EspressoError, Strategy};
+use espresso::{replan_with_context, DegradationMonitor, Espresso, EspressoError, ReplanContext, Strategy};
 use espresso_adapt::RatioController;
 use espresso_cluster::{ClusterError, ClusterHealth, Membership};
 use espresso_gc::GcAlgorithm;
@@ -428,6 +428,13 @@ impl TrainingRuntime {
                 ))
             };
         let pristine = membership.lost().is_empty() && membership.health().is_nominal();
+        // Warm planner state for the run's online re-plans: repeated
+        // `(job, health)` inputs (health flaps, revisited ratio plans)
+        // replay their completed decision byte-identically instead of
+        // re-running the planner. Rebuilt empty on resume — the warm
+        // path returns the same bytes a cold plan would, so crash/resume
+        // determinism is unaffected.
+        let mut replan_ctx = ReplanContext::new();
         let mut current: Strategy = if fallback_active {
             DegradationMonitor::fallback_strategy(&cfg.job)
         } else if pristine {
@@ -436,8 +443,13 @@ impl TrainingRuntime {
                 .0
         } else {
             let job = plan_job(&membership, controller.as_ref())?;
-            replan(&job, membership.health(), &DegradationMonitor::fallback_strategy(&cfg.job))?
-                .strategy
+            replan_with_context(
+                &mut replan_ctx,
+                &job,
+                membership.health(),
+                &DegradationMonitor::fallback_strategy(&cfg.job),
+            )?
+            .strategy
         };
         // Predicted iteration time of `current` on the current effective
         // cluster — the deterministic "wall clock" of the modeled run.
@@ -495,7 +507,7 @@ impl TrainingRuntime {
                     monitor.rebase(predicted);
                 } else {
                     let job = plan_job(&membership, controller.as_ref())?;
-                    let r = replan(&job, membership.health(), &current)?;
+                    let r = replan_with_context(&mut replan_ctx, &job, membership.health(), &current)?;
                     events.push(RuntimeEvent::Replanned {
                         step,
                         chosen: r.chosen.clone(),
@@ -547,7 +559,7 @@ impl TrainingRuntime {
                             fallback_active = false;
                             trainer.set_mode(cfg.mode);
                             let job = plan_job(&membership, controller.as_ref())?;
-                            let r = replan(&job, membership.health(), &current)?;
+                            let r = replan_with_context(&mut replan_ctx, &job, membership.health(), &current)?;
                             events.push(RuntimeEvent::FallbackRecovered { step });
                             if r.changed {
                                 current = r.strategy;
@@ -569,7 +581,7 @@ impl TrainingRuntime {
                         // the fallback instead of thrashing.
                         redecide_attempted = true;
                         let job = plan_job(&membership, controller.as_ref())?;
-                        let r = replan(&job, membership.health(), &current)?;
+                        let r = replan_with_context(&mut replan_ctx, &job, membership.health(), &current)?;
                         events.push(RuntimeEvent::Replanned {
                             step,
                             chosen: r.chosen.clone(),
@@ -620,7 +632,7 @@ impl TrainingRuntime {
             };
             if adapted {
                 let job = plan_job(&membership, controller.as_ref())?;
-                let r = replan(&job, membership.health(), &current)?;
+                let r = replan_with_context(&mut replan_ctx, &job, membership.health(), &current)?;
                 events.push(RuntimeEvent::Replanned {
                     step,
                     chosen: r.chosen.clone(),

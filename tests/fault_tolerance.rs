@@ -264,3 +264,88 @@ fn seeded_fault_plans_are_reproducible() {
         .any(|s| TrainFaultPlan::from_seed(s, cfg.workers, cfg.steps) != a);
     assert!(differs, "16 consecutive seeds all produced the same plan");
 }
+
+/// Warm-started re-plans must be byte-identical to cold plans. The
+/// runtime keeps a `ReplanContext` keyed by `(job, health)`; when fleet
+/// health flaps back to a state it has already planned for, the stored
+/// decision is replayed. This pins the replay to the cold path: same
+/// strategy, same predicted time (to the bit), same winning candidate —
+/// only `changed` is recomputed against the caller's current strategy.
+#[test]
+fn warm_replan_after_health_delta_equals_cold_plan() {
+    use espresso_repro::cluster::ClusterHealth;
+    use espresso_repro::espresso::{replan, replan_with_context, Espresso, ReplanContext};
+
+    let job = Job::new(
+        Model::Lstm.profile(),
+        Cluster::pcie_25g(2, 2),
+        GcAlgorithm::RandomK { density: 0.05 },
+    );
+    let (current, _) = Espresso::new(job.clone()).select_strategy();
+    let nominal = ClusterHealth::nominal();
+    let degraded = ClusterHealth::inter_degraded(2.5);
+
+    let mut ctx = ReplanContext::new();
+    // First sight of each health state plans cold and stores.
+    let cold_nom = replan_with_context(&mut ctx, &job, &nominal, &current).unwrap();
+    let cold_deg = replan_with_context(&mut ctx, &job, &degraded, &cold_nom.strategy).unwrap();
+    // Health flaps back: both replays must equal fresh cold plans.
+    for (health, current) in [(&nominal, &cold_deg.strategy), (&degraded, &cold_nom.strategy)] {
+        let warm = replan_with_context(&mut ctx, &job, health, current).unwrap();
+        let cold = replan(&job, health, current).unwrap();
+        assert_eq!(warm.strategy, cold.strategy, "warm strategy diverged");
+        assert_eq!(
+            warm.predicted_time.to_bits(),
+            cold.predicted_time.to_bits(),
+            "warm predicted time diverged: {} vs {}",
+            warm.predicted_time,
+            cold.predicted_time
+        );
+        assert_eq!(warm.chosen, cold.chosen, "warm winner diverged");
+        assert_eq!(warm.changed, cold.changed, "changed flag diverged");
+    }
+}
+
+/// The same guarantee end-to-end: a degradation re-plans cold at step
+/// 20, then a sustained slow window trips the monitor into a re-decide
+/// whose `(job, health)` matches the step-20 plan — a warm replay inside
+/// the runtime. Events and every state bit must equal a repeat run. The
+/// fast planner is the default here, so this also pins determinism with
+/// the fast path and warm re-planning both on.
+#[test]
+fn monitor_redecide_replays_warm_and_stays_deterministic() {
+    let (train, eval) = data();
+    let run = || {
+        let mut cfg = config();
+        cfg.faults = TrainFaultPlan::parse("degrade=20:2.0,slow=35-75:1.3", cfg.workers, cfg.steps)
+            .unwrap();
+        TrainingRuntime::new(cfg).run(&train, &eval).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.completed);
+    assert!(
+        a.events
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::Replanned { step: 20, .. })),
+        "no re-plan at the degradation: {:?}",
+        a.events
+    );
+    let replans = a
+        .events
+        .iter()
+        .filter(|e| matches!(e, RuntimeEvent::Replanned { .. }))
+        .count();
+    assert!(
+        replans >= 2,
+        "the slow window should force a monitor re-decide after the \
+         degradation plan ({replans} re-plans): {:?}",
+        a.events
+    );
+    assert_eq!(a.events, b.events, "event streams diverged");
+    assert_eq!(
+        a.state_fingerprint(),
+        b.state_fingerprint(),
+        "warm re-planning changed training state"
+    );
+}

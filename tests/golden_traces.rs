@@ -25,6 +25,7 @@
 use std::path::PathBuf;
 
 use espresso_audit::goldens;
+use espresso_models::Model;
 
 fn dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
@@ -49,6 +50,40 @@ fn golden_traces_match_byte_for_byte() {
     assert!(
         diffs.is_empty(),
         "{} golden trace(s) diverged (regenerate with UPDATE_GOLDENS=1 if intended):\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+/// The snapshots pin the *planner*, not just the simulator: re-running
+/// the full selection pipeline must reproduce the stored documents byte
+/// for byte. Selection dispatches on the environment, so this runs the
+/// fast path by default; `ESPRESSO_REFERENCE_PLANNER=1` takes the
+/// reference path instead — the two are byte-identical by construction
+/// (`espresso-audit decide` enforces it across a seeded sweep), so the
+/// same snapshots hold either way.
+///
+/// Only the cheap models re-select here so the check stays debug-build
+/// friendly; `espresso-audit goldens` (release, run by `ci.sh`) covers
+/// all 20 cases.
+#[test]
+fn selection_reproduces_cheap_goldens_byte_for_byte() {
+    if std::env::var_os("UPDATE_GOLDENS").is_some_and(|v| v == "1") {
+        return;
+    }
+    let dir = dir();
+    let mut diffs = Vec::new();
+    for case in goldens::cases() {
+        if !matches!(case.model, Model::Lstm | Model::Vgg16) {
+            continue;
+        }
+        if let Err(diff) = goldens::check_selection(&case, &dir) {
+            diffs.push(format!("{}: {}", diff.case.label(), diff.message));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "{} golden selection(s) diverged:\n{}",
         diffs.len(),
         diffs.join("\n")
     );

@@ -94,4 +94,36 @@ recover() {
 }
 step "recover" recover
 
+# Elastic-membership churn gate, both layers of the stack:
+#  (a) training — a seeded churn plan (Poisson-ish interleaved
+#      preemptions and re-joins from --churn-faults) halted mid-run and
+#      resumed from a checkpoint must reach weight/state fingerprints
+#      identical to the uninterrupted run, with shards re-expanding and
+#      error-feedback residuals redistributed at every membership move;
+#  (b) fleet — espresso-loadgen --churn streams worker losses AND
+#      re-joins at the control plane, kill -9s the server mid-churn, and
+#      requires the restarted run to converge byte-for-byte with an
+#      uninterrupted control run; regenerates BENCH_churn.json.
+churn() {
+    ckpt_dir=$(mktemp -d)
+    seed=7
+    ./target/release/espresso-cli train --steps 120 --churn-faults "$seed" \
+        --checkpoint-every 40 --halt-at 70 --checkpoint-dir "$ckpt_dir" > /dev/null
+    resumed=$(./target/release/espresso-cli train --steps 120 --churn-faults "$seed" \
+        --checkpoint-dir "$ckpt_dir" --resume \
+        | grep -E "^(weights|state) fingerprint:")
+    fresh=$(./target/release/espresso-cli train --steps 120 --churn-faults "$seed" \
+        | grep -E "^(weights|state) fingerprint:")
+    rm -rf "$ckpt_dir"
+    if [ "$resumed" != "$fresh" ]; then
+        echo "churn: resumed fingerprints differ from uninterrupted churn run" >&2
+        echo "resumed:" >&2; echo "$resumed" >&2
+        echo "fresh:"   >&2; echo "$fresh" >&2
+        exit 1
+    fi
+    echo "churn: seeded churn plan resumed bitwise (seed $seed)"
+    ./target/release/espresso-loadgen --churn --out BENCH_churn.json
+}
+step "churn" churn
+
 echo "CI OK"

@@ -118,6 +118,77 @@ impl Membership {
         Ok(())
     }
 
+    /// Records rank `worker` as alive again — the inverse of
+    /// [`Membership::lose_worker`], for elastic fleets where a preempted
+    /// spot instance comes back.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidTopology`] if the rank is out of range or
+    /// is not currently lost — a rank that never left (or already
+    /// re-joined) cannot re-join, which keeps duplicate rejoin requests
+    /// from silently advancing the epoch.
+    pub fn rejoin_worker(&mut self, worker: usize) -> Result<(), ClusterError> {
+        if worker >= self.total {
+            return Err(ClusterError::InvalidTopology {
+                message: format!("worker {worker} out of range for {} ranks", self.total),
+            });
+        }
+        let Some(at) = self.lost.iter().position(|&w| w == worker) else {
+            return Err(ClusterError::InvalidTopology {
+                message: format!("worker {worker} is not lost and cannot re-join"),
+            });
+        };
+        self.lost.remove(at);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Applies a *stamped* batched membership delta carrying losses and
+    /// re-joins (and optionally a fresh health reading) under the same
+    /// epoch-monotone discipline as [`Membership::apply_health_delta`]:
+    /// the delta takes effect only when its stamp is strictly newer than
+    /// the current epoch, in which case the membership adopts the stamp.
+    /// Returns whether the delta was applied.
+    ///
+    /// Within an applied delta, `rejoined` ranks are processed before
+    /// `lost` ranks, so a rank named in both lists ends up lost. Entries
+    /// that do not describe a real transition — out-of-range ranks,
+    /// losses of already-lost ranks, re-joins of alive ranks, or a loss
+    /// that would remove the last survivor — are skipped rather than
+    /// rejected: a streaming producer's view can lag the receiver's, and
+    /// a delta must converge the same way however it is retried. Skipping
+    /// is deterministic, so replaying a journal of applied deltas
+    /// reconstructs the membership byte-for-byte.
+    pub fn apply_membership_delta(
+        &mut self,
+        epoch: u64,
+        rejoined: &[usize],
+        lost: &[usize],
+        health: Option<ClusterHealth>,
+    ) -> bool {
+        if epoch <= self.epoch {
+            return false;
+        }
+        for &w in rejoined {
+            if w < self.total {
+                if let Some(at) = self.lost.iter().position(|&l| l == w) {
+                    self.lost.remove(at);
+                }
+            }
+        }
+        for &w in lost {
+            if w < self.total && !self.lost.contains(&w) && self.alive_count() > 1 {
+                self.lost.push(w);
+            }
+        }
+        if let Some(health) = health {
+            self.health = health;
+        }
+        self.epoch = epoch;
+        true
+    }
+
     /// The observed fabric health of the surviving cluster.
     pub fn health(&self) -> &ClusterHealth {
         &self.health
@@ -342,6 +413,67 @@ mod tests {
         assert!(m.apply_health_delta(7, ClusterHealth::nominal()));
         assert_eq!(m.epoch(), 7);
         assert!(m.health().is_nominal());
+    }
+
+    #[test]
+    fn rejoin_restores_a_lost_rank_and_rejects_nonsense() {
+        let mut m = Membership::new(4);
+        m.lose_worker(2).unwrap();
+        m.lose_worker(0).unwrap();
+        assert_eq!(m.epoch(), 2);
+        m.rejoin_worker(2).unwrap();
+        assert_eq!(m.alive(), vec![1, 2, 3]);
+        assert_eq!(m.lost(), &[0]);
+        assert_eq!(m.epoch(), 3);
+        // A rank that is alive (or never existed) cannot re-join, and the
+        // failed attempt must not advance the epoch.
+        assert!(m.rejoin_worker(2).is_err(), "already alive");
+        assert!(m.rejoin_worker(9).is_err(), "out of range");
+        assert_eq!(m.epoch(), 3);
+        // The round trip restores the full topology.
+        m.rejoin_worker(0).unwrap();
+        assert_eq!(m.alive_count(), 4);
+        let template = Cluster::nvlink_100g(2, 2);
+        let c = m.effective_cluster(&template).unwrap();
+        assert_eq!((c.machines, c.gpus_per_machine), (2, 2));
+    }
+
+    #[test]
+    fn membership_deltas_are_epoch_gated_and_batched() {
+        let mut m = Membership::new(4);
+        // Rejoins before losses; a fresh health rides along.
+        assert!(m.apply_membership_delta(
+            5,
+            &[],
+            &[1, 3],
+            Some(ClusterHealth::inter_degraded(2.0))
+        ));
+        assert_eq!((m.epoch(), m.alive()), (5, vec![0, 2]));
+        assert_eq!(m.health(), &ClusterHealth::inter_degraded(2.0));
+        // Duplicate stamp: idempotently ignored, nothing moves.
+        assert!(!m.apply_membership_delta(5, &[1], &[], None));
+        assert_eq!(m.alive(), vec![0, 2]);
+        // A newer stamp re-joins one rank and keeps the health.
+        assert!(m.apply_membership_delta(6, &[3], &[], None));
+        assert_eq!(m.alive(), vec![0, 2, 3]);
+        assert_eq!(m.health(), &ClusterHealth::inter_degraded(2.0));
+        // Tolerant skips: out-of-range ranks, re-join of an alive rank,
+        // re-loss of a lost rank — the delta still applies its stamp.
+        assert!(m.apply_membership_delta(9, &[0, 9], &[1, 9], None));
+        assert_eq!((m.epoch(), m.alive()), (9, vec![0, 2, 3]));
+        // The last survivor can never be removed by a batched delta.
+        assert!(m.apply_membership_delta(12, &[], &[0, 2, 3], None));
+        assert_eq!(m.alive_count(), 1);
+    }
+
+    #[test]
+    fn membership_delta_orders_rejoins_before_losses() {
+        let mut m = Membership::new(3);
+        m.lose_worker(1).unwrap();
+        // Rank 1 is named on both sides: it re-joins, then is lost again,
+        // so the net effect is lost — and the epoch advances exactly once.
+        assert!(m.apply_membership_delta(4, &[1], &[1], None));
+        assert_eq!((m.epoch(), m.alive()), (4, vec![0, 2]));
     }
 
     #[test]

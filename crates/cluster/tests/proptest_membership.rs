@@ -10,7 +10,7 @@
 //! 2. **Idempotence** — re-applying any already-seen delta (or the whole
 //!    stream again) changes nothing.
 
-use espresso_cluster::{ClusterHealth, LinkState, Membership};
+use espresso_cluster::{Cluster, ClusterHealth, LinkState, Membership};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -113,5 +113,90 @@ proptest! {
             prop_assert!(m.epoch() >= last);
             last = m.epoch();
         }
+    }
+
+    #[test]
+    fn interleaved_elastic_mutations_preserve_membership_invariants(seed in 0u64..512) {
+        // The full elastic surface at once: local losses and re-joins
+        // (self-stamping) interleaved with stamped health deltas and
+        // batched membership deltas carrying arbitrary (possibly
+        // nonsensical) rank lists. Invariants:
+        //
+        // 1. The epoch is non-decreasing, and strictly increases on every
+        //    successful mutation.
+        // 2. A stale-stamped delta never resurrects a still-lost rank (or
+        //    changes anything at all); an applied delta only revives the
+        //    ranks it names.
+        // 3. Lost and alive always partition the rank space and at least
+        //    one rank stays alive.
+        // 4. `effective_cluster` is a pure function of the final
+        //    membership state — the mutation history does not leak in.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Membership::new(8);
+        let mut last = m.epoch();
+        for _ in 0..48 {
+            let before = m.epoch();
+            let before_lost = m.lost().to_vec();
+            let mutated = match rng.random_range(0..4u8) {
+                0 => m.lose_worker(rng.random_range(0..10)).is_ok(),
+                1 => m.rejoin_worker(rng.random_range(0..10)).is_ok(),
+                2 => {
+                    let stamp = rng.random_range(0..40);
+                    m.apply_health_delta(stamp, health_for(stamp))
+                }
+                _ => {
+                    let stamp = rng.random_range(0..40);
+                    let rejoined: Vec<usize> = (0..rng.random_range(0usize..3))
+                        .map(|_| rng.random_range(0..10))
+                        .collect();
+                    let lost: Vec<usize> = (0..rng.random_range(0usize..3))
+                        .map(|_| rng.random_range(0..10))
+                        .collect();
+                    let applied =
+                        m.apply_membership_delta(stamp, &rejoined, &lost, Some(health_for(stamp)));
+                    prop_assert_eq!(applied, stamp > before, "delta applies iff strictly newer");
+                    if applied {
+                        for &w in &before_lost {
+                            if !rejoined.contains(&w) {
+                                prop_assert!(
+                                    m.lost().contains(&w),
+                                    "delta resurrected rank {} it never named",
+                                    w
+                                );
+                            }
+                        }
+                    } else {
+                        prop_assert_eq!(m.lost(), &before_lost[..], "stale delta moved ranks");
+                    }
+                    applied
+                }
+            };
+            if mutated {
+                prop_assert!(m.epoch() > before, "successful mutation must advance the epoch");
+            } else {
+                prop_assert_eq!(m.epoch(), before, "failed mutation must not move the epoch");
+                prop_assert_eq!(m.lost(), &before_lost[..], "failed mutation must not move ranks");
+            }
+            prop_assert!(m.epoch() >= last);
+            last = m.epoch();
+            prop_assert_eq!(m.alive_count() + m.lost().len(), 8, "lost/alive must partition");
+            prop_assert!(m.alive_count() >= 1, "quorum of one must survive");
+        }
+        // Purity: a membership rebuilt from nothing but the final lost set
+        // and health yields the same effective cluster — the path taken to
+        // get here is invisible.
+        let template = Cluster::pcie_25g(2, 4);
+        let mut rebuilt = Membership::new(8);
+        for &w in m.lost() {
+            rebuilt.lose_worker(w).expect("final lost set replays cleanly");
+        }
+        rebuilt.set_health(*m.health());
+        let direct = m.effective_cluster(&template);
+        let replayed = rebuilt.effective_cluster(&template);
+        prop_assert_eq!(
+            format!("{direct:?}"),
+            format!("{replayed:?}"),
+            "effective_cluster must be a pure function of final membership state"
+        );
     }
 }

@@ -120,6 +120,39 @@ impl ErrorFeedback {
             *r += scale * o;
         }
     }
+
+    /// Subtracts `scale * other.residual` from this state's residual —
+    /// the elastic-recovery *split*, the algebraic inverse of
+    /// [`ErrorFeedback::merge_scaled`]: when a lost worker re-joins, each
+    /// survivor gives back a share of its residual, and the donated mass
+    /// seeds the re-joining rank's fresh EF state, so total untransmitted
+    /// gradient mass is conserved through the membership change in both
+    /// directions.
+    ///
+    /// # Rounding contract
+    ///
+    /// `merge_scaled(o, s)` followed by `split_scaled(o, s)` computes
+    /// `(r + s*o) - s*o` in f32: the product `s*o` rounds once and is
+    /// reused bit-identically on both sides, so the only error is the two
+    /// additions' rounding. The round trip therefore returns each element
+    /// to within `2 * f32::EPSILON * (|r| + |s*o|)` of its original value
+    /// (exactly equal whenever the addition is exact, e.g. `r == 0` or
+    /// same-exponent operands). The property test
+    /// `merge_then_split_round_trips_within_rounding` pins this bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states track tensors of different lengths.
+    pub fn split_scaled(&mut self, other: &ErrorFeedback, scale: f32) {
+        assert_eq!(
+            self.residual.len(),
+            other.residual.len(),
+            "splitting error-feedback states of different tensor lengths"
+        );
+        for (r, &o) in self.residual.iter_mut().zip(&other.residual) {
+            *r -= scale * o;
+        }
+    }
 }
 
 impl espresso_json::ToJson for ErrorFeedback {
@@ -260,5 +293,25 @@ mod tests {
         let mut a = ErrorFeedback::new(2);
         let b = ErrorFeedback::new(3);
         a.merge_scaled(&b, 1.0);
+    }
+
+    #[test]
+    fn split_scaled_inverts_merge_exactly_on_exact_sums() {
+        let mut survivor = ErrorFeedback::from_residual(vec![1.0, -2.0]);
+        let other = ErrorFeedback::from_residual(vec![4.0, 8.0]);
+        survivor.merge_scaled(&other, 0.5);
+        assert_eq!(survivor.residual(), &[3.0, 2.0]);
+        survivor.split_scaled(&other, 0.5);
+        // Powers of two: both additions are exact, so the round trip is
+        // bit-identical, not merely within the rounding bound.
+        assert_eq!(survivor.residual(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tensor lengths")]
+    fn split_scaled_length_mismatch_panics() {
+        let mut a = ErrorFeedback::new(2);
+        let b = ErrorFeedback::new(3);
+        a.split_scaled(&b, 1.0);
     }
 }

@@ -148,6 +148,35 @@ proptest! {
     }
 
     #[test]
+    fn merge_then_split_round_trips_within_rounding(
+        residual in prop::collection::vec(-100.0f32..100.0, 1..300),
+        donor in prop::collection::vec(-100.0f32..100.0, 1..300),
+        scale in 1e-3f32..8.0,
+    ) {
+        // The elastic round trip: a survivor absorbs `scale` of a lost
+        // worker's residual, the worker re-joins, the survivor gives the
+        // share back. `(r + s*o) - s*o` reuses the bit-identical product
+        // on both sides, so the only error is two additions' rounding —
+        // the documented bound on `split_scaled`.
+        let n = residual.len().min(donor.len());
+        let original = ErrorFeedback::from_residual(residual[..n].to_vec());
+        let other = ErrorFeedback::from_residual(donor[..n].to_vec());
+        let mut ef = original.clone();
+        ef.merge_scaled(&other, scale);
+        ef.split_scaled(&other, scale);
+        for ((&got, &want), &o) in
+            ef.residual().iter().zip(original.residual()).zip(other.residual())
+        {
+            let bound = 2.0 * f32::EPSILON * (want.abs() + (scale * o).abs());
+            prop_assert!(
+                (got - want).abs() <= bound,
+                "round trip drifted past the rounding bound: {} vs {} (share {}, bound {})",
+                got, want, scale * o, bound
+            );
+        }
+    }
+
+    #[test]
     fn ratio_decreases_or_plateaus_with_size(elems in 64usize..100_000) {
         // Metadata amortizes away: the ratio at n must be >= the ratio at
         // 4n (within float noise) for every algorithm.

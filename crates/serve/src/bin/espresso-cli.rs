@@ -88,9 +88,12 @@ fn usage() -> ! {
          or:    espresso-cli train [--machines N] [--gpus K] [--steps N] \
          [--batch N] [--algo NAME] [--density F] [--eval-every N] \
          [--checkpoint-every N] [--checkpoint-dir DIR] [--resume] \
-         [--halt-at N] [--faults SPEC] [--adapt]  (SPEC: seed, or \
-         crash=STEP:WORKER,drop=STEP:WORKER,slow=FROM-UNTIL:F,degrade=STEP:F; \
-         --adapt walks per-tensor ratios online from residual errors)"
+         [--halt-at N] [--faults SPEC] [--churn-faults SEED] [--adapt]  \
+         (SPEC: seed, or crash=STEP:WORKER,rejoin=STEP:WORKER,\
+drop=STEP:WORKER,slow=FROM-UNTIL:F,degrade=STEP:F; \
+         --churn-faults generates an interleaved preemption/re-join plan \
+         from SEED; --adapt walks per-tensor ratios online from residual \
+         errors)"
     );
     std::process::exit(2)
 }
@@ -352,6 +355,7 @@ fn run_train(args: &[String]) -> Result<(), EspressoError> {
     let mut resume = false;
     let mut halt_at: Option<usize> = None;
     let mut faults: Option<String> = None;
+    let mut churn_seed: Option<u64> = None;
     let mut adapt = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -382,6 +386,13 @@ fn run_train(args: &[String]) -> Result<(), EspressoError> {
             "--resume" => resume = true,
             "--halt-at" => halt_at = Some(parse_num("--halt-at", value())?.max(1)),
             "--faults" => faults = Some(value()),
+            "--churn-faults" => {
+                churn_seed = Some(
+                    value()
+                        .parse::<u64>()
+                        .map_err(|_| EspressoError::config("--churn-faults", "not a seed"))?,
+                )
+            }
             "--adapt" => adapt = true,
             "--help" | "-h" => usage(),
             other => {
@@ -418,11 +429,27 @@ fn run_train(args: &[String]) -> Result<(), EspressoError> {
         config.faults = TrainFaultPlan::parse(spec, config.workers, steps)
             .map_err(|e| EspressoError::config("--faults", e.to_string()))?;
     }
+    if let Some(seed) = churn_seed {
+        if faults.is_some() {
+            return Err(EspressoError::config(
+                "--churn-faults",
+                "cannot be combined with --faults",
+            ));
+        }
+        config.faults = TrainFaultPlan::churn(seed, config.workers, steps);
+        config
+            .faults
+            .validate(config.workers)
+            .map_err(|e| EspressoError::config("--churn-faults", e.to_string()))?;
+    }
     println!(
         "train: {} workers ({machines}x{gpus}), {} mode, {steps} steps, faults: {}",
         config.workers,
         algo.to_ascii_lowercase(),
-        faults.as_deref().unwrap_or("none"),
+        churn_seed.map_or_else(
+            || faults.clone().unwrap_or_else(|| "none".into()),
+            |s| format!("churn seed {s}"),
+        ),
     );
 
     // The training task is synthetic and seeded: every run sees the same
@@ -444,6 +471,9 @@ fn run_train(args: &[String]) -> Result<(), EspressoError> {
             RuntimeEvent::Resumed { step } => println!("  [{step:>4}] resumed from checkpoint"),
             RuntimeEvent::WorkerLost { step, worker } => {
                 println!("  [{step:>4}] worker {worker} lost; shard redistributed")
+            }
+            RuntimeEvent::WorkerRejoined { step, worker } => {
+                println!("  [{step:>4}] worker {worker} re-joined; shard re-expanded")
             }
             RuntimeEvent::HealthChanged { step } => {
                 println!("  [{step:>4}] fabric health changed")

@@ -26,10 +26,14 @@
 //! reading the body), a mid-request disconnect, a byte-at-a-time slow
 //! writer (expect 200 within the server deadline), a too-slow writer
 //! against a short-deadline server (expect the 408 to arrive *early*,
-//! proving the deadline actually fires), and raw non-HTTP garbage. After
-//! every probe the server must still answer a well-formed request with
-//! 200 — the point is that an abusive client costs the server nothing
-//! but the connection.
+//! proving the deadline actually fires), raw non-HTTP garbage, a
+//! half-close client (full request, then `shutdown(Write)` — must still
+//! get the full response), and a membership-delta replay against a
+//! self-hosted fleet plane (the same rejoin epoch delivered twice must
+//! be idempotently ignored the second time). After every probe the
+//! server must still answer a well-formed request with 200 — the point
+//! is that an abusive client costs the server nothing but the
+//! connection.
 //!
 //! `--fleet` runs the fleet control-plane bench: spawn `espresso-cli
 //! serve --fleet-dir` as a child process, register `--jobs` jobs over
@@ -44,9 +48,17 @@
 //! by `kill -9` at the midpoint and one not, must converge to
 //! byte-identical `/fleet/jobs` documents — the crash may cost time but
 //! never state and never a different decision.
+//!
+//! `--churn` is the elastic-membership variant of the gate: the delta
+//! stream carries Poisson-paced worker *losses and re-joins* (not just
+//! link health), the crash run is `kill -9`ed mid-churn with the replan
+//! queue busy, and after restart both runs must converge to
+//! byte-identical `/fleet/jobs` and `/fleet/deadletter` documents.
+//! Writes `BENCH_churn.json` with per-phase timings and recovery cost.
 
+use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,7 +67,7 @@ use std::time::{Duration, Instant};
 
 use espresso_json::Json;
 use espresso_serve::client::Connection;
-use espresso_serve::{ServeConfig, Server};
+use espresso_serve::{FleetConfig, FleetController, RetryPolicy, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,7 +84,12 @@ fn usage() -> ! {
          \n\
          or:    espresso-loadgen --fleet-gate [--jobs N] [--deltas N] [--clusters N] \
          [--seed N]   (CI gate: kill -9 + restart must recover the job table \
-         byte-for-byte and converge to the same decisions as an uninterrupted run)"
+         byte-for-byte and converge to the same decisions as an uninterrupted run)\n\
+         \n\
+         or:    espresso-loadgen --churn [--jobs N] [--deltas N] [--clusters N] \
+         [--seed N] [--out FILE]   (elastic-membership gate: Poisson-paced worker \
+         losses AND re-joins, kill -9 mid-churn, restart; crashed and uninterrupted \
+         runs must converge byte-for-byte; writes BENCH_churn.json)"
     );
     std::process::exit(2)
 }
@@ -83,6 +100,7 @@ struct Options {
     chaos: bool,
     fleet: bool,
     fleet_gate: bool,
+    churn: bool,
     addr: Option<String>,
     clients: usize,
     requests: usize,
@@ -103,6 +121,7 @@ impl Default for Options {
             chaos: false,
             fleet: false,
             fleet_gate: false,
+            churn: false,
             addr: None,
             clients: 4,
             requests: 2000,
@@ -128,6 +147,7 @@ fn parse_options(args: &[String]) -> Options {
             "--chaos" => opts.chaos = true,
             "--fleet" => opts.fleet = true,
             "--fleet-gate" => opts.fleet_gate = true,
+            "--churn" => opts.churn = true,
             "--addr" => opts.addr = Some(value()),
             "--clients" => opts.clients = value().parse().unwrap_or_else(|_| usage()),
             "--requests" => opts.requests = value().parse().unwrap_or_else(|_| usage()),
@@ -477,7 +497,126 @@ fn chaos_probes(addr: SocketAddr, model: &str) -> Result<usize, String> {
     }
     assert_alive(addr, model, "garbage bytes")?;
 
-    Ok(5)
+    // 6. Half-close: the client sends a complete request, then shuts
+    // down its write side before reading. The EOF on the server's read
+    // side must not be mistaken for a disconnect — the full response
+    // still has to come back over the intact read half.
+    {
+        let payload = http_request("/decide", &body(model, 2, 0.03));
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| format!("half-close connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| format!("half-close timeout: {e}"))?;
+        stream
+            .write_all(&payload)
+            .map_err(|e| format!("half-close write: {e}"))?;
+        stream
+            .shutdown(Shutdown::Write)
+            .map_err(|e| format!("half-close shutdown: {e}"))?;
+        let mut buf = Vec::new();
+        let _ = stream.read_to_end(&mut buf);
+        let head = String::from_utf8_lossy(&buf);
+        if !head.starts_with("HTTP/1.1 200") {
+            return Err(format!(
+                "half-close: expected a full 200 over the read half, got {:?}",
+                head.lines().next().unwrap_or("<nothing>")
+            ));
+        }
+        if !head.contains("iteration_time_ms") {
+            return Err("half-close: the response body was cut short".into());
+        }
+    }
+    assert_alive(addr, model, "half-close")?;
+
+    Ok(6)
+}
+
+/// A fleet-plane chaos probe: membership deltas arrive over a lossy
+/// transport, so the same re-join epoch delivered twice (a retry, a
+/// journal replay, a confused operator) must be applied exactly once.
+/// Hosts its own fleet-enabled server, preempts a rank, re-joins it,
+/// replays both deltas, and checks the replays were idempotently
+/// ignored — including via the `fleet_health_deltas_ignored` counter.
+fn rejoin_replay_probe(model: &str) -> Result<(), String> {
+    let dir = scratch_dir("chaos-rejoin-replay")?;
+    let fleet = FleetController::open(FleetConfig {
+        dir: dir.clone(),
+        shards: 2,
+        replan_workers: 1,
+        queue_watermark: 64,
+        snapshot_every: 32,
+        plan_cache_entries: 16,
+        retry: RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(100),
+            attempt_timeout: Duration::from_millis(10),
+        },
+    })
+    .map_err(|e| format!("rejoin replay: open fleet: {e}"))?;
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        fleet: Some(Arc::new(fleet)),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("rejoin replay: start server: {e}"))?;
+    let addr = server.addr();
+
+    let post = |path: &str, payload: &[u8]| -> Result<Json, String> {
+        let resp = espresso_serve::client::request(addr, "POST", path, payload)
+            .map_err(|e| format!("rejoin replay: POST {path}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "rejoin replay: POST {path}: status {} body {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            ));
+        }
+        Json::parse(&String::from_utf8_lossy(&resp.body))
+            .map_err(|e| format!("rejoin replay: POST {path}: {e}"))
+    };
+    let applied = |doc: &Json| doc.req::<bool>("applied").unwrap_or(false);
+
+    let register = format!(
+        r#"{{"id":"probe","cluster":"c0","priority":1,"request":{}}}"#,
+        String::from_utf8_lossy(&body(model, 1, 0.01)),
+    );
+    post("/fleet/register", register.as_bytes())?;
+
+    let shrink = br#"{"cluster":"c0","epoch":1,"workers":8,"lost":[1],"health":{"inter":{"Degraded":{"factor":1.5}}}}"#;
+    let grow = br#"{"cluster":"c0","epoch":2,"workers":8,"rejoined":[1],"health":{"inter":{"Degraded":{"factor":1.25}}}}"#;
+    for (name, payload, expect_applied) in [
+        ("preemption", &shrink[..], true),
+        ("preemption replay", &shrink[..], false),
+        ("re-join", &grow[..], true),
+        ("re-join replay", &grow[..], false),
+    ] {
+        let doc = post("/fleet/health", payload)?;
+        if applied(&doc) != expect_applied {
+            server.shutdown();
+            return Err(format!(
+                "rejoin replay: {name} delta reported applied={}, expected {expect_applied}",
+                applied(&doc)
+            ));
+        }
+        if name == "re-join" && doc.req::<u64>("dead_letters_requeued").unwrap_or(u64::MAX) != 0 {
+            server.shutdown();
+            return Err("rejoin replay: an empty park requeued dead letters".into());
+        }
+    }
+    let ignored = scrape_fleet_metrics(addr)?
+        .into_iter()
+        .find(|(k, _)| k == "fleet_health_deltas_ignored")
+        .map_or(0.0, |(_, v)| v);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    if ignored != 2.0 {
+        return Err(format!(
+            "rejoin replay: expected 2 ignored deltas on the counter, saw {ignored}"
+        ));
+    }
+    Ok(())
 }
 
 /// The slow-writer probe above proves a *polite* slow writer inside the
@@ -993,6 +1132,261 @@ fn fleet_gate(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Elastic-membership churn gate
+// ---------------------------------------------------------------------------
+
+/// One event of the churn stream: a stamped membership delta that may
+/// preempt a rank, re-join one, or only move link health.
+struct ChurnDelta {
+    cluster: usize,
+    epoch: u64,
+    factor: f64,
+    lost: Vec<usize>,
+    rejoined: Vec<usize>,
+}
+
+/// The deterministic churn stream: each event picks a cluster, bumps its
+/// epoch, and — tracking that cluster's lost set — either preempts an
+/// alive rank or re-joins a lost one (50/50 once anything is lost).
+/// At most 6 of the 8 ranks are ever down, so quorum holds by
+/// construction, and the identical stream replays into the crash and
+/// control runs.
+fn churn_sequence(seed: u64, count: usize, clusters: usize) -> Vec<ChurnDelta> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut epochs = vec![0u64; clusters];
+    let mut down: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); clusters];
+    (0..count)
+        .map(|_| {
+            let c = rng.random_range(0..clusters);
+            epochs[c] += 1;
+            let factor = [1.25, 1.5, 2.0, 3.0][rng.random_range(0..4usize)];
+            let gone = &mut down[c];
+            let (mut lost, mut rejoined) = (Vec::new(), Vec::new());
+            if !gone.is_empty() && (gone.len() >= 6 || rng.random_bool(0.5)) {
+                let pick = *gone
+                    .iter()
+                    .nth(rng.random_range(0..gone.len()))
+                    .expect("non-empty lost set");
+                gone.remove(&pick);
+                rejoined.push(pick);
+            } else {
+                loop {
+                    let w = rng.random_range(0..8usize);
+                    if gone.insert(w) {
+                        lost.push(w);
+                        break;
+                    }
+                }
+            }
+            ChurnDelta {
+                cluster: c,
+                epoch: epochs[c],
+                factor,
+                lost,
+                rejoined,
+            }
+        })
+        .collect()
+}
+
+fn churn_delta_body(d: &ChurnDelta) -> Vec<u8> {
+    let list = |ranks: &[usize]| {
+        ranks
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        r#"{{"cluster":"c{}","epoch":{},"workers":8,"lost":[{}],"rejoined":[{}],"health":{{"inter":{{"Degraded":{{"factor":{}}}}}}}}}"#,
+        d.cluster,
+        d.epoch,
+        list(&d.lost),
+        list(&d.rejoined),
+        d.factor,
+    )
+    .into_bytes()
+}
+
+/// Streams churn deltas, optionally Poisson-paced. Returns wall-clock
+/// seconds. Every delta must be accepted with a 200 — whether it applies
+/// or is idempotently ignored is the server's call.
+fn apply_churn_deltas(
+    addr: SocketAddr,
+    sequence: &[ChurnDelta],
+    mean_gap: Option<Duration>,
+    seed: u64,
+) -> Result<f64, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut conn = Connection::open(addr, Duration::from_secs(30))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let started = Instant::now();
+    for delta in sequence {
+        let resp = conn
+            .request("POST", "/fleet/health", &churn_delta_body(delta))
+            .map_err(|e| format!("churn c{}@{}: {e}", delta.cluster, delta.epoch))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "churn c{}@{}: status {} body {}",
+                delta.cluster,
+                delta.epoch,
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            ));
+        }
+        if let Some(mean) = mean_gap {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            std::thread::sleep(mean.mul_f64(-u.ln()).min(mean * 10));
+        }
+    }
+    Ok(started.elapsed().as_secs_f64())
+}
+
+/// `--churn`: the elastic-membership gate and bench in one. A crash run
+/// registers the fleet, streams half the churn (Poisson-paced worker
+/// losses and re-joins), is `kill -9`ed mid-churn with the replan queue
+/// busy, restarts against the same journal, and streams the rest. A
+/// control run sees the identical stream uninterrupted. Both must
+/// converge to byte-identical `/fleet/jobs` and `/fleet/deadletter`
+/// documents; `BENCH_churn.json` records the timings.
+fn churn_bench(opts: &Options) -> Result<(), String> {
+    let jobs = opts.jobs.unwrap_or(96);
+    let deltas = opts.deltas.unwrap_or(80);
+    let out = opts.out.clone().unwrap_or_else(|| "BENCH_churn.json".into());
+    let base = scratch_dir("churn")?;
+    let dir_a = base.join("crash");
+    let dir_b = base.join("control");
+    let sequence = churn_sequence(opts.seed, deltas, opts.clusters);
+    let losses: usize = sequence.iter().map(|d| d.lost.len()).sum();
+    let rejoins: usize = sequence.iter().map(|d| d.rejoined.len()).sum();
+    if rejoins == 0 {
+        return Err(format!(
+            "churn sequence of {deltas} deltas produced no re-joins — raise --deltas"
+        ));
+    }
+    let half = deltas / 2;
+    let mean_gap = Duration::from_millis(3);
+
+    // Crash run, first act: register, churn, kill -9 mid-churn. No
+    // drain first — the replan queue is busy when the process dies.
+    let server = spawn_fleet_server(&dir_a)?;
+    let register_seconds =
+        register_jobs(server.addr, jobs, opts.clusters, &opts.model, 4)?;
+    let first_half_seconds =
+        apply_churn_deltas(server.addr, &sequence[..half], Some(mean_gap), opts.seed ^ 1)?;
+    server.kill9();
+    println!(
+        "churn: {jobs} jobs registered, killed -9 mid-churn after {half} of {deltas} \
+         membership deltas ({losses} preemptions / {rejoins} re-joins in the full stream)"
+    );
+
+    // Second act: restart from the journal, finish the stream.
+    let restart = Instant::now();
+    let server = spawn_fleet_server(&dir_a)?;
+    let recovery_seconds = restart.elapsed().as_secs_f64();
+    let recovered = count_jobs(&fetch(server.addr, "/fleet/jobs")?)?;
+    if recovered != jobs {
+        server.kill9();
+        return Err(format!(
+            "churn recovery lost jobs: registered {jobs}, recovered {recovered}"
+        ));
+    }
+    fleet_drain(server.addr)?;
+    let second_half_seconds =
+        apply_churn_deltas(server.addr, &sequence[half..], Some(mean_gap), opts.seed ^ 2)?;
+    fleet_drain(server.addr)?;
+    let crashed_jobs = fetch(server.addr, "/fleet/jobs")?;
+    let crashed_letters = fetch(server.addr, "/fleet/deadletter")?;
+    let metrics = scrape_fleet_metrics(server.addr)?;
+    server.kill9();
+
+    // Control run: the identical stream, never interrupted, full pace.
+    let server = spawn_fleet_server(&dir_b)?;
+    register_jobs(server.addr, jobs, opts.clusters, &opts.model, 4)?;
+    let control_seconds = apply_churn_deltas(server.addr, &sequence, None, opts.seed ^ 3)?;
+    fleet_drain(server.addr)?;
+    let control_jobs = fetch(server.addr, "/fleet/jobs")?;
+    let control_letters = fetch(server.addr, "/fleet/deadletter")?;
+    server.kill9();
+
+    if crashed_jobs != control_jobs {
+        return Err(format!(
+            "crashed and uninterrupted churn runs diverged: {} vs {} bytes of /fleet/jobs",
+            crashed_jobs.len(),
+            control_jobs.len()
+        ));
+    }
+    if crashed_letters != control_letters {
+        return Err(format!(
+            "dead-letter parks diverged across the crash: {} vs {} bytes",
+            crashed_letters.len(),
+            control_letters.len()
+        ));
+    }
+    println!(
+        "churn OK: kill -9 mid-churn recovered all {jobs} jobs in {recovery_seconds:.2} s; \
+         /fleet/jobs and /fleet/deadletter byte-identical to the uninterrupted run"
+    );
+
+    let doc = Json::obj(vec![
+        (
+            "config",
+            Json::obj(vec![
+                ("jobs", Json::Num(jobs as f64)),
+                ("deltas", Json::Num(deltas as f64)),
+                ("clusters", Json::Num(opts.clusters as f64)),
+                ("preemptions", Json::Num(losses as f64)),
+                ("rejoins", Json::Num(rejoins as f64)),
+                ("model", Json::Str(opts.model.clone())),
+                ("seed", Json::Num(opts.seed as f64)),
+            ]),
+        ),
+        (
+            "register",
+            Json::obj(vec![
+                ("seconds", Json::Num(register_seconds)),
+                (
+                    "jobs_per_sec",
+                    Json::Num(jobs as f64 / register_seconds.max(1e-9)),
+                ),
+            ]),
+        ),
+        (
+            "churn",
+            Json::obj(vec![
+                ("first_half_seconds", Json::Num(first_half_seconds)),
+                ("second_half_seconds", Json::Num(second_half_seconds)),
+                ("control_seconds", Json::Num(control_seconds)),
+                ("mean_gap_ms", Json::Num(mean_gap.as_secs_f64() * 1e3)),
+            ]),
+        ),
+        (
+            "recovery",
+            Json::obj(vec![
+                ("seconds", Json::Num(recovery_seconds)),
+                ("jobs_recovered", Json::Num(recovered as f64)),
+            ]),
+        ),
+        (
+            "equivalence",
+            Json::obj(vec![
+                ("jobs_doc_bytes", Json::Num(crashed_jobs.len() as f64)),
+                ("jobs_doc_identical", Json::Bool(true)),
+                ("dead_letters_identical", Json::Bool(true)),
+            ]),
+        ),
+        (
+            "fleet_metrics",
+            Json::Obj(metrics.into_iter().map(|(k, v)| (k, Json::Num(v))).collect()),
+        ),
+    ]);
+    std::fs::write(&out, doc.pretty() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    let _ = std::fs::remove_dir_all(&base);
+    Ok(())
+}
+
 /// The standalone `--chaos` phase: host (or target) a server, run the
 /// probes, confirm the server is still healthy.
 fn chaos(opts: &Options) -> Result<(), String> {
@@ -1007,13 +1401,18 @@ fn chaos(opts: &Options) -> Result<(), String> {
         }
     };
     let mut probes = chaos_probes(addr, &opts.model)?;
-    // The deadline probe needs its own short-deadline server, so it only
-    // runs when this harness controls the server configuration.
+    // The deadline and rejoin-replay probes need servers of their own
+    // (a short deadline, a fleet plane), so they only run when this
+    // harness controls the server configuration.
     if opts.addr.is_none() {
         deadline_probe(&opts.model)?;
-        probes += 1;
+        rejoin_replay_probe(&opts.model)?;
+        probes += 2;
     } else {
-        println!("note: skipping the deadline probe (an external --addr controls its own deadline)");
+        println!(
+            "note: skipping the deadline and rejoin-replay probes \
+             (an external --addr controls its own configuration)"
+        );
     }
     println!(
         "chaos OK: {probes} adversarial probes answered correctly, \
@@ -1071,6 +1470,9 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if opts.fleet_gate {
         return fleet_gate(opts);
+    }
+    if opts.churn {
+        return churn_bench(opts);
     }
     if opts.fleet {
         return fleet_bench(opts);

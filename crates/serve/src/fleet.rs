@@ -16,7 +16,10 @@
 //!   reordered deltas are ignored, see `apply_health_delta`). A delta
 //!   that applies invalidates exactly the jobs bound to that cluster —
 //!   they are queued for re-planning by priority; jobs on other clusters
-//!   are untouched.
+//!   are untouched. Deltas may also carry `lost` and `rejoined` rank
+//!   lists (see `apply_membership_delta`): a re-join grows the bound
+//!   cluster back and releases its parked dead letters for one fresh
+//!   push each.
 //! * **Crash safety** — every state change (register, health delta,
 //!   decision commit) is appended to a checksummed write-ahead journal
 //!   *before* it is acknowledged, and the full table is periodically
@@ -188,6 +191,12 @@ pub struct HealthDelta {
     pub workers: Option<usize>,
     /// The observed health.
     pub health: ClusterHealth,
+    /// Ranks newly observed lost, shrinking the bound cluster.
+    pub lost: Vec<usize>,
+    /// Ranks newly observed re-joined, growing the bound cluster back
+    /// (and releasing that cluster's parked dead letters for one requeue,
+    /// see [`FleetController::apply_health`]).
+    pub rejoined: Vec<usize>,
 }
 
 impl ToJson for HealthDelta {
@@ -197,6 +206,8 @@ impl ToJson for HealthDelta {
             ("epoch", self.epoch.to_json()),
             ("workers", self.workers.to_json()),
             ("health", self.health.to_json()),
+            ("lost", self.lost.to_json()),
+            ("rejoined", self.rejoined.to_json()),
         ])
     }
 }
@@ -208,6 +219,8 @@ impl FromJson for HealthDelta {
             epoch: v.req("epoch")?,
             workers: v.opt("workers")?,
             health: v.opt("health")?.unwrap_or_default(),
+            lost: v.opt("lost")?.unwrap_or_default(),
+            rejoined: v.opt("rejoined")?.unwrap_or_default(),
         })
     }
 }
@@ -231,6 +244,9 @@ pub struct HealthOutcome {
     pub epoch: u64,
     /// Jobs queued for re-planning by this delta.
     pub jobs_invalidated: usize,
+    /// Parked dead letters released for re-delivery by this delta's
+    /// re-joins (always 0 for a delta without `rejoined` ranks).
+    pub dead_letters_requeued: usize,
 }
 
 /// A committed decision: the body and the cluster epoch it was computed
@@ -255,12 +271,14 @@ enum FleetEvent {
     /// A job (re-)registration, with its priority already resolved so
     /// replay never re-derives it.
     Register { spec: Box<JobSpec>, priority: u64 },
-    /// An applied health delta.
+    /// An applied membership/health delta.
     Health {
         cluster: String,
         epoch: u64,
         workers: usize,
         health: ClusterHealth,
+        lost: Vec<usize>,
+        rejoined: Vec<usize>,
     },
     /// A committed decision for one job.
     Commit {
@@ -285,6 +303,8 @@ impl ToJson for FleetEvent {
                 epoch,
                 workers,
                 health,
+                lost,
+                rejoined,
             } => enums::tagged(
                 "Health",
                 Json::obj(vec![
@@ -292,6 +312,8 @@ impl ToJson for FleetEvent {
                     ("epoch", epoch.to_json()),
                     ("workers", workers.to_json()),
                     ("health", health.to_json()),
+                    ("lost", lost.to_json()),
+                    ("rejoined", rejoined.to_json()),
                 ]),
             ),
             FleetEvent::Commit { job, epoch, body } => enums::tagged(
@@ -319,6 +341,10 @@ impl FromJson for FleetEvent {
                 epoch: payload.req("epoch")?,
                 workers: payload.req("workers")?,
                 health: payload.req("health")?,
+                // Absent in journals written before elastic membership:
+                // a plain health delta moved no ranks.
+                lost: payload.opt("lost")?.unwrap_or_default(),
+                rejoined: payload.opt("rejoined")?.unwrap_or_default(),
             }),
             "Commit" => Ok(FleetEvent::Commit {
                 job: payload.req("job")?,
@@ -355,6 +381,8 @@ pub struct FleetStats {
     pub push_retries: AtomicU64,
     /// Deliveries parked after exhausting retries.
     pub dead_letters: AtomicU64,
+    /// Parked deliveries released for a fresh push by a cluster re-join.
+    pub dead_letters_requeued: AtomicU64,
     /// Snapshots taken.
     pub snapshots_taken: AtomicU64,
 }
@@ -582,10 +610,16 @@ impl FleetController {
         })
     }
 
-    /// Applies one epoch-stamped health delta. Stale or duplicate stamps
-    /// (epoch not strictly newer) are ignored without journaling, so
-    /// replays and reorderings cost nothing. An applied delta queues a
-    /// re-plan for exactly the jobs bound to that cluster.
+    /// Applies one epoch-stamped membership/health delta. Stale or
+    /// duplicate stamps (epoch not strictly newer) are ignored without
+    /// journaling, so replays and reorderings cost nothing. An applied
+    /// delta queues a re-plan for exactly the jobs bound to that cluster;
+    /// a delta carrying `rejoined` ranks grows the bound cluster back and
+    /// additionally releases that cluster's parked dead letters for one
+    /// fresh push of each job's current committed decision. The requeue
+    /// is bounded to one per re-join epoch by construction: released
+    /// letters leave the park before pushing, and a duplicate delta with
+    /// the same stamp is epoch-gated away before it can release anything.
     ///
     /// # Errors
     ///
@@ -609,6 +643,7 @@ impl FleetController {
                     applied: false,
                     epoch: current,
                     jobs_invalidated: 0,
+                    dead_letters_requeued: 0,
                 });
             }
             let event = FleetEvent::Health {
@@ -616,13 +651,20 @@ impl FleetController {
                 epoch: delta.epoch,
                 workers,
                 health: delta.health,
+                lost: delta.lost.clone(),
+                rejoined: delta.rejoined.clone(),
             };
             append_event(&mut control, &event)?;
             control
                 .clusters
                 .entry(delta.cluster.clone())
                 .or_insert_with(|| Membership::new(workers))
-                .apply_health_delta(delta.epoch, delta.health);
+                .apply_membership_delta(
+                    delta.epoch,
+                    &delta.rejoined,
+                    &delta.lost,
+                    Some(delta.health),
+                );
             inner
                 .stats
                 .health_deltas_applied
@@ -644,10 +686,16 @@ impl FleetController {
                 invalidated += 1;
             }
         }
+        let dead_letters_requeued = if delta.rejoined.is_empty() {
+            0
+        } else {
+            inner.requeue_dead_letters(&delta.cluster)
+        };
         Ok(HealthOutcome {
             applied: true,
             epoch: delta.epoch,
             jobs_invalidated: invalidated,
+            dead_letters_requeued,
         })
     }
 
@@ -834,6 +882,10 @@ impl FleetController {
             ("fleet_pushes_delivered".into(), load(&stats.pushes_delivered)),
             ("fleet_push_retries".into(), load(&stats.push_retries)),
             ("fleet_dead_letters".into(), load(&stats.dead_letters)),
+            (
+                "fleet_dead_letters_requeued".into(),
+                load(&stats.dead_letters_requeued),
+            ),
             ("fleet_snapshots_taken".into(), load(&stats.snapshots_taken)),
             ("fleet_delta_to_decision_count".into(), lat_count),
             ("fleet_delta_to_decision_mean_ms".into(), lat_mean),
@@ -1072,6 +1124,48 @@ impl FleetInner {
         }
     }
 
+    /// Releases the parked dead letters whose job is bound to `cluster`
+    /// and re-pushes each such job's *current* committed decision (the
+    /// parked one may be epochs behind by now — the subscriber wants the
+    /// latest answer, not a replay of the one that failed). Letters for
+    /// jobs that have been unregistered, or whose spec no longer carries
+    /// a `notify` endpoint or a committed decision, are dropped: there is
+    /// nothing left to deliver. A push that fails again parks a fresh
+    /// letter, eligible only at the *next* re-join epoch.
+    fn requeue_dead_letters(&self, cluster: &str) -> usize {
+        let parked = std::mem::take(&mut *lock(&self.dead_letters));
+        let mut kept = Vec::new();
+        let mut released = Vec::new();
+        for letter in parked {
+            let bound = lock(&self.shards[self.shard_of(&letter.job)])
+                .get(&letter.job)
+                .is_some_and(|e| e.spec.cluster == cluster);
+            if bound {
+                released.push(letter);
+            } else {
+                kept.push(letter);
+            }
+        }
+        lock(&self.dead_letters).extend(kept);
+        let mut requeued = 0usize;
+        for letter in released {
+            let Some((notify, decision)) = lock(&self.shards[self.shard_of(&letter.job)])
+                .get(&letter.job)
+                .map(|e| (e.spec.notify.clone(), e.decision.clone()))
+            else {
+                continue;
+            };
+            if let (Some(addr), Some(d)) = (notify, decision) {
+                self.stats
+                    .dead_letters_requeued
+                    .fetch_add(1, Ordering::Relaxed);
+                requeued += 1;
+                self.push_decision(&letter.job, d.epoch, &addr, &d.body);
+            }
+        }
+        requeued
+    }
+
     fn park_dead_letter(&self, job_id: &str, epoch: u64, attempts: u32, error: &str) {
         self.stats.dead_letters.fetch_add(1, Ordering::Relaxed);
         lock(&self.dead_letters).push(DeadLetter {
@@ -1207,11 +1301,13 @@ fn apply_event(
             epoch,
             workers,
             health,
+            lost,
+            rejoined,
         } => {
             clusters
                 .entry(cluster)
                 .or_insert_with(|| Membership::new(workers.max(1)))
-                .apply_health_delta(epoch, health);
+                .apply_membership_delta(epoch, &rejoined, &lost, Some(health));
         }
         FleetEvent::Commit { job, epoch, body } => {
             let idx = (fnv1a64(job.as_bytes()) % shard_count as u64) as usize;
@@ -1376,6 +1472,21 @@ mod tests {
             epoch,
             workers: Some(8),
             health: ClusterHealth::inter_degraded(factor),
+            lost: Vec::new(),
+            rejoined: Vec::new(),
+        }
+    }
+
+    fn membership_delta(
+        cluster: &str,
+        epoch: u64,
+        lost: &[usize],
+        rejoined: &[usize],
+    ) -> HealthDelta {
+        HealthDelta {
+            lost: lost.to_vec(),
+            rejoined: rejoined.to_vec(),
+            ..delta(cluster, epoch, 1.0)
         }
     }
 
@@ -1562,6 +1673,110 @@ mod tests {
         assert!(doc.contains(r#""attempts":2"#), "{doc}");
         // The decision itself still committed.
         assert!(fleet.decision_doc("j1").unwrap().contains(r#""stale":false"#));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn membership_deltas_move_ranks_and_recover_bit_for_bit() {
+        let dir = temp_dir("membership");
+        let jobs_before;
+        {
+            let fleet = FleetController::open(test_config(&dir)).unwrap();
+            fleet.register(spec("j1", "c1", 0)).unwrap();
+            fleet.run_pending();
+            let out = fleet
+                .apply_health(&membership_delta("c1", 2, &[1, 2], &[]))
+                .unwrap();
+            assert!(out.applied);
+            assert_eq!(out.jobs_invalidated, 1);
+            assert_eq!(out.dead_letters_requeued, 0);
+            fleet.run_pending();
+            let out = fleet
+                .apply_health(&membership_delta("c1", 5, &[], &[2]))
+                .unwrap();
+            assert!(out.applied, "a re-join delta grows the cluster back");
+            fleet.run_pending();
+            jobs_before = fleet.jobs_doc();
+            // No shutdown snapshot: recovery is pure journal replay — the
+            // kill -9 path for a controller mid-rejoin.
+        }
+        let fleet = FleetController::open(test_config(&dir)).unwrap();
+        assert_eq!(fleet.pending_replans(), 0);
+        assert_eq!(fleet.jobs_doc(), jobs_before);
+        // The recovered membership carries the move history: rank 1 is
+        // still lost, rank 2 is back, and the epoch gate holds.
+        assert_eq!(
+            lock(&fleet.inner.control).clusters.get("c1").unwrap().lost(),
+            &[1]
+        );
+        assert!(
+            !fleet
+                .apply_health(&membership_delta("c1", 5, &[], &[2]))
+                .unwrap()
+                .applied,
+            "replayed duplicate is still epoch-gated after recovery"
+        );
+        assert!(fleet
+            .apply_health(&membership_delta("c1", 6, &[], &[1]))
+            .unwrap()
+            .applied);
+        assert!(lock(&fleet.inner.control).clusters.get("c1").unwrap().lost().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejoin_delta_requeues_parked_dead_letters_once() {
+        use std::io::{Read, Write};
+        let dir = temp_dir("requeue");
+        let fleet = FleetController::open(test_config(&dir)).unwrap();
+        // Reserve a port, then close it: every push is refused fast.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let mut s = spec("j1", "c1", 5);
+        s.notify = Some(addr.to_string());
+        fleet.register(s).unwrap();
+        fleet.run_pending();
+        assert_eq!(fleet.stats().dead_letters.load(Ordering::Relaxed), 1);
+
+        // A loss-only delta never releases letters (and its re-plan parks
+        // a second one against the still-dead subscriber).
+        let out = fleet
+            .apply_health(&membership_delta("c1", 1, &[3], &[]))
+            .unwrap();
+        assert_eq!(out.dead_letters_requeued, 0);
+        fleet.run_pending();
+        assert_eq!(fleet.stats().dead_letters.load(Ordering::Relaxed), 2);
+
+        // The subscriber comes back on the same port...
+        let listener = std::net::TcpListener::bind(addr).unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                let mut buf = [0u8; 8192];
+                let _ = stream.read(&mut buf);
+                let _ = stream.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 0\r\n\r\n");
+            }
+        });
+        // ...and the re-join delta releases both parked letters for one
+        // fresh push each of the job's current committed decision.
+        let out = fleet
+            .apply_health(&membership_delta("c1", 2, &[], &[3]))
+            .unwrap();
+        assert!(out.applied);
+        assert_eq!(out.dead_letters_requeued, 2);
+        assert_eq!(fleet.stats().dead_letters_requeued.load(Ordering::Relaxed), 2);
+        assert!(fleet.stats().pushes_delivered.load(Ordering::Relaxed) >= 2);
+        assert_eq!(fleet.dead_letters_doc(), "[]");
+
+        // Bounded: a duplicate of the same re-join epoch is gated away
+        // before it can release anything.
+        let dup = fleet
+            .apply_health(&membership_delta("c1", 2, &[], &[3]))
+            .unwrap();
+        assert!(!dup.applied);
+        assert_eq!(dup.dead_letters_requeued, 0);
+        fleet.run_pending();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

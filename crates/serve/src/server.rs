@@ -480,6 +480,10 @@ fn fleet_route(
                         ("applied", outcome.applied.to_json()),
                         ("epoch", outcome.epoch.to_json()),
                         ("jobs_invalidated", outcome.jobs_invalidated.to_json()),
+                        (
+                            "dead_letters_requeued",
+                            outcome.dead_letters_requeued.to_json(),
+                        ),
                     ])
                     .render(),
                 ),
@@ -507,7 +511,11 @@ fn fleet_route(
             Err(e) => fleet_error_response(&e),
         },
         ("GET", "/fleet/jobs") => json_response(200, fleet.jobs_doc()),
-        ("GET", "/fleet/dead-letters") => json_response(200, fleet.dead_letters_doc()),
+        // `/fleet/deadletter` is the documented inspection alias; the
+        // hyphenated spelling predates it and keeps working.
+        ("GET", "/fleet/dead-letters" | "/fleet/deadletter") => {
+            json_response(200, fleet.dead_letters_doc())
+        }
         ("GET", _) if path.starts_with("/fleet/job/") => {
             let id = &path["/fleet/job/".len()..];
             match fleet.decision_doc(id) {
@@ -521,7 +529,7 @@ fn fleet_route(
         (
             _,
             "/fleet/register" | "/fleet/health" | "/fleet/drain" | "/fleet/snapshot"
-            | "/fleet/jobs" | "/fleet/dead-letters",
+            | "/fleet/jobs" | "/fleet/dead-letters" | "/fleet/deadletter",
         ) => json_response(
             405,
             error_body(405, &format!("method {method} not allowed here")),
@@ -532,7 +540,7 @@ fn fleet_route(
                 404,
                 &format!(
                     "no such fleet endpoint {path:?}; try /fleet/register, /fleet/health, \
-                     /fleet/job/<id>, /fleet/jobs, /fleet/drain, or /fleet/dead-letters"
+                     /fleet/job/<id>, /fleet/jobs, /fleet/drain, or /fleet/deadletter"
                 ),
             ),
         ),

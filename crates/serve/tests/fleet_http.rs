@@ -116,6 +116,25 @@ fn fleet_routes_round_trip() {
     assert_eq!(resp.status, 200);
     assert!(!parse(&resp.body).req::<bool>("applied").unwrap());
 
+    // A membership delta: rank 3 preempted, then (next epoch) re-joined.
+    // Growth deltas round-trip the same wire shape as plain health.
+    let shrink = br#"{"cluster":"c0","epoch":2,"workers":8,"lost":[3]}"#;
+    let resp = request(addr, "POST", "/fleet/health", shrink).expect("shrink");
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let doc = parse(&resp.body);
+    assert!(doc.req::<bool>("applied").unwrap());
+    assert_eq!(doc.req::<u64>("jobs_invalidated").unwrap(), 1);
+    let grow = br#"{"cluster":"c0","epoch":3,"workers":8,"rejoined":[3]}"#;
+    let resp = request(addr, "POST", "/fleet/health", grow).expect("grow");
+    assert_eq!(resp.status, 200);
+    let doc = parse(&resp.body);
+    assert!(doc.req::<bool>("applied").unwrap());
+    assert_eq!(doc.req::<u64>("epoch").unwrap(), 3);
+    assert_eq!(doc.req::<u64>("dead_letters_requeued").unwrap(), 0);
+    // A duplicate of the re-join epoch is idempotently ignored.
+    let resp = request(addr, "POST", "/fleet/health", grow).expect("dup grow");
+    assert!(!parse(&resp.body).req::<bool>("applied").unwrap());
+
     drain(addr);
 
     // Table and decision listings.
@@ -131,6 +150,10 @@ fn fleet_routes_round_trip() {
 
     let resp = request(addr, "GET", "/fleet/dead-letters", b"").expect("dead letters");
     assert_eq!(resp.status, 200);
+    // The `/fleet/deadletter` alias serves the identical document.
+    let alias = request(addr, "GET", "/fleet/deadletter", b"").expect("deadletter alias");
+    assert_eq!(alias.status, 200);
+    assert_eq!(alias.body, resp.body);
 
     // Snapshot on demand.
     let resp = request(addr, "POST", "/fleet/snapshot", b"").expect("snapshot");

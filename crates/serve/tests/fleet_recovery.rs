@@ -77,15 +77,38 @@ fn spec(i: usize) -> JobSpec {
 }
 
 fn deltas() -> Vec<HealthDelta> {
-    [("c0", 1, 1.5), ("c1", 1, 2.0), ("c0", 2, 3.0)]
-        .into_iter()
-        .map(|(cluster, epoch, factor)| HealthDelta {
-            cluster: cluster.into(),
-            epoch,
-            workers: Some(8),
-            health: ClusterHealth::inter_degraded(factor),
-        })
-        .collect()
+    let plain = |cluster: &str, epoch: u64, factor: f64| HealthDelta {
+        cluster: cluster.into(),
+        epoch,
+        workers: Some(8),
+        health: ClusterHealth::inter_degraded(factor),
+        lost: Vec::new(),
+        rejoined: Vec::new(),
+    };
+    // Health-only deltas interleaved with membership churn (losses,
+    // re-joins, and a mixed batch) so the byte-offset sweep also lands
+    // `kill -9` inside a mid-rejoin journal record.
+    vec![
+        plain("c0", 1, 1.5),
+        plain("c1", 1, 2.0),
+        HealthDelta {
+            lost: vec![1, 2],
+            ..plain("c0", 2, 3.0)
+        },
+        HealthDelta {
+            lost: vec![0],
+            ..plain("c1", 2, 2.0)
+        },
+        HealthDelta {
+            rejoined: vec![2],
+            ..plain("c0", 3, 1.5)
+        },
+        HealthDelta {
+            lost: vec![5],
+            rejoined: vec![0],
+            ..plain("c1", 3, 1.0)
+        },
+    ]
 }
 
 /// Drives the scripted workload against an open controller. Every step

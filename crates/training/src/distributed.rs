@@ -262,6 +262,48 @@ impl DistributedTrainer {
         self.workers -= 1;
     }
 
+    /// Inserts a re-joining worker at local index `w` — the inverse of
+    /// [`Self::remove_worker`]: each of the `m` current workers donates a
+    /// `1/(m+1)` share of its untransmitted error-feedback residual (via
+    /// `ErrorFeedback::split_scaled`), and the donated shares seed the
+    /// re-joining worker's fresh EF row. Total gradient mass still owed
+    /// to the model is preserved through the membership change, exactly
+    /// as it was on the way down; the new worker starts with the mean of
+    /// what the survivors were carrying rather than an empty residual
+    /// that would skew the per-worker average.
+    ///
+    /// Shares are computed from a pre-donation snapshot, so the result is
+    /// a pure function of the EF grid — a deterministic requirement of
+    /// the bitwise crash-resume guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w > workers` (the new rank may be appended but not
+    /// placed past the end).
+    pub fn insert_worker(&mut self, w: usize) {
+        assert!(w <= self.workers, "insert index {w} out of range");
+        if !self.ef.is_empty() {
+            let share = 1.0 / (self.workers + 1) as f32;
+            let snapshot = self.ef.clone();
+            let tensors = snapshot[0].len();
+            let mut row: Vec<ErrorFeedback> = (0..tensors)
+                .map(|t| ErrorFeedback::new(snapshot[0][t].residual().len()))
+                .collect();
+            for donor in &snapshot {
+                for (acc, donor_t) in row.iter_mut().zip(donor) {
+                    acc.merge_scaled(donor_t, share);
+                }
+            }
+            for (kept, donated) in self.ef.iter_mut().zip(&snapshot) {
+                for (survivor, donated_t) in kept.iter_mut().zip(donated) {
+                    survivor.split_scaled(donated_t, share);
+                }
+            }
+            self.ef.insert(w, row);
+        }
+        self.workers += 1;
+    }
+
     /// Runs one synchronous data-parallel step: every worker computes
     /// gradients on its shard's mini-batch, tensors are synchronized
     /// (compressed or FP32), and the averaged update is applied to
@@ -528,6 +570,73 @@ mod tests {
             "expected visible residuals, got {rel:?}"
         );
         assert!(rel.iter().all(|&r| r.is_finite()));
+    }
+
+    #[test]
+    fn insert_worker_preserves_residual_mass() {
+        let (data, _) = Dataset::blobs(400, 6, 3, 0.3, 5).split(0.25);
+        let mut model = Mlp::new(6, 12, 3, 7);
+        let mut trainer = DistributedTrainer::new(
+            4,
+            8,
+            0.2,
+            SyncMode::Compressed(GcAlgorithm::Dgc { density: 0.01 }),
+        );
+        trainer.begin(&model);
+        let shards = data.shards(4);
+        for step in 0..4 {
+            trainer.step(&mut model, &shards, step, None);
+        }
+        let mass = |ef: &[Vec<ErrorFeedback>], t: usize| -> Vec<f64> {
+            let len = ef[0][t].residual().len();
+            (0..len)
+                .map(|i| ef.iter().map(|w| f64::from(w[t].residual()[i])).sum())
+                .collect()
+        };
+        let tensors = trainer.ef_states()[0].len();
+        let before: Vec<Vec<f64>> = (0..tensors).map(|t| mass(trainer.ef_states(), t)).collect();
+
+        // Shrink then grow: the round trip must conserve (to f32 rounding)
+        // the summed residual per coordinate at every stage.
+        trainer.remove_worker(2);
+        assert_eq!(trainer.workers(), 3);
+        trainer.insert_worker(2);
+        assert_eq!(trainer.workers(), 4);
+        assert_eq!(trainer.ef_states().len(), 4);
+        for (t, want) in before.iter().enumerate() {
+            let got = mass(trainer.ef_states(), t);
+            for (g, w) in got.iter().zip(want) {
+                assert!(
+                    (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                    "tensor {t}: residual mass drifted {g} vs {w}"
+                );
+            }
+        }
+        // And the grown trainer can step again on a matching shard count.
+        let shards = data.shards(4);
+        trainer.step(&mut model, &shards, 4, None);
+    }
+
+    #[test]
+    fn insert_worker_is_deterministic() {
+        let (data, _) = Dataset::blobs(400, 6, 3, 0.3, 5).split(0.25);
+        let run = || {
+            let mut model = Mlp::new(6, 12, 3, 7);
+            let mut trainer = DistributedTrainer::new(3, 8, 0.2, SyncMode::Compressed(GcAlgorithm::EfSignSgd));
+            trainer.begin(&model);
+            let shards = data.shards(3);
+            for step in 0..3 {
+                trainer.step(&mut model, &shards, step, None);
+            }
+            trainer.insert_worker(1);
+            trainer
+                .ef_states()
+                .iter()
+                .flatten()
+                .flat_map(|ef| ef.residual().iter().map(|r| r.to_bits()))
+                .collect::<Vec<u32>>()
+        };
+        assert_eq!(run(), run(), "EF split must be bit-reproducible");
     }
 
     #[test]

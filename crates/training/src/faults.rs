@@ -34,6 +34,17 @@ pub struct SlowWindow {
     pub factor: f64,
 }
 
+/// Worker `worker` re-joins the job before executing step `step` — a
+/// preempted spot instance coming back. Only a previously crashed worker
+/// can re-join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejoin {
+    /// Step at which the re-join is observed.
+    pub step: usize,
+    /// Global rank of the re-joining worker.
+    pub worker: usize,
+}
+
 /// Worker `worker`'s gradient push is lost at step `step` (the worker
 /// itself survives; its error feedback still advances).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,8 +93,11 @@ impl std::error::Error for TrainFaultError {}
 pub struct TrainFaultPlan {
     /// Seed the plan was drawn from (0 for hand-written plans).
     pub seed: u64,
-    /// Permanent worker crashes.
+    /// Worker crashes (permanent unless a later [`Rejoin`] names the
+    /// same rank).
     pub crashes: Vec<Crash>,
+    /// Worker re-joins (each must follow a crash of the same rank).
+    pub rejoins: Vec<Rejoin>,
     /// Transient slow windows.
     pub slowdowns: Vec<SlowWindow>,
     /// Dropped gradient pushes.
@@ -101,6 +115,7 @@ impl TrainFaultPlan {
     /// Whether this plan injects nothing.
     pub fn is_nominal(&self) -> bool {
         self.crashes.is_empty()
+            && self.rejoins.is_empty()
             && self.slowdowns.is_empty()
             && self.drops.is_empty()
             && self.inter_degrades.is_empty()
@@ -152,6 +167,62 @@ impl TrainFaultPlan {
         plan
     }
 
+    /// Draws a **churn plan**: interleaved preemptions and re-joins, the
+    /// spot-fleet scenario where membership moves in both directions. A
+    /// pure function of `(seed, workers, steps)`, like
+    /// [`TrainFaultPlan::from_seed`]; unlike it, crashes here are not
+    /// permanent — a lost rank may come back, and a returned rank may be
+    /// preempted again. The generated plan always validates: every
+    /// re-join follows a crash of the same rank, and a quorum of one
+    /// survivor is preserved at every point. A slow window and a fabric
+    /// degradation are sprinkled in with the same odds as `from_seed`, so
+    /// churn composes with the monitor/fallback machinery.
+    pub fn churn(seed: u64, workers: usize, steps: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = Self {
+            seed,
+            ..Self::default()
+        };
+        let mut lost: Vec<usize> = Vec::new();
+        let stride = (steps / 8).max(2);
+        let mut step = 0usize;
+        loop {
+            step += 1 + rng.random_range(0..stride);
+            if step >= steps {
+                break;
+            }
+            let can_lose = workers - lost.len() > 1;
+            let can_rejoin = !lost.is_empty();
+            if can_rejoin && (!can_lose || rng.random::<f64>() < 0.5) {
+                let w = lost.remove(rng.random_range(0..lost.len()));
+                plan.rejoins.push(Rejoin { step, worker: w });
+            } else if can_lose {
+                let alive: Vec<usize> =
+                    (0..workers).filter(|w| !lost.contains(w)).collect();
+                let w = alive[rng.random_range(0..alive.len())];
+                lost.push(w);
+                plan.crashes.push(Crash { step, worker: w });
+            }
+        }
+        let step_range = steps.max(2);
+        if rng.random::<f64>() < 0.5 {
+            let from = rng.random_range(0..step_range);
+            let len = rng.random_range(1..(steps / 4).max(2));
+            plan.slowdowns.push(SlowWindow {
+                from,
+                until: (from + len).min(steps),
+                factor: 1.2 + 1.8 * rng.random::<f64>(),
+            });
+        }
+        if rng.random::<f64>() < 0.3 {
+            plan.inter_degrades.push(InterDegrade {
+                step: rng.random_range(0..step_range),
+                factor: 1.5 + 2.5 * rng.random::<f64>(),
+            });
+        }
+        plan
+    }
+
     /// Parses a `--faults` specification.
     ///
     /// Two forms:
@@ -159,10 +230,11 @@ impl TrainFaultPlan {
     /// * a bare integer — a seed for [`TrainFaultPlan::from_seed`]
     ///   (`workers`/`steps` come from the run configuration);
     /// * comma-separated events, repeatable:
-    ///   `crash=<step>:<worker>`, `drop=<step>:<worker>`,
-    ///   `slow=<from>-<until>:<factor>`, `degrade=<step>:<factor>`.
+    ///   `crash=<step>:<worker>`, `rejoin=<step>:<worker>`,
+    ///   `drop=<step>:<worker>`, `slow=<from>-<until>:<factor>`,
+    ///   `degrade=<step>:<factor>`.
     ///
-    /// Example: `crash=20:1,slow=30-60:2.5,degrade=20:2.0`.
+    /// Example: `crash=20:1,rejoin=45:1,slow=30-60:2.5,degrade=20:2.0`.
     ///
     /// Worker indices and factors are validated; step numbers are not
     /// bounded by `steps` — an event past the end of the run simply never
@@ -184,7 +256,7 @@ impl TrainFaultPlan {
         for pair in spec.split(',') {
             let (key, value) = pair.split_once('=').ok_or_else(|| {
                 TrainFaultError::new(format!(
-                    "expected key=value, got `{pair}` (keys: crash, drop, slow, degrade)"
+                    "expected key=value, got `{pair}` (keys: crash, rejoin, drop, slow, degrade)"
                 ))
             })?;
             let (key, value) = (key.trim(), value.trim());
@@ -205,6 +277,13 @@ impl TrainFaultPlan {
                 "crash" => {
                     let (step, worker) = two(':')?;
                     plan.crashes.push(Crash {
+                        step: step_of(step)?,
+                        worker: step_of(worker)?,
+                    });
+                }
+                "rejoin" => {
+                    let (step, worker) = two(':')?;
+                    plan.rejoins.push(Rejoin {
                         step: step_of(step)?,
                         worker: step_of(worker)?,
                     });
@@ -238,7 +317,7 @@ impl TrainFaultPlan {
                 }
                 other => {
                     return Err(TrainFaultError::new(format!(
-                        "unknown fault key `{other}` (keys: crash, drop, slow, degrade)"
+                        "unknown fault key `{other}` (keys: crash, rejoin, drop, slow, degrade)"
                     )));
                 }
             }
@@ -261,11 +340,56 @@ impl TrainFaultPlan {
                 )));
             }
         }
-        if self.crashes.len() >= workers {
-            return Err(TrainFaultError::new(format!(
-                "{} crashes would leave no survivor of {workers} ranks",
-                self.crashes.len()
-            )));
+        for (i, r) in self.rejoins.iter().enumerate() {
+            if r.worker >= workers {
+                return Err(TrainFaultError::new(format!(
+                    "rejoins[{i}]: worker {} out of range for {workers} ranks",
+                    r.worker
+                )));
+            }
+        }
+        if self.rejoins.is_empty() {
+            if self.crashes.len() >= workers {
+                return Err(TrainFaultError::new(format!(
+                    "{} crashes would leave no survivor of {workers} ranks",
+                    self.crashes.len()
+                )));
+            }
+        } else {
+            // With re-joins the crash count alone says nothing; walk the
+            // membership through the merged event sequence instead.
+            // Crashes apply before re-joins at the same step, mirroring
+            // the runtime's processing order.
+            let mut events: Vec<(usize, bool, usize)> = self
+                .crashes
+                .iter()
+                .map(|c| (c.step, false, c.worker))
+                .chain(self.rejoins.iter().map(|r| (r.step, true, r.worker)))
+                .collect();
+            events.sort_by_key(|&(step, is_rejoin, _)| (step, is_rejoin));
+            let mut lost: Vec<usize> = Vec::new();
+            for (step, is_rejoin, worker) in events {
+                if is_rejoin {
+                    let Some(at) = lost.iter().position(|&w| w == worker) else {
+                        return Err(TrainFaultError::new(format!(
+                            "rejoin of worker {worker} at step {step}: the rank is not lost there"
+                        )));
+                    };
+                    lost.remove(at);
+                } else {
+                    if lost.contains(&worker) {
+                        return Err(TrainFaultError::new(format!(
+                            "crash of worker {worker} at step {step}: the rank is already lost there"
+                        )));
+                    }
+                    if workers - lost.len() == 1 {
+                        return Err(TrainFaultError::new(format!(
+                            "crash of worker {worker} at step {step} would leave no survivor"
+                        )));
+                    }
+                    lost.push(worker);
+                }
+            }
         }
         for (i, d) in self.drops.iter().enumerate() {
             if d.worker >= workers {
@@ -306,6 +430,15 @@ impl TrainFaultPlan {
             .iter()
             .filter(|c| c.step == step)
             .map(|c| c.worker)
+            .collect()
+    }
+
+    /// Workers that re-join at exactly `step`, in plan order.
+    pub fn rejoins_at(&self, step: usize) -> Vec<usize> {
+        self.rejoins
+            .iter()
+            .filter(|r| r.step == step)
+            .map(|r| r.worker)
             .collect()
     }
 
@@ -406,6 +539,49 @@ mod tests {
         };
         assert!(plan.validate(2).is_err());
         assert!(plan.validate(3).is_ok());
+    }
+
+    #[test]
+    fn rejoin_specs_parse_and_validate_against_the_membership_walk() {
+        let plan =
+            TrainFaultPlan::parse("crash=20:1,rejoin=45:1,crash=60:1", 4, 100).unwrap();
+        assert_eq!(plan.rejoins, vec![Rejoin { step: 45, worker: 1 }]);
+        assert_eq!(plan.rejoins_at(45), vec![1]);
+        assert!(plan.rejoins_at(44).is_empty());
+
+        for bad in [
+            "rejoin=10:1",                       // never crashed
+            "crash=10:1,rejoin=5:1",             // rejoin precedes the crash
+            "crash=10:1,rejoin=20:1,rejoin=30:1", // double rejoin
+            "crash=10:1,rejoin=20:9",            // out of range
+            "crash=10:0,crash=10:1,crash=10:2,crash=10:3,rejoin=20:0", // no survivor
+        ] {
+            assert!(TrainFaultPlan::parse(bad, 4, 100).is_err(), "{bad}");
+        }
+        // With rejoins, more crashes than ranks is fine when interleaved.
+        let churny = TrainFaultPlan::parse(
+            "crash=10:1,rejoin=20:1,crash=30:1,rejoin=40:1,crash=50:1",
+            2,
+            100,
+        )
+        .unwrap();
+        assert_eq!(churny.crashes.len(), 3);
+    }
+
+    #[test]
+    fn churn_plans_are_pure_and_always_valid() {
+        let a = TrainFaultPlan::churn(11, 4, 120);
+        let b = TrainFaultPlan::churn(11, 4, 120);
+        assert_eq!(a, b);
+        let mut saw_rejoin = false;
+        for seed in 0..64u64 {
+            let plan = TrainFaultPlan::churn(seed, 4, 120);
+            plan.validate(4).unwrap_or_else(|e| {
+                panic!("churn seed {seed} generated an invalid plan: {e}")
+            });
+            saw_rejoin |= !plan.rejoins.is_empty();
+        }
+        assert!(saw_rejoin, "64 churn seeds produced zero re-joins");
     }
 
     #[test]

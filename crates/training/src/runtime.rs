@@ -15,6 +15,15 @@
 //!   error-feedback residual is folded into the survivors (see
 //!   `DistributedTrainer::remove_worker`), the data is re-sharded, and
 //!   the strategy is re-planned against the shrunken cluster.
+//! * **Worker re-join** — the rank is re-admitted to the [`Membership`],
+//!   each survivor donates an equal share of its error-feedback residual
+//!   to seed the returning rank (see `DistributedTrainer::insert_worker`,
+//!   the exact inverse of the merge), the data is re-sharded, and the
+//!   strategy is re-planned against the re-grown cluster. A re-join while
+//!   the FP32 fallback is active clears the fallback immediately — the
+//!   capacity increase invalidates the baseline the monitor tripped
+//!   against, so waiting out `recovery_patience` would be hysteresis
+//!   against a stale regime.
 //! * **Fabric degradation** — the recorded `ClusterHealth` changes and
 //!   triggers the same re-plan, now through the `RobustSelector`.
 //! * **Sustained slowness** — a `Redecide` verdict re-plans once per
@@ -55,6 +64,13 @@ pub enum RuntimeEvent {
         /// Step at which the crash was observed.
         step: usize,
         /// Global rank of the lost worker.
+        worker: usize,
+    },
+    /// Worker `worker` (global rank) re-joined and was re-admitted.
+    WorkerRejoined {
+        /// Step at which the re-join was observed.
+        step: usize,
+        /// Global rank of the re-joining worker.
         worker: usize,
     },
     /// The observed fabric health changed.
@@ -491,6 +507,26 @@ impl TrainingRuntime {
                 events.push(RuntimeEvent::WorkerLost { step, worker });
                 conditions_changed = true;
             }
+            // Worker re-joins observed at this step (after crashes: a
+            // rank crashing and re-joining at the same step nets lost,
+            // mirroring `TrainFaultPlan::validate`'s membership walk).
+            let mut capacity_grew = false;
+            for worker in cfg.faults.rejoins_at(step) {
+                if membership.is_alive(worker) {
+                    continue;
+                }
+                membership.rejoin_worker(worker)?;
+                let local = membership
+                    .alive()
+                    .iter()
+                    .position(|&a| a == worker)
+                    .expect("re-joined rank has a local index");
+                trainer.insert_worker(local);
+                shards = data.shards(trainer.workers());
+                events.push(RuntimeEvent::WorkerRejoined { step, worker });
+                conditions_changed = true;
+                capacity_grew = true;
+            }
             // Fabric health observed at this step.
             let health = cfg.faults.health_at(step);
             if health != *membership.health() {
@@ -499,7 +535,23 @@ impl TrainingRuntime {
                 conditions_changed = true;
             }
             if conditions_changed {
-                if fallback_active {
+                if fallback_active && capacity_grew {
+                    // A re-join grew the cluster the fallback baseline was
+                    // measured on; the trip no longer describes current
+                    // conditions, so recover now instead of waiting out
+                    // `recovery_patience` against a stale regime.
+                    fallback_active = false;
+                    trainer.set_mode(cfg.mode);
+                    let job = plan_job(&membership, controller.as_ref())?;
+                    let r = replan_with_context(&mut replan_ctx, &job, membership.health(), &current)?;
+                    events.push(RuntimeEvent::FallbackRecovered { step });
+                    if r.changed {
+                        current = r.strategy;
+                        replans += 1;
+                    }
+                    predicted = sim_time(&membership, &current, controller.as_ref())?;
+                    monitor.rebase(predicted);
+                } else if fallback_active {
                     // Stay in fallback, but track it under the new
                     // conditions so recovery hysteresis stays meaningful.
                     current = DegradationMonitor::fallback_strategy(&cfg.job);
@@ -874,6 +926,73 @@ mod tests {
             .iter()
             .any(|e| matches!(e, RuntimeEvent::Replanned { step: 5, .. })));
         assert_eq!(report.final_state.membership.alive_count(), 3);
+    }
+
+    #[test]
+    fn worker_rejoin_replans_and_restores_capacity() {
+        let (data, eval) = small_data();
+        let mut cfg = small_config();
+        cfg.faults = TrainFaultPlan::parse("crash=5:1,rejoin=15:1", cfg.workers, cfg.steps).unwrap();
+        let report = TrainingRuntime::new(cfg).run(&data, &eval).unwrap();
+        assert!(report.completed);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::WorkerRejoined { step: 15, worker: 1 })));
+        // The re-join routes through the online re-planning path.
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::Replanned { step: 15, .. })));
+        assert_eq!(report.final_state.membership.alive_count(), 4);
+        assert!(report.final_state.membership.lost().is_empty());
+    }
+
+    #[test]
+    fn rejoin_and_churn_runs_are_bit_reproducible() {
+        let (data, eval) = small_data();
+        let spec = "crash=5:1,rejoin=12:1,crash=20:0,rejoin=28:0";
+        let make = || {
+            let mut cfg = small_config();
+            cfg.faults = TrainFaultPlan::parse(spec, cfg.workers, cfg.steps).unwrap();
+            cfg
+        };
+        let a = TrainingRuntime::new(make()).run(&data, &eval).unwrap();
+        let b = TrainingRuntime::new(make()).run(&data, &eval).unwrap();
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+    }
+
+    #[test]
+    fn rejoin_clears_an_active_fallback_immediately() {
+        let (data, eval) = small_data();
+        let mut cfg = small_config();
+        cfg.steps = 60;
+        cfg.eval_every = 30;
+        cfg.recovery_patience = 50; // Patience alone could never recover in time.
+        cfg.faults =
+            TrainFaultPlan::parse("crash=3:2,slow=8-55:4.0,rejoin=30:2", cfg.workers, cfg.steps)
+                .unwrap();
+        let report = TrainingRuntime::new(cfg).run(&data, &eval).unwrap();
+        assert!(report.completed);
+        let engaged = report
+            .events
+            .iter()
+            .find_map(|e| match e {
+                RuntimeEvent::FallbackEngaged { step } => Some(*step),
+                _ => None,
+            })
+            .expect("fallback engages during the slow window");
+        assert!(engaged < 30, "engaged at {engaged}");
+        // The capacity increase clears the trip at the re-join step itself,
+        // not `recovery_patience` healthy steps later.
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| matches!(e, RuntimeEvent::FallbackRecovered { step: 30 })),
+            "events: {:?}",
+            report.events
+        );
     }
 
     #[test]

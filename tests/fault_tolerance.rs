@@ -265,6 +265,143 @@ fn seeded_fault_plans_are_reproducible() {
     assert!(differs, "16 consecutive seeds all produced the same plan");
 }
 
+/// The churn-gate guarantee at the training layer: a plan interleaving
+/// preemptions and re-joins (with a slow window and a degradation mixed
+/// in) crashed and resumed at *any* checkpoint boundary is bit-identical
+/// to the uninterrupted run — including the EF split/merge round trips a
+/// re-join performs on every surviving worker's residual.
+#[test]
+fn churn_plan_resume_is_bitwise_identical_at_every_boundary() {
+    let (train, eval) = data();
+    let spec = "crash=10:1,rejoin=22:1,crash=30:3,degrade=35:2.0,\
+                crash=40:0,rejoin=55:3,slow=60-75:3.0,rejoin=70:0";
+    let with_faults = || {
+        let mut cfg = config();
+        cfg.faults = TrainFaultPlan::parse(spec, cfg.workers, cfg.steps).unwrap();
+        cfg
+    };
+
+    let uninterrupted = TrainingRuntime::new(with_faults()).run(&train, &eval).unwrap();
+    assert!(uninterrupted.completed);
+    let rejoins = uninterrupted
+        .events
+        .iter()
+        .filter(|e| matches!(e, RuntimeEvent::WorkerRejoined { .. }))
+        .count();
+    assert_eq!(rejoins, 3, "events: {:?}", uninterrupted.events);
+    assert!(uninterrupted.final_state.membership.lost().is_empty());
+
+    for halt_at in [25, 45, 65] {
+        let dir = scratch(&format!("churn-{halt_at}"));
+        let mut first = with_faults();
+        first.checkpoint_every = Some(10);
+        first.halt_at = Some(halt_at);
+        let halted = TrainingRuntime::new(first)
+            .with_store(CheckpointStore::new(&dir).unwrap())
+            .run(&train, &eval)
+            .unwrap();
+        assert!(!halted.completed);
+
+        let mut second = with_faults();
+        second.resume = true;
+        let resumed = TrainingRuntime::new(second)
+            .with_store(CheckpointStore::new(&dir).unwrap())
+            .run(&train, &eval)
+            .unwrap();
+        assert!(resumed.completed);
+        assert_eq!(
+            resumed.weights_fingerprint(),
+            uninterrupted.weights_fingerprint(),
+            "weights diverged across a crash at step {halt_at}"
+        );
+        assert_eq!(
+            resumed.state_fingerprint(),
+            uninterrupted.state_fingerprint(),
+            "state diverged across a crash at step {halt_at}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// A re-join re-expands the shards, routes through the online (warm)
+/// re-planning path, and restores full capacity under the same
+/// degradation that shaped the shrunken plan.
+#[test]
+fn rejoin_under_degradation_replans_online() {
+    let (train, eval) = data();
+    let mut cfg = config();
+    cfg.faults =
+        TrainFaultPlan::parse("crash=20:2,degrade=20:3.0,rejoin=50:2", cfg.workers, cfg.steps)
+            .unwrap();
+    let report = TrainingRuntime::new(cfg).run(&train, &eval).unwrap();
+    assert!(report.completed);
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::WorkerRejoined { step: 50, worker: 2 })),
+        "events: {:?}",
+        report.events
+    );
+    let replanned = report
+        .events
+        .iter()
+        .find_map(|e| match e {
+            RuntimeEvent::Replanned { step: 50, changed, .. } => Some(*changed),
+            _ => None,
+        })
+        .expect("a re-join must route through the re-planning path");
+    assert!(
+        replanned,
+        "re-planning a degraded 3-worker cluster back to 4 workers must change the strategy"
+    );
+    assert_eq!(report.final_state.membership.alive_count(), 4);
+    assert!(
+        report.final_accuracy() > 0.9,
+        "accuracy {}",
+        report.final_accuracy()
+    );
+}
+
+/// Generated churn plans (the `--churn-faults` surface) hold the same
+/// bitwise crash+resume guarantee as hand-written specs.
+#[test]
+fn generated_churn_plan_resumes_bitwise() {
+    let (train, eval) = data();
+    let cfg = config();
+    // First seed whose generated plan actually exercises a re-join.
+    let seed = (0..64u64)
+        .find(|&s| !TrainFaultPlan::churn(s, cfg.workers, cfg.steps).rejoins.is_empty())
+        .expect("some seed in 0..64 generates a re-join");
+    let with_faults = || {
+        let mut cfg = config();
+        cfg.faults = TrainFaultPlan::churn(seed, cfg.workers, cfg.steps);
+        cfg
+    };
+    let uninterrupted = TrainingRuntime::new(with_faults()).run(&train, &eval).unwrap();
+    let dir = scratch("churn-seeded");
+    let mut first = with_faults();
+    first.checkpoint_every = Some(20);
+    first.halt_at = Some(50);
+    TrainingRuntime::new(first)
+        .with_store(CheckpointStore::new(&dir).unwrap())
+        .run(&train, &eval)
+        .unwrap();
+    let mut second = with_faults();
+    second.resume = true;
+    let resumed = TrainingRuntime::new(second)
+        .with_store(CheckpointStore::new(&dir).unwrap())
+        .run(&train, &eval)
+        .unwrap();
+    assert!(resumed.completed);
+    assert_eq!(
+        resumed.state_fingerprint(),
+        uninterrupted.state_fingerprint(),
+        "generated churn plan (seed {seed}) diverged across crash + resume"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Warm-started re-plans must be byte-identical to cold plans. The
 /// runtime keeps a `ReplanContext` keyed by `(job, health)`; when fleet
 /// health flaps back to a state it has already planned for, the stored

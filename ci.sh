@@ -69,6 +69,19 @@ decide_gate() {
 }
 step "decide" decide_gate
 
+# Multi-core planner path: the kill -9 fleet gate and the decide
+# differential sweep (including its warm-vs-cold cross-request cases)
+# again with ESPRESSO_PLANNER_THREADS=4, so the pool-parallel candidate
+# evaluation inside the fleet replan workers is exercised on every run —
+# byte-identity must hold at any thread count. The batched-replanning
+# throughput gate itself (≥3x shared-spec, ≤5% unique-spec regression)
+# runs inside the "fleet bench" step above.
+planner_threads_gate() {
+    ESPRESSO_PLANNER_THREADS=4 ./target/release/espresso-loadgen --fleet-gate
+    ESPRESSO_PLANNER_THREADS=4 ./target/release/espresso-audit decide
+}
+step "planner threads (4)" planner_threads_gate
+
 # Crash/recovery gate: train with a checkpoint cadence, halt mid-run (a
 # simulated process crash), resume from the checkpoint, and require the
 # resumed run's weight and state fingerprints to equal an uninterrupted

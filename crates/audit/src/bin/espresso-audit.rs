@@ -200,6 +200,16 @@ fn decide_step(args: &Args) -> bool {
     for repro in &report.failures {
         println!("   divergence reproduction:\n{}", repro.render());
     }
+    println!(
+        "   warm-start sweep: {} base requests, {} cache hits / {} misses, {} warm-vs-cold divergences",
+        report.warm.cases,
+        report.warm.hits,
+        report.warm.misses,
+        report.warm.mismatches.len(),
+    );
+    for mismatch in &report.warm.mismatches {
+        println!("   warm divergence: {mismatch}");
+    }
     timer.finish(report.ok())
 }
 

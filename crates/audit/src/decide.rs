@@ -21,9 +21,21 @@
 //! oracle sweep's minimized repros. The fast timeline is additionally
 //! run through the timeline invariant auditor: a fast path that agreed
 //! with a *wrong* reference would still be caught by physics.
+//!
+//! The sweep's second half ([`warm_sweep`]) holds the serving layer's
+//! cross-request warm-start cache to the same bar: every
+//! [`decide_with_warm`] answer — populating pass, replaying pass, and
+//! the health-shifted sibling whose robust selection reuses another
+//! request's nominal entry — must be byte-identical to a cold
+//! [`decide`] of the same request.
 
+use espresso::config::{GcConfig, ModelConfig, SystemConfig};
 use espresso::robust::{RobustSelection, RobustSelector};
+use espresso::service::{decide, decide_with_warm, DecisionRequest};
+use espresso::warm::WarmStartCache;
 use espresso::{Espresso, EvalPool, PlannerMode, Report};
+use espresso_cluster::{ClusterHealth, IntraFabric};
+use espresso_gc::GcAlgorithm;
 use espresso_json::{Json, ToJson};
 use espresso_sim::{SimConfig, SimResult, Simulator};
 
@@ -37,6 +49,9 @@ pub struct DecideConfig {
     /// Also diff the [`RobustSelector`] ensemble on degraded and faulted
     /// cases (slower: each robust selection runs several plans).
     pub robust: bool,
+    /// Base requests for the warm-start cross-request sweep
+    /// ([`warm_sweep`]); each expands into several request variants.
+    pub warm_cases: usize,
 }
 
 impl Default for DecideConfig {
@@ -44,6 +59,7 @@ impl Default for DecideConfig {
         Self {
             jobs: 200,
             robust: true,
+            warm_cases: 8,
         }
     }
 }
@@ -69,6 +85,27 @@ impl CaseResult {
     }
 }
 
+/// Outcome of the warm-start cross-request sweep ([`warm_sweep`]).
+#[derive(Debug)]
+pub struct WarmReport {
+    /// Base requests swept (each expands into several variants).
+    pub cases: usize,
+    /// Cache hits observed across the sweep — must be nonzero, or the
+    /// "cross-request reuse" claim was never actually exercised.
+    pub hits: u64,
+    /// Cache misses observed across the sweep.
+    pub misses: u64,
+    /// Human-readable descriptions of every warm-vs-cold divergence.
+    pub mismatches: Vec<String>,
+}
+
+impl WarmReport {
+    /// Did every warm decision match its cold decision byte for byte?
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
 /// Sweep outcome: per-case results plus JSON reproductions for
 /// divergences.
 #[derive(Debug)]
@@ -77,12 +114,15 @@ pub struct DecideReport {
     pub results: Vec<CaseResult>,
     /// One reproduction document per diverging case.
     pub failures: Vec<Json>,
+    /// The warm-start cross-request sweep's outcome.
+    pub warm: WarmReport,
 }
 
 impl DecideReport {
-    /// True when no case diverged.
+    /// True when no planner-path case diverged and no warm decision
+    /// differed from its cold twin.
     pub fn ok(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.warm.ok()
     }
 
     /// Case counts by flavor: `(nominal, degraded, faulted, ratio-bearing)`.
@@ -334,7 +374,110 @@ fn diff_robust_paths(selector: &RobustSelector, pool: &EvalPool, out: &mut Vec<S
     }
 }
 
-/// Runs the full sweep over seeds `0..config.jobs`.
+/// The `seed`-th base request of the warm-start sweep.
+///
+/// The planner-path corpus ([`decide_corpus`]) synthesizes explicit
+/// [`crate::jobs`] profiles, which the service layer cannot express —
+/// [`DecisionRequest`] names zoo models. So the warm sweep has its own
+/// corpus in the service layer's vocabulary: named models crossed with
+/// the paper's algorithm suite, both fabrics, varied scale, and the
+/// robust/fault triggers that route through every [`WarmStartCache`]
+/// entry kind.
+pub fn warm_corpus(seed: u64) -> DecisionRequest {
+    // Cheapest-first (10-tensor LSTM up to 314-tensor ResNet101), so a
+    // short prefix sweep is affordable even in a debug build while the
+    // full corpus still covers every zoo model.
+    const NAMES: [&str; 6] = ["LSTM", "VGG16", "GPT2", "UGATIT", "BERT-base", "ResNet101"];
+    let suite = GcAlgorithm::paper_suite();
+    let i = seed as usize;
+    let model = ModelConfig::Named {
+        model: NAMES[i % NAMES.len()].to_string(),
+    };
+    let gc = GcConfig::uniform(suite[(i / NAMES.len()) % suite.len()]);
+    let system = SystemConfig {
+        machines: 1 + i % 2,
+        gpus_per_machine: 4,
+        intra: if seed.is_multiple_of(2) {
+            IntraFabric::NvLink
+        } else {
+            IntraFabric::Pcie
+        },
+        inter_gbps: [25.0, 50.0, 100.0][i % 3],
+    };
+    let mut req = DecisionRequest::new(model, gc, system);
+    // Force the robust ensemble on some nominal requests and a fault
+    // plan on others — the Robust entry kind has its own key space.
+    req.robust = seed.is_multiple_of(3);
+    if seed % 4 == 1 {
+        req.faults = Some(format!("seed={seed}"));
+    }
+    req
+}
+
+/// The warm-start cross-request differential sweep.
+///
+/// For every base request and its health-shifted sibling, the cold
+/// [`decide`] answer is the oracle; [`decide_with_warm`] must reproduce
+/// it byte for byte both on the populating pass (cache cold for that
+/// key) and the replaying pass (cache hot). One cache is shared across
+/// the whole sweep — the claim under test is *cross-request* reuse:
+/// the sibling's robust selection must start from the nominal entry its
+/// base request populated, which is exactly the reuse the fleet's
+/// batched re-planning leans on when a health delta sweeps a spec group.
+pub fn warm_sweep(cases: usize) -> WarmReport {
+    // `with_enabled` pins the cache on, so `ESPRESSO_WARM_STARTS=0` in
+    // the environment cannot quietly turn this audit into a no-op.
+    let warm = WarmStartCache::with_enabled(256, 4, true);
+    let mut mismatches = Vec::new();
+    for seed in 0..cases as u64 {
+        let base = warm_corpus(seed);
+        // Same spec, shifted health: the request pair a fleet health
+        // delta produces, and the one whose robust path reuses the
+        // base's nominal planning.
+        let mut sibling = base.clone();
+        sibling.health = ClusterHealth::inter_degraded(1.5 + (seed % 3) as f64 * 0.5);
+
+        for (label, req) in [("base", &base), ("sibling", &sibling)] {
+            let cold = match decide(req) {
+                Ok(d) => Json::encode(&d.response()),
+                Err(e) => {
+                    mismatches.push(format!("seed {seed} {label}: cold decide failed: {e}"));
+                    continue;
+                }
+            };
+            for pass in ["populate", "replay"] {
+                match decide_with_warm(req, &warm) {
+                    Ok(d) => {
+                        let got = Json::encode(&d.response());
+                        if got != cold {
+                            mismatches.push(format!(
+                                "seed {seed} {label} ({pass}): warm decision != cold decision\n\
+                                 warm: {got}\ncold: {cold}"
+                            ));
+                        }
+                    }
+                    Err(e) => mismatches.push(format!(
+                        "seed {seed} {label} ({pass}): warm decide failed: {e}"
+                    )),
+                }
+            }
+        }
+    }
+    if cases > 0 && warm.hits() == 0 {
+        mismatches.push(
+            "warm sweep never hit the cache — cross-request reuse was not exercised".to_string(),
+        );
+    }
+    WarmReport {
+        cases,
+        hits: warm.hits(),
+        misses: warm.misses(),
+        mismatches,
+    }
+}
+
+/// Runs the full sweep over seeds `0..config.jobs`, then the warm-start
+/// cross-request sweep over `0..config.warm_cases`.
 pub fn run(config: &DecideConfig) -> DecideReport {
     let mut results = Vec::with_capacity(config.jobs);
     let mut failures = Vec::new();
@@ -346,7 +489,12 @@ pub fn run(config: &DecideConfig) -> DecideReport {
         }
         results.push(result);
     }
-    DecideReport { results, failures }
+    let warm = warm_sweep(config.warm_cases);
+    DecideReport {
+        results,
+        failures,
+        warm,
+    }
 }
 
 /// Renders a diverging case as a self-contained JSON reproduction.
@@ -413,6 +561,7 @@ mod tests {
         let report = run(&DecideConfig {
             jobs: 16,
             robust: false,
+            warm_cases: 0,
         });
         assert_eq!(report.results.len(), 16);
         let (nominal, degraded, faulted, ratio) = report.coverage();
@@ -437,9 +586,43 @@ mod tests {
             &DecideConfig {
                 jobs: 1,
                 robust: true,
+                warm_cases: 0,
             },
         );
         assert!(result.ok(), "robust diverged: {:#?}", result.mismatches);
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_and_reuses_entries() {
+        // One base — seed 0 is the 10-tensor LSTM (the corpus is
+        // ordered cheapest-first exactly so this stays affordable in a
+        // debug build): a robust nominal base plus its degraded
+        // sibling, each decided cold, populating, and replaying. The
+        // full multi-model corpus runs in release via `espresso-audit
+        // decide` in ci.sh.
+        let report = warm_sweep(1);
+        assert!(report.ok(), "warm diverged: {:#?}", report.mismatches);
+        assert_eq!(report.cases, 1);
+        // The replay pass alone guarantees one hit per variant.
+        assert!(
+            report.hits >= 2,
+            "hits: {} (misses: {})",
+            report.hits,
+            report.misses
+        );
+    }
+
+    #[test]
+    fn warm_corpus_is_deterministic_and_varied() {
+        for seed in 0..12 {
+            assert_eq!(
+                format!("{:?}", warm_corpus(seed)),
+                format!("{:?}", warm_corpus(seed)),
+            );
+        }
+        assert!((0..12).any(|s| warm_corpus(s).robust));
+        assert!((0..12).any(|s| warm_corpus(s).faults.is_some()));
+        assert!((0..12).any(|s| !warm_corpus(s).robust && warm_corpus(s).faults.is_none()));
     }
 
     #[test]
@@ -450,6 +633,7 @@ mod tests {
         let config = DecideConfig {
             jobs: 1,
             robust: false,
+            warm_cases: 0,
         };
         let honest = check_case(&case, &config);
         assert!(honest.ok());

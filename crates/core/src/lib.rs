@@ -34,6 +34,7 @@ pub mod parallel;
 pub mod robust;
 pub mod service;
 pub mod upper_bound;
+pub mod warm;
 
 pub use baselines::Baseline;
 pub use census::Census;
@@ -43,12 +44,13 @@ pub use espresso::{Espresso, PlannerMode, Report};
 pub use parallel::{BoundedQueue, EvalPool};
 pub use espresso_strategy::Strategy;
 pub use robust::{
-    replan, replan_priority, replan_with_context, DegradationMonitor, NoiseEnvelope, Replan,
-    ReplanContext, RobustSelection,
+    replan, replan_priority, replan_with_context, replan_with_warm, DegradationMonitor,
+    NoiseEnvelope, Replan, ReplanContext, RobustSelection,
     RobustSelector,
 };
-pub use service::{decide, Decision, DecisionRequest, DecisionResponse};
+pub use service::{decide, decide_with_warm, Decision, DecisionRequest, DecisionResponse};
 pub use upper_bound::upper_bound_time;
+pub use warm::WarmStartCache;
 
 /// Convenient re-exports of the crate's primary types.
 pub mod prelude {
@@ -65,7 +67,8 @@ pub mod prelude {
             replan, replan_priority, DegradationMonitor, NoiseEnvelope, Replan, RobustSelection,
             RobustSelector,
         },
-        service::{decide, Decision, DecisionRequest, DecisionResponse},
+        service::{decide, decide_with_warm, Decision, DecisionRequest, DecisionResponse},
         upper_bound::upper_bound_time,
+        warm::WarmStartCache,
     };
 }

@@ -30,6 +30,7 @@ use crate::baselines::{self, Baseline};
 use crate::error::EspressoError;
 use crate::espresso::{Espresso, PlannerMode};
 use crate::parallel::EvalPool;
+use crate::warm::WarmStartCache;
 
 /// How far the empirical model may be off, and how many perturbed
 /// scenarios to draw from that envelope.
@@ -544,36 +545,36 @@ pub fn replan(
 
 /// Warm state carried between online re-plans of the same training run.
 ///
-/// The planner is a pure function of `(job, health)`: every simulated
-/// duration, every candidate enumeration, and every accept/reject in the
-/// decision loops derives from those two values. The context therefore
-/// keys completed decisions by them and replays the stored decision
-/// whenever a re-plan arrives with inputs it has already planned —
-/// byte-identical to a cold plan by construction, at lookup cost. Fleet
-/// health commonly flaps between a small set of states (nominal ↔ one
-/// link degraded), so the table stays tiny; it is bounded anyway,
-/// evicting the oldest entry first.
+/// Historically this held its own `(job, health) → Replan` table; it is
+/// now a thin single-owner wrapper over the shared
+/// [`crate::warm::WarmStartCache`], so the training runtime and the fleet
+/// layer reuse one replay mechanism (and one soundness argument — see the
+/// `warm` module docs). Fleet health commonly flaps between a small set
+/// of states (nominal ↔ one link degraded), so the table stays tiny; it
+/// is bounded anyway, evicting the oldest entry first.
 ///
-/// Only `strategy`/`predicted_time`/`chosen` are replayed; `changed` is
-/// recomputed against the *current* strategy of the caller, which moves
-/// between re-plans.
-#[derive(Debug, Default)]
+/// Only the selection is replayed; `changed` is recomputed against the
+/// *current* strategy of the caller, which moves between re-plans.
+#[derive(Debug)]
 pub struct ReplanContext {
-    /// Completed decisions in insertion order, oldest first.
-    entries: Vec<(String, Replan)>,
+    warm: WarmStartCache,
+}
+
+impl Default for ReplanContext {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ReplanContext {
-    /// Most distinct `(job, health)` decisions retained.
+    /// Most distinct selections retained.
     const CAPACITY: usize = 32;
 
     /// An empty context (first plan will be cold).
     pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn key(job: &Job, health: &ClusterHealth) -> String {
-        format!("{job:?}|{health:?}")
+        Self {
+            warm: WarmStartCache::new(Self::CAPACITY, 1),
+        }
     }
 }
 
@@ -591,18 +592,56 @@ pub fn replan_with_context(
     health: &ClusterHealth,
     current: &Strategy,
 ) -> Result<Replan, EspressoError> {
-    let key = ReplanContext::key(job, health);
-    if let Some((_, warm)) = ctx.entries.iter().find(|(k, _)| *k == key) {
-        let mut r = warm.clone();
-        r.changed = r.strategy != *current;
-        return Ok(r);
-    }
-    let r = replan(job, health, current)?;
-    if ctx.entries.len() >= ReplanContext::CAPACITY {
-        ctx.entries.remove(0);
-    }
-    ctx.entries.push((key, r.clone()));
-    Ok(r)
+    replan_with_warm(&ctx.warm, job, health, current)
+}
+
+/// As [`replan`], seeded by a shared [`WarmStartCache`]: the nominal or
+/// robust selection backing the re-plan is replayed from the cache on a
+/// key match and stored back after a cold plan — byte-identical either
+/// way, the planner being a pure function of the cached key's inputs.
+/// Unlike [`replan_with_context`] the cache is shared: a fleet controller
+/// passes one instance from every planner worker, so repeated and
+/// near-identical re-plans reuse work across jobs and connections.
+///
+/// # Errors
+///
+/// As [`RobustSelector::select`].
+pub fn replan_with_warm(
+    warm: &WarmStartCache,
+    job: &Job,
+    health: &ClusterHealth,
+    current: &Strategy,
+) -> Result<Replan, EspressoError> {
+    let (strategy, predicted_time, chosen) = if health.is_nominal() {
+        let key = WarmStartCache::nominal_key(job);
+        match warm.get_nominal(&key) {
+            Some(sel) => (sel.0.clone(), sel.1.iteration_time, "espresso".to_string()),
+            None => {
+                let sel = Espresso::new(job.clone()).select_strategy();
+                let out = (sel.0.clone(), sel.1.iteration_time, "espresso".to_string());
+                warm.insert_nominal(key, sel);
+                out
+            }
+        }
+    } else {
+        let key = WarmStartCache::robust_key(job, health, None);
+        match warm.get_robust(&key) {
+            Some(sel) => (sel.strategy.clone(), sel.mean_time, sel.chosen.clone()),
+            None => {
+                let sel = RobustSelector::new(job.clone(), *health).select()?;
+                let out = (sel.strategy.clone(), sel.mean_time, sel.chosen.clone());
+                warm.insert_robust(key, sel);
+                out
+            }
+        }
+    };
+    let changed = strategy != *current;
+    Ok(Replan {
+        strategy,
+        predicted_time,
+        chosen,
+        changed,
+    })
 }
 
 /// Default urgency of re-planning `job` after a cluster event, for

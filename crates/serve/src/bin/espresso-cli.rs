@@ -83,7 +83,7 @@ fn usage() -> ! {
          or:    espresso-cli serve [--addr HOST:PORT] [--workers N] \
          [--queue N] [--cache N] [--shards N] [--deadline-ms N] \
          [--fleet-dir DIR] [--fleet-workers N] [--fleet-watermark N] \
-         [--fleet-snapshot-every N]\n\
+         [--fleet-snapshot-every N] [--fleet-no-batch]\n\
          \n\
          or:    espresso-cli train [--machines N] [--gpus K] [--steps N] \
          [--batch N] [--algo NAME] [--density F] [--eval-every N] \
@@ -564,6 +564,11 @@ fn run_serve(args: &[String]) -> Result<(), EspressoError> {
             "--fleet-watermark" => {
                 fleet(&mut fleet_config).queue_watermark =
                     parse_num("--fleet-watermark", value())?.max(1)
+            }
+            "--fleet-no-batch" => {
+                // One planner run per job instead of one per spec group —
+                // the throughput probe's comparison baseline.
+                fleet(&mut fleet_config).batch_replans = false
             }
             "--fleet-snapshot-every" => {
                 fleet(&mut fleet_config).snapshot_every =

@@ -65,8 +65,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use espresso::service::DecisionRequest;
+use espresso_cluster::ClusterHealth;
 use espresso_json::Json;
 use espresso_serve::client::Connection;
+use espresso_serve::fleet::{HealthDelta, JobSpec};
 use espresso_serve::{FleetConfig, FleetController, RetryPolicy, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -547,6 +550,7 @@ fn rejoin_replay_probe(model: &str) -> Result<(), String> {
         queue_watermark: 64,
         snapshot_every: 32,
         plan_cache_entries: 16,
+        batch_replans: true,
         retry: RetryPolicy {
             max_attempts: 1,
             initial_backoff: Duration::from_micros(100),
@@ -924,6 +928,172 @@ fn scratch_dir(label: &str) -> Result<PathBuf, String> {
     Ok(dir)
 }
 
+/// One run of the batched-replanning throughput probe.
+///
+/// Hosts an in-process [`FleetController`] with no worker threads (the
+/// caller's `run_pending` drains the queue, so pop order — and with it
+/// the measured latency — is deterministic), registers `jobs` jobs whose
+/// ids round-robin across `groups` identical-spec groups on one cluster,
+/// plans them, then invalidates the whole fleet with a single epoch-bump
+/// delta and re-plans. The rendered-body plan cache is sized *below* the
+/// group count on purpose: with groups interleaved in pop order it never
+/// hits, so the probe measures planner-run amortization — the thing
+/// batching changes — rather than body-cache hits.
+///
+/// Returns `(delta→decision p50 ms, mean batch size)` as the
+/// controller's own metrics report them.
+fn batch_probe_run(
+    label: &str,
+    jobs: usize,
+    groups: usize,
+    model: &str,
+    batched: bool,
+) -> Result<(f64, f64), String> {
+    let dir = scratch_dir(&format!("fleet-batch-probe-{label}"))?;
+    let fleet = FleetController::open(FleetConfig {
+        dir: dir.clone(),
+        shards: 4,
+        replan_workers: 0,
+        queue_watermark: 4096,
+        snapshot_every: 1_000_000,
+        plan_cache_entries: 2,
+        batch_replans: batched,
+        retry: RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(100),
+            attempt_timeout: Duration::from_millis(10),
+        },
+    })
+    .map_err(|e| format!("batch probe {label}: open fleet: {e}"))?;
+    for i in 0..jobs {
+        let group = i % groups;
+        let request_text = String::from_utf8_lossy(&body(model, 1, 0.01 + group as f64 * 0.002))
+            .into_owned();
+        let request = DecisionRequest::parse(&request_text)
+            .map_err(|e| format!("batch probe {label}: request: {e}"))?;
+        fleet
+            .register(JobSpec {
+                id: format!("probe-{i:05}"),
+                cluster: "c0".into(),
+                priority: 1,
+                notify: None,
+                request,
+            })
+            .map_err(|e| format!("batch probe {label}: register: {e}"))?;
+    }
+    fleet.run_pending();
+    // A pure epoch bump: every decision goes stale while the effective
+    // health stays nominal, so the sweep re-prices each group from
+    // scratch on the plain (non-robust) planning path.
+    fleet
+        .apply_health(&HealthDelta {
+            cluster: "c0".into(),
+            epoch: 1,
+            workers: Some(8),
+            health: ClusterHealth::nominal(),
+            lost: Vec::new(),
+            rejoined: Vec::new(),
+        })
+        .map_err(|e| format!("batch probe {label}: delta: {e}"))?;
+    let planned = fleet.run_pending();
+    if planned != jobs {
+        fleet.shutdown();
+        return Err(format!(
+            "batch probe {label}: the delta re-planned {planned} of {jobs} jobs"
+        ));
+    }
+    let entries = fleet.metric_entries();
+    let metric = |key: &str| {
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    let p50 = metric("fleet_delta_to_decision_p50_ms");
+    let mean_batch = metric("fleet_replan_batch_size_mean");
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((p50, mean_batch))
+}
+
+/// The batched-replanning probe's gated outcome.
+struct BatchProbe {
+    shared_batched_p50: f64,
+    shared_unbatched_p50: f64,
+    shared_speedup: f64,
+    shared_mean_batch: f64,
+    unique_batched_p50: f64,
+    unique_unbatched_p50: f64,
+    unique_ratio: f64,
+}
+
+/// Runs the shared-spec and all-unique-specs probes, batched versus
+/// unbatched, with one retry per comparison (the probe is in-process and
+/// single-threaded, but wall-clock percentiles on a loaded CI box can
+/// still wobble once).
+///
+/// Gates: ≥ `3×` delta→decision p50 when 8 jobs share each spec, and no
+/// more than 5% regression when every spec is unique.
+fn batch_probe(model: &str) -> Result<BatchProbe, String> {
+    const SHARED_JOBS: usize = 96;
+    const SHARED_GROUPS: usize = 12; // 8 jobs per spec group.
+    const UNIQUE_JOBS: usize = 48;
+    let mut shared = None;
+    for attempt in 0..2 {
+        let (batched, mean_batch) =
+            batch_probe_run("shared-on", SHARED_JOBS, SHARED_GROUPS, model, true)?;
+        let (unbatched, _) =
+            batch_probe_run("shared-off", SHARED_JOBS, SHARED_GROUPS, model, false)?;
+        let speedup = unbatched / batched.max(1e-9);
+        shared = Some((batched, unbatched, speedup, mean_batch));
+        if speedup >= 3.0 {
+            break;
+        }
+        if attempt == 0 {
+            println!("fleet: shared-spec batch probe saw only {speedup:.2}x, retrying once");
+        }
+    }
+    let (shared_batched_p50, shared_unbatched_p50, shared_speedup, shared_mean_batch) =
+        shared.expect("two attempts ran");
+    if shared_speedup < 3.0 {
+        return Err(format!(
+            "batch probe: shared-spec speedup {shared_speedup:.2}x < 3x \
+             (batched p50 {shared_batched_p50:.3} ms, unbatched {shared_unbatched_p50:.3} ms)"
+        ));
+    }
+    let mut unique = None;
+    for attempt in 0..2 {
+        let (batched, _) = batch_probe_run("unique-on", UNIQUE_JOBS, UNIQUE_JOBS, model, true)?;
+        let (unbatched, _) =
+            batch_probe_run("unique-off", UNIQUE_JOBS, UNIQUE_JOBS, model, false)?;
+        let ratio = batched / unbatched.max(1e-9);
+        unique = Some((batched, unbatched, ratio));
+        if ratio <= 1.05 {
+            break;
+        }
+        if attempt == 0 {
+            println!("fleet: unique-spec batch probe saw {ratio:.3}x, retrying once");
+        }
+    }
+    let (unique_batched_p50, unique_unbatched_p50, unique_ratio) = unique.expect("two attempts ran");
+    if unique_ratio > 1.05 {
+        return Err(format!(
+            "batch probe: unique-spec regression {unique_ratio:.3}x > 1.05x \
+             (batched p50 {unique_batched_p50:.3} ms, unbatched {unique_unbatched_p50:.3} ms)"
+        ));
+    }
+    Ok(BatchProbe {
+        shared_batched_p50,
+        shared_unbatched_p50,
+        shared_speedup,
+        shared_mean_batch,
+        unique_batched_p50,
+        unique_unbatched_p50,
+        unique_ratio,
+    })
+}
+
 /// `--fleet`: the control-plane bench. Registers the fleet, streams the
 /// first half of the deltas Poisson-paced, `kill -9`s the server with the
 /// replan queue still busy, restarts it, checks the whole fleet came
@@ -1007,12 +1177,37 @@ fn fleet_bench(opts: &Options) -> Result<(), String> {
             .find(|(k, _)| k == key)
             .map_or(0.0, |(_, v)| *v)
     };
+    // The planner-thread count the child server ran with (it inherits
+    // this process's environment), recorded so bench deltas are
+    // attributable to the planner configuration that produced them.
+    let planner_threads = std::env::var("ESPRESSO_PLANNER_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
     println!(
-        "fleet: {} replans committed | delta→decision p50 {:.2} ms p99 {:.2} ms | \
+        "fleet: {} replans committed ({} planner thread(s)) | delta→decision \
+         p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms | \
          {decisions_read} decisions read under load, {stale_seen} served stale",
         metric("fleet_replans_committed"),
+        planner_threads,
         metric("fleet_delta_to_decision_p50_ms"),
+        metric("fleet_delta_to_decision_p95_ms"),
         metric("fleet_delta_to_decision_p99_ms"),
+    );
+
+    // The batched-replanning throughput gate, run in-process against the
+    // same model the child server just planned.
+    let probe = batch_probe(&opts.model)?;
+    println!(
+        "fleet: batch probe OK — shared-spec {:.2}x faster (p50 {:.3} ms vs {:.3} ms, \
+         mean batch {:.1}), unique-spec ratio {:.3}x (p50 {:.3} ms vs {:.3} ms)",
+        probe.shared_speedup,
+        probe.shared_batched_p50,
+        probe.shared_unbatched_p50,
+        probe.shared_mean_batch,
+        probe.unique_ratio,
+        probe.unique_batched_p50,
+        probe.unique_unbatched_p50,
     );
 
     let doc = Json::obj(vec![
@@ -1025,6 +1220,7 @@ fn fleet_bench(opts: &Options) -> Result<(), String> {
                 ("clients", Json::Num(opts.clients as f64)),
                 ("model", Json::Str(opts.model.clone())),
                 ("seed", Json::Num(opts.seed as f64)),
+                ("planner_threads", Json::Num(planner_threads as f64)),
             ]),
         ),
         (
@@ -1057,6 +1253,35 @@ fn fleet_bench(opts: &Options) -> Result<(), String> {
             Json::obj(vec![
                 ("decisions_read", Json::Num(decisions_read as f64)),
                 ("served_stale", Json::Num(stale_seen as f64)),
+            ]),
+        ),
+        (
+            "delta_to_decision_ms",
+            Json::obj(vec![
+                ("p50", Json::Num(metric("fleet_delta_to_decision_p50_ms"))),
+                ("p95", Json::Num(metric("fleet_delta_to_decision_p95_ms"))),
+                ("p99", Json::Num(metric("fleet_delta_to_decision_p99_ms"))),
+            ]),
+        ),
+        (
+            "batch_probe",
+            Json::obj(vec![
+                ("shared_jobs", Json::Num(96.0)),
+                ("shared_group_size", Json::Num(8.0)),
+                ("shared_batched_p50_ms", Json::Num(probe.shared_batched_p50)),
+                (
+                    "shared_unbatched_p50_ms",
+                    Json::Num(probe.shared_unbatched_p50),
+                ),
+                ("shared_speedup", Json::Num(probe.shared_speedup)),
+                ("shared_mean_batch", Json::Num(probe.shared_mean_batch)),
+                ("unique_jobs", Json::Num(48.0)),
+                ("unique_batched_p50_ms", Json::Num(probe.unique_batched_p50)),
+                (
+                    "unique_unbatched_p50_ms",
+                    Json::Num(probe.unique_unbatched_p50),
+                ),
+                ("unique_ratio", Json::Num(probe.unique_ratio)),
             ]),
         ),
         (

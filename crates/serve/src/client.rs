@@ -5,11 +5,15 @@
 //! Not a general HTTP client — it assumes the well-behaved responses
 //! [`crate::server`] produces.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// A keep-alive connection to one server.
+#[derive(Debug)]
 pub struct Connection {
     stream: TcpStream,
     buf: Vec<u8>,
@@ -40,6 +44,17 @@ impl Connection {
             stream,
             buf: Vec::new(),
         })
+    }
+
+    /// Re-arms the read/write timeouts — a pooled connection serves many
+    /// deliveries, each with its own attempt budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))
     }
 
     /// Issues one request and reads the complete response.
@@ -142,4 +157,101 @@ pub fn request(
     body: &[u8],
 ) -> std::io::Result<Response> {
     Connection::open(addr, Duration::from_secs(10))?.request(method, path, body)
+}
+
+/// A per-endpoint pool of idle keep-alive connections.
+///
+/// Decision pushes and dead-letter re-pushes used to open a fresh TCP
+/// connection per attempt; under fan-out that makes connection setup the
+/// dominant delivery cost and churns ephemeral ports. The pool checks an
+/// idle connection out per request and back in after a success, keeping
+/// at most `per_endpoint` idle connections per address.
+///
+/// A pooled connection may have been closed by the server while idle; a
+/// request that fails on one falls through to a single fresh connection
+/// rather than failing the attempt. The retry layer above must therefore
+/// only push idempotent payloads — which decision documents are: a
+/// duplicate delivery of the same epoch-stamped decision is a no-op for
+/// the subscriber.
+#[derive(Debug)]
+pub struct ConnectionPool {
+    idle: Mutex<HashMap<SocketAddr, Vec<Connection>>>,
+    per_endpoint: usize,
+    reuses: AtomicU64,
+    opens: AtomicU64,
+}
+
+impl ConnectionPool {
+    /// A pool keeping at most `per_endpoint` idle connections per
+    /// address (clamped to at least 1).
+    pub fn new(per_endpoint: usize) -> Self {
+        Self {
+            idle: Mutex::new(HashMap::new()),
+            per_endpoint: per_endpoint.max(1),
+            reuses: AtomicU64::new(0),
+            opens: AtomicU64::new(0),
+        }
+    }
+
+    fn checkout(&self, addr: SocketAddr) -> Option<Connection> {
+        let mut idle = self.idle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        idle.get_mut(&addr).and_then(Vec::pop)
+    }
+
+    fn checkin(&self, addr: SocketAddr, conn: Connection) {
+        let mut idle = self.idle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = idle.entry(addr).or_default();
+        if slot.len() < self.per_endpoint {
+            slot.push(conn);
+        }
+    }
+
+    /// Issues one request over a pooled connection, opening a fresh one
+    /// when none is idle or the idle one has gone stale. The connection
+    /// is returned to the pool after a successful exchange.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::request`], from the fresh-connection path — a
+    /// stale pooled connection is discarded, never surfaced as the error.
+    pub fn request(
+        &self,
+        addr: SocketAddr,
+        timeout: Duration,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<Response> {
+        if let Some(mut conn) = self.checkout(addr) {
+            if conn.set_timeout(timeout).is_ok() {
+                if let Ok(resp) = conn.request(method, path, body) {
+                    self.reuses.fetch_add(1, Ordering::Relaxed);
+                    self.checkin(addr, conn);
+                    return Ok(resp);
+                }
+            }
+            // Stale while idle: drop it and fall through to a fresh open.
+        }
+        let mut conn = Connection::open(addr, timeout)?;
+        self.opens.fetch_add(1, Ordering::Relaxed);
+        let resp = conn.request(method, path, body)?;
+        self.checkin(addr, conn);
+        Ok(resp)
+    }
+
+    /// Requests served over a checked-out idle connection so far.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Fresh connections opened so far.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Idle connections currently parked across all endpoints.
+    pub fn idle_len(&self) -> usize {
+        let idle = self.idle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        idle.values().map(Vec::len).sum()
+    }
 }

@@ -44,16 +44,17 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use espresso::service::{decide, DecisionRequest};
+use espresso::service::{decide_with_warm, DecisionRequest};
+use espresso::warm::WarmStartCache;
 use espresso::EspressoError;
 use espresso_cluster::{ClusterHealth, Membership};
 use espresso_json::{enums, DecodeError, FromJson, Json, ToJson};
 
 use crate::cache::{fnv1a64, ShardedLru};
-use crate::client;
+use crate::client::ConnectionPool;
 use crate::journal::{Generation, Journal, SnapshotStore};
 use crate::metrics::Histogram;
-use crate::retry::{retry_with_backoff, DeadLetter, RetryPolicy};
+use crate::retry::{deliver_with_pool, DeadLetter, RetryPolicy};
 
 /// Fleet controller tuning knobs.
 #[derive(Debug, Clone)]
@@ -74,6 +75,12 @@ pub struct FleetConfig {
     pub snapshot_every: u64,
     /// Planner-result cache (keyed by canonical request + health).
     pub plan_cache_entries: usize,
+    /// Group queued re-plans by canonical `(spec, effective-health)` key
+    /// and run `decide()` once per group, fanning the epoch-stamped body
+    /// out to every member — byte-identical to per-job planning, decisions
+    /// being pure functions of the grouped key. Disable to force one
+    /// planner run per job (the bench's comparison baseline).
+    pub batch_replans: bool,
     /// Delivery retry schedule for `notify` pushes.
     pub retry: RetryPolicy,
 }
@@ -87,6 +94,7 @@ impl Default for FleetConfig {
             queue_watermark: 4096,
             snapshot_every: 256,
             plan_cache_entries: 1024,
+            batch_replans: true,
             retry: RetryPolicy::default(),
         }
     }
@@ -262,6 +270,36 @@ struct JobEntry {
     spec: JobSpec,
     priority: u64,
     decision: Option<Committed>,
+    /// Derived, never serialized: the spec-group fingerprint (see
+    /// [`spec_fingerprint`]), recomputed wherever an entry is built.
+    spec_fp: u64,
+}
+
+impl JobEntry {
+    fn new(spec: JobSpec, priority: u64, decision: Option<Committed>) -> Self {
+        let spec_fp = spec_fingerprint(&spec.request);
+        Self {
+            spec,
+            priority,
+            decision,
+            spec_fp,
+        }
+    }
+}
+
+/// The spec-group fingerprint: a 64-bit FNV of the job's request in
+/// canonical JSON with its `health` section normalized to nominal. The
+/// canonical re-encoding makes reordered or defaulted-but-equal specs
+/// collide into one group; the health normalization reflects that plan
+/// time overwrites `request.health` with the bound cluster's state, so
+/// whatever health the registration happened to carry is not part of the
+/// question being planned. Everything semantic — model, GC algorithm,
+/// per-tensor ratio plans, system shape, fault spec, the robust flag —
+/// stays in the fingerprint and splits the group.
+fn spec_fingerprint(request: &DecisionRequest) -> u64 {
+    let mut normalized = request.clone();
+    normalized.health = ClusterHealth::nominal();
+    fnv1a64(normalized.canonical_key().as_bytes())
 }
 
 /// The journaled state transitions. Every mutation of the job table or
@@ -396,10 +434,73 @@ struct Control {
     records_since_snapshot: u64,
 }
 
+/// The plan basis captured when a re-plan is enqueued: everything that
+/// determines the decision bytes. Entries with equal bases are one
+/// planning question asked N times — the batch planner answers it once.
+///
+/// Planning against the *captured* basis (rather than re-reading health
+/// at plan time, as the per-job path used to) converges identically:
+/// every applied delta re-enqueues all bound jobs with the latest basis
+/// (coalescing keeps the newest epoch), and the epoch install gate orders
+/// commits, so the table always ends at the newest epoch's bytes.
+#[derive(Debug, Clone)]
+struct ReplanBasis {
+    /// Spec-group fingerprint of the job's request ([`spec_fingerprint`]).
+    spec_fp: u64,
+    /// Bound cluster. Splits groups even at equal health: the binding is
+    /// a semantic difference (its future deltas diverge), and keeping it
+    /// in the key means every member shares one epoch stamp.
+    cluster: String,
+    /// Cluster health to plan under.
+    health: ClusterHealth,
+    /// Canonical-JSON fingerprint of `health` — the cheap group compare.
+    health_fp: u64,
+    /// Cluster epoch the health was observed at; the commit stamp.
+    epoch: u64,
+}
+
+impl ReplanBasis {
+    fn new(spec_fp: u64, cluster: &str, health: ClusterHealth, epoch: u64) -> Self {
+        let health_fp = fnv1a64(health.to_json().canonical().render().as_bytes());
+        Self {
+            spec_fp,
+            cluster: cluster.to_string(),
+            health,
+            health_fp,
+            epoch,
+        }
+    }
+
+    /// Whether two bases are the same planning question.
+    fn same_group(&self, other: &ReplanBasis) -> bool {
+        self.spec_fp == other.spec_fp
+            && self.epoch == other.epoch
+            && self.health_fp == other.health_fp
+            && self.cluster == other.cluster
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingReplan {
+    priority: u64,
+    /// Earliest causal health-delta instant (delta→decision latency).
+    observed: Option<Instant>,
+    basis: ReplanBasis,
+}
+
+/// One popped unit of planner work: every member shares `basis`, so one
+/// `decide()` serves them all.
+#[derive(Debug)]
+struct ReplanBatch {
+    /// Members as `(job id, causal instant)`, head first, tail sorted by
+    /// id for a stable journal order.
+    jobs: Vec<(String, Option<Instant>)>,
+    basis: ReplanBasis,
+}
+
 #[derive(Debug, Default)]
 struct ReplanState {
-    /// job id -> (priority, earliest causal health-delta instant).
-    pending: HashMap<String, (u64, Option<Instant>)>,
+    pending: HashMap<String, PendingReplan>,
     in_flight: usize,
     closed: bool,
 }
@@ -411,9 +512,18 @@ struct FleetInner {
     queue: Mutex<ReplanState>,
     queue_cond: Condvar,
     plan_cache: ShardedLru,
+    /// Cross-request planner warm starts, shared by every planner worker
+    /// (see `espresso::warm`). Orthogonal to `plan_cache`: the LRU stores
+    /// rendered bodies per full request, the warm cache stores selection
+    /// artifacts reusable across healths and near-identical requests.
+    warm: WarmStartCache,
+    /// Keep-alive connections for decision pushes and dead-letter
+    /// re-pushes, pooled per subscriber endpoint.
+    push_pool: ConnectionPool,
     stats: FleetStats,
     delta_to_decision: Mutex<Histogram>,
     staleness_epochs: Mutex<Histogram>,
+    replan_batch_size: Mutex<Histogram>,
     dead_letters: Mutex<Vec<DeadLetter>>,
     shutdown: AtomicBool,
 }
@@ -501,6 +611,8 @@ impl FleetController {
 
         let inner = Arc::new(FleetInner {
             plan_cache: ShardedLru::new(config.plan_cache_entries.max(2), 4),
+            warm: WarmStartCache::new(config.plan_cache_entries.max(2), 4),
+            push_pool: ConnectionPool::new(2),
             control: Mutex::new(Control {
                 journal,
                 store,
@@ -515,22 +627,27 @@ impl FleetController {
             stats: FleetStats::default(),
             delta_to_decision: Mutex::new(Histogram::default()),
             staleness_epochs: Mutex::new(Histogram::default()),
+            replan_batch_size: Mutex::new(Histogram::default()),
             dead_letters: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             config,
         });
 
         // Re-plan whatever the crash left unplanned or stale.
-        for (id, priority) in inner.jobs_needing_replan() {
-            inner.enqueue_replan(&id, priority, None);
+        for (id, priority, basis) in inner.jobs_needing_replan() {
+            inner.enqueue_replan(&id, priority, None, basis);
         }
 
+        // The planner workers. Each popped batch runs one `decide()` —
+        // which itself fans candidate evaluation across the deterministic
+        // `EvalPool` when `ESPRESSO_PLANNER_THREADS` > 1 — and commits
+        // the result to every member.
         let workers = (0..inner.config.replan_workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
                 std::thread::spawn(move || {
-                    while let Some((job, enqueued)) = inner.pop_replan() {
-                        inner.plan_and_commit(&job, enqueued);
+                    while let Some(batch) = inner.pop_replan() {
+                        inner.plan_batch(&batch);
                         inner.finish_replan();
                     }
                 })
@@ -561,10 +678,14 @@ impl FleetController {
             spec.request.replan_priority().map_err(FleetError::Request)?
         };
         let spec_key = spec.to_json().canonical().render();
+        let spec_fp = spec_fingerprint(&spec.request);
         let inner = &self.inner;
         let shard_idx = inner.shard_of(&spec.id);
+        let basis;
         {
             let mut control = lock(&inner.control);
+            let (health, epoch) = cluster_state(&control, &spec.cluster);
+            basis = ReplanBasis::new(spec_fp, &spec.cluster, health, epoch);
             // The shard guard must be released before `maybe_snapshot`:
             // taking a snapshot locks every shard (control → shard is the
             // one legal nesting order, and never while a shard from the
@@ -577,7 +698,7 @@ impl FleetController {
                         drop(shard);
                         drop(control);
                         if needs_plan {
-                            inner.enqueue_replan(&spec.id, priority, None);
+                            inner.enqueue_replan(&spec.id, priority, None, basis);
                         }
                         return Ok(RegisterOutcome {
                             priority,
@@ -590,20 +711,13 @@ impl FleetController {
                     priority,
                 };
                 append_event(&mut control, &event)?;
-                shard.insert(
-                    spec.id.clone(),
-                    JobEntry {
-                        spec: spec.clone(),
-                        priority,
-                        decision: None,
-                    },
-                );
+                shard.insert(spec.id.clone(), JobEntry::new(spec.clone(), priority, None));
             }
             inner.stats.jobs_registered.fetch_add(1, Ordering::Relaxed);
             inner.maybe_snapshot(&mut control);
         }
         // A freshly inserted (or replaced) job always needs its first plan.
-        inner.enqueue_replan(&spec.id, priority, None);
+        inner.enqueue_replan(&spec.id, priority, None, basis);
         Ok(RegisterOutcome {
             priority,
             already_registered: false,
@@ -673,16 +787,25 @@ impl FleetController {
         }
         // Invalidate outside the control lock: scan for bound jobs and
         // queue them by priority, stamped now for delta→decision latency.
+        // Every member of one delta wave shares the plan basis (the
+        // just-applied health at the just-applied epoch), so same-spec
+        // jobs coalesce into one planner batch downstream.
+        let (health, epoch) = cluster_state(&lock(&inner.control), &delta.cluster);
+        let proto = ReplanBasis::new(0, &delta.cluster, health, epoch);
         let observed = Instant::now();
         let mut invalidated = 0usize;
         for shard in &inner.shards {
-            let bound: Vec<(String, u64)> = lock(shard)
+            let bound: Vec<(String, u64, u64)> = lock(shard)
                 .values()
                 .filter(|e| e.spec.cluster == delta.cluster)
-                .map(|e| (e.spec.id.clone(), e.priority))
+                .map(|e| (e.spec.id.clone(), e.priority, e.spec_fp))
                 .collect();
-            for (id, priority) in bound {
-                inner.enqueue_replan(&id, priority, Some(observed));
+            for (id, priority, spec_fp) in bound {
+                let basis = ReplanBasis {
+                    spec_fp,
+                    ..proto.clone()
+                };
+                inner.enqueue_replan(&id, priority, Some(observed), basis);
                 invalidated += 1;
             }
         }
@@ -774,13 +897,14 @@ impl FleetController {
 
     /// Synchronously plans every queued job on the caller's thread —
     /// the deterministic alternative to planner threads when
-    /// `replan_workers == 0`. Returns how many jobs were planned.
+    /// `replan_workers == 0`. Returns how many jobs were planned
+    /// (batch members each count: the unit is a job, not a batch).
     pub fn run_pending(&self) -> usize {
         let mut planned = 0;
-        while let Some((job, enqueued)) = self.inner.try_pop_replan() {
-            self.inner.plan_and_commit(&job, enqueued);
+        while let Some(batch) = self.inner.try_pop_replan() {
+            planned += batch.jobs.len();
+            self.inner.plan_batch(&batch);
             self.inner.finish_replan();
-            planned += 1;
         }
         planned
     }
@@ -852,6 +976,15 @@ impl FleetController {
             let h = lock(&inner.staleness_epochs);
             (h.count() as f64, h.quantile(0.50), h.quantile(0.99))
         };
+        let (batch_count, batch_mean, batch_p50, batch_p99) = {
+            let h = lock(&inner.replan_batch_size);
+            (
+                h.count() as f64,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+            )
+        };
         vec![
             ("fleet_jobs".into(), jobs as f64),
             ("fleet_clusters".into(), clusters),
@@ -895,6 +1028,20 @@ impl FleetController {
             ("fleet_staleness_epochs_count".into(), stale_count),
             ("fleet_staleness_epochs_p50".into(), stale_p50),
             ("fleet_staleness_epochs_p99".into(), stale_p99),
+            ("fleet_replan_batch_size_count".into(), batch_count),
+            ("fleet_replan_batch_size_mean".into(), batch_mean),
+            ("fleet_replan_batch_size_p50".into(), batch_p50),
+            ("fleet_replan_batch_size_p99".into(), batch_p99),
+            (
+                "fleet_push_conn_reuse".into(),
+                inner.push_pool.reuses() as f64,
+            ),
+            (
+                "fleet_push_conn_opened".into(),
+                inner.push_pool.opens() as f64,
+            ),
+            ("fleet_warm_hits".into(), inner.warm.hits() as f64),
+            ("fleet_warm_misses".into(), inner.warm.misses() as f64),
         ]
     }
 
@@ -926,18 +1073,33 @@ impl FleetInner {
     }
 
     /// Queues a re-plan, coalescing with any pending one for the same job
-    /// (keeping the highest priority and the *earliest* causal instant —
-    /// latency is measured from the first unserviced delta). Above the
-    /// watermark the lowest-priority pending entry is shed.
-    fn enqueue_replan(&self, job_id: &str, priority: u64, observed: Option<Instant>) {
+    /// (keeping the highest priority, the *earliest* causal instant —
+    /// latency is measured from the first unserviced delta — and the
+    /// *newest* plan basis, so a coalesced entry always plans the latest
+    /// known question). Above the watermark the lowest-priority pending
+    /// entry is shed.
+    fn enqueue_replan(
+        &self,
+        job_id: &str,
+        priority: u64,
+        observed: Option<Instant>,
+        basis: ReplanBasis,
+    ) {
         let mut state = lock(&self.queue);
         if state.closed {
             return;
         }
-        if let Some((p, t)) = state.pending.get_mut(job_id) {
-            *p = (*p).max(priority);
-            if t.is_none() || observed.is_some_and(|o| t.is_some_and(|e| o < e)) {
-                *t = observed.or(*t);
+        if let Some(p) = state.pending.get_mut(job_id) {
+            p.priority = p.priority.max(priority);
+            if p.observed.is_none()
+                || observed.is_some_and(|o| p.observed.is_some_and(|e| o < e))
+            {
+                p.observed = observed.or(p.observed);
+            }
+            // `>=` so a same-epoch re-registration (changed spec, same
+            // cluster state) updates the fingerprint too.
+            if basis.epoch >= p.basis.epoch {
+                p.basis = basis;
             }
             return;
         }
@@ -949,8 +1111,8 @@ impl FleetInner {
             let lowest = state
                 .pending
                 .iter()
-                .min_by(|(ida, (pa, _)), (idb, (pb, _))| pa.cmp(pb).then(idb.cmp(ida)))
-                .map(|(id, (p, _))| (id.clone(), *p));
+                .min_by(|(ida, pa), (idb, pb)| pa.priority.cmp(&pb.priority).then(idb.cmp(ida)))
+                .map(|(id, p)| (id.clone(), p.priority));
             if let Some((low_id, low_p)) = lowest {
                 self.stats.replans_shed.fetch_add(1, Ordering::Relaxed);
                 if low_p >= priority {
@@ -959,26 +1121,57 @@ impl FleetInner {
                 state.pending.remove(&low_id);
             }
         }
-        state
-            .pending
-            .insert(job_id.to_string(), (priority, observed));
+        state.pending.insert(
+            job_id.to_string(),
+            PendingReplan {
+                priority,
+                observed,
+                basis,
+            },
+        );
         drop(state);
         self.queue_cond.notify_all();
     }
 
-    /// Blocking pop of the highest-priority pending re-plan.
-    fn pop_replan(&self) -> Option<(String, Option<Instant>)> {
-        let mut state = lock(&self.queue);
-        loop {
-            if let Some(id) = state
+    /// Takes the highest-priority pending re-plan plus (when batching is
+    /// on) every pending entry sharing its plan basis — one planning
+    /// question, popped as one batch. The whole batch counts as one
+    /// in-flight unit.
+    fn take_batch(&self, state: &mut ReplanState) -> Option<ReplanBatch> {
+        let id = state
+            .pending
+            .iter()
+            .max_by(|(ida, pa), (idb, pb)| pa.priority.cmp(&pb.priority).then(idb.cmp(ida)))
+            .map(|(id, _)| id.clone())?;
+        let head = state.pending.remove(&id)?;
+        let mut jobs = vec![(id, head.observed)];
+        if self.config.batch_replans {
+            let mut members: Vec<String> = state
                 .pending
                 .iter()
-                .max_by(|(ida, (pa, _)), (idb, (pb, _))| pa.cmp(pb).then(idb.cmp(ida)))
+                .filter(|(_, p)| p.basis.same_group(&head.basis))
                 .map(|(id, _)| id.clone())
-            {
-                let (_, observed) = state.pending.remove(&id).unwrap_or((0, None));
-                state.in_flight += 1;
-                return Some((id, observed));
+                .collect();
+            members.sort();
+            for id in members {
+                if let Some(p) = state.pending.remove(&id) {
+                    jobs.push((id, p.observed));
+                }
+            }
+        }
+        state.in_flight += 1;
+        Some(ReplanBatch {
+            jobs,
+            basis: head.basis,
+        })
+    }
+
+    /// Blocking pop of the next batch of pending re-plans.
+    fn pop_replan(&self) -> Option<ReplanBatch> {
+        let mut state = lock(&self.queue);
+        loop {
+            if let Some(batch) = self.take_batch(&mut state) {
+                return Some(batch);
             }
             if state.closed {
                 return None;
@@ -990,16 +1183,9 @@ impl FleetInner {
         }
     }
 
-    fn try_pop_replan(&self) -> Option<(String, Option<Instant>)> {
+    fn try_pop_replan(&self) -> Option<ReplanBatch> {
         let mut state = lock(&self.queue);
-        let id = state
-            .pending
-            .iter()
-            .max_by(|(ida, (pa, _)), (idb, (pb, _))| pa.cmp(pb).then(idb.cmp(ida)))
-            .map(|(id, _)| id.clone())?;
-        let (_, observed) = state.pending.remove(&id).unwrap_or((0, None));
-        state.in_flight += 1;
-        Some((id, observed))
+        self.take_batch(&mut state)
     }
 
     fn finish_replan(&self) {
@@ -1009,34 +1195,49 @@ impl FleetInner {
         self.queue_cond.notify_all();
     }
 
-    /// Plans one job against its cluster's current health and commits the
-    /// decision. Planner errors keep the previous decision in place
-    /// (stale-but-safe) and bump `replan_errors`.
-    fn plan_and_commit(&self, job_id: &str, observed: Option<Instant>) {
-        let Some((mut request, cluster, notify)) = ({
-            lock(&self.shards[self.shard_of(job_id)])
-                .get(job_id)
-                .map(|e| {
+    /// Plans one batch — every member shares the captured basis, so the
+    /// planner runs **once** and the epoch-stamped body fans out to all
+    /// members as individual journal commits (crash recovery stays
+    /// per-job and byte-identical to unbatched planning). Members whose
+    /// spec or cluster changed since enqueue are skipped: the mutation
+    /// that changed them re-enqueued a fresh basis. Planner errors keep
+    /// the previous decisions in place (stale-but-safe) and bump
+    /// `replan_errors` once per member.
+    fn plan_batch(&self, batch: &ReplanBatch) {
+        lock(&self.replan_batch_size).record(batch.jobs.len() as f64);
+        let mut members: Vec<(String, Option<Instant>, Option<String>)> = Vec::new();
+        let mut exemplar: Option<DecisionRequest> = None;
+        for (job_id, observed) in &batch.jobs {
+            let Some((request, cluster, notify, spec_fp)) = ({
+                lock(&self.shards[self.shard_of(job_id)]).get(job_id).map(|e| {
                     (
                         e.spec.request.clone(),
                         e.spec.cluster.clone(),
                         e.spec.notify.clone(),
+                        e.spec_fp,
                     )
                 })
-        }) else {
-            return; // Unregistered while queued.
+            }) else {
+                continue; // Unregistered while queued.
+            };
+            if spec_fp != batch.basis.spec_fp || cluster != batch.basis.cluster {
+                continue; // Re-registered since enqueue; a fresh entry is queued.
+            }
+            if exemplar.is_none() {
+                let mut request = request;
+                request.health = batch.basis.health;
+                exemplar = Some(request);
+            }
+            members.push((job_id.clone(), *observed, notify));
+        }
+        let Some(request) = exemplar else {
+            return;
         };
-        let (health, epoch) = lock(&self.control)
-            .clusters
-            .get(&cluster)
-            .map(|m| (*m.health(), m.epoch()))
-            .unwrap_or((ClusterHealth::nominal(), 0));
-        request.health = health;
         let key = fnv1a64(request.canonical_key().as_bytes());
         let body = if let Some(cached) = self.plan_cache.get(key) {
             String::from_utf8(cached.as_ref().clone()).unwrap_or_default()
         } else {
-            match decide(&request) {
+            match decide_with_warm(&request, &self.warm) {
                 Ok(decision) => {
                     let body = Json::encode(&decision.response());
                     self.plan_cache
@@ -1044,24 +1245,31 @@ impl FleetInner {
                     body
                 }
                 Err(_) => {
-                    self.stats.replan_errors.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .replan_errors
+                        .fetch_add(members.len() as u64, Ordering::Relaxed);
                     return;
                 }
             }
         };
         if body.is_empty() {
-            self.stats.replan_errors.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .replan_errors
+                .fetch_add(members.len() as u64, Ordering::Relaxed);
             return;
         }
-        if self.commit_decision(job_id, epoch, &body).is_err() {
-            self.stats.replan_errors.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        if let Some(observed) = observed {
-            lock(&self.delta_to_decision).record(observed.elapsed().as_secs_f64());
-        }
-        if let Some(addr) = notify {
-            self.push_decision(job_id, epoch, &addr, &body);
+        let epoch = batch.basis.epoch;
+        for (job_id, observed, notify) in &members {
+            if self.commit_decision(job_id, epoch, &body).is_err() {
+                self.stats.replan_errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if let Some(observed) = observed {
+                lock(&self.delta_to_decision).record(observed.elapsed().as_secs_f64());
+            }
+            if let Some(addr) = notify {
+                self.push_decision(job_id, epoch, addr, &body);
+            }
         }
     }
 
@@ -1094,7 +1302,9 @@ impl FleetInner {
     }
 
     /// Pushes a committed decision to the job's subscriber with bounded
-    /// retry; exhaustion parks a dead letter.
+    /// retry over the keep-alive pool; exhaustion parks a dead letter.
+    /// Decision documents are idempotent (epoch-stamped), which is what
+    /// licenses [`ConnectionPool::request`]'s stale-connection fallthrough.
     fn push_decision(&self, job_id: &str, epoch: u64, addr: &str, body: &str) {
         let Ok(addr) = addr.parse::<std::net::SocketAddr>() else {
             self.park_dead_letter(job_id, epoch, 0, &format!("bad notify address {addr:?}"));
@@ -1102,20 +1312,16 @@ impl FleetInner {
         };
         let stats = &self.stats;
         let doc = format!(r#"{{"job":{},"epoch":{epoch},"decision":{body}}}"#, Json::Str(job_id.to_string()).render());
-        let outcome = retry_with_backoff(&self.config.retry, |attempt, timeout| {
-            if attempt > 1 {
+        let outcome = deliver_with_pool(
+            &self.config.retry,
+            &self.push_pool,
+            addr,
+            "/decision",
+            doc.as_bytes(),
+            |_| {
                 stats.push_retries.fetch_add(1, Ordering::Relaxed);
-            }
-            let mut conn = client::Connection::open(addr, timeout).map_err(|e| e.to_string())?;
-            let resp = conn
-                .request("POST", "/decision", doc.as_bytes())
-                .map_err(|e| e.to_string())?;
-            if resp.status < 300 {
-                Ok(())
-            } else {
-                Err(format!("subscriber answered {}", resp.status))
-            }
-        });
+            },
+        );
         match outcome {
             Ok(_) => {
                 stats.pushes_delivered.fetch_add(1, Ordering::Relaxed);
@@ -1176,23 +1382,30 @@ impl FleetInner {
         });
     }
 
-    /// Jobs whose decision is missing or behind their cluster's epoch.
-    fn jobs_needing_replan(&self) -> Vec<(String, u64)> {
-        let epochs: HashMap<String, u64> = lock(&self.control)
+    /// Jobs whose decision is missing or behind their cluster's epoch,
+    /// each paired with a plan basis captured from the cluster's current
+    /// state (so recovery re-plans batch exactly like live ones).
+    fn jobs_needing_replan(&self) -> Vec<(String, u64, ReplanBasis)> {
+        let states: HashMap<String, (ClusterHealth, u64)> = lock(&self.control)
             .clusters
             .iter()
-            .map(|(name, m)| (name.clone(), m.epoch()))
+            .map(|(name, m)| (name.clone(), (*m.health(), m.epoch())))
             .collect();
         let mut out = Vec::new();
         for shard in &self.shards {
             for entry in lock(shard).values() {
-                let epoch = epochs.get(&entry.spec.cluster).copied().unwrap_or(0);
+                let (health, epoch) = states
+                    .get(&entry.spec.cluster)
+                    .cloned()
+                    .unwrap_or((ClusterHealth::nominal(), 0));
                 let stale = entry
                     .decision
                     .as_ref()
                     .is_none_or(|d| d.epoch < epoch);
                 if stale {
-                    out.push((entry.spec.id.clone(), entry.priority));
+                    let basis =
+                        ReplanBasis::new(entry.spec_fp, &entry.spec.cluster, health, epoch);
+                    out.push((entry.spec.id.clone(), entry.priority, basis));
                 }
             }
         }
@@ -1266,6 +1479,16 @@ impl FleetInner {
     }
 }
 
+/// The (health, epoch) a plan basis captures for `cluster` — nominal at
+/// epoch 0 for clusters the controller has never heard a delta from.
+fn cluster_state(control: &Control, cluster: &str) -> (ClusterHealth, u64) {
+    control
+        .clusters
+        .get(cluster)
+        .map(|m| (*m.health(), m.epoch()))
+        .unwrap_or((ClusterHealth::nominal(), 0))
+}
+
 /// Appends one event to the journal under the control lock, assigning it
 /// the next sequence number.
 fn append_event(control: &mut Control, event: &FleetEvent) -> Result<(), FleetError> {
@@ -1287,14 +1510,7 @@ fn apply_event(
     match event {
         FleetEvent::Register { spec, priority } => {
             let idx = (fnv1a64(spec.id.as_bytes()) % shard_count as u64) as usize;
-            shards[idx].insert(
-                spec.id.clone(),
-                JobEntry {
-                    spec: *spec,
-                    priority,
-                    decision: None,
-                },
-            );
+            shards[idx].insert(spec.id.clone(), JobEntry::new(*spec, priority, None));
         }
         FleetEvent::Health {
             cluster,
@@ -1376,14 +1592,7 @@ fn decode_state(
                     }),
                 };
                 let idx = (fnv1a64(spec.id.as_bytes()) % shard_count as u64) as usize;
-                shards[idx].insert(
-                    spec.id.clone(),
-                    JobEntry {
-                        spec,
-                        priority,
-                        decision,
-                    },
-                );
+                shards[idx].insert(spec.id.clone(), JobEntry::new(spec, priority, decision));
             }
         }
         _ => return Err(corrupt("snapshot is missing its jobs array".into())),
@@ -1432,6 +1641,7 @@ mod tests {
             queue_watermark: 64,
             snapshot_every: 1_000_000, // Only explicit snapshots in tests.
             plan_cache_entries: 64,
+            batch_replans: true,
             retry: RetryPolicy {
                 max_attempts: 2,
                 initial_backoff: Duration::from_micros(100),
@@ -1822,5 +2032,194 @@ mod tests {
         }
         fleet.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn metric(entries: &[(String, f64)], key: &str) -> f64 {
+        entries
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing metric {key}"))
+    }
+
+    /// Five jobs sharing one spec on one cluster are one planning
+    /// question: each wave (registration, then a delta) must pop as a
+    /// single batch of five, visible in the batch-size histogram, while
+    /// still journaling five per-job commits.
+    #[test]
+    fn batching_groups_shared_specs_into_one_planner_run() {
+        let dir = temp_dir("batch-group");
+        let fleet = FleetController::open(test_config(&dir)).unwrap();
+        for i in 0..5 {
+            fleet.register(spec(&format!("b{i}"), "c1", 1)).unwrap();
+        }
+        assert_eq!(fleet.run_pending(), 5);
+        fleet.apply_health(&delta("c1", 1, 2.0)).unwrap();
+        assert_eq!(fleet.run_pending(), 5);
+        let entries = fleet.metric_entries();
+        assert_eq!(metric(&entries, "fleet_replan_batch_size_count"), 2.0);
+        assert_eq!(metric(&entries, "fleet_replan_batch_size_mean"), 5.0);
+        assert_eq!(metric(&entries, "fleet_replans_committed"), 10.0);
+        for i in 0..5 {
+            let doc = fleet.decision_doc(&format!("b{i}")).unwrap();
+            assert!(doc.contains(r#""stale":false"#), "{doc}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The headline batching invariant: the same workload planned with
+    /// and without batching ends in byte-identical job tables — batching
+    /// changes how often the planner runs, never what it answers.
+    #[test]
+    fn batched_and_unbatched_tables_are_byte_identical() {
+        let run = |tag: &str, batch: bool| {
+            let dir = temp_dir(tag);
+            let mut config = test_config(&dir);
+            config.batch_replans = batch;
+            let fleet = FleetController::open(config).unwrap();
+            for i in 0..6 {
+                let cluster = format!("c{}", i % 2);
+                fleet
+                    .register(spec(&format!("j{i}"), &cluster, i + 1))
+                    .unwrap();
+            }
+            fleet.run_pending();
+            fleet.apply_health(&delta("c0", 1, 1.5)).unwrap();
+            fleet.apply_health(&delta("c1", 1, 3.0)).unwrap();
+            fleet.run_pending();
+            let doc = fleet.jobs_doc();
+            let batches = metric(&fleet.metric_entries(), "fleet_replan_batch_size_count");
+            drop(fleet);
+            let _ = std::fs::remove_dir_all(&dir);
+            (doc, batches)
+        };
+        let (batched, batched_pops) = run("batch-on", true);
+        let (unbatched, unbatched_pops) = run("batch-off", false);
+        assert_eq!(batched, unbatched, "batching changed the table bytes");
+        // And it genuinely batched: 12 jobs planned in 4 pops (two waves
+        // of two cluster groups) versus 12 singleton pops.
+        assert_eq!(batched_pops, 4.0);
+        assert_eq!(unbatched_pops, 12.0);
+    }
+
+    /// A job whose spec changes while it sits in a batch's pending set
+    /// must not be planned against the old group's answer.
+    #[test]
+    fn re_registration_mid_queue_is_not_planned_against_the_old_group() {
+        let dir = temp_dir("batch-rereg");
+        let fleet = FleetController::open(test_config(&dir)).unwrap();
+        fleet.register(spec("ja", "c1", 1)).unwrap();
+        fleet.register(spec("jb", "c1", 1)).unwrap();
+        // Re-register jb with a different system shape before planning.
+        let mut changed = spec("jb", "c1", 1);
+        changed.request.system.machines = 4;
+        fleet.register(changed).unwrap();
+        assert_eq!(fleet.run_pending(), 2);
+        let doc_a = fleet.decision_doc("ja").unwrap();
+        let doc_b = fleet.decision_doc("jb").unwrap();
+        assert!(doc_a.contains(r#""stale":false"#), "{doc_a}");
+        assert!(doc_b.contains(r#""stale":false"#), "{doc_b}");
+        assert_ne!(doc_a, doc_b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    const GROUP_BASE: &str = r#"{
+        "model": { "model": "LSTM" },
+        "gc": { "algorithm": { "RandomK": { "density": 0.01 } } },
+        "system": { "machines": 2, "gpus_per_machine": 4,
+                    "intra": "Pcie", "inter_gbps": 25.0 }
+    }"#;
+
+    fn group_fp(text: &str) -> u64 {
+        spec_fingerprint(&DecisionRequest::parse(text).expect("spec should parse"))
+    }
+
+    fn group_base_with_ratios(ratios: &[f64]) -> String {
+        let list = ratios
+            .iter()
+            .map(|r| format!("{r}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            r#"{{
+                "model": {{ "model": "LSTM" }},
+                "gc": {{ "algorithm": {{ "RandomK": {{ "density": 0.01 }} }},
+                        "ratios": [{list}] }},
+                "system": {{ "machines": 2, "gpus_per_machine": 4,
+                            "intra": "Pcie", "inter_gbps": 25.0 }}
+            }}"#
+        )
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Spec-group keying mirrors the decision-cache discipline
+        /// (`tests/cache_keys.rs`): reordered keys, explicit defaults,
+        /// and whatever health the registration happened to carry all
+        /// land in one group — plan time overwrites `health` with the
+        /// bound cluster's state, so it is not part of the question.
+        #[test]
+        fn reordered_defaulted_and_healthy_specs_share_a_group(
+            factor_tenths in 11u32..50,
+        ) {
+            let f = f64::from(factor_tenths) / 10.0;
+            let shuffled = format!(
+                r#"{{
+                    "system": {{ "inter_gbps": 25.0, "intra": "Pcie",
+                                "gpus_per_machine": 4, "machines": 2 }},
+                    "robust": false,
+                    "health": {{ "inter": {{ "Degraded": {{ "factor": {f} }} }} }},
+                    "gc": {{ "algorithm": {{ "RandomK": {{ "density": 0.01 }} }} }},
+                    "model": {{ "model": "LSTM" }}
+                }}"#
+            );
+            proptest::prop_assert_eq!(group_fp(GROUP_BASE), group_fp(&shuffled));
+        }
+
+        /// Any single tensor's ratio moving away from uniform is a
+        /// different planning question: the group must split.
+        #[test]
+        fn a_ratio_change_splits_the_spec_group(
+            tensor in 0usize..10,
+            bump in 1u32..90,
+        ) {
+            let mut ratios = [0.01f64; 10];
+            ratios[tensor] = 0.01 + f64::from(bump) * 0.001;
+            proptest::prop_assert_ne!(
+                group_fp(GROUP_BASE),
+                group_fp(&group_base_with_ratios(&ratios))
+            );
+        }
+
+        /// The non-spec group dimensions: equal specs still split into
+        /// separate batches across cluster bindings, effective healths,
+        /// and epochs — each is a semantically different question (or, for
+        /// the cluster, a different future).
+        #[test]
+        fn bases_split_on_cluster_health_and_epoch(
+            epoch in 1u64..1000,
+            factor_tenths in 11u32..50,
+        ) {
+            let f = f64::from(factor_tenths) / 10.0;
+            let fp = group_fp(GROUP_BASE);
+            let degraded = ClusterHealth::inter_degraded(f);
+            let base = ReplanBasis::new(fp, "c0", degraded, epoch);
+            proptest::prop_assert!(
+                base.same_group(&ReplanBasis::new(fp, "c0", degraded, epoch))
+            );
+            proptest::prop_assert!(
+                !base.same_group(&ReplanBasis::new(fp, "c1", degraded, epoch))
+            );
+            proptest::prop_assert!(
+                !base.same_group(&ReplanBasis::new(fp, "c0", ClusterHealth::nominal(), epoch))
+            );
+            proptest::prop_assert!(
+                !base.same_group(&ReplanBasis::new(fp, "c0", degraded, epoch + 1))
+            );
+            proptest::prop_assert!(
+                !base.same_group(&ReplanBasis::new(fp ^ 1, "c0", degraded, epoch))
+            );
+        }
     }
 }

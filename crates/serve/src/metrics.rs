@@ -345,6 +345,69 @@ mod tests {
         }
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The batch-size histogram and connection-pool counters ride
+        /// into `/metrics` as flat extras; under any load shape the
+        /// rendered entries must stay well-formed — exact count, exact
+        /// mean (batch sizes are small integers, far from f64 trouble),
+        /// ordered quantiles bracketed by the observed range, and a
+        /// reuse/open split that accounts for every delivery.
+        #[test]
+        fn batch_and_pool_entries_render_well_formed(
+            sizes in proptest::prop::collection::vec(1u64..=64, 1..200),
+            reuses in 0u64..10_000,
+            opens in 1u64..10_000,
+        ) {
+            let mut h = Histogram::default();
+            for s in &sizes {
+                h.record(*s as f64);
+            }
+            let extra = vec![
+                ("fleet_replan_batch_size_count".to_string(), h.count() as f64),
+                ("fleet_replan_batch_size_mean".to_string(), h.mean()),
+                ("fleet_replan_batch_size_p50".to_string(), h.quantile(0.50)),
+                ("fleet_replan_batch_size_p99".to_string(), h.quantile(0.99)),
+                ("fleet_push_conn_reuse".to_string(), reuses as f64),
+                ("fleet_push_conn_opened".to_string(), opens as f64),
+            ];
+            let metrics = Metrics::new();
+            let stats = CacheStats { hits: 0, misses: 0, evictions: 0, entries: 0 };
+            let doc = Json::parse(&metrics.render_with(&stats, &extra)).unwrap();
+            proptest::prop_assert_eq!(
+                doc.req::<u64>("fleet_replan_batch_size_count").unwrap(),
+                sizes.len() as u64
+            );
+            let exact_mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+            let mean = doc.req::<f64>("fleet_replan_batch_size_mean").unwrap();
+            proptest::prop_assert!((mean - exact_mean).abs() < 1e-9);
+            let p50 = doc.req::<f64>("fleet_replan_batch_size_p50").unwrap();
+            let p99 = doc.req::<f64>("fleet_replan_batch_size_p99").unwrap();
+            let (lo, hi) = (
+                *sizes.iter().min().unwrap() as f64,
+                *sizes.iter().max().unwrap() as f64,
+            );
+            proptest::prop_assert!(p50 <= p99);
+            // Quantiles are bucket upper bounds: at least the smallest
+            // observation, within one ×1.25 bucket above the largest.
+            proptest::prop_assert!(p50 >= lo && p99 <= hi * 1.25);
+            proptest::prop_assert!(
+                doc.req::<f64>("fleet_push_conn_reuse").unwrap() >= 0.0
+            );
+            proptest::prop_assert!(
+                doc.req::<f64>("fleet_push_conn_opened").unwrap() >= 1.0
+            );
+            if let Json::Obj(pairs) = &doc {
+                proptest::prop_assert!(
+                    pairs.iter().all(|(_, v)| matches!(v, Json::Num(n) if n.is_finite()))
+                );
+            } else {
+                panic!("metrics document must be an object");
+            }
+        }
+    }
+
     #[test]
     fn render_with_appends_extra_entries_flat() {
         let metrics = Metrics::new();

@@ -17,7 +17,10 @@
 //!   the `/metrics` endpoint) can see it — delivery gives up, the record
 //!   of the failure does not.
 
+use std::net::SocketAddr;
 use std::time::Duration;
+
+use crate::client::ConnectionPool;
 
 /// Retry schedule for one delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +102,44 @@ pub fn retry_with_backoff<T, E>(
     }
 }
 
+/// Delivers one idempotent POST under `policy`, reusing a pooled
+/// keep-alive connection per attempt (see [`ConnectionPool::request`]).
+/// `on_retry` observes each attempt beyond the first, before its
+/// backoff-delayed try — the caller's retry counter.
+///
+/// The payload must be idempotent: a pooled connection that went stale
+/// while idle is retried on a fresh connection inside a single attempt,
+/// so the subscriber can observe a duplicate.
+///
+/// # Errors
+///
+/// The final attempt's error text and the attempts made, after
+/// `policy.max_attempts` failures (socket errors and non-2xx statuses
+/// both count as failures).
+pub fn deliver_with_pool(
+    policy: &RetryPolicy,
+    pool: &ConnectionPool,
+    addr: SocketAddr,
+    path: &str,
+    body: &[u8],
+    mut on_retry: impl FnMut(u32),
+) -> Result<u32, (String, u32)> {
+    retry_with_backoff(policy, |attempt, timeout| {
+        if attempt > 1 {
+            on_retry(attempt);
+        }
+        let resp = pool
+            .request(addr, timeout, "POST", path, body)
+            .map_err(|e| e.to_string())?;
+        if resp.status < 300 {
+            Ok(())
+        } else {
+            Err(format!("subscriber answered {}", resp.status))
+        }
+    })
+    .map(|((), attempts)| attempts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +179,101 @@ mod tests {
         });
         assert_eq!(out, Ok((300, 3)));
         assert_eq!(calls, 3);
+    }
+
+    /// Serves up to `count` Content-Length-framed requests on ONE
+    /// accepted connection, answering 200 to each; returns how many it
+    /// actually served. A minimal keep-alive subscriber.
+    fn serve_keep_alive(listener: std::net::TcpListener, count: usize) -> std::thread::JoinHandle<usize> {
+        std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            let Ok((mut stream, _)) = listener.accept() else {
+                return 0;
+            };
+            let mut served = 0;
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 4096];
+            while served < count {
+                let head_end = loop {
+                    if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                        break pos;
+                    }
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => return served,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                };
+                let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+                let len: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        let (name, value) = l.split_once(':')?;
+                        name.eq_ignore_ascii_case("content-length")
+                            .then(|| value.trim().parse().ok())?
+                    })
+                    .unwrap_or(0);
+                let total = head_end + 4 + len;
+                while buf.len() < total {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => return served,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                buf.drain(..total);
+                if stream
+                    .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                    .is_err()
+                {
+                    return served;
+                }
+                served += 1;
+            }
+            served
+        })
+    }
+
+    #[test]
+    fn pooled_delivery_reuses_one_connection() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = serve_keep_alive(listener, 5);
+        let pool = ConnectionPool::new(2);
+        for _ in 0..5 {
+            let attempts =
+                deliver_with_pool(&fast_policy(2), &pool, addr, "/decision", b"{}", |_| {})
+                    .expect("delivery");
+            assert_eq!(attempts, 1);
+        }
+        assert_eq!(handle.join().expect("subscriber"), 5, "one conn served all");
+        assert_eq!(pool.opens(), 1, "exactly one fresh connection opened");
+        assert_eq!(pool.reuses(), 4, "the other four deliveries reused it");
+    }
+
+    #[test]
+    fn stale_pooled_connection_falls_through_to_a_fresh_one() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // First incarnation serves exactly one request, then closes —
+        // leaving a now-stale connection parked in the pool.
+        let first = serve_keep_alive(listener, 1);
+        let pool = ConnectionPool::new(2);
+        deliver_with_pool(&fast_policy(2), &pool, addr, "/decision", b"{}", |_| {})
+            .expect("first delivery");
+        assert_eq!(first.join().expect("subscriber"), 1);
+        assert_eq!(pool.idle_len(), 1, "the dead connection is parked");
+        // The subscriber restarts on the same port (SO_REUSEADDR).
+        let listener = std::net::TcpListener::bind(addr).expect("rebind");
+        let second = serve_keep_alive(listener, 1);
+        let mut retries = 0;
+        let attempts = deliver_with_pool(&fast_policy(3), &pool, addr, "/decision", b"{}", |_| {
+            retries += 1;
+        })
+        .expect("second delivery");
+        // The stale checkout failed, the fresh open succeeded — all
+        // within one attempt, invisible to the retry layer.
+        assert_eq!((attempts, retries), (1, 0));
+        assert_eq!(second.join().expect("subscriber"), 1);
+        assert_eq!(pool.opens(), 2);
     }
 
     #[test]

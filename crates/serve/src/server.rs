@@ -28,7 +28,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use espresso::service::{decide, DecisionRequest};
+use espresso::service::{decide_with_warm, DecisionRequest};
+use espresso::warm::WarmStartCache;
 use espresso::EspressoError;
 use espresso_json::{Json, ToJson};
 
@@ -86,6 +87,11 @@ struct Shared {
     shutdown: AtomicBool,
     queue: BoundedQueue<Conn>,
     cache: ShardedLru,
+    /// Selection-artifact cache shared across requests: where the body
+    /// cache only hits on byte-identical requests, warm starts reuse the
+    /// expensive planner work across requests that differ only in health
+    /// (see [`espresso::warm`]). `ESPRESSO_WARM_STARTS=0` disables it.
+    warm: WarmStartCache,
     metrics: Metrics,
     deadline: Duration,
     limits: Limits,
@@ -127,6 +133,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             queue: BoundedQueue::new(config.queue_depth),
             cache: ShardedLru::new(config.cache_entries, config.cache_shards),
+            warm: WarmStartCache::new(config.cache_entries.max(2), config.cache_shards.max(1)),
             metrics: Metrics::new(),
             deadline: config.deadline,
             limits: config.limits,
@@ -385,12 +392,14 @@ fn route(shared: &Shared, request: &Request, deadline: Instant) -> Response {
 }
 
 fn render_metrics(shared: &Shared) -> String {
-    match &shared.fleet {
-        Some(fleet) => shared
-            .metrics
-            .render_with(&shared.cache.stats(), &fleet.metric_entries()),
-        None => shared.metrics.render(&shared.cache.stats()),
+    let mut extra = vec![
+        ("warm_start_hits".to_string(), shared.warm.hits() as f64),
+        ("warm_start_misses".to_string(), shared.warm.misses() as f64),
+    ];
+    if let Some(fleet) = &shared.fleet {
+        extra.extend(fleet.metric_entries());
     }
+    shared.metrics.render_with(&shared.cache.stats(), &extra)
 }
 
 fn json_response(status: u16, body: String) -> Response {
@@ -581,7 +590,7 @@ fn decide_route(shared: &Shared, request: &Request, deadline: Instant) -> Respon
         return (200, "application/json", cached.as_ref().clone());
     }
     let t0 = Instant::now();
-    match decide(&decision_request) {
+    match decide_with_warm(&decision_request, &shared.warm) {
         Ok(decision) => {
             shared
                 .metrics

@@ -25,6 +25,7 @@ fn fleet_server(tag: &str) -> (Server, std::path::PathBuf) {
         queue_watermark: 256,
         snapshot_every: 32,
         plan_cache_entries: 64,
+        batch_replans: true,
         retry: RetryPolicy {
             max_attempts: 1,
             initial_backoff: Duration::from_micros(100),

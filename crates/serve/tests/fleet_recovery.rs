@@ -40,6 +40,7 @@ fn config(dir: &Path, snapshot_every: u64) -> FleetConfig {
         queue_watermark: 1024,
         snapshot_every,
         plan_cache_entries: 64,
+        batch_replans: true,
         retry: RetryPolicy {
             max_attempts: 1,
             initial_backoff: std::time::Duration::from_micros(100),
@@ -203,6 +204,86 @@ fn truncation_at_any_journal_offset_recovers_and_converges() {
             fleet.jobs_doc(),
             expected,
             "cut at byte {len}: recovered run diverged from the uninterrupted run"
+        );
+        drop(fleet);
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Drives the workload so that re-plans pile up and pop as real batches:
+/// all registrations first (two spec groups of three jobs each), one
+/// planning pass, then every delta with coalescing left to do its work,
+/// then one final pass. Each `run_pending` commits whole batches — a
+/// journal whose Commit records come in per-batch runs.
+fn drive_batched(fleet: &FleetController) {
+    for i in 0..6 {
+        fleet.register(spec(i)).expect("register");
+    }
+    fleet.run_pending();
+    for delta in deltas() {
+        fleet.apply_health(&delta).expect("health");
+    }
+    fleet.run_pending();
+}
+
+/// The batched analogue of the truncation sweep: `kill -9` landing
+/// *inside* a batch's run of per-job Commit records (some members
+/// journaled, the rest lost) must recover byte-identically — the lost
+/// members are re-planned from the journal's (request, health) state.
+/// Also pins that the batched table equals the unbatched one for the
+/// same workload, so the sweep's gold is the per-job semantics.
+#[test]
+fn mid_batch_truncation_recovers_and_converges() {
+    let dir = temp_dir("batch-sweep");
+    let fleet = FleetController::open(config(&dir, 4)).expect("open batched gold");
+    drive_batched(&fleet);
+    let expected = fleet.jobs_doc();
+    drop(fleet);
+
+    // Control: batching off, same workload, same bytes.
+    let control_dir = temp_dir("batch-sweep-control");
+    let fleet = FleetController::open(FleetConfig {
+        batch_replans: false,
+        ..config(&control_dir, 4)
+    })
+    .expect("open unbatched control");
+    drive_batched(&fleet);
+    assert_eq!(
+        fleet.jobs_doc(),
+        expected,
+        "batching changed the planned bytes"
+    );
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&control_dir);
+
+    let journal = std::fs::read(dir.join("journal.log")).expect("read journal");
+    let (records, _) = decode_records(&journal);
+    let frame_overhead = encode_record(1, b"x").len() - 1;
+    // Cut at every record boundary and inside every frame's payload —
+    // the payload cuts inside Commit runs are the mid-batch crashes.
+    let mut offsets = vec![0usize];
+    let mut boundary = 0usize;
+    for record in &records {
+        let frame = frame_overhead + record.payload.len();
+        offsets.push(boundary + frame_overhead + record.payload.len() / 2);
+        boundary += frame;
+        offsets.push(boundary);
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+
+    for len in offsets {
+        let scratch = temp_dir(&format!("batch-sweep-cut-{len}"));
+        copy_with_truncated_journal(&dir, &scratch, len);
+        let fleet = FleetController::open(config(&scratch, 1_000_000))
+            .unwrap_or_else(|e| panic!("reopen after cut at {len}: {e}"));
+        fleet.run_pending(); // Recompute whatever the crash lost.
+        drive_batched(&fleet); // Idempotent re-delivery.
+        assert_eq!(
+            fleet.jobs_doc(),
+            expected,
+            "cut at byte {len}: batched recovery diverged"
         );
         drop(fleet);
         let _ = std::fs::remove_dir_all(&scratch);
